@@ -1,0 +1,192 @@
+//! The in-process message bus.
+//!
+//! Registered handlers play the role of the controllers' REST servers; the
+//! orchestrator plays the client. [`MessageBus::call`] serializes the
+//! request envelope to bytes, hands the *bytes* to the handler, and returns
+//! the handler's bytes deserialized — so both directions genuinely cross a
+//! wire-format boundary, as in the physical testbed.
+
+use crate::envelope::{Request, Response};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bus-level failures (distinct from domain rejections, which come back as
+/// [`Status::Rejected`](crate::envelope::Status::Rejected) responses).
+#[derive(Debug)]
+pub enum BusError {
+    /// No handler registered at the endpoint.
+    NoSuchEndpoint(String),
+    /// The envelope failed to (de)serialize.
+    Envelope(serde_json::Error),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::NoSuchEndpoint(e) => write!(f, "no handler at {e:?}"),
+            BusError::Envelope(e) => write!(f, "envelope: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+type Handler = Box<dyn FnMut(Request) -> Response>;
+
+/// Endpoint-dispatched request/response bus. See module docs.
+#[derive(Default)]
+pub struct MessageBus {
+    handlers: BTreeMap<String, Handler>,
+    next_id: u64,
+    requests_served: BTreeMap<String, u64>,
+}
+
+impl MessageBus {
+    /// An empty bus.
+    pub fn new() -> MessageBus {
+        Self::default()
+    }
+
+    /// Register (or replace) the handler at `endpoint`.
+    pub fn register(&mut self, endpoint: &str, handler: impl FnMut(Request) -> Response + 'static) {
+        self.handlers.insert(endpoint.to_owned(), Box::new(handler));
+    }
+
+    /// True if `endpoint` has a handler.
+    pub fn has_endpoint(&self, endpoint: &str) -> bool {
+        self.handlers.contains_key(endpoint)
+    }
+
+    /// Issue a request: wrap `body` in an envelope, serialize it across the
+    /// "wire", dispatch, and return the deserialized response.
+    pub fn call(&mut self, endpoint: &str, body: Vec<u8>) -> Result<Response, BusError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            endpoint: endpoint.to_owned(),
+            body,
+        };
+        // Serialize → bytes → deserialize: the wire.
+        let wire = serde_json::to_vec(&request).map_err(BusError::Envelope)?;
+        let delivered: Request = serde_json::from_slice(&wire).map_err(BusError::Envelope)?;
+
+        let handler = self
+            .handlers
+            .get_mut(endpoint)
+            .ok_or_else(|| BusError::NoSuchEndpoint(endpoint.to_owned()))?;
+        let response = handler(delivered);
+
+        let wire_back = serde_json::to_vec(&response).map_err(BusError::Envelope)?;
+        let response: Response = serde_json::from_slice(&wire_back).map_err(BusError::Envelope)?;
+        *self.requests_served.entry(endpoint.to_owned()).or_insert(0) += 1;
+        Ok(response)
+    }
+
+    /// Requests served per endpoint (for the dashboard's API stats).
+    pub fn served(&self, endpoint: &str) -> u64 {
+        self.requests_served.get(endpoint).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode};
+    use crate::envelope::Status;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn dispatches_to_registered_handler() {
+        let mut bus = MessageBus::new();
+        bus.register("echo", |req| Response::ok(req.id, req.body));
+        let resp = bus.call("echo", b"payload".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"payload");
+        assert!(bus.has_endpoint("echo"));
+        assert!(!bus.has_endpoint("nope"));
+    }
+
+    #[test]
+    fn correlation_ids_increment_and_echo() {
+        let mut bus = MessageBus::new();
+        bus.register("e", |req| Response::ok(req.id, vec![]));
+        let a = bus.call("e", vec![]).unwrap();
+        let b = bus.call("e", vec![]).unwrap();
+        assert_eq!(a.id, 0);
+        assert_eq!(b.id, 1);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let mut bus = MessageBus::new();
+        assert!(matches!(
+            bus.call("missing", vec![]),
+            Err(BusError::NoSuchEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn typed_payloads_survive_the_wire() {
+        use crate::messages::{RanCommand, RanReply};
+        use ovnes_model::{Prbs, SliceId};
+
+        let mut bus = MessageBus::new();
+        let log: Rc<RefCell<Vec<RanCommand>>> = Rc::new(RefCell::new(Vec::new()));
+        let log_in = log.clone();
+        bus.register("ran/command", move |req| {
+            match decode::<RanCommand>(&req.body) {
+                Ok(cmd) => {
+                    log_in.borrow_mut().push(cmd);
+                    Response::ok(req.id, encode(&RanReply::Done).unwrap())
+                }
+                Err(e) => Response::error(req.id, &e.to_string()),
+            }
+        });
+
+        let cmd = RanCommand::Resize {
+            slice: SliceId::new(3),
+            reserved: Prbs::new(17),
+        };
+        let resp = bus
+            .call("ran/command", encode(&cmd).unwrap())
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(decode::<RanReply>(&resp.body).unwrap(), RanReply::Done);
+        assert_eq!(log.borrow().as_slice(), &[cmd]);
+    }
+
+    #[test]
+    fn handler_decode_failure_becomes_error_status() {
+        use crate::messages::RanCommand;
+        let mut bus = MessageBus::new();
+        bus.register("ran/command", |req| match decode::<RanCommand>(&req.body) {
+            Ok(_) => Response::ok(req.id, vec![]),
+            Err(e) => Response::error(req.id, &e.to_string()),
+        });
+        let resp = bus.call("ran/command", b"garbage".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Error);
+    }
+
+    #[test]
+    fn served_counts_per_endpoint() {
+        let mut bus = MessageBus::new();
+        bus.register("a", |req| Response::ok(req.id, vec![]));
+        bus.register("b", |req| Response::ok(req.id, vec![]));
+        bus.call("a", vec![]).unwrap();
+        bus.call("a", vec![]).unwrap();
+        bus.call("b", vec![]).unwrap();
+        assert_eq!(bus.served("a"), 2);
+        assert_eq!(bus.served("b"), 1);
+        assert_eq!(bus.served("c"), 0);
+    }
+
+    #[test]
+    fn re_registering_replaces_handler() {
+        let mut bus = MessageBus::new();
+        bus.register("x", |req| Response::ok(req.id, b"v1".to_vec()));
+        bus.register("x", |req| Response::ok(req.id, b"v2".to_vec()));
+        assert_eq!(bus.call("x", vec![]).unwrap().body, b"v2");
+    }
+}

@@ -1,0 +1,131 @@
+//! The JSON wire codec.
+//!
+//! Every message the bus carries is wrapped in a versioned frame, so a
+//! controller speaking an old schema fails loudly at decode time instead of
+//! silently misreading fields — the failure mode REST deployments actually
+//! have.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Wire format version; bumped on breaking schema changes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Codec failures.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The frame's version does not match [`WIRE_VERSION`].
+    VersionMismatch {
+        /// Version found in the frame.
+        found: u32,
+    },
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::VersionMismatch { found } => {
+                write!(f, "wire version {found}, expected {WIRE_VERSION}")
+            }
+            CodecError::Json(e) => write!(f, "json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<serde_json::Error> for CodecError {
+    fn from(e: serde_json::Error) -> Self {
+        CodecError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Frame<T> {
+    version: u32,
+    payload: T,
+}
+
+/// Encode `payload` into versioned JSON bytes.
+pub fn encode<T: Serialize>(payload: &T) -> Result<Vec<u8>, CodecError> {
+    Ok(serde_json::to_vec(&Frame {
+        version: WIRE_VERSION,
+        payload,
+    })?)
+}
+
+/// Decode versioned JSON bytes back into a payload.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    // Check the version before committing to the payload schema.
+    #[derive(Deserialize)]
+    struct VersionOnly {
+        version: u32,
+    }
+    let v: VersionOnly = serde_json::from_slice(bytes)?;
+    if v.version != WIRE_VERSION {
+        return Err(CodecError::VersionMismatch { found: v.version });
+    }
+    let frame: Frame<T> = serde_json::from_slice(bytes)?;
+    Ok(frame.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Ping {
+        seq: u32,
+        tag: String,
+    }
+
+    #[test]
+    fn round_trip() {
+        let msg = Ping {
+            seq: 7,
+            tag: "hello".into(),
+        };
+        let bytes = encode(&msg).unwrap();
+        let back: Ping = decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let bytes = br#"{"version": 999, "payload": {"seq": 1, "tag": "x"}}"#;
+        match decode::<Ping>(bytes) {
+            Err(CodecError::VersionMismatch { found: 999 }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_json_error() {
+        let bytes = encode(&Ping {
+            seq: 1,
+            tag: "x".into(),
+        })
+        .unwrap();
+        #[derive(Deserialize, Debug)]
+        struct Other {
+            #[allow(dead_code)]
+            different: bool,
+        }
+        assert!(matches!(decode::<Other>(&bytes), Err(CodecError::Json(_))));
+    }
+
+    #[test]
+    fn garbage_is_a_json_error() {
+        assert!(matches!(decode::<Ping>(b"not json"), Err(CodecError::Json(_))));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CodecError::VersionMismatch { found: 2 };
+        assert!(e.to_string().contains("wire version 2"));
+    }
+}

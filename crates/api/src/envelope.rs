@@ -1,0 +1,113 @@
+//! Request/response envelopes: correlation ids, endpoint paths, and
+//! HTTP-like status codes around raw JSON bodies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome class of a response, mirroring the HTTP status families the
+//  demo's REST APIs would return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// 2xx — the command was executed.
+    Ok,
+    /// 4xx — the command was understood but refused (no capacity, unknown
+    /// slice, …). The body carries the domain error.
+    Rejected,
+    /// 5xx — the endpoint failed to process the command (decode error,
+    /// internal invariant).
+    Error,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Rejected => "rejected",
+            Status::Error => "error",
+        })
+    }
+}
+
+/// A request envelope: where it goes and what it carries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Correlation id, echoed in the response.
+    pub id: u64,
+    /// Endpoint path, e.g. `"ran/command"`.
+    pub endpoint: String,
+    /// JSON-encoded body (already framed by the codec).
+    pub body: Vec<u8>,
+}
+
+/// A response envelope.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id from the request.
+    pub id: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// JSON-encoded body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An OK response carrying `body`.
+    pub fn ok(id: u64, body: Vec<u8>) -> Response {
+        Response {
+            id,
+            status: Status::Ok,
+            body,
+        }
+    }
+
+    /// A rejection carrying a serialized domain error.
+    pub fn rejected(id: u64, body: Vec<u8>) -> Response {
+        Response {
+            id,
+            status: Status::Rejected,
+            body,
+        }
+    }
+
+    /// A processing error with a plain-text reason.
+    pub fn error(id: u64, reason: &str) -> Response {
+        Response {
+            id,
+            status: Status::Error,
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_status() {
+        assert_eq!(Response::ok(1, vec![]).status, Status::Ok);
+        assert_eq!(Response::rejected(1, vec![]).status, Status::Rejected);
+        let e = Response::error(9, "boom");
+        assert_eq!(e.status, Status::Error);
+        assert_eq!(e.body, b"boom");
+        assert_eq!(e.id, 9);
+    }
+
+    #[test]
+    fn status_displays() {
+        assert_eq!(Status::Ok.to_string(), "ok");
+        assert_eq!(Status::Rejected.to_string(), "rejected");
+        assert_eq!(Status::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn envelope_serde_round_trip() {
+        let req = Request {
+            id: 42,
+            endpoint: "ran/command".into(),
+            body: vec![1, 2, 3],
+        };
+        let j = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<Request>(&j).unwrap(), req);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ovnes-api — the REST boundary between orchestrator and controllers
+//!
+//! In the demo, *"the gathered monitoring information is promptly fed to the
+//! end-to-end orchestrator through REST APIs"* (§2), and resource commands
+//! flow the other way. This crate preserves that serialization boundary
+//! in-process: every message crosses the [`bus`] as JSON bytes — encoded,
+//! transferred, decoded — exactly as a REST payload would, so schema
+//! mismatches and encoding bugs surface in tests rather than being papered
+//! over by shared memory.
+//!
+//! * [`codec`] — the JSON wire codec with versioning.
+//! * [`envelope`] — request/response envelopes with correlation ids and
+//!   HTTP-like status.
+//! * [`messages`] — the typed API: per-domain commands and the monitoring
+//!   report controllers push upstream.
+//! * [`bus`] — the in-process message bus with per-endpoint handlers and
+//!   request accounting.
+
+pub mod bus;
+pub mod codec;
+pub mod envelope;
+pub mod messages;
+
+pub use bus::{BusError, MessageBus};
+pub use codec::{decode, encode, CodecError, WIRE_VERSION};
+pub use envelope::{Request, Response, Status};
+pub use messages::{
+    CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
+    TransportReply,
+};

@@ -1,0 +1,67 @@
+//! Criterion: admission-decision throughput — policy `decide()` latency and
+//! the knapsack broker's batch decision across window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovnes_bench::embb_request;
+use ovnes_model::{Money, Prbs, RateMbps};
+use ovnes_orchestrator::admission::{
+    knapsack_select, AdmissionPolicy, ClassDemand, Fcfs, GreedyRevenue, OverbookingAware,
+    ResourceView,
+};
+use ovnes_sim::SimRng;
+use std::hint::black_box;
+
+fn view() -> ResourceView {
+    let mut class_demand = ClassDemand::empty();
+    for c in ovnes_model::SliceClass::ALL {
+        class_demand.set(c, 0.55);
+    }
+    ResourceView {
+        available_prbs: Prbs::new(60),
+        ran_utilization: 0.7,
+        planning_prb_rate: RateMbps::new(0.5),
+        class_demand,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_decide");
+    let v = view();
+    let req = embb_request(1, 25.0);
+
+    let mut fcfs = Fcfs;
+    group.bench_function("fcfs", |b| {
+        b.iter(|| black_box(fcfs.decide(black_box(&req), black_box(&v))))
+    });
+    let mut greedy = GreedyRevenue::default();
+    group.bench_function("greedy_revenue", |b| {
+        b.iter(|| black_box(greedy.decide(black_box(&req), black_box(&v))))
+    });
+    let mut ob = OverbookingAware::default();
+    group.bench_function("overbooking_aware", |b| {
+        b.iter(|| black_box(ob.decide(black_box(&req), black_box(&v))))
+    });
+    group.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_knapsack");
+    for n in [8usize, 32, 128] {
+        let mut rng = SimRng::seed_from(n as u64);
+        let window: Vec<(Prbs, Money)> = (0..n)
+            .map(|_| {
+                (
+                    Prbs::new(rng.uniform_usize(5, 45) as u32),
+                    Money::from_units(rng.uniform_usize(10, 200) as i64),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &window, |b, w| {
+            b.iter(|| black_box(knapsack_select(black_box(w), Prbs::new(200))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_knapsack);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion: the REST-boundary JSON codec and message bus round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovnes_api::{decode, encode, MessageBus, MonitoringReport, RanCommand, Response};
+use ovnes_model::{EnbId, PlmnId, Prbs, SliceId};
+use ovnes_sim::SimTime;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn command() -> RanCommand {
+    RanCommand::InstallPlmn {
+        enb: EnbId::new(1),
+        slice: SliceId::new(42),
+        plmn: PlmnId::test_slice_plmn(3),
+        reserved: Prbs::new(40),
+        nominal: Prbs::new(60),
+    }
+}
+
+fn report(n_scalars: usize) -> MonitoringReport {
+    let mut scalars = BTreeMap::new();
+    for i in 0..n_scalars {
+        scalars.insert(format!("domain.metric.{i}"), i as f64 * 0.37);
+    }
+    MonitoringReport {
+        domain: "ran".into(),
+        at: SimTime::from_secs(600),
+        scalars,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_codec");
+    let cmd = command();
+    group.bench_function("encode_command", |b| {
+        b.iter(|| black_box(encode(black_box(&cmd)).unwrap()))
+    });
+    let bytes = encode(&cmd).unwrap();
+    group.bench_function("decode_command", |b| {
+        b.iter(|| black_box(decode::<RanCommand>(black_box(&bytes)).unwrap()))
+    });
+    let rep = report(64);
+    group.bench_function("encode_monitoring_64", |b| {
+        b.iter(|| black_box(encode(black_box(&rep)).unwrap()))
+    });
+    let rep_bytes = encode(&rep).unwrap();
+    group.bench_function("decode_monitoring_64", |b| {
+        b.iter(|| black_box(decode::<MonitoringReport>(black_box(&rep_bytes)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_bus(c: &mut Criterion) {
+    c.bench_function("bus_request_response", |b| {
+        let mut bus = MessageBus::new();
+        bus.register("ran/command", |req| Response::ok(req.id, req.body));
+        let body = encode(&command()).unwrap();
+        b.iter(|| black_box(bus.call("ran/command", black_box(body.clone())).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_bus);
+criterion_main!(benches);

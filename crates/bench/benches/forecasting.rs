@@ -1,0 +1,60 @@
+//! Criterion: forecaster update/predict costs and the quantile
+//! provisioner's end-to-end epoch cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovnes_forecast::{
+    Ar, Ewma, Forecaster, Holt, HoltWinters, MovingAverage, Naive, QuantileProvisioner,
+    TraceGenerator, TraceSpec,
+};
+use ovnes_sim::SimRng;
+use std::hint::black_box;
+
+fn series() -> Vec<f64> {
+    TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(1)).take(24 * 10)
+}
+
+fn bench_observe_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecast_observe_predict");
+    let data = series();
+
+    macro_rules! bench_model {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut m = $make;
+                    for &v in &data {
+                        m.observe(black_box(v));
+                    }
+                    black_box(m.predict(1))
+                })
+            });
+        };
+    }
+    bench_model!("naive_240", Naive::new());
+    bench_model!("moving_average_240", MovingAverage::new(24));
+    bench_model!("ewma_240", Ewma::new(0.3));
+    bench_model!("holt_240", Holt::new(0.3, 0.1));
+    bench_model!("holt_winters_240", HoltWinters::new(0.3, 0.05, 0.3, 24));
+    bench_model!("ar3_240", Ar::new(3, 96));
+    group.finish();
+}
+
+fn bench_provisioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecast_provisioner");
+    // Steady-state: one observe + one provision per epoch.
+    let mut warm = QuantileProvisioner::new(HoltWinters::new(0.3, 0.05, 0.3, 24), 200);
+    let mut gen = TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(2));
+    for _ in 0..24 * 10 {
+        warm.observe(gen.next_demand());
+    }
+    group.bench_function("epoch_observe_and_provision", |b| {
+        b.iter(|| {
+            warm.observe(black_box(gen.next_demand()));
+            black_box(warm.provision(0.95, 12))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_predict, bench_provisioner);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: full-orchestrator costs — one slice submission (admission +
+//! three-domain allocation) and one monitoring epoch at varying slice
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovnes_bench::{embb_request, testbed_orchestrator};
+use ovnes_orchestrator::{Orchestrator, OrchestratorConfig};
+use ovnes_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn with_active_slices(n: u64) -> Orchestrator {
+    let mut o = testbed_orchestrator(OrchestratorConfig::default(), n + 1);
+    for i in 0..n {
+        o.submit(SimTime::ZERO, embb_request(i, 10.0))
+            .expect("fits");
+    }
+    o.run_epoch(SimTime::ZERO + SimDuration::from_mins(1));
+    o
+}
+
+fn bench_submit(c: &mut Criterion) {
+    c.bench_function("orchestrator_submit_teardown", |b| {
+        let mut o = testbed_orchestrator(OrchestratorConfig::default(), 9);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            let id = o
+                .submit(now, black_box(embb_request(t, 10.0)))
+                .expect("testbed kept empty by teardown");
+            o.terminate(now, id);
+            black_box(id)
+        })
+    });
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator_epoch");
+    for n in [1u64, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut o = with_active_slices(n);
+            let mut e = 1u64;
+            b.iter(|| {
+                e += 1;
+                black_box(o.run_epoch(SimTime::ZERO + SimDuration::from_mins(1) + SimDuration::from_secs(e)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_submit, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: the per-epoch PRB scheduler across slice counts and
+//! contention levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovnes_model::{Prbs, RateMbps, SliceId};
+use ovnes_ran::{schedule_epoch, SliceLoad};
+use ovnes_sim::SimRng;
+use std::hint::black_box;
+
+fn loads(n: usize, contention: f64, seed: u64) -> Vec<SliceLoad> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let reserved = (100 / n.max(1)) as u32;
+            SliceLoad {
+                slice: SliceId::new(i as u64),
+                reserved: Prbs::new(reserved),
+                offered: RateMbps::new(
+                    reserved as f64 * 0.5 * contention * rng.uniform_range(0.5, 1.5),
+                ),
+                prb_rate: RateMbps::new(rng.uniform_range(0.3, 0.7)),
+            }
+        })
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prb_scheduler");
+    for n in [2usize, 6, 16, 64] {
+        for (label, contention) in [("light", 0.5), ("saturated", 2.0)] {
+            let ls = loads(n, contention, 42);
+            group.bench_with_input(
+                BenchmarkId::new(format!("slices_{label}"), n),
+                &ls,
+                |b, ls| b.iter(|| black_box(schedule_epoch(Prbs::new(100), black_box(ls)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

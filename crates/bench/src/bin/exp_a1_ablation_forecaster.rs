@@ -1,0 +1,79 @@
+//! A1 — ablation: swap the overbooking engine's forecaster.
+//!
+//! DESIGN.md design decision 3: Holt–Winters captures the diurnal
+//! seasonality that persistence/EWMA miss; this ablation shows the
+//! *downstream* effect — same workload, same quantile, different model —
+//! on admissions, released capacity, violations and net revenue.
+
+use ovnes_bench::report_header;
+use ovnes_forecast::ForecasterKind;
+use ovnes_orchestrator::{DemoScenario, PolicyKind, ScenarioConfig};
+use ovnes_sim::SimDuration;
+
+fn scenario(model: ForecasterKind, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        arrivals_per_hour: 30.0,
+        horizon: SimDuration::from_hours(12),
+        mean_duration: SimDuration::from_hours(2),
+        ..ScenarioConfig::default()
+    };
+    cfg.orchestrator.policy = PolicyKind::OverbookingAware;
+    cfg.orchestrator.overbooking.season_period = 12;
+    cfg.orchestrator.overbooking.min_residuals = 8;
+    cfg.orchestrator.overbooking.quantile = 0.9;
+    cfg.orchestrator.overbooking.forecaster = model;
+    cfg
+}
+
+fn main() {
+    report_header(
+        "A1",
+        "ablation: overbooking forecaster",
+        "same workload and q=0.9; only the forecasting model changes",
+    );
+    println!(
+        "{:<16} {:>9} {:>11} {:>12} {:>12} {:>11}",
+        "model", "admitted", "savings", "penalties", "net", "viol.rate"
+    );
+    let seeds = [2u64, 19, 41, 53, 67, 72];
+    for model in [
+        ForecasterKind::Naive,
+        ForecasterKind::SeasonalNaive,
+        ForecasterKind::Ewma,
+        ForecasterKind::Holt,
+        ForecasterKind::Ar,
+        ForecasterKind::Ensemble,
+        ForecasterKind::HoltWinters,
+    ] {
+        let mut admitted = 0.0;
+        let mut savings = 0.0;
+        let mut pen = 0.0;
+        let mut net = 0.0;
+        let mut viol = 0.0;
+        for &seed in &seeds {
+            let s = DemoScenario::build(scenario(model, seed)).run();
+            admitted += s.admitted as f64;
+            savings += s.mean_savings;
+            pen += s.penalties.as_f64();
+            net += s.net_revenue.as_f64();
+            viol += s.violation_rate();
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{:<16} {:>9.1} {:>10.0}% {:>12.2} {:>12.2} {:>10.1}%",
+            format!("{model:?}"),
+            admitted / n,
+            savings / n * 100.0,
+            pen / n,
+            net / n,
+            viol / n * 100.0,
+        );
+    }
+    println!("\nseasonality-aware models (seasonal-naive, Holt-Winters) sit furthest");
+    println!("out on the gain frontier: most capacity released and most slices");
+    println!("admitted. Smoothing-family models shrink less (lower savings, fewer");
+    println!("violations) — they trade gain for safety rather than beating the");
+    println!("seasonal models outright; the quantile q, not the model, remains the");
+    println!("primary risk knob.");
+}

@@ -1,0 +1,81 @@
+//! E10 — cloud resilience: slice availability under compute host failures.
+//!
+//! The demo's vEPC is a virtualized instance on OpenStack; hosts fail. This
+//! harness injects random host failures at a swept rate and measures what
+//! the Heat-style redeploy machinery preserves: every failure costs each
+//! affected slice one vEPC reboot (~13 s outage), after which it serves
+//! again — as long as spare cloud capacity exists.
+
+use ovnes_bench::{embb_request, report_header, testbed_orchestrator, urllc_request};
+use ovnes_model::{DcId, HostId};
+use ovnes_orchestrator::OrchestratorConfig;
+use ovnes_sim::{SimRng, SimTime};
+
+const EPOCHS: u64 = 12 * 60;
+
+fn main() {
+    report_header(
+        "E10",
+        "cloud resilience (host failures)",
+        "12 h, 6 slices; random host failures at a swept per-epoch rate",
+    );
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>10} {:>8}",
+        "failures/day (mean)", "injected", "redeploys", "viol.rate", "avail.", "lost"
+    );
+
+    let seeds = [3u64, 14, 25];
+    for &per_day in &[0.0f64, 2.0, 6.0, 12.0, 24.0] {
+        let p_epoch = per_day / (24.0 * 60.0);
+        let mut injected = 0u64;
+        let mut redeploys = 0u64;
+        let mut lost = 0u64;
+        let mut violations = 0u64;
+        let mut slice_epochs = 0u64;
+        for &seed in &seeds {
+            let mut o = testbed_orchestrator(OrchestratorConfig::default(), seed);
+            // Six long-lived slices across both eNBs and both DCs.
+            for t in 0..4u64 {
+                let _ = o.submit(SimTime::ZERO, embb_request(t, 15.0));
+            }
+            let _ = o.submit(SimTime::ZERO, urllc_request(4));
+            let _ = o.submit(SimTime::ZERO, urllc_request(5));
+
+            let mut frng = SimRng::seed_from(seed ^ 0xFA11);
+            let epoch = o.config().epoch;
+            for e in 1..=EPOCHS {
+                let now = SimTime::ZERO + epoch * e;
+                if p_epoch > 0.0 && frng.chance(p_epoch) {
+                    // Pick a random host in a random DC.
+                    let dc = DcId::new(if frng.chance(0.25) { 0 } else { 1 });
+                    let host_count = o
+                        .cloud()
+                        .dc(dc)
+                        .map(|d| d.hosts().len())
+                        .unwrap_or(0);
+                    if host_count > 0 {
+                        let host = HostId::new(frng.uniform_usize(0, host_count) as u64);
+                        let (r, l) = o.inject_host_failure(now, dc, host);
+                        injected += 1;
+                        redeploys += r.len() as u64;
+                        lost += l.len() as u64;
+                        // Hardware replaced before the next strike: keeps the
+                        // sweep about transient outages, not capacity decay.
+                        o.revive_host(dc, host);
+                    }
+                }
+                let report = o.run_epoch(now);
+                slice_epochs += report.verdicts.len() as u64;
+                violations += report.verdicts.iter().filter(|v| !v.met).count() as u64;
+            }
+        }
+        println!(
+            "{per_day:<22} {injected:>9} {redeploys:>11} {:>10.2}% {:>9.2}% {lost:>8}",
+            violations as f64 / slice_epochs as f64 * 100.0,
+            (1.0 - violations as f64 / slice_epochs as f64) * 100.0,
+        );
+    }
+    println!("\neach failure costs its slices one ~13 s vEPC reboot (one violated");
+    println!("epoch at most); availability degrades linearly and gently with the");
+    println!("failure rate because redeploys always find spare cloud capacity.");
+}

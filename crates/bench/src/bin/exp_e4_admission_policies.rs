@@ -1,0 +1,200 @@
+//! E4 — admission control policies compared (ref \[3\], the 5G slice broker).
+//!
+//! Part A runs the online scenario under each policy and reports admissions
+//! and revenue. Part B isolates the broker's batch decision: a window of
+//! heterogeneous requests against a fixed PRB budget, solved by FCFS order,
+//! greedy revenue-density order, and the exact 0/1 knapsack.
+
+use ovnes_bench::report_header;
+use ovnes_model::{Money, Prbs};
+use ovnes_orchestrator::admission::knapsack_select;
+use ovnes_orchestrator::{DemoScenario, PolicyKind, ScenarioConfig};
+use ovnes_sim::{SimDuration, SimRng};
+
+fn scenario(policy: PolicyKind, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        arrivals_per_hour: 40.0, // pressure: rejections must happen
+        horizon: SimDuration::from_hours(12),
+        mean_duration: SimDuration::from_hours(3),
+        ..ScenarioConfig::default()
+    };
+    cfg.orchestrator.policy = policy;
+    cfg.orchestrator.overbooking.season_period = 12;
+    cfg.orchestrator.overbooking.min_residuals = 8;
+    cfg.orchestrator.overbooking_enabled = policy == PolicyKind::OverbookingAware;
+    cfg
+}
+
+fn main() {
+    report_header(
+        "E4",
+        "§1/§3 admission control (ref [3])",
+        "policies on the same 12 h workload: admissions, revenue, violations",
+    );
+
+    println!("-- Part A: online policies ------------------------------------");
+    println!(
+        "{:<20} {:>9} {:>9} {:>12} {:>12} {:>11}",
+        "policy", "admitted", "rate", "net rev.", "penalties", "viol.rate"
+    );
+    let seeds = [3u64, 13, 29];
+    for policy in [
+        PolicyKind::Fcfs,
+        PolicyKind::GreedyRevenue,
+        PolicyKind::OverbookingAware,
+    ] {
+        let mut admitted = 0.0;
+        let mut rate = 0.0;
+        let mut net = 0.0;
+        let mut pen = 0.0;
+        let mut viol = 0.0;
+        for &seed in &seeds {
+            let s = DemoScenario::build(scenario(policy, seed)).run();
+            admitted += s.admitted as f64;
+            rate += s.admission_rate();
+            net += s.net_revenue.as_f64();
+            pen += s.penalties.as_f64();
+            viol += s.violation_rate();
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{:<20} {:>9.1} {:>8.0}% {:>12.2} {:>12.2} {:>10.1}%",
+            format!("{policy:?}"),
+            admitted / n,
+            rate / n * 100.0,
+            net / n,
+            pen / n,
+            viol / n * 100.0,
+        );
+    }
+
+    println!("\n-- Part B: batch decision on one request window ----------------");
+    // A broker window: 20 heterogeneous requests against one 100-PRB cell.
+    let mut rng = SimRng::seed_from(99);
+    let window: Vec<(Prbs, Money)> = (0..20)
+        .map(|_| {
+            let prbs = Prbs::new(rng.uniform_usize(5, 45) as u32);
+            // Value loosely correlated with size, with spread.
+            let value = Money::from_units(
+                (prbs.value() as f64 * rng.uniform_range(0.5, 3.0)) as i64,
+            );
+            (prbs, value)
+        })
+        .collect();
+    let capacity = Prbs::new(100);
+
+    let revenue_of = |selection: &[usize]| -> Money {
+        selection.iter().map(|&i| window[i].1).sum()
+    };
+
+    // FCFS in arrival order.
+    let mut used = 0u32;
+    let mut fcfs = Vec::new();
+    for (i, &(need, _)) in window.iter().enumerate() {
+        if used + need.value() <= capacity.value() {
+            used += need.value();
+            fcfs.push(i);
+        }
+    }
+    // Greedy by value density.
+    let mut order: Vec<usize> = (0..window.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = window[a].1.cents() as f64 / window[a].0.value() as f64;
+        let db = window[b].1.cents() as f64 / window[b].0.value() as f64;
+        db.partial_cmp(&da).expect("finite").then(a.cmp(&b))
+    });
+    let mut used = 0u32;
+    let mut greedy = Vec::new();
+    for i in order {
+        if used + window[i].0.value() <= capacity.value() {
+            used += window[i].0.value();
+            greedy.push(i);
+        }
+    }
+    // Exact knapsack.
+    let knapsack = knapsack_select(&window, capacity);
+
+    println!(
+        "{:<20} {:>9} {:>12}",
+        "strategy", "selected", "revenue"
+    );
+    for (name, sel) in [
+        ("fcfs-order", &fcfs),
+        ("greedy-density", &greedy),
+        ("knapsack (exact)", &knapsack),
+    ] {
+        println!("{name:<20} {:>9} {:>12}", sel.len(), revenue_of(sel));
+    }
+    assert!(revenue_of(&knapsack) >= revenue_of(&greedy));
+    assert!(revenue_of(&knapsack) >= revenue_of(&fcfs));
+    println!("\nknapsack ≥ greedy ≥/≈ fcfs on revenue, as ref [3] argues.");
+
+    part_c_batch_broker();
+}
+
+/// Part C: the knapsack broker *in the loop* — same Poisson arrivals fed to
+/// the online FCFS orchestrator and to a batch orchestrator deciding every
+/// 15 epochs, peak reservations in both.
+fn part_c_batch_broker() {
+    use ovnes_bench::testbed_orchestrator;
+    use ovnes_orchestrator::{OrchestratorConfig, RequestGenerator, RequestMix};
+    use ovnes_sim::SimTime;
+
+    println!("\n-- Part C: batch broker in the loop -----------------------------");
+    println!(
+        "{:<20} {:>9} {:>9} {:>12}",
+        "mode", "submitted", "admitted", "income"
+    );
+    let seeds = [6u64, 27, 44];
+    for (label, batch) in [("online fcfs", None), ("batch knapsack/15ep", Some(15u64))] {
+        let mut submitted = 0u64;
+        let mut admitted = 0u64;
+        let mut income = 0.0;
+        for &seed in &seeds {
+            let config = OrchestratorConfig {
+                batch_window: batch,
+                overbooking_enabled: false,
+                policy: PolicyKind::Fcfs,
+                ..OrchestratorConfig::default()
+            };
+            let mut o = testbed_orchestrator(config, seed);
+            let mut gen = RequestGenerator::new(
+                RequestMix::default(),
+                SimDuration::from_hours(3),
+                SimRng::seed_from(seed * 31),
+            );
+            let epoch = o.config().epoch;
+            let mut next_arrival = SimTime::ZERO + gen.next_interarrival(40.0);
+            for e in 1..=12 * 60u64 {
+                let now = SimTime::ZERO + epoch * e;
+                while next_arrival <= now {
+                    let request = gen.generate();
+                    submitted += 1;
+                    match batch {
+                        Some(_) => o.enqueue(request),
+                        None => {
+                            if o.submit(next_arrival, request).is_ok() {
+                                admitted += 1;
+                            }
+                        }
+                    }
+                    next_arrival += gen.next_interarrival(40.0);
+                }
+                let report = o.run_epoch(now);
+                admitted += report.batch_admitted.len() as u64;
+            }
+            income += o.ledger().gross_income().as_f64();
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{label:<20} {:>9.1} {:>9.1} {:>12.2}",
+            submitted as f64 / n,
+            admitted as f64 / n,
+            income / n
+        );
+    }
+    println!("\nthe windowed knapsack forgoes some admissions (requests wait and");
+    println!("compete) but selects a higher-value mix — the broker trade-off of");
+    println!("ref [3] reproduced in the full orchestration loop.");
+}

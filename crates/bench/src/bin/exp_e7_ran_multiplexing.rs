@@ -1,0 +1,96 @@
+//! E7 — §2 RAN domain (ref \[1\]): statistical multiplexing of PRBs under
+//! MOCN sharing.
+//!
+//! One 100-PRB cell hosts a set of slices whose combined *nominal* (SLA
+//! peak) need is swept from 0.6× to 2.0× the grid. Reservations are scaled
+//! so they always fit (that is what overbooking does); the scheduler's
+//! lending covers forecast misses. For each overbooking factor we report
+//! PRB utilization, served-demand fraction, and per-slice violation rate —
+//! the RAN-side picture of the demo's multiplexing gain.
+
+use ovnes_bench::report_header;
+use ovnes_forecast::{TraceGenerator, TraceSpec};
+use ovnes_model::{Prbs, RateMbps, SliceId};
+use ovnes_ran::{schedule_epoch, SliceLoad};
+use ovnes_sim::SimRng;
+
+const GRID: u32 = 100;
+const PRB_RATE: f64 = 0.5; // Mbps per PRB at the planning CQI
+const SLICES: u64 = 5;
+const EPOCHS: usize = 24 * 30;
+
+fn main() {
+    report_header(
+        "E7",
+        "§2 RAN / ref [1] statistical multiplexing",
+        "one cell, 5 diurnal slices; sweep nominal load vs the PRB grid",
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "OB factor", "PRB util", "served frac", "viol. rate", "lent PRBs/ep"
+    );
+
+    for &factor in &[0.6f64, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0] {
+        // Each slice's nominal peak need: factor × grid / slices.
+        let nominal_prbs = (factor * GRID as f64 / SLICES as f64).round() as u32;
+        let committed = RateMbps::new(nominal_prbs as f64 * PRB_RATE);
+        // Reservations shrink so the cell is never hard-oversubscribed.
+        let reserved = Prbs::new(nominal_prbs.min(GRID / SLICES as u32));
+
+        let mut traces: Vec<TraceGenerator> = (0..SLICES)
+            .map(|i| {
+                // Staggered phases: the realistic case where peaks do not
+                // coincide — the source of the multiplexing gain.
+                let spec = TraceSpec {
+                    phase: (i as usize * 24) / SLICES as usize,
+                    ..TraceSpec::embb(24)
+                };
+                TraceGenerator::new(spec, SimRng::seed_from(1000 + i))
+            })
+            .collect();
+
+        let mut util_sum = 0.0;
+        let mut offered_sum = 0.0;
+        let mut delivered_sum = 0.0;
+        let mut violations = 0u64;
+        let mut lent_sum = 0u64;
+        for _ in 0..EPOCHS {
+            let loads: Vec<SliceLoad> = traces
+                .iter_mut()
+                .enumerate()
+                .map(|(i, t)| SliceLoad {
+                    slice: SliceId::new(i as u64),
+                    reserved,
+                    offered: committed * t.next_demand(),
+                    prb_rate: RateMbps::new(PRB_RATE),
+                })
+                .collect();
+            let outs = schedule_epoch(Prbs::new(GRID), &loads);
+            let used: u32 = outs.iter().map(|o| o.allocated.value()).sum();
+            util_sum += used as f64 / GRID as f64;
+            for (load, out) in loads.iter().zip(&outs) {
+                offered_sum += load.offered.value();
+                delivered_sum += out.delivered.value();
+                lent_sum += out.lent.value() as u64;
+                // Violation: delivered less than 99% of offered (capped at
+                // committed — offered is generated below commitment here).
+                if out.delivered.value() < load.offered.value() * 0.99 {
+                    violations += 1;
+                }
+            }
+        }
+        let n = EPOCHS as f64;
+        println!(
+            "{:<14} {:>9.1}% {:>11.1}% {:>11.2}% {:>12.1}",
+            format!("{factor:.1}x ({nominal_prbs} PRB/slice)"),
+            util_sum / n * 100.0,
+            delivered_sum / offered_sum * 100.0,
+            violations as f64 / (n * SLICES as f64) * 100.0,
+            lent_sum as f64 / n,
+        );
+    }
+    println!("\nbelow 1.0x nothing is at risk; between 1.0x and ~1.8x lending absorbs");
+    println!("nearly all overbooked peaks (mean demand is ~0.55 of nominal, so the");
+    println!("aggregate crosses the grid near factor 1/0.55 ≈ 1.8); past that knee the");
+    println!("cell is oversubscribed on average and violations rise steeply.");
+}

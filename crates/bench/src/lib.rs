@@ -1,0 +1,116 @@
+//! # ovnes-bench — experiment harnesses and shared fixtures
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index, E1–E8)
+//! plus the Criterion micro-benchmarks. This library holds the fixtures the
+//! binaries and benches share: standard worlds, standard requests, and a
+//! tiny report-printing layer so every experiment emits the same table
+//! shape EXPERIMENTS.md records.
+
+use ovnes_cloud::host::HostCapacity;
+use ovnes_cloud::{CloudController, DataCenter, DcKind, PlacementStrategy};
+use ovnes_model::{
+    DcId, DiskGb, EnbId, Latency, MemMb, Money, RateMbps, SliceClass, SliceRequest, TenantId,
+    VCpus,
+};
+use ovnes_orchestrator::{Orchestrator, OrchestratorConfig};
+use ovnes_ran::{CellConfig, Enb, RanController};
+use ovnes_sim::{SimDuration, SimRng};
+use ovnes_transport::{Topology, TransportController};
+
+/// The standard host profile of the core DC.
+pub fn core_host() -> HostCapacity {
+    HostCapacity {
+        vcpus: VCpus::new(32),
+        mem: MemMb::new(65_536),
+        disk: DiskGb::new(500),
+    }
+}
+
+/// The standard host profile of the edge DC.
+pub fn edge_host() -> HostCapacity {
+    HostCapacity {
+        vcpus: VCpus::new(16),
+        mem: MemMb::new(32_768),
+        disk: DiskGb::new(250),
+    }
+}
+
+/// The Fig. 2 world: 2 eNBs, testbed transport, edge + core DCs.
+pub fn testbed_world() -> (RanController, TransportController, CloudController, CellConfig) {
+    let cell = CellConfig::default_20mhz();
+    let ran = RanController::new(vec![
+        Enb::new(EnbId::new(0), cell),
+        Enb::new(EnbId::new(1), cell),
+    ]);
+    let transport = TransportController::new(Topology::testbed(), 4096);
+    let cloud = CloudController::new(vec![
+        DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 3, edge_host(), PlacementStrategy::WorstFit),
+        DataCenter::homogeneous(DcId::new(1), DcKind::Core, 12, core_host(), PlacementStrategy::WorstFit),
+    ]);
+    (ran, transport, cloud, cell)
+}
+
+/// An orchestrator over the standard world.
+pub fn testbed_orchestrator(config: OrchestratorConfig, seed: u64) -> Orchestrator {
+    let (ran, transport, cloud, cell) = testbed_world();
+    Orchestrator::new(config, ran, transport, cloud, cell, SimRng::seed_from(seed))
+}
+
+/// A standard eMBB request of `tp` Mbps.
+pub fn embb_request(tenant: u64, tp: f64) -> SliceRequest {
+    SliceRequest::builder(TenantId::new(tenant), SliceClass::Embb)
+        .throughput(RateMbps::new(tp))
+        .duration(SimDuration::from_hours(2))
+        .price(Money::from_units((tp * 4.0) as i64))
+        .penalty(Money::from_units((tp * 0.2).max(1.0) as i64))
+        .build()
+        .expect("positive parameters")
+}
+
+/// A standard URLLC request (automotive/e-health class).
+pub fn urllc_request(tenant: u64) -> SliceRequest {
+    SliceRequest::builder(TenantId::new(tenant), SliceClass::Urllc)
+        .max_latency(Latency::new(5.0))
+        .duration(SimDuration::from_hours(2))
+        .price(Money::from_units(80))
+        .penalty(Money::from_units(8))
+        .build()
+        .expect("positive parameters")
+}
+
+/// Print the standard experiment header.
+pub fn report_header(id: &str, artifact: &str, what: &str) {
+    println!("================================================================");
+    println!("{id} — {artifact}");
+    println!("{what}");
+    println!("================================================================");
+}
+
+/// Print a row of `name = value` pairs in a stable format.
+pub fn report_kv(pairs: &[(&str, String)]) {
+    for (k, v) in pairs {
+        println!("  {k:<38} {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds() {
+        let (ran, transport, cloud, _) = testbed_world();
+        assert_eq!(ran.enb_ids().len(), 2);
+        assert_eq!(transport.topology().link_count(), 7);
+        assert_eq!(cloud.dc_ids().len(), 2);
+    }
+
+    #[test]
+    fn requests_are_valid() {
+        let e = embb_request(1, 50.0);
+        assert_eq!(e.sla.throughput, RateMbps::new(50.0));
+        assert!(e.price.cents() > 0);
+        let u = urllc_request(2);
+        assert!(u.needs_edge);
+    }
+}

@@ -1,0 +1,290 @@
+//! Data centers and VM placement.
+//!
+//! The testbed has one *edge* DC (close to the RAN, for latency-critical
+//! VNFs) and one *core* DC (the traditional EPC location). Placement of a
+//! VM onto a host follows a configurable [`PlacementStrategy`].
+
+use crate::host::{Host, HostCapacity};
+use ovnes_model::{DcId, HostId, VmId};
+use serde::{Deserialize, Serialize};
+
+/// Edge or core — determines which slices may (or must) land here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DcKind {
+    /// Mobile-edge data center: low latency to the RAN, small capacity.
+    Edge,
+    /// Core (central) data center: large capacity, farther away.
+    Core,
+}
+
+/// How to pick a host among those that fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// First host (by id) that fits. Fast, fragmentation-prone.
+    FirstFit,
+    /// The fullest host that still fits: consolidates, leaves big holes
+    /// elsewhere for large VNFs.
+    BestFit,
+    /// The emptiest host that fits: spreads load, evens out contention.
+    WorstFit,
+}
+
+/// A data center: a set of hosts plus a placement policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataCenter {
+    id: DcId,
+    kind: DcKind,
+    hosts: Vec<Host>,
+    strategy: PlacementStrategy,
+}
+
+impl DataCenter {
+    /// A DC with the given hosts and placement strategy.
+    pub fn new(id: DcId, kind: DcKind, hosts: Vec<Host>, strategy: PlacementStrategy) -> Self {
+        DataCenter {
+            id,
+            kind,
+            hosts,
+            strategy,
+        }
+    }
+
+    /// A DC of `n_hosts` identical hosts.
+    pub fn homogeneous(
+        id: DcId,
+        kind: DcKind,
+        n_hosts: usize,
+        per_host: HostCapacity,
+        strategy: PlacementStrategy,
+    ) -> Self {
+        let hosts = (0..n_hosts)
+            .map(|i| Host::new(HostId::new(i as u64), per_host))
+            .collect();
+        Self::new(id, kind, hosts, strategy)
+    }
+
+    /// Identifier.
+    pub fn id(&self) -> DcId {
+        self.id
+    }
+
+    /// Edge or core.
+    pub fn kind(&self) -> DcKind {
+        self.kind
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Aggregate total capacity of in-service hosts.
+    pub fn total(&self) -> HostCapacity {
+        self.hosts
+            .iter()
+            .filter(|h| h.is_alive())
+            .fold(HostCapacity::ZERO, |acc, h| acc.plus(&h.total()))
+    }
+
+    /// Aggregate used capacity.
+    pub fn used(&self) -> HostCapacity {
+        self.hosts
+            .iter()
+            .fold(HostCapacity::ZERO, |acc, h| acc.plus(&h.used()))
+    }
+
+    /// Aggregate free capacity (note: fragmented across hosts; a demand can
+    /// fail even when it "fits" in the aggregate).
+    pub fn free(&self) -> HostCapacity {
+        self.total().minus(&self.used())
+    }
+
+    /// Dominant aggregate utilization.
+    pub fn utilization(&self) -> f64 {
+        self.total().dominant_utilization(&self.used())
+    }
+
+    /// True if some single host can fit `demand` right now.
+    pub fn can_fit(&self, demand: &HostCapacity) -> bool {
+        self.hosts.iter().any(|h| h.can_fit(demand))
+    }
+
+    /// Place `vm` with `demand` per the DC's strategy. Returns the chosen
+    /// host, or `None` if no host fits (nothing is changed).
+    pub fn place(&mut self, vm: VmId, demand: HostCapacity) -> Option<HostId> {
+        let candidates: Vec<usize> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.can_fit(&demand))
+            .map(|(i, _)| i)
+            .collect();
+        let chosen = match self.strategy {
+            PlacementStrategy::FirstFit => candidates.first().copied(),
+            PlacementStrategy::BestFit => candidates.iter().copied().max_by(|&a, &b| {
+                self.hosts[a]
+                    .utilization()
+                    .partial_cmp(&self.hosts[b].utilization())
+                    .expect("utilizations are finite")
+                    .then(b.cmp(&a)) // earlier host wins exact ties
+            }),
+            PlacementStrategy::WorstFit => candidates.iter().copied().min_by(|&a, &b| {
+                self.hosts[a]
+                    .utilization()
+                    .partial_cmp(&self.hosts[b].utilization())
+                    .expect("utilizations are finite")
+                    .then(a.cmp(&b))
+            }),
+        }?;
+        let placed = self.hosts[chosen].allocate(vm, demand);
+        debug_assert!(placed, "candidate host was verified to fit");
+        Some(self.hosts[chosen].id())
+    }
+
+    /// Free `vm` wherever it lives. Returns the freed capacity, or `None`.
+    pub fn free_vm(&mut self, vm: VmId) -> Option<HostCapacity> {
+        self.hosts.iter_mut().find_map(|h| h.free_vm(vm))
+    }
+
+    /// Vertically scale `vm` wherever it lives. Returns `false` when the
+    /// VM is unknown or its host cannot absorb the growth (no migration in
+    /// this model — Heat stack updates resize in place).
+    pub fn resize_vm(&mut self, vm: VmId, new_demand: HostCapacity) -> bool {
+        self.hosts
+            .iter_mut()
+            .find(|h| h.allocation(vm).is_some())
+            .is_some_and(|h| h.resize_vm(vm, new_demand))
+    }
+
+    /// Fault injection: the host dies, taking its VMs with it and leaving
+    /// service (no future placements until [`revive_host`](Self::revive_host)).
+    /// Returns the ids of the VMs that were running there.
+    pub fn fail_host(&mut self, host: HostId) -> Vec<VmId> {
+        self.hosts
+            .iter_mut()
+            .find(|h| h.id() == host)
+            .map(|h| h.fail())
+            .unwrap_or_default()
+    }
+
+    /// Return a failed host to service (hardware replaced), empty.
+    pub fn revive_host(&mut self, host: HostId) {
+        if let Some(h) = self.hosts.iter_mut().find(|h| h.id() == host) {
+            h.revive();
+        }
+    }
+
+    /// Hosts currently in service.
+    pub fn alive_hosts(&self) -> usize {
+        self.hosts.iter().filter(|h| h.is_alive()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{DiskGb, MemMb, VCpus};
+
+    fn cap(v: u32, m: u64, d: u64) -> HostCapacity {
+        HostCapacity {
+            vcpus: VCpus::new(v),
+            mem: MemMb::new(m),
+            disk: DiskGb::new(d),
+        }
+    }
+
+    fn dc(strategy: PlacementStrategy) -> DataCenter {
+        DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 3, cap(8, 8192, 80), strategy)
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut d = dc(PlacementStrategy::FirstFit);
+        assert_eq!(d.total(), cap(24, 24576, 240));
+        d.place(VmId::new(1), cap(4, 1024, 10)).unwrap();
+        assert_eq!(d.used(), cap(4, 1024, 10));
+        assert_eq!(d.free(), cap(20, 23552, 230));
+        assert!((d.utilization() - 4.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_id() {
+        let mut d = dc(PlacementStrategy::FirstFit);
+        assert_eq!(d.place(VmId::new(1), cap(2, 1024, 10)), Some(HostId::new(0)));
+        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(0)));
+    }
+
+    #[test]
+    fn best_fit_consolidates() {
+        let mut d = dc(PlacementStrategy::BestFit);
+        d.place(VmId::new(1), cap(4, 1024, 10)).unwrap(); // host 0 at 50% CPU
+        // Next small VM should land on the already-loaded host 0.
+        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(0)));
+        // A VM too big for host 0's remainder goes elsewhere.
+        assert_eq!(d.place(VmId::new(3), cap(6, 1024, 10)), Some(HostId::new(1)));
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let mut d = dc(PlacementStrategy::WorstFit);
+        assert_eq!(d.place(VmId::new(1), cap(2, 1024, 10)), Some(HostId::new(0)));
+        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(1)));
+        assert_eq!(d.place(VmId::new(3), cap(2, 1024, 10)), Some(HostId::new(2)));
+        assert_eq!(d.place(VmId::new(4), cap(2, 1024, 10)), Some(HostId::new(0)));
+    }
+
+    #[test]
+    fn placement_fails_when_fragmented() {
+        let mut d = dc(PlacementStrategy::WorstFit);
+        // WorstFit spreads one VM per host: 4 vCPUs free on each host,
+        // 12 free in aggregate.
+        for i in 0..3 {
+            d.place(VmId::new(i), cap(4, 1024, 10)).unwrap();
+        }
+        assert!(d.free().vcpus >= VCpus::new(12));
+        // An 8-vCPU VM fits the aggregate but no single host.
+        assert!(!d.can_fit(&cap(8, 1024, 10)));
+        assert_eq!(d.place(VmId::new(9), cap(8, 1024, 10)), None);
+    }
+
+    #[test]
+    fn free_vm_finds_host() {
+        let mut d = dc(PlacementStrategy::WorstFit);
+        d.place(VmId::new(1), cap(2, 1024, 10)).unwrap();
+        d.place(VmId::new(2), cap(2, 1024, 10)).unwrap();
+        assert_eq!(d.free_vm(VmId::new(2)), Some(cap(2, 1024, 10)));
+        assert_eq!(d.free_vm(VmId::new(2)), None);
+        assert_eq!(d.used(), cap(2, 1024, 10));
+    }
+
+    #[test]
+    fn failed_host_is_out_of_service_until_revived() {
+        let mut d = dc(PlacementStrategy::WorstFit);
+        d.place(VmId::new(1), cap(2, 1024, 10)).unwrap(); // host 0
+        let victims = d.fail_host(HostId::new(0));
+        assert_eq!(victims, vec![VmId::new(1)]);
+        assert_eq!(d.alive_hosts(), 2);
+        // Aggregate capacity shrank by one host.
+        assert_eq!(d.total(), cap(16, 16384, 160));
+        // Placement avoids the corpse even though it is "empty".
+        for i in 0..4 {
+            let host = d.place(VmId::new(10 + i), cap(2, 1024, 10)).unwrap();
+            assert_ne!(host, HostId::new(0));
+        }
+        // Failing a dead or unknown host is a no-op.
+        assert!(d.fail_host(HostId::new(0)).is_empty());
+        assert!(d.fail_host(HostId::new(99)).is_empty());
+        // Hardware replaced.
+        d.revive_host(HostId::new(0));
+        assert_eq!(d.alive_hosts(), 3);
+        assert!(d.can_fit(&cap(8, 8192, 80)));
+    }
+
+    #[test]
+    fn kind_and_id_accessors() {
+        let d = dc(PlacementStrategy::FirstFit);
+        assert_eq!(d.id(), DcId::new(0));
+        assert_eq!(d.kind(), DcKind::Edge);
+        assert_eq!(d.hosts().len(), 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Compute hosts: the unit of capacity inside a data center.
+
+use ovnes_model::{DiskGb, HostId, MemMb, VCpus, VmId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Dimensioned capacity of a host (or a demand against one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCapacity {
+    /// CPU cores.
+    pub vcpus: VCpus,
+    /// RAM.
+    pub mem: MemMb,
+    /// Block storage.
+    pub disk: DiskGb,
+}
+
+impl HostCapacity {
+    /// The zero capacity.
+    pub const ZERO: HostCapacity = HostCapacity {
+        vcpus: VCpus::ZERO,
+        mem: MemMb::ZERO,
+        disk: DiskGb::ZERO,
+    };
+
+    /// True if `demand` fits inside `self` on every axis.
+    pub fn fits(&self, demand: &HostCapacity) -> bool {
+        self.vcpus >= demand.vcpus && self.mem >= demand.mem && self.disk >= demand.disk
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &HostCapacity) -> HostCapacity {
+        HostCapacity {
+            vcpus: self.vcpus + other.vcpus,
+            mem: self.mem + other.mem,
+            disk: self.disk + other.disk,
+        }
+    }
+
+    /// Component-wise saturating difference.
+    pub fn minus(&self, other: &HostCapacity) -> HostCapacity {
+        HostCapacity {
+            vcpus: self.vcpus.saturating_sub(other.vcpus),
+            mem: self.mem.saturating_sub(other.mem),
+            disk: self.disk.saturating_sub(other.disk),
+        }
+    }
+
+    /// The dominant (largest) utilization fraction of `used` against `self`.
+    /// Used by best/worst-fit scoring.
+    pub fn dominant_utilization(&self, used: &HostCapacity) -> f64 {
+        [
+            used.vcpus.ratio(self.vcpus),
+            used.mem.ratio(self.mem),
+            used.disk.ratio(self.disk),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+/// A compute host with exact allocation accounting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    id: HostId,
+    total: HostCapacity,
+    /// Per-VM allocations on this host.
+    allocations: BTreeMap<VmId, HostCapacity>,
+    /// False once the host has failed: no capacity, no placements, until
+    /// explicitly revived (hardware replaced).
+    #[serde(default = "default_alive")]
+    alive: bool,
+}
+
+fn default_alive() -> bool {
+    true
+}
+
+impl Host {
+    /// A host with the given total capacity and nothing allocated.
+    pub fn new(id: HostId, total: HostCapacity) -> Host {
+        Host {
+            id,
+            total,
+            allocations: BTreeMap::new(),
+            alive: true,
+        }
+    }
+
+    /// Whether the host is in service.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Take the host out of service (its VMs are gone with it); returns
+    /// the ids of the VMs that died.
+    pub fn fail(&mut self) -> Vec<VmId> {
+        self.alive = false;
+        let victims: Vec<VmId> = self.allocations.keys().copied().collect();
+        self.allocations.clear();
+        victims
+    }
+
+    /// Return a failed host to service, empty.
+    pub fn revive(&mut self) {
+        self.alive = true;
+    }
+
+    /// Identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> HostCapacity {
+        self.total
+    }
+
+    /// Capacity currently allocated.
+    pub fn used(&self) -> HostCapacity {
+        self.allocations
+            .values()
+            .fold(HostCapacity::ZERO, |acc, a| acc.plus(a))
+    }
+
+    /// Capacity still free.
+    pub fn free(&self) -> HostCapacity {
+        self.total.minus(&self.used())
+    }
+
+    /// True if the host is alive and `demand` fits in the free capacity.
+    pub fn can_fit(&self, demand: &HostCapacity) -> bool {
+        self.alive && self.free().fits(demand)
+    }
+
+    /// Allocate `demand` for `vm`. Returns `false` (and changes nothing) if
+    /// it does not fit or the VM already has an allocation here.
+    pub fn allocate(&mut self, vm: VmId, demand: HostCapacity) -> bool {
+        if !self.alive || self.allocations.contains_key(&vm) || !self.can_fit(&demand) {
+            return false;
+        }
+        self.allocations.insert(vm, demand);
+        true
+    }
+
+    /// Free `vm`'s allocation. Returns the freed capacity, or `None` if the
+    /// VM was not here.
+    pub fn free_vm(&mut self, vm: VmId) -> Option<HostCapacity> {
+        self.allocations.remove(&vm)
+    }
+
+    /// Resize `vm`'s allocation in place (vertical scaling). Growth must
+    /// fit the host's free capacity; returns `false` (unchanged) otherwise
+    /// or when the VM is not on this host.
+    pub fn resize_vm(&mut self, vm: VmId, new_demand: HostCapacity) -> bool {
+        let Some(&old) = self.allocations.get(&vm) else {
+            return false;
+        };
+        // Free capacity with this VM's allocation notionally released.
+        let free_without = self.total.minus(&self.used().minus(&old));
+        if !free_without.fits(&new_demand) {
+            return false;
+        }
+        self.allocations.insert(vm, new_demand);
+        true
+    }
+
+    /// The allocation currently held by `vm`, if on this host.
+    pub fn allocation(&self, vm: VmId) -> Option<HostCapacity> {
+        self.allocations.get(&vm).copied()
+    }
+
+    /// Ids of all VMs on this host (deterministic order).
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.allocations.keys().copied().collect()
+    }
+
+    /// Number of VMs on this host.
+    pub fn vm_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Dominant utilization fraction (largest of CPU/RAM/disk).
+    pub fn utilization(&self) -> f64 {
+        self.total.dominant_utilization(&self.used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(v: u32, m: u64, d: u64) -> HostCapacity {
+        HostCapacity {
+            vcpus: VCpus::new(v),
+            mem: MemMb::new(m),
+            disk: DiskGb::new(d),
+        }
+    }
+
+    #[test]
+    fn fits_requires_all_axes() {
+        let total = cap(8, 16384, 100);
+        assert!(total.fits(&cap(8, 16384, 100)));
+        assert!(!total.fits(&cap(9, 1, 1)));
+        assert!(!total.fits(&cap(1, 20000, 1)));
+        assert!(!total.fits(&cap(1, 1, 200)));
+    }
+
+    #[test]
+    fn plus_minus_round_trip() {
+        let a = cap(4, 4096, 40);
+        let b = cap(2, 1024, 10);
+        assert_eq!(a.plus(&b), cap(6, 5120, 50));
+        assert_eq!(a.minus(&b), cap(2, 3072, 30));
+        assert_eq!(b.minus(&a), HostCapacity::ZERO, "saturates");
+    }
+
+    #[test]
+    fn dominant_utilization_takes_max_axis() {
+        let total = cap(10, 1000, 100);
+        let used = cap(2, 900, 10);
+        assert!((total.dominant_utilization(&used) - 0.9).abs() < 1e-12);
+        assert_eq!(HostCapacity::ZERO.dominant_utilization(&HostCapacity::ZERO), 0.0);
+    }
+
+    #[test]
+    fn host_allocate_and_free() {
+        let mut h = Host::new(HostId::new(0), cap(8, 8192, 80));
+        assert!(h.allocate(VmId::new(1), cap(4, 4096, 40)));
+        assert_eq!(h.used(), cap(4, 4096, 40));
+        assert_eq!(h.free(), cap(4, 4096, 40));
+        assert_eq!(h.vm_count(), 1);
+        assert!((h.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(h.free_vm(VmId::new(1)), Some(cap(4, 4096, 40)));
+        assert_eq!(h.used(), HostCapacity::ZERO);
+        assert_eq!(h.free_vm(VmId::new(1)), None);
+    }
+
+    #[test]
+    fn host_rejects_overcommit() {
+        let mut h = Host::new(HostId::new(0), cap(4, 4096, 40));
+        assert!(h.allocate(VmId::new(1), cap(3, 1024, 10)));
+        assert!(!h.allocate(VmId::new(2), cap(2, 1024, 10)), "CPU would overflow");
+        assert_eq!(h.vm_count(), 1);
+    }
+
+    #[test]
+    fn host_rejects_duplicate_vm() {
+        let mut h = Host::new(HostId::new(0), cap(8, 8192, 80));
+        assert!(h.allocate(VmId::new(1), cap(1, 1024, 10)));
+        assert!(!h.allocate(VmId::new(1), cap(1, 1024, 10)));
+    }
+
+    #[test]
+    fn resize_vm_grows_and_shrinks() {
+        let mut h = Host::new(HostId::new(0), cap(8, 8192, 80));
+        h.allocate(VmId::new(1), cap(4, 4096, 40));
+        assert!(h.resize_vm(VmId::new(1), cap(6, 6144, 60)));
+        assert_eq!(h.allocation(VmId::new(1)), Some(cap(6, 6144, 60)));
+        assert!(h.resize_vm(VmId::new(1), cap(2, 1024, 10)));
+        assert_eq!(h.used(), cap(2, 1024, 10));
+    }
+
+    #[test]
+    fn resize_vm_rejects_overcommit_and_unknown() {
+        let mut h = Host::new(HostId::new(0), cap(8, 8192, 80));
+        h.allocate(VmId::new(1), cap(4, 4096, 40));
+        h.allocate(VmId::new(2), cap(3, 1024, 10));
+        // VM 1 can grow to at most 5 vCPUs (8 - 3 used by VM 2).
+        assert!(!h.resize_vm(VmId::new(1), cap(6, 4096, 40)));
+        assert_eq!(h.allocation(VmId::new(1)), Some(cap(4, 4096, 40)), "unchanged");
+        assert!(h.resize_vm(VmId::new(1), cap(5, 4096, 40)));
+        assert!(!h.resize_vm(VmId::new(9), cap(1, 256, 2)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Host::new(HostId::new(3), cap(8, 8192, 80));
+        h.allocate(VmId::new(1), cap(2, 2048, 20));
+        let j = serde_json::to_string(&h).unwrap();
+        assert_eq!(serde_json::from_str::<Host>(&j).unwrap(), h);
+    }
+}

@@ -1,0 +1,310 @@
+//! Heat-style orchestration stacks.
+//!
+//! The demo performs *"dynamic configurations of computational resources …
+//! through Heat, an OpenStack orchestration solution"*. A [`StackTemplate`]
+//! is the Heat template: a set of VM resources with declared dependencies.
+//! Resources boot dependency-ordered (independent resources in parallel), so
+//! a stack's deployment time is the critical path of its dependency DAG —
+//! the dominant term in the demo's "after few seconds, user devices … are
+//! allowed to connect".
+
+use crate::host::HostCapacity;
+use ovnes_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One VM resource in a template.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Resource name (unique within the template).
+    pub name: String,
+    /// Capacity the VM needs.
+    pub demand: HostCapacity,
+    /// Time from scheduling to service-ready.
+    pub boot_time: SimDuration,
+    /// Indices of resources that must be ready before this one boots.
+    pub depends_on: Vec<usize>,
+}
+
+/// Lifecycle of a deployed stack (Heat's state machine, reduced to the
+/// states the orchestrator observes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackState {
+    /// Resources are booting.
+    CreateInProgress,
+    /// All resources ready: the slice's VNFs are serving.
+    CreateComplete,
+    /// A resource failed to place; everything was rolled back.
+    CreateFailed,
+    /// One or more VMs died with their host; the slice's VNFs are not all
+    /// serving (Heat would show the stack unhealthy pending an update).
+    Degraded,
+    /// Deleted (slice teardown).
+    Deleted,
+}
+
+/// Errors validating a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Empty templates are not deployable.
+    Empty,
+    /// A dependency index points outside the resource list.
+    DanglingDependency {
+        /// The offending resource index.
+        resource: usize,
+        /// The bad dependency index.
+        dependency: usize,
+    },
+    /// The dependency graph contains a cycle.
+    Cycle,
+    /// Two resources share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Empty => f.write_str("template has no resources"),
+            TemplateError::DanglingDependency { resource, dependency } => {
+                write!(f, "resource {resource} depends on unknown index {dependency}")
+            }
+            TemplateError::Cycle => f.write_str("dependency cycle"),
+            TemplateError::DuplicateName(n) => write!(f, "duplicate resource name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A Heat template: named VM resources with a dependency DAG.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StackTemplate {
+    /// Template name (e.g. `"vepc-slice-3"`).
+    pub name: String,
+    /// The resources.
+    pub resources: Vec<VmSpec>,
+}
+
+impl StackTemplate {
+    /// Validate structure: non-empty, unique names, in-range acyclic
+    /// dependencies.
+    pub fn validate(&self) -> Result<(), TemplateError> {
+        if self.resources.is_empty() {
+            return Err(TemplateError::Empty);
+        }
+        for (i, r) in self.resources.iter().enumerate() {
+            for &d in &r.depends_on {
+                if d >= self.resources.len() {
+                    return Err(TemplateError::DanglingDependency {
+                        resource: i,
+                        dependency: d,
+                    });
+                }
+            }
+        }
+        for (i, r) in self.resources.iter().enumerate() {
+            if self.resources[..i].iter().any(|o| o.name == r.name) {
+                return Err(TemplateError::DuplicateName(r.name.clone()));
+            }
+        }
+        self.topological_order().ok_or(TemplateError::Cycle)?;
+        Ok(())
+    }
+
+    /// Resource indices in a boot-valid order (dependencies first), or
+    /// `None` if the graph has a cycle. Deterministic: among ready
+    /// resources, lowest index first.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.resources.len();
+        // indegree[i] = number of dependencies of i.
+        let mut indegree: Vec<usize> = self.resources.iter().map(|r| r.depends_on.len()).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        while let Some(&next) = ready.first() {
+            ready.remove(0);
+            order.push(next);
+            for (i, r) in self.resources.iter().enumerate() {
+                if r.depends_on.contains(&next) {
+                    indegree[i] -= 1;
+                    if indegree[i] == 0 {
+                        // Keep `ready` sorted for determinism.
+                        let pos = ready.partition_point(|&x| x < i);
+                        ready.insert(pos, i);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Deployment time = critical path of the dependency DAG with each
+    /// resource weighted by its boot time (independent resources boot in
+    /// parallel, as Heat does).
+    ///
+    /// # Panics
+    /// Panics on an invalid template — call [`validate`](Self::validate)
+    /// first.
+    pub fn deployment_time(&self) -> SimDuration {
+        let order = self
+            .topological_order()
+            .expect("deployment_time requires a validated template");
+        let mut completion = vec![SimDuration::ZERO; self.resources.len()];
+        for &i in &order {
+            let dep_done = self.resources[i]
+                .depends_on
+                .iter()
+                .map(|&d| completion[d])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            completion[i] = dep_done + self.resources[i].boot_time;
+        }
+        completion.into_iter().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Aggregate capacity demand of all resources.
+    pub fn total_demand(&self) -> HostCapacity {
+        self.resources
+            .iter()
+            .fold(HostCapacity::ZERO, |acc, r| acc.plus(&r.demand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{DiskGb, MemMb, VCpus};
+
+    fn cap(v: u32) -> HostCapacity {
+        HostCapacity {
+            vcpus: VCpus::new(v),
+            mem: MemMb::new(1024),
+            disk: DiskGb::new(10),
+        }
+    }
+
+    fn vm(name: &str, boot_secs: u64, deps: Vec<usize>) -> VmSpec {
+        VmSpec {
+            name: name.into(),
+            demand: cap(1),
+            boot_time: SimDuration::from_secs(boot_secs),
+            depends_on: deps,
+        }
+    }
+
+    fn chain() -> StackTemplate {
+        StackTemplate {
+            name: "chain".into(),
+            resources: vec![vm("a", 2, vec![]), vm("b", 3, vec![0]), vm("c", 1, vec![1])],
+        }
+    }
+
+    #[test]
+    fn valid_template_passes() {
+        assert_eq!(chain().validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_template_rejected() {
+        let t = StackTemplate {
+            name: "empty".into(),
+            resources: vec![],
+        };
+        assert_eq!(t.validate(), Err(TemplateError::Empty));
+    }
+
+    #[test]
+    fn dangling_dependency_rejected() {
+        let t = StackTemplate {
+            name: "bad".into(),
+            resources: vec![vm("a", 1, vec![5])],
+        };
+        assert_eq!(
+            t.validate(),
+            Err(TemplateError::DanglingDependency {
+                resource: 0,
+                dependency: 5
+            })
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let t = StackTemplate {
+            name: "cyclic".into(),
+            resources: vec![vm("a", 1, vec![1]), vm("b", 1, vec![0])],
+        };
+        assert_eq!(t.validate(), Err(TemplateError::Cycle));
+        assert_eq!(t.topological_order(), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let t = StackTemplate {
+            name: "dup".into(),
+            resources: vec![vm("a", 1, vec![]), vm("a", 1, vec![])],
+        };
+        assert_eq!(t.validate(), Err(TemplateError::DuplicateName("a".into())));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let t = chain();
+        assert_eq!(t.topological_order(), Some(vec![0, 1, 2]));
+
+        let diamond = StackTemplate {
+            name: "diamond".into(),
+            resources: vec![
+                vm("root", 1, vec![]),
+                vm("left", 1, vec![0]),
+                vm("right", 1, vec![0]),
+                vm("sink", 1, vec![1, 2]),
+            ],
+        };
+        let order = diamond.topological_order().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn chain_deployment_time_is_sum() {
+        assert_eq!(chain().deployment_time(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn parallel_deployment_time_is_critical_path() {
+        // root(1) → {left(5), right(2)} → sink(1): critical path 1+5+1 = 7.
+        let t = StackTemplate {
+            name: "diamond".into(),
+            resources: vec![
+                vm("root", 1, vec![]),
+                vm("left", 5, vec![0]),
+                vm("right", 2, vec![0]),
+                vm("sink", 1, vec![1, 2]),
+            ],
+        };
+        assert_eq!(t.deployment_time(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn independent_resources_boot_in_parallel() {
+        let t = StackTemplate {
+            name: "flat".into(),
+            resources: vec![vm("a", 4, vec![]), vm("b", 2, vec![]), vm("c", 3, vec![])],
+        };
+        assert_eq!(t.deployment_time(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn total_demand_sums_resources() {
+        let t = chain();
+        assert_eq!(t.total_demand().vcpus, VCpus::new(3));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = chain();
+        let j = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<StackTemplate>(&j).unwrap(), t);
+    }
+}

@@ -1,0 +1,501 @@
+//! Admission control: *"admit network slice requests such that the overall
+//! system revenues are maximized"* (§1, following the 5G slice broker of
+//! ref \[3\]).
+//!
+//! A policy makes the *business* decision (admit / reject and at what
+//! initial reservation); feasibility across the three domains is then the
+//! [allocator](crate::allocator)'s job, which may still bounce an admitted
+//! request back. Four policies are provided, compared in experiment E4:
+//!
+//! * [`Fcfs`] — admit whatever fits at peak reservation.
+//! * [`GreedyRevenue`] — under load, gate admission on revenue density.
+//! * [`knapsack_select`] — batch revenue maximization by 0/1 knapsack over
+//!   the PRB budget (the broker's periodic decision, ref \[3\]).
+//! * [`OverbookingAware`] — admit against *forecast* (not peak) capacity and
+//!   expected net revenue, the demo's headline policy.
+
+use ovnes_model::{Money, Prbs, RateMbps, SliceClass, SliceRequest};
+use serde::{Deserialize, Serialize};
+
+/// What the policy sees of the infrastructure at decision time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceView {
+    /// Unreserved PRBs on the best-fit eNB (the radio bottleneck).
+    pub available_prbs: Prbs,
+    /// Reserved / total PRBs across the whole RAN.
+    pub ran_utilization: f64,
+    /// Planning-time rate of one PRB (at the dimensioning CQI).
+    pub planning_prb_rate: RateMbps,
+    /// Mean observed demand fraction per class (from monitoring), used by
+    /// the overbooking-aware policy; entries are `None` before history
+    /// exists for that class.
+    pub class_demand: ClassDemand,
+}
+
+/// Per-class observed mean demand fraction (of committed throughput).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ClassDemand {
+    fractions: [Option<f64>; 3],
+}
+
+impl ClassDemand {
+    /// No history for any class.
+    pub fn empty() -> ClassDemand {
+        Self::default()
+    }
+
+    fn index(class: SliceClass) -> usize {
+        match class {
+            SliceClass::Embb => 0,
+            SliceClass::Urllc => 1,
+            SliceClass::Mmtc => 2,
+        }
+    }
+
+    /// The mean fraction for `class`, if known.
+    pub fn get(&self, class: SliceClass) -> Option<f64> {
+        self.fractions[Self::index(class)]
+    }
+
+    /// Record the mean fraction for `class`.
+    pub fn set(&mut self, class: SliceClass, fraction: f64) {
+        self.fractions[Self::index(class)] = Some(fraction.clamp(0.0, 2.0));
+    }
+}
+
+impl ResourceView {
+    /// PRBs needed to carry `throughput` at the planning rate.
+    pub fn prbs_needed(&self, throughput: RateMbps) -> Prbs {
+        if self.planning_prb_rate.is_zero() {
+            return Prbs::new(u32::MAX);
+        }
+        Prbs::new((throughput.value() / self.planning_prb_rate.value()).ceil() as u32)
+    }
+}
+
+/// Outcome of an admission decision.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Admit, reserving `reserved` PRBs initially (≤ nominal for
+    /// overbooking-aware admission).
+    Admit {
+        /// Initial PRB reservation.
+        reserved: Prbs,
+    },
+    /// Reject with a dashboard-visible reason.
+    Reject {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// An online admission policy.
+pub trait AdmissionPolicy {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide on one request given the current resource view.
+    fn decide(&mut self, request: &SliceRequest, view: &ResourceView) -> AdmissionDecision;
+}
+
+/// Selector for constructing policies from configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First come, first served at peak reservation.
+    Fcfs,
+    /// Revenue-density gating under load.
+    GreedyRevenue,
+    /// Forecast-aware overbooked admission.
+    OverbookingAware,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy with its default parameters.
+    pub fn build(self) -> Box<dyn AdmissionPolicy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs),
+            PolicyKind::GreedyRevenue => Box::new(GreedyRevenue::default()),
+            PolicyKind::OverbookingAware => Box::new(OverbookingAware::default()),
+        }
+    }
+}
+
+/// Admit any request whose peak PRB need fits the best cell.
+pub struct Fcfs;
+
+impl AdmissionPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn decide(&mut self, request: &SliceRequest, view: &ResourceView) -> AdmissionDecision {
+        let need = view.prbs_needed(request.sla.throughput);
+        if need <= view.available_prbs {
+            AdmissionDecision::Admit { reserved: need }
+        } else {
+            AdmissionDecision::Reject {
+                reason: format!("needs {need}, only {} free", view.available_prbs),
+            }
+        }
+    }
+}
+
+/// Peak-reserving like FCFS, but once RAN utilization crosses `util_knee`,
+/// only requests whose revenue density clears an escalating bar are
+/// admitted — saving the scarce tail capacity for high-value slices.
+pub struct GreedyRevenue {
+    /// Utilization above which gating starts.
+    pub util_knee: f64,
+    /// Revenue density (price units per Mbit-hour) required at full
+    /// utilization; the bar rises linearly from 0 at the knee.
+    pub density_bar_at_full: f64,
+}
+
+impl Default for GreedyRevenue {
+    fn default() -> Self {
+        GreedyRevenue {
+            util_knee: 0.6,
+            density_bar_at_full: 2.0,
+        }
+    }
+}
+
+impl AdmissionPolicy for GreedyRevenue {
+    fn name(&self) -> &'static str {
+        "greedy-revenue"
+    }
+
+    fn decide(&mut self, request: &SliceRequest, view: &ResourceView) -> AdmissionDecision {
+        let need = view.prbs_needed(request.sla.throughput);
+        if need > view.available_prbs {
+            return AdmissionDecision::Reject {
+                reason: format!("needs {need}, only {} free", view.available_prbs),
+            };
+        }
+        if view.ran_utilization > self.util_knee {
+            let severity =
+                (view.ran_utilization - self.util_knee) / (1.0 - self.util_knee).max(1e-9);
+            let bar = self.density_bar_at_full * severity.clamp(0.0, 1.0);
+            let density = request.revenue_density();
+            if density < bar {
+                return AdmissionDecision::Reject {
+                    reason: format!(
+                        "revenue density {density:.2} below bar {bar:.2} at {:.0}% load",
+                        view.ran_utilization * 100.0
+                    ),
+                };
+            }
+        }
+        AdmissionDecision::Admit { reserved: need }
+    }
+}
+
+/// The demo's policy: admit against *forecast* capacity. The PRB need is
+/// scaled by the class's observed mean demand fraction (never below
+/// `min_fraction`), and the expected net revenue — price minus expected
+/// penalties from the residual violation risk — must be positive.
+pub struct OverbookingAware {
+    /// Floor on the demand fraction used for sizing (guards cold starts).
+    pub min_fraction: f64,
+    /// Estimated per-epoch violation probability introduced by overbooked
+    /// sizing (calibrated by the overbooking engine's quantile q: ≈ 1 − q).
+    pub violation_risk: f64,
+    /// Expected number of monitoring epochs per slice lifetime used in the
+    /// penalty expectation.
+    pub epochs_per_lifetime: f64,
+}
+
+impl Default for OverbookingAware {
+    fn default() -> Self {
+        OverbookingAware {
+            min_fraction: 0.3,
+            violation_risk: 0.05,
+            epochs_per_lifetime: 60.0,
+        }
+    }
+}
+
+impl AdmissionPolicy for OverbookingAware {
+    fn name(&self) -> &'static str {
+        "overbooking-aware"
+    }
+
+    fn decide(&mut self, request: &SliceRequest, view: &ResourceView) -> AdmissionDecision {
+        let fraction = view
+            .class_demand
+            .get(request.class)
+            .unwrap_or(1.0)
+            .max(self.min_fraction)
+            .min(1.0);
+        let overbooked_tp = request.sla.throughput * fraction;
+        let need = view.prbs_needed(overbooked_tp).max(Prbs::new(1));
+        if need > view.available_prbs {
+            return AdmissionDecision::Reject {
+                reason: format!(
+                    "overbooked need {need} (fraction {fraction:.2}) exceeds {} free",
+                    view.available_prbs
+                ),
+            };
+        }
+        let expected_penalty = request
+            .penalty
+            .scale(self.violation_risk * self.epochs_per_lifetime);
+        if expected_penalty.cents() >= request.price.cents() {
+            return AdmissionDecision::Reject {
+                reason: format!(
+                    "expected penalties {expected_penalty} would exceed price {}",
+                    request.price
+                ),
+            };
+        }
+        AdmissionDecision::Admit { reserved: need }
+    }
+}
+
+/// 0/1 knapsack over the PRB budget: pick the subset of `requests`
+/// (as `(prbs_needed, price)` pairs) maximizing total price within
+/// `capacity`. Returns the selected indices in ascending order.
+///
+/// Exact DP in O(n × capacity); the demo's RAN has ≤ a few hundred PRBs, so
+/// this is the textbook broker formulation of ref \[3\], not a heuristic.
+pub fn knapsack_select(requests: &[(Prbs, Money)], capacity: Prbs) -> Vec<usize> {
+    let cap = capacity.value() as usize;
+    let n = requests.len();
+    if n == 0 || cap == 0 {
+        return Vec::new();
+    }
+    // value[w] = best total price using first i items at weight w.
+    let mut value = vec![0i64; cap + 1];
+    let mut take = vec![vec![false; cap + 1]; n];
+    for (i, &(need, price)) in requests.iter().enumerate() {
+        let w_need = need.value() as usize;
+        if w_need > cap {
+            continue;
+        }
+        // Iterate weights downward for 0/1 semantics.
+        for w in (w_need..=cap).rev() {
+            let candidate = value[w - w_need] + price.cents();
+            if candidate > value[w] {
+                value[w] = candidate;
+                take[i][w] = true;
+            }
+        }
+    }
+    // Trace back.
+    let mut chosen = Vec::new();
+    let mut w = cap;
+    for i in (0..n).rev() {
+        if take[i][w] {
+            chosen.push(i);
+            w -= requests[i].0.value() as usize;
+        }
+    }
+    chosen.reverse();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{Latency, TenantId};
+    use ovnes_sim::SimDuration;
+
+    fn view(available: u32, util: f64) -> ResourceView {
+        ResourceView {
+            available_prbs: Prbs::new(available),
+            ran_utilization: util,
+            planning_prb_rate: RateMbps::new(0.5),
+            class_demand: ClassDemand::empty(),
+        }
+    }
+
+    fn request(tp: f64, price: i64, penalty: i64) -> SliceRequest {
+        SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+            .throughput(RateMbps::new(tp))
+            .max_latency(Latency::new(50.0))
+            .duration(SimDuration::from_hours(1))
+            .price(Money::from_units(price))
+            .penalty(Money::from_units(penalty))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prbs_needed_rounds_up() {
+        let v = view(100, 0.0);
+        assert_eq!(v.prbs_needed(RateMbps::new(10.0)), Prbs::new(20));
+        assert_eq!(v.prbs_needed(RateMbps::new(10.1)), Prbs::new(21));
+    }
+
+    #[test]
+    fn fcfs_admits_when_fits() {
+        let mut p = Fcfs;
+        match p.decide(&request(25.0, 100, 10), &view(100, 0.9)) {
+            AdmissionDecision::Admit { reserved } => assert_eq!(reserved, Prbs::new(50)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            p.decide(&request(60.0, 100, 10), &view(100, 0.0)),
+            AdmissionDecision::Reject { .. }
+        ));
+        assert_eq!(p.name(), "fcfs");
+    }
+
+    #[test]
+    fn greedy_behaves_like_fcfs_below_knee() {
+        let mut p = GreedyRevenue::default();
+        // Low-value request, low load: admitted.
+        assert!(matches!(
+            p.decide(&request(25.0, 1, 10), &view(100, 0.3)),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn greedy_gates_low_value_under_load() {
+        let mut p = GreedyRevenue::default();
+        // At 95% load the bar ≈ 2.0 × 0.875 = 1.75 price/Mbit-hour.
+        // 25 Mbps × 1 h = 25 Mbit-hours. Price 10 → density 0.4: rejected.
+        assert!(matches!(
+            p.decide(&request(25.0, 10, 1), &view(100, 0.95)),
+            AdmissionDecision::Reject { .. }
+        ));
+        // Price 100 → density 4.0: admitted.
+        assert!(matches!(
+            p.decide(&request(25.0, 100, 1), &view(100, 0.95)),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn overbooking_aware_shrinks_reservation_with_history() {
+        let mut p = OverbookingAware::default();
+        let mut v = view(100, 0.5);
+        for c in SliceClass::ALL {
+            v.class_demand.set(c, 0.5);
+        }
+        // 50 Mbps peak → 100 PRBs nominal, but 0.5 fraction → 50 PRBs.
+        match p.decide(&request(50.0, 100, 1), &v) {
+            AdmissionDecision::Admit { reserved } => assert_eq!(reserved, Prbs::new(50)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overbooking_aware_admits_what_peak_policy_cannot() {
+        let mut fcfs = Fcfs;
+        let mut ob = OverbookingAware::default();
+        let mut v = view(60, 0.5);
+        for c in SliceClass::ALL {
+            v.class_demand.set(c, 0.5);
+        }
+        let req = request(50.0, 100, 1); // nominal 100 PRBs > 60 free
+        assert!(matches!(
+            fcfs.decide(&req, &v),
+            AdmissionDecision::Reject { .. }
+        ));
+        assert!(matches!(
+            ob.decide(&req, &v),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn overbooking_aware_respects_min_fraction() {
+        let mut p = OverbookingAware::default();
+        let mut v = view(100, 0.5);
+        for c in SliceClass::ALL {
+            v.class_demand.set(c, 0.01); // absurd history
+        }
+        match p.decide(&request(50.0, 100, 1), &v) {
+            // floor 0.3 → 15 Mbps → 30 PRBs, not 1.
+            AdmissionDecision::Admit { reserved } => assert_eq!(reserved, Prbs::new(30)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overbooking_aware_rejects_negative_expected_revenue() {
+        let mut p = OverbookingAware::default();
+        // Expected penalties: 0.05 × 60 = 3 × penalty. Penalty 50 → 150 > price 100.
+        assert!(matches!(
+            p.decide(&request(10.0, 100, 50), &view(100, 0.1)),
+            AdmissionDecision::Reject { reason } if reason.contains("penalties")
+        ));
+    }
+
+    #[test]
+    fn overbooking_aware_cold_start_uses_peak() {
+        let mut p = OverbookingAware::default();
+        let v = view(100, 0.0); // no class history
+        match p.decide(&request(25.0, 100, 1), &v) {
+            AdmissionDecision::Admit { reserved } => {
+                assert_eq!(reserved, Prbs::new(50), "fraction 1.0 before history")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_kind_builds() {
+        assert_eq!(PolicyKind::Fcfs.build().name(), "fcfs");
+        assert_eq!(PolicyKind::GreedyRevenue.build().name(), "greedy-revenue");
+        assert_eq!(
+            PolicyKind::OverbookingAware.build().name(),
+            "overbooking-aware"
+        );
+    }
+
+    #[test]
+    fn knapsack_prefers_value_over_count() {
+        // capacity 10: item A (10 PRBs, 100) vs B+C (5 PRBs each, 40 each).
+        let reqs = vec![
+            (Prbs::new(10), Money::from_units(100)),
+            (Prbs::new(5), Money::from_units(40)),
+            (Prbs::new(5), Money::from_units(40)),
+        ];
+        assert_eq!(knapsack_select(&reqs, Prbs::new(10)), vec![0]);
+        // capacity 15: A + one of B/C = 140 beats B+C = 80.
+        let sel = knapsack_select(&reqs, Prbs::new(15));
+        assert!(sel.contains(&0) && sel.len() == 2);
+    }
+
+    #[test]
+    fn knapsack_packs_many_small_over_one_big() {
+        let reqs = vec![
+            (Prbs::new(10), Money::from_units(50)),
+            (Prbs::new(4), Money::from_units(30)),
+            (Prbs::new(4), Money::from_units(30)),
+            (Prbs::new(2), Money::from_units(10)),
+        ];
+        // capacity 10: {1,2,3} = 70 beats {0} = 50.
+        assert_eq!(knapsack_select(&reqs, Prbs::new(10)), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn knapsack_edge_cases() {
+        assert!(knapsack_select(&[], Prbs::new(10)).is_empty());
+        assert!(knapsack_select(&[(Prbs::new(5), Money::from_units(1))], Prbs::ZERO).is_empty());
+        // Oversized item skipped.
+        let sel = knapsack_select(
+            &[
+                (Prbs::new(100), Money::from_units(1000)),
+                (Prbs::new(5), Money::from_units(1)),
+            ],
+            Prbs::new(10),
+        );
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn knapsack_respects_capacity_exactly() {
+        let reqs: Vec<(Prbs, Money)> = (1..=6)
+            .map(|i| (Prbs::new(i), Money::from_units(i as i64)))
+            .collect();
+        for cap in 0..=21u32 {
+            let sel = knapsack_select(&reqs, Prbs::new(cap));
+            let used: u32 = sel.iter().map(|&i| reqs[i].0.value()).sum();
+            assert!(used <= cap, "cap {cap}: used {used}");
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Two-phase multi-domain resource allocation.
+//!
+//! Installing an admitted slice touches all three domains (§3 of the
+//! paper): *radio resources (PRBs) are reserved through the RAN controller,
+//! dedicated paths are selected to guarantee the required delay and capacity
+//! in the transport network, and cloud (or mobile edge) data centers are
+//! selected to satisfy the network slice SLAs. Thus, OpenEPC instances are
+//! deployed and network links dynamically set up.*
+//!
+//! The allocator executes those steps in order — RAN → transport → cloud —
+//! and **rolls back every earlier step if a later one fails**, so a rejected
+//! slice never leaks partial reservations (the invariant integration tests
+//! assert).
+
+use ovnes_cloud::{epc_template, CloudController, CloudError, DcKind, EpcSizing};
+use ovnes_model::{DcId, EnbId, Latency, PlmnId, Prbs, RateMbps, SliceId, SliceRequest, StackId};
+use ovnes_ran::{RanController, RanError};
+use ovnes_sim::SimDuration;
+use ovnes_transport::{TransportController, TransportError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an allocation failed (each variant implies full rollback).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationError {
+    /// No eNB can host the PLMN + reservation.
+    NoEnbFits,
+    /// RAN installation failed.
+    Ran(RanError),
+    /// No data center of the required kind can fit the vEPC.
+    NoDcFits,
+    /// Transport path computation/installation failed.
+    Transport(TransportError),
+    /// Cloud stack deployment failed.
+    Cloud(CloudError),
+    /// The eNB's site or the DC is missing from the transport topology —
+    /// a wiring bug in the scenario, not a capacity condition.
+    TopologyGap,
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::NoEnbFits => f.write_str("no eNB fits the reservation"),
+            AllocationError::Ran(e) => write!(f, "ran: {e}"),
+            AllocationError::NoDcFits => f.write_str("no data center fits the vEPC"),
+            AllocationError::Transport(e) => write!(f, "transport: {e}"),
+            AllocationError::Cloud(e) => write!(f, "cloud: {e}"),
+            AllocationError::TopologyGap => f.write_str("topology is missing a site/DC node"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// A slice's footprint across the three domains.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The slice.
+    pub slice: SliceId,
+    /// Its PLMN.
+    pub plmn: PlmnId,
+    /// Serving eNB.
+    pub enb: EnbId,
+    /// PRBs reserved now (possibly overbooked).
+    pub reserved: Prbs,
+    /// PRBs the SLA peak would need.
+    pub nominal: Prbs,
+    /// Transport bandwidth reserved.
+    pub bandwidth: RateMbps,
+    /// Transport path hop count.
+    pub path_hops: usize,
+    /// Committed path delay at allocation.
+    pub path_delay: Latency,
+    /// Hosting data center.
+    pub dc: DcId,
+    /// The vEPC stack.
+    pub stack: StackId,
+    /// Time until the slice is serving: vEPC critical path in parallel with
+    /// PLMN activation, plus flow installation.
+    pub deploy_time: SimDuration,
+}
+
+/// Tunables of the allocation step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AllocatorConfig {
+    /// Per-PRB rate assumed when dimensioning reservations.
+    pub planning_prb_rate: RateMbps,
+    /// Latency budget consumed by the air interface (subtracted from the
+    /// SLA bound before constraining the transport path).
+    pub ran_latency_budget: Latency,
+    /// Latency budget consumed by EPC processing.
+    pub epc_latency_budget: Latency,
+    /// Time to (re)broadcast SIB1 with a new PLMN.
+    pub plmn_activation: SimDuration,
+    /// Per-switch flow-rule installation time.
+    pub flow_install_per_hop: SimDuration,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        AllocatorConfig {
+            // CQI 9 on the default 20 MHz 2×2 cell ≈ 0.635 Mbps/PRB; round
+            // planning figure of 0.5 leaves link-adaptation headroom.
+            planning_prb_rate: RateMbps::new(0.5),
+            ran_latency_budget: Latency::new(1.5),
+            epc_latency_budget: Latency::new(0.5),
+            plmn_activation: SimDuration::from_secs(2),
+            flow_install_per_hop: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// The two-phase multi-domain allocator. Stateless apart from its config;
+/// all state lives in the domain controllers it drives.
+pub struct MultiDomainAllocator {
+    config: AllocatorConfig,
+    sizing: EpcSizing,
+}
+
+impl MultiDomainAllocator {
+    /// Allocator with the given config and default vEPC sizing.
+    pub fn new(config: AllocatorConfig) -> MultiDomainAllocator {
+        MultiDomainAllocator {
+            config,
+            sizing: EpcSizing::default(),
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &AllocatorConfig {
+        &self.config
+    }
+
+    /// PRBs the SLA peak of `request` needs at the planning rate.
+    pub fn nominal_prbs(&self, request: &SliceRequest) -> Prbs {
+        Prbs::new(
+            (request.sla.throughput.value() / self.config.planning_prb_rate.value()).ceil() as u32,
+        )
+    }
+
+    /// Allocate `request` as `slice`/`plmn`, reserving `reserved` PRBs
+    /// (≤ nominal under overbooking). On any failure every prior step is
+    /// rolled back and the error returned.
+    #[allow(clippy::too_many_arguments)] // one identity + one sizing + the three domains
+    pub fn allocate(
+        &self,
+        slice: SliceId,
+        plmn: PlmnId,
+        request: &SliceRequest,
+        reserved: Prbs,
+        ran: &mut RanController,
+        transport: &mut TransportController,
+        cloud: &mut CloudController,
+    ) -> Result<Placement, AllocationError> {
+        let nominal = self.nominal_prbs(request);
+
+        // ---- Phase 1: RAN ------------------------------------------------
+        let enb = ran.best_fit(reserved).ok_or(AllocationError::NoEnbFits)?;
+        ran.install(enb, slice, plmn, reserved, nominal)
+            .map_err(AllocationError::Ran)?;
+
+        // Everything below must roll the RAN back on failure.
+        let result = self.allocate_after_ran(slice, request, reserved, enb, transport, cloud);
+        match result {
+            Ok((bandwidth, path_hops, path_delay, dc, stack, epc_time)) => {
+                let flows = self.config.flow_install_per_hop * path_hops as u64;
+                let deploy_time = std::cmp::max(epc_time, self.config.plmn_activation) + flows;
+                Ok(Placement {
+                    slice,
+                    plmn,
+                    enb,
+                    reserved,
+                    nominal,
+                    bandwidth,
+                    path_hops,
+                    path_delay,
+                    dc,
+                    stack,
+                    deploy_time,
+                })
+            }
+            Err(e) => {
+                ran.release(slice).expect("just installed");
+                Err(e)
+            }
+        }
+    }
+
+    /// Phases 2 (transport) and 3 (cloud); rolls transport back if cloud
+    /// fails. Returns `(bandwidth, hops, delay, dc, stack, epc_time)`.
+    #[allow(clippy::type_complexity)]
+    fn allocate_after_ran(
+        &self,
+        slice: SliceId,
+        request: &SliceRequest,
+        reserved: Prbs,
+        enb: EnbId,
+        transport: &mut TransportController,
+        cloud: &mut CloudController,
+    ) -> Result<(RateMbps, usize, Latency, DcId, StackId, SimDuration), AllocationError> {
+        // The transport carries the *provisioned* throughput: what the
+        // reservation can actually deliver, capped at the SLA commitment.
+        let provisioned = RateMbps::new(
+            (reserved.value() as f64 * self.config.planning_prb_rate.value())
+                .min(request.sla.throughput.value()),
+        );
+
+        // ---- Phase 3 target selection (DC) before path: the path's
+        // destination is the DC hosting the vEPC. --------------------------
+        let template = epc_template(slice, &request.compute_demand(), &self.sizing);
+        let kind = if request.needs_edge {
+            DcKind::Edge
+        } else {
+            DcKind::Core
+        };
+        let dc = cloud
+            .find_dc(kind, &template)
+            .or_else(|| {
+                // A core-eligible slice may spill to the edge, never the
+                // reverse (edge latency is the point of needs_edge).
+                (!request.needs_edge)
+                    .then(|| cloud.find_dc(DcKind::Edge, &template))
+                    .flatten()
+            })
+            .ok_or(AllocationError::NoDcFits)?;
+
+        // ---- Phase 2: transport -------------------------------------------
+        let topo = transport.topology();
+        let src = topo.radio_site(enb).ok_or(AllocationError::TopologyGap)?;
+        let dst = topo.dc_node(dc).ok_or(AllocationError::TopologyGap)?;
+        let transport_budget = Latency::new(
+            (request.sla.max_latency.value()
+                - self.config.ran_latency_budget.value()
+                - self.config.epc_latency_budget.value())
+            .max(0.1),
+        );
+        let path = transport
+            .allocate(slice, src, dst, provisioned, transport_budget)
+            .map_err(AllocationError::Transport)?;
+
+        // ---- Phase 3: cloud ------------------------------------------------
+        match cloud.deploy(slice, dc, &template) {
+            Ok(stack) => Ok((
+                provisioned,
+                path.reservation.path.hops(),
+                path.delay_at_allocation,
+                dc,
+                stack.id,
+                stack.deploy_time,
+            )),
+            Err(e) => {
+                transport.release(slice).expect("just allocated");
+                Err(AllocationError::Cloud(e))
+            }
+        }
+    }
+
+    /// Tear down `slice` across all domains. Missing pieces are skipped —
+    /// teardown is idempotent so the orchestrator can call it on any
+    /// failure path.
+    pub fn release(
+        &self,
+        slice: SliceId,
+        ran: &mut RanController,
+        transport: &mut TransportController,
+        cloud: &mut CloudController,
+    ) {
+        let _ = ran.release(slice);
+        let _ = transport.release(slice);
+        let _ = cloud.delete_for_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_cloud::{DataCenter, PlacementStrategy};
+    use ovnes_cloud::host::HostCapacity;
+    use ovnes_model::{MemMb, SliceClass, TenantId, VCpus};
+    use ovnes_model::DiskGb;
+    use ovnes_ran::{CellConfig, Enb};
+    use ovnes_transport::Topology;
+
+    fn cap(v: u32, m: u64, d: u64) -> HostCapacity {
+        HostCapacity {
+            vcpus: VCpus::new(v),
+            mem: MemMb::new(m),
+            disk: DiskGb::new(d),
+        }
+    }
+
+    fn world() -> (RanController, TransportController, CloudController) {
+        let ran = RanController::new(vec![
+            Enb::new(EnbId::new(0), CellConfig::default_20mhz()),
+            Enb::new(EnbId::new(1), CellConfig::default_20mhz()),
+        ]);
+        let transport = TransportController::new(Topology::testbed(), 1024);
+        let cloud = CloudController::new(vec![
+            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+        ]);
+        (ran, transport, cloud)
+    }
+
+    fn embb(tp: f64) -> SliceRequest {
+        SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+            .throughput(RateMbps::new(tp))
+            .build()
+            .unwrap()
+    }
+
+    fn urllc() -> SliceRequest {
+        SliceRequest::builder(TenantId::new(2), SliceClass::Urllc)
+            .build()
+            .unwrap()
+    }
+
+    fn alloc() -> MultiDomainAllocator {
+        MultiDomainAllocator::new(AllocatorConfig::default())
+    }
+
+    #[test]
+    fn full_allocation_touches_all_domains() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        let req = embb(25.0);
+        let p = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap();
+        assert_eq!(p.reserved, Prbs::new(50));
+        assert_eq!(p.nominal, Prbs::new(50));
+        assert_eq!(p.dc, DcId::new(1), "eMBB goes to the core DC");
+        assert!(ran.placement(SliceId::new(1)).is_some());
+        assert!(transport.reservation(SliceId::new(1)).is_some());
+        assert!(cloud.stack_for_slice(SliceId::new(1)).is_some());
+        // Deploy time: vEPC (~12s) dominates PLMN activation (2s) + flows.
+        assert!(p.deploy_time >= SimDuration::from_secs(12));
+        assert!(p.deploy_time <= SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn urllc_lands_on_edge() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        let req = urllc();
+        let p = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap();
+        assert_eq!(p.dc, DcId::new(0), "URLLC must terminate at the edge DC");
+        // Transport budget: 5 − 1.5 − 0.5 = 3 ms; edge path is 0.7 ms.
+        assert!(p.path_delay.value() <= 3.0);
+    }
+
+    #[test]
+    fn urllc_rejected_when_edge_full_never_spills_to_core() {
+        let (mut ran, mut transport, _) = world();
+        // An edge DC too small for any vEPC; big core.
+        let mut cloud = CloudController::new(vec![
+            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 1, cap(1, 512, 5), PlacementStrategy::FirstFit),
+            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+        ]);
+        let a = alloc();
+        let req = urllc();
+        let err = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap_err();
+        assert_eq!(err, AllocationError::NoDcFits);
+        // Full rollback: nothing left anywhere.
+        assert!(ran.placement(SliceId::new(1)).is_none());
+        assert!(transport.reservation(SliceId::new(1)).is_none());
+    }
+
+    #[test]
+    fn embb_spills_to_edge_when_core_full() {
+        let (mut ran, mut transport, _) = world();
+        let mut cloud = CloudController::new(vec![
+            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 1, cap(1, 512, 5), PlacementStrategy::FirstFit),
+        ]);
+        let a = alloc();
+        let req = embb(10.0);
+        let p = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap();
+        assert_eq!(p.dc, DcId::new(0));
+    }
+
+    #[test]
+    fn ran_exhaustion_fails_cleanly() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        // Two 100-PRB cells: a 120-PRB ask cannot fit anywhere.
+        let req = embb(60.0); // 120 PRBs at 0.5 Mbps/PRB
+        let err = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap_err();
+        assert_eq!(err, AllocationError::NoEnbFits);
+        assert!(cloud.stack_for_slice(SliceId::new(1)).is_none());
+    }
+
+    #[test]
+    fn transport_infeasibility_rolls_back_ran() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = MultiDomainAllocator::new(AllocatorConfig {
+            // Absurd RAN budget leaves no room for any transport path.
+            ran_latency_budget: Latency::new(1000.0),
+            ..AllocatorConfig::default()
+        });
+        let req = embb(10.0);
+        let err = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AllocationError::Transport(_)));
+        assert!(ran.placement(SliceId::new(1)).is_none(), "RAN rolled back");
+        assert!(cloud.stack_for_slice(SliceId::new(1)).is_none());
+    }
+
+    #[test]
+    fn overbooked_reservation_sizes_transport_to_provisioned_rate() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        let req = embb(50.0); // nominal 100 PRBs
+        let p = a
+            .allocate(
+                SliceId::new(1),
+                PlmnId::test_slice_plmn(0),
+                &req,
+                Prbs::new(40), // overbooked to 40 PRBs = 20 Mbps provisioned
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .unwrap();
+        assert_eq!(p.bandwidth, RateMbps::new(20.0));
+        assert_eq!(p.nominal, Prbs::new(100));
+        assert_eq!(p.reserved, Prbs::new(40));
+        assert_eq!(
+            transport.reservation(SliceId::new(1)).unwrap().bandwidth,
+            RateMbps::new(20.0)
+        );
+    }
+
+    #[test]
+    fn release_is_idempotent_and_total() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        let req = embb(10.0);
+        a.allocate(
+            SliceId::new(1),
+            PlmnId::test_slice_plmn(0),
+            &req,
+            a.nominal_prbs(&req),
+            &mut ran,
+            &mut transport,
+            &mut cloud,
+        )
+        .unwrap();
+        a.release(SliceId::new(1), &mut ran, &mut transport, &mut cloud);
+        assert!(ran.placement(SliceId::new(1)).is_none());
+        assert!(transport.reservation(SliceId::new(1)).is_none());
+        assert!(cloud.stack_for_slice(SliceId::new(1)).is_none());
+        // Releasing again (or a never-allocated slice) is harmless.
+        a.release(SliceId::new(1), &mut ran, &mut transport, &mut cloud);
+        a.release(SliceId::new(99), &mut ran, &mut transport, &mut cloud);
+    }
+
+    #[test]
+    fn many_slices_fill_both_cells() {
+        let (mut ran, mut transport, mut cloud) = world();
+        let a = alloc();
+        let mut admitted = 0;
+        for i in 0..12 {
+            let req = embb(12.5); // 25 PRBs each
+            if a.allocate(
+                SliceId::new(i),
+                PlmnId::test_slice_plmn(i),
+                &req,
+                a.nominal_prbs(&req),
+                &mut ran,
+                &mut transport,
+                &mut cloud,
+            )
+            .is_ok()
+            {
+                admitted += 1;
+            }
+        }
+        // 2 cells × 100 PRBs / 25 = 8 slices max; PLMN budget is 6 per cell
+        // so the radio grid (not the PLMN budget) binds first.
+        assert_eq!(admitted, 8);
+    }
+}

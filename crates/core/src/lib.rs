@@ -1,0 +1,41 @@
+//! # ovnes-orchestrator — the end-to-end network slicing orchestrator
+//!
+//! The paper's primary contribution: an orchestration solution that blends
+//! *(i) an admission control engine able to handle heterogeneous network
+//! slice requests, (ii) a resource allocation solution across multiple
+//! network domains: radio access, edge, transport and core networks, and
+//! (iii) a monitoring, forecasting and dynamic configuration solution that
+//! maximizes the statistical multiplexing of network slices resources* —
+//! i.e. **overbooking**.
+//!
+//! * [`lifecycle`] — the slice state machine from dashboard request to
+//!   expiry.
+//! * [`admission`] — admission control policies: FCFS, greedy revenue,
+//!   knapsack revenue maximization (ref \[3\]), and the overbooking-aware
+//!   expected-net-revenue policy.
+//! * [`allocator`] — two-phase multi-domain allocation: RAN → transport →
+//!   cloud with full rollback on any failure.
+//! * [`overbooking`] — the engine that shrinks reservations to forecast
+//!   quantiles and reports the achieved multiplexing gain.
+//! * [`sla`] — per-epoch SLA monitoring and penalty accounting (the
+//!   dashboard's "gains vs. penalties").
+//! * [`orchestrator`] — the event-driven composition of all of the above
+//!   over the three domain controllers.
+//! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
+//!   request generators.
+
+pub mod admission;
+pub mod allocator;
+pub mod lifecycle;
+pub mod orchestrator;
+pub mod overbooking;
+pub mod scenario;
+pub mod sla;
+
+pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
+pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
+pub use lifecycle::{SliceRecord, SliceState};
+pub use orchestrator::{EpochReport, Orchestrator, OrchestratorConfig, SliceTimeline};
+pub use overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
+pub use scenario::{DemoScenario, RequestGenerator, RequestMix, ScenarioConfig};
+pub use sla::{SlaMonitor, SlaVerdict};

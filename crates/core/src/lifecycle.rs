@@ -1,0 +1,262 @@
+//! The slice lifecycle state machine.
+//!
+//! A slice moves through the same stages the demo narrates: requested from
+//! the dashboard, admission-controlled, deployed across the three domains
+//! ("after few seconds" it serves traffic), possibly reconfigured by the
+//! overbooking engine while active, and finally expired or terminated.
+//! Transitions are validated — an illegal transition is a bug in the
+//! orchestrator, not a recoverable condition, so it panics in debug form
+//! via `Result` misuse being impossible.
+
+use ovnes_model::{PlmnId, SliceId, SliceRequest};
+use ovnes_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SliceState {
+    /// Received from the dashboard; awaiting the admission decision.
+    Requested,
+    /// Admission refused (policy or resources); terminal.
+    Rejected,
+    /// Admitted; domain allocations in flight (vEPC booting, flows
+    /// installing, PLMN broadcasting).
+    Deploying,
+    /// Serving traffic.
+    Active,
+    /// Ran to its full duration; terminal.
+    Expired,
+    /// Torn down before its duration (operator action); terminal.
+    Terminated,
+}
+
+impl SliceState {
+    /// True for states a slice never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SliceState::Rejected | SliceState::Expired | SliceState::Terminated
+        )
+    }
+
+    /// True if the transition `self → next` is legal.
+    pub fn can_transition_to(self, next: SliceState) -> bool {
+        use SliceState::*;
+        matches!(
+            (self, next),
+            (Requested, Rejected)
+                | (Requested, Deploying)
+                | (Deploying, Active)
+                | (Deploying, Terminated) // deployment failed mid-flight
+                | (Active, Expired)
+                | (Active, Terminated)
+        )
+    }
+}
+
+impl fmt::Display for SliceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SliceState::Requested => "requested",
+            SliceState::Rejected => "rejected",
+            SliceState::Deploying => "deploying",
+            SliceState::Active => "active",
+            SliceState::Expired => "expired",
+            SliceState::Terminated => "terminated",
+        })
+    }
+}
+
+/// Error returned on an illegal lifecycle transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the slice was in.
+    pub from: SliceState,
+    /// State the caller attempted.
+    pub to: SliceState,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal slice transition {} → {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// Everything the orchestrator tracks about one slice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceRecord {
+    /// Identifier minted at request time.
+    pub id: SliceId,
+    /// The dashboard request.
+    pub request: SliceRequest,
+    /// Current lifecycle state.
+    pub state: SliceState,
+    /// The PLMN materializing this slice in the RAN (assigned at admission).
+    pub plmn: Option<PlmnId>,
+    /// When the request arrived.
+    pub requested_at: SimTime,
+    /// When it became active (vEPC complete, flows installed, PLMN on air).
+    pub active_at: Option<SimTime>,
+    /// When it will/did expire (active_at + duration).
+    pub expires_at: Option<SimTime>,
+    /// Monitoring epochs observed while active.
+    pub epochs_active: u64,
+    /// Epochs in which the SLA was violated.
+    pub epochs_violated: u64,
+}
+
+impl SliceRecord {
+    /// A fresh record in [`SliceState::Requested`].
+    pub fn new(id: SliceId, request: SliceRequest, requested_at: SimTime) -> SliceRecord {
+        SliceRecord {
+            id,
+            request,
+            state: SliceState::Requested,
+            plmn: None,
+            requested_at,
+            active_at: None,
+            expires_at: None,
+            epochs_active: 0,
+            epochs_violated: 0,
+        }
+    }
+
+    /// Transition to `next`, validating legality.
+    pub fn transition(&mut self, next: SliceState) -> Result<(), IllegalTransition> {
+        if !self.state.can_transition_to(next) {
+            return Err(IllegalTransition {
+                from: self.state,
+                to: next,
+            });
+        }
+        self.state = next;
+        Ok(())
+    }
+
+    /// Mark active at `now`, stamping activation and expiry times.
+    pub fn activate(&mut self, now: SimTime) -> Result<(), IllegalTransition> {
+        self.transition(SliceState::Active)?;
+        self.active_at = Some(now);
+        self.expires_at = Some(now + self.request.duration);
+        Ok(())
+    }
+
+    /// Fraction of active epochs that met the SLA (1.0 before any epochs).
+    pub fn availability(&self) -> f64 {
+        if self.epochs_active == 0 {
+            return 1.0;
+        }
+        1.0 - self.epochs_violated as f64 / self.epochs_active as f64
+    }
+
+    /// True if the achieved availability is below the SLA's requirement.
+    pub fn availability_breached(&self) -> bool {
+        self.epochs_active > 0 && self.availability() < self.request.sla.availability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{SliceClass, TenantId};
+
+    fn record() -> SliceRecord {
+        let req = SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+            .build()
+            .unwrap();
+        SliceRecord::new(SliceId::new(0), req, SimTime::ZERO)
+    }
+
+    #[test]
+    fn happy_path_transitions() {
+        let mut r = record();
+        assert_eq!(r.state, SliceState::Requested);
+        r.transition(SliceState::Deploying).unwrap();
+        r.activate(SimTime::from_secs(12)).unwrap();
+        assert_eq!(r.state, SliceState::Active);
+        assert_eq!(r.active_at, Some(SimTime::from_secs(12)));
+        assert_eq!(
+            r.expires_at,
+            Some(SimTime::from_secs(12) + r.request.duration)
+        );
+        r.transition(SliceState::Expired).unwrap();
+        assert!(r.state.is_terminal());
+    }
+
+    #[test]
+    fn rejection_path() {
+        let mut r = record();
+        r.transition(SliceState::Rejected).unwrap();
+        assert!(r.state.is_terminal());
+    }
+
+    #[test]
+    fn deployment_failure_path() {
+        let mut r = record();
+        r.transition(SliceState::Deploying).unwrap();
+        r.transition(SliceState::Terminated).unwrap();
+        assert!(r.state.is_terminal());
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut r = record();
+        // Requested → Active skips deployment.
+        assert_eq!(
+            r.transition(SliceState::Active),
+            Err(IllegalTransition {
+                from: SliceState::Requested,
+                to: SliceState::Active
+            })
+        );
+        // Terminal states are sticky.
+        r.transition(SliceState::Rejected).unwrap();
+        for next in [
+            SliceState::Requested,
+            SliceState::Deploying,
+            SliceState::Active,
+            SliceState::Expired,
+        ] {
+            assert!(r.transition(next).is_err(), "{next} from terminal");
+        }
+    }
+
+    #[test]
+    fn no_self_transitions() {
+        for s in [
+            SliceState::Requested,
+            SliceState::Deploying,
+            SliceState::Active,
+        ] {
+            assert!(!s.can_transition_to(s));
+        }
+    }
+
+    #[test]
+    fn availability_accounting() {
+        let mut r = record();
+        assert_eq!(r.availability(), 1.0);
+        assert!(!r.availability_breached());
+        r.epochs_active = 100;
+        r.epochs_violated = 5;
+        assert!((r.availability() - 0.95).abs() < 1e-12);
+        // eMBB default SLA availability is 0.99 → breached.
+        assert!(r.availability_breached());
+        r.epochs_violated = 0;
+        assert!(!r.availability_breached());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SliceState::Active.to_string(), "active");
+        assert_eq!(SliceState::Rejected.to_string(), "rejected");
+        let err = IllegalTransition {
+            from: SliceState::Active,
+            to: SliceState::Requested,
+        };
+        assert!(err.to_string().contains("active → requested"));
+    }
+}

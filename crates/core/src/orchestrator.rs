@@ -1,0 +1,1332 @@
+//! The end-to-end orchestrator: admission → multi-domain allocation →
+//! monitoring → forecasting → overbooked reconfiguration, over the three
+//! domain controllers.
+//!
+//! The orchestrator is driven by two calls, mirroring how the demo operates:
+//!
+//! * [`Orchestrator::submit`] — a dashboard request arrives: the admission
+//!   policy decides, the allocator places it across RAN/transport/cloud
+//!   (with rollback), income is booked, and the slice starts *deploying*
+//!   (vEPC boot + PLMN activation take "a few seconds" of virtual time).
+//! * [`Orchestrator::run_epoch`] — one monitoring epoch elapses: slices
+//!   whose deployment completed activate; expired slices tear down; traffic
+//!   is generated and scheduled in the RAN; end-to-end latency is measured;
+//!   SLA verdicts book penalties; demand observations feed the forecasting
+//!   engine; and, on the configured cadence, the overbooking engine
+//!   reconfigures reservations. Domain telemetry is pulled through the
+//!   JSON API boundary exactly as the testbed's REST monitoring was.
+
+use crate::admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
+use crate::allocator::{AllocatorConfig, MultiDomainAllocator, Placement};
+use crate::lifecycle::{SliceRecord, SliceState};
+use crate::overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
+use crate::sla::{SlaMonitor, SlaVerdict};
+use ovnes_api::{decode, encode, MonitoringReport};
+use ovnes_cloud::{epc_template, CloudController, EpcSizing};
+use ovnes_forecast::{TraceGenerator, TraceSpec};
+use ovnes_model::ids::IdAllocator;
+use ovnes_model::{
+    Latency, Money, PlmnId, Prbs, RateMbps, SliceClass, SliceId, SliceRequest, UeId,
+};
+use ovnes_ran::controller::OfferedLoad;
+use ovnes_ran::{
+    jain_index, slice_average_cqi, CellConfig, ChannelModel, MobilityModel, PfState,
+    RanController, Ue, UeChannel,
+};
+use ovnes_sim::{EventLog, MetricRegistry, SimDuration, SimRng, SimTime, TimeSeries};
+use ovnes_transport::{Sky, TransportController, WeatherProcess};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Orchestrator tunables.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Monitoring epoch length.
+    pub epoch: SimDuration,
+    /// Reconfigure (overbook) every this many epochs.
+    pub reconfig_every: u64,
+    /// Admission policy.
+    pub policy: PolicyKind,
+    /// Overbooking engine settings.
+    pub overbooking: OverbookingConfig,
+    /// Allocation settings.
+    pub allocator: AllocatorConfig,
+    /// Master switch: with overbooking off, reservations stay at SLA peak —
+    /// the baseline every experiment compares against.
+    pub overbooking_enabled: bool,
+    /// Batch-broker mode (ref \[3\]): when `Some(n)`, requests submitted via
+    /// [`Orchestrator::enqueue`] are held and decided together every `n`
+    /// epochs by an exact 0/1 knapsack over the free PRB budget, maximizing
+    /// admitted price. `None` keeps the broker purely online.
+    pub batch_window: Option<u64>,
+    /// UEs attached per slice (drives the radio channel sampling).
+    pub ues_per_slice: usize,
+    /// UE distance range from the serving eNB, meters.
+    pub ue_distance_range: (f64, f64),
+    /// Per-epoch UE mobility (link quality drifts over a slice's lifetime).
+    pub mobility: MobilityModel,
+    /// Enable the Markov weather process over the mmWave transport; on a
+    /// fade the orchestrator reroutes oversubscribed slices over µwave.
+    pub weather_enabled: bool,
+    /// Track per-UE fairness: each epoch, every slice's allocated PRBs are
+    /// divided among its UEs by proportional fair and the per-slice Jain
+    /// index is recorded (`orchestrator.<slice>.ue_fairness` series).
+    pub ue_fairness_tracking: bool,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            epoch: SimDuration::from_mins(1),
+            reconfig_every: 5,
+            policy: PolicyKind::OverbookingAware,
+            overbooking: OverbookingConfig::default(),
+            allocator: AllocatorConfig::default(),
+            overbooking_enabled: true,
+            batch_window: None,
+            ues_per_slice: 4,
+            ue_distance_range: (20.0, 250.0),
+            mobility: MobilityModel::pedestrian(),
+            weather_enabled: false,
+            ue_fairness_tracking: false,
+        }
+    }
+}
+
+/// What one monitoring epoch produced — the dashboard's refresh payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// When the epoch closed.
+    pub now: SimTime,
+    /// Slices serving traffic this epoch.
+    pub active: usize,
+    /// Per-slice SLA verdicts.
+    pub verdicts: Vec<SlaVerdict>,
+    /// Multiplexing-gain report.
+    pub gain: GainReport,
+    /// Net revenue to date (gains minus penalties).
+    pub net_revenue: Money,
+    /// Reservations changed by reconfiguration this epoch.
+    pub reconfigured: usize,
+    /// Slices that became active this epoch.
+    pub activated: Vec<SliceId>,
+    /// Slices that expired this epoch.
+    pub expired: Vec<SliceId>,
+    /// Slices admitted by this epoch's batch-broker decision (empty unless
+    /// batch mode fired this epoch).
+    pub batch_admitted: Vec<SliceId>,
+    /// Requests rejected by this epoch's batch decision.
+    pub batch_rejected: usize,
+    /// Sky condition this epoch (`None` when the weather process is off).
+    pub sky: Option<Sky>,
+}
+
+/// Per-slice measurement history, recorded every active epoch — the data
+/// behind the dashboard's per-slice charts and the CSV exports.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SliceTimeline {
+    /// Offered traffic per epoch (Mbps).
+    pub offered: TimeSeries,
+    /// Delivered throughput per epoch (Mbps).
+    pub delivered: TimeSeries,
+    /// Measured end-to-end latency per epoch (ms).
+    pub latency: TimeSeries,
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// The id minted for the (now rejected) request.
+    pub slice: SliceId,
+    /// Dashboard-visible reason.
+    pub reason: String,
+}
+
+/// The end-to-end orchestrator. See module docs.
+pub struct Orchestrator {
+    config: OrchestratorConfig,
+    ran: RanController,
+    transport: TransportController,
+    cloud: CloudController,
+    /// Cell profile shared by the demo's identical eNBs (used to translate
+    /// sampled CQI into a per-PRB rate).
+    cell: CellConfig,
+    allocator: MultiDomainAllocator,
+    policy: Box<dyn AdmissionPolicy>,
+    engine: OverbookingEngine,
+    sla: SlaMonitor,
+    records: BTreeMap<SliceId, SliceRecord>,
+    placements: BTreeMap<SliceId, Placement>,
+    /// Requests awaiting the next batch-broker decision.
+    pending: Vec<SliceRequest>,
+    ready_at: BTreeMap<SliceId, SimTime>,
+    /// Slices whose vEPC is redeploying after a host failure: total service
+    /// outage until the instant recorded here.
+    epc_down_until: BTreeMap<SliceId, SimTime>,
+    /// Per-slice measurement history (kept after the slice ends, for
+    /// post-run analysis; bounded by the retention window below).
+    timelines: BTreeMap<SliceId, SliceTimeline>,
+    /// Proportional-fair state per slice (only when fairness tracking is on).
+    pf: BTreeMap<SliceId, PfState>,
+    traffic: BTreeMap<SliceId, TraceGenerator>,
+    ues: BTreeMap<SliceId, Vec<Ue>>,
+    channel: ChannelModel,
+    rng: SimRng,
+    ids: IdAllocator,
+    ue_ids: IdAllocator,
+    free_plmns: Vec<PlmnId>,
+    next_plmn: u64,
+    metrics: MetricRegistry,
+    epoch_count: u64,
+    last_monitoring: Vec<MonitoringReport>,
+    weather: WeatherProcess,
+    /// Dedicated stream so enabling weather never perturbs the radio/
+    /// traffic realizations (clear-sky and rainy runs stay comparable).
+    weather_rng: SimRng,
+    last_sky: Sky,
+    events: EventLog,
+}
+
+impl Orchestrator {
+    /// Compose an orchestrator over the three controllers.
+    ///
+    /// `cell` must describe the (identical) cells the RAN controller
+    /// manages; `rng` seeds all traffic and channel stochastics.
+    pub fn new(
+        config: OrchestratorConfig,
+        ran: RanController,
+        transport: TransportController,
+        cloud: CloudController,
+        cell: CellConfig,
+        mut rng: SimRng,
+    ) -> Orchestrator {
+        let channel = ChannelModel::urban_small_cell();
+        let policy = config.policy.build();
+        let engine = OverbookingEngine::new(config.overbooking.clone());
+        let allocator = MultiDomainAllocator::new(config.allocator.clone());
+        let mut rng = rng.fork("orchestrator");
+        let weather_rng = rng.fork("weather");
+        Orchestrator {
+            config,
+            ran,
+            transport,
+            cloud,
+            cell,
+            allocator,
+            policy,
+            engine,
+            sla: SlaMonitor::default(),
+            records: BTreeMap::new(),
+            placements: BTreeMap::new(),
+            pending: Vec::new(),
+            ready_at: BTreeMap::new(),
+            epc_down_until: BTreeMap::new(),
+            timelines: BTreeMap::new(),
+            pf: BTreeMap::new(),
+            traffic: BTreeMap::new(),
+            ues: BTreeMap::new(),
+            channel,
+            rng,
+            ids: IdAllocator::new(),
+            ue_ids: IdAllocator::new(),
+            free_plmns: Vec::new(),
+            next_plmn: 0,
+            metrics: MetricRegistry::new(),
+            epoch_count: 0,
+            last_monitoring: Vec::new(),
+            weather: WeatherProcess::temperate(),
+            weather_rng,
+            last_sky: Sky::Clear,
+            events: EventLog::new(512),
+        }
+    }
+
+    // ---- submission -------------------------------------------------------
+
+    /// Submit a dashboard request at `now`. On admission the slice id is
+    /// returned and deployment begins; otherwise the rejection reason is
+    /// recorded and returned.
+    pub fn submit(&mut self, now: SimTime, request: SliceRequest) -> Result<SliceId, Rejection> {
+        let id: SliceId = self.ids.next();
+        let mut record = SliceRecord::new(id, request.clone(), now);
+        self.metrics.counter("orchestrator.submitted").inc();
+
+        let view = self.resource_view();
+        let decision = self.policy.decide(&request, &view);
+        let reserved = match decision {
+            AdmissionDecision::Reject { reason } => {
+                record.transition(SliceState::Rejected).expect("requested→rejected");
+                self.records.insert(id, record);
+                self.metrics.counter("orchestrator.rejected_policy").inc();
+                return Err(Rejection { slice: id, reason });
+            }
+            AdmissionDecision::Admit { reserved } => {
+                if self.config.overbooking_enabled {
+                    reserved
+                } else {
+                    // Baseline mode: always reserve the SLA peak.
+                    self.allocator.nominal_prbs(&request)
+                }
+            }
+        };
+        self.admit_and_allocate(now, id, record, request, reserved)
+    }
+
+    /// Queue a request for the next batch-broker decision (requires
+    /// [`OrchestratorConfig::batch_window`]). The decision and its outcome
+    /// surface in the [`EpochReport`] of the deciding epoch.
+    ///
+    /// # Panics
+    /// Panics when the orchestrator is not in batch mode — queuing a
+    /// request that will never be decided is a harness bug.
+    pub fn enqueue(&mut self, request: SliceRequest) {
+        assert!(
+            self.config.batch_window.is_some(),
+            "enqueue requires batch_window to be configured"
+        );
+        self.metrics.counter("orchestrator.submitted").inc();
+        self.pending.push(request);
+    }
+
+    /// Number of requests waiting for the next batch decision.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The batch-broker decision: exact knapsack over the free PRB budget
+    /// (ref \[3\]), then the usual multi-domain allocation per winner.
+    fn decide_batch(&mut self, now: SimTime) -> (Vec<SliceId>, usize) {
+        let window = std::mem::take(&mut self.pending);
+        if window.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let view = self.resource_view();
+        let sized: Vec<Prbs> = window
+            .iter()
+            .map(|r| {
+                let fraction = if self.config.overbooking_enabled {
+                    view.class_demand.get(r.class).unwrap_or(1.0).clamp(0.3, 1.0)
+                } else {
+                    1.0
+                };
+                view.prbs_needed(r.sla.throughput * fraction).max(Prbs::new(1))
+            })
+            .collect();
+        // Budget: every unreserved PRB in the RAN (the knapsack is a radio
+        // budget decision; transport/cloud still veto at allocation).
+        let snap = self.ran.snapshot();
+        let budget: Prbs = snap
+            .enbs
+            .iter()
+            .map(|r| r.total.saturating_sub(r.reserved))
+            .sum();
+        let items: Vec<(Prbs, Money)> = sized
+            .iter()
+            .zip(&window)
+            .map(|(&p, r)| (p, r.price))
+            .collect();
+        let chosen = crate::admission::knapsack_select(&items, budget);
+
+        let mut admitted = Vec::new();
+        let mut rejected = 0usize;
+        for (i, request) in window.into_iter().enumerate() {
+            let id: SliceId = self.ids.next();
+            let record = SliceRecord::new(id, request.clone(), now);
+            if chosen.contains(&i) {
+                match self.admit_and_allocate(now, id, record, request, sized[i]) {
+                    Ok(id) => admitted.push(id),
+                    Err(_) => rejected += 1,
+                }
+            } else {
+                let mut record = record;
+                record.transition(SliceState::Rejected).expect("requested→rejected");
+                self.records.insert(id, record);
+                self.metrics.counter("orchestrator.rejected_policy").inc();
+                rejected += 1;
+            }
+        }
+        (admitted, rejected)
+    }
+
+    /// Shared tail of online and batch admission: assign a PLMN, run the
+    /// two-phase allocator, and register the slice's traffic/UE state.
+    fn admit_and_allocate(
+        &mut self,
+        now: SimTime,
+        id: SliceId,
+        mut record: SliceRecord,
+        request: SliceRequest,
+        reserved: Prbs,
+    ) -> Result<SliceId, Rejection> {
+        let Some(plmn) = self.allocate_plmn() else {
+            record.transition(SliceState::Rejected).expect("requested→rejected");
+            self.records.insert(id, record);
+            self.metrics.counter("orchestrator.rejected_resources").inc();
+            return Err(Rejection {
+                slice: id,
+                reason: "PLMN pool exhausted".into(),
+            });
+        };
+
+        match self.allocator.allocate(
+            id,
+            plmn,
+            &request,
+            reserved,
+            &mut self.ran,
+            &mut self.transport,
+            &mut self.cloud,
+        ) {
+            Ok(placement) => {
+                record.transition(SliceState::Deploying).expect("requested→deploying");
+                record.plmn = Some(plmn);
+                self.ready_at.insert(id, now + placement.deploy_time);
+                self.sla.book_admission(now, &record);
+                self.metrics.counter("orchestrator.admitted").inc();
+                self.events.log(
+                    now,
+                    "orchestrator",
+                    format!(
+                        "{id} admitted as {plmn}: {} on {}, {} hops to {}, deploys in {}",
+                        placement.reserved,
+                        placement.enb,
+                        placement.path_hops,
+                        placement.dc,
+                        placement.deploy_time
+                    ),
+                );
+
+                // Per-slice traffic process and UE population.
+                let spec = match request.class {
+                    SliceClass::Embb => TraceSpec::embb(self.config.overbooking.season_period),
+                    SliceClass::Urllc => TraceSpec::urllc(self.config.overbooking.season_period),
+                    SliceClass::Mmtc => TraceSpec::mmtc(self.config.overbooking.season_period),
+                };
+                let trace_rng = self.rng.fork(&format!("traffic-{id}"));
+                self.traffic.insert(id, TraceGenerator::new(spec, trace_rng));
+                let (lo, hi) = self.config.ue_distance_range;
+                let ues = (0..self.config.ues_per_slice)
+                    .map(|_| {
+                        let ue_id: UeId = self.ue_ids.next();
+                        Ue::new(ue_id, plmn, self.rng.uniform_range(lo, hi))
+                    })
+                    .collect();
+                self.ues.insert(id, ues);
+                self.engine.track(id, request.class);
+                self.placements.insert(id, placement);
+                self.records.insert(id, record);
+                Ok(id)
+            }
+            Err(e) => {
+                self.free_plmns.push(plmn);
+                record.transition(SliceState::Rejected).expect("requested→rejected");
+                self.events
+                    .log(now, "orchestrator", format!("{id} rejected: {e}"));
+                self.records.insert(id, record);
+                self.metrics.counter("orchestrator.rejected_resources").inc();
+                Err(Rejection {
+                    slice: id,
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+
+    fn allocate_plmn(&mut self) -> Option<PlmnId> {
+        if let Some(p) = self.free_plmns.pop() {
+            return Some(p);
+        }
+        if self.next_plmn >= 99 {
+            return None;
+        }
+        let p = PlmnId::test_slice_plmn(self.next_plmn);
+        self.next_plmn += 1;
+        Some(p)
+    }
+
+    /// The admission policy's view of current resources.
+    fn resource_view(&self) -> ResourceView {
+        let snap = self.ran.snapshot();
+        let available = snap
+            .enbs
+            .iter()
+            .map(|r| r.total.saturating_sub(r.reserved))
+            .max()
+            .unwrap_or(Prbs::ZERO);
+        let grid: Prbs = snap.enbs.iter().map(|r| r.total).sum();
+        let reserved: Prbs = snap.enbs.iter().map(|r| r.reserved).sum();
+        ResourceView {
+            available_prbs: available,
+            ran_utilization: reserved.ratio(grid),
+            planning_prb_rate: self.allocator.config().planning_prb_rate,
+            class_demand: if self.config.overbooking_enabled {
+                self.engine.class_demand()
+            } else {
+                crate::admission::ClassDemand::empty()
+            },
+        }
+    }
+
+    // ---- the monitoring epoch ---------------------------------------------
+
+    /// Advance one monitoring epoch ending at `now`.
+    pub fn run_epoch(&mut self, now: SimTime) -> EpochReport {
+        self.epoch_count += 1;
+
+        // 0. Batch-broker decision on the configured cadence.
+        let (batch_admitted, batch_rejected) = match self.config.batch_window {
+            Some(w) if self.epoch_count.is_multiple_of(w) => self.decide_batch(now),
+            _ => (Vec::new(), 0),
+        };
+
+        // 0b. Weather over the wireless transport: on a change of sky,
+        //     re-degrade every mmWave link and reroute whoever no longer
+        //     fits — the testbed's µwave hops exist for exactly this.
+        let sky = if self.config.weather_enabled {
+            let sky = self.weather.step(&mut self.weather_rng);
+            if sky != self.last_sky {
+                self.last_sky = sky;
+                self.events
+                    .log(now, "weather", format!("sky now {sky}"));
+                let factor = sky.mmwave_factor();
+                let links = WeatherProcess::sensitive_links(self.transport.topology());
+                let mut affected = Vec::new();
+                for link in links {
+                    affected.extend(self.transport.degrade_link(link, factor));
+                }
+                affected.sort();
+                affected.dedup();
+                for slice in affected {
+                    if self.transport.reroute(slice) == Ok(true) {
+                        self.metrics.counter("orchestrator.weather_reroutes").inc();
+                        self.events.log(
+                            now,
+                            "transport",
+                            format!("{slice} rerouted off faded mmWave"),
+                        );
+                    }
+                }
+            }
+            Some(sky)
+        } else {
+            None
+        };
+
+        // Outages that ended before this epoch are over.
+        self.epc_down_until.retain(|_, &mut t| t > now);
+
+        // 1. Activate slices whose deployment completed.
+        let activated: Vec<SliceId> = self
+            .ready_at
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &activated {
+            self.ready_at.remove(id);
+            let record = self.records.get_mut(id).expect("deploying slice has a record");
+            record.activate(now).expect("deploying→active");
+            for ue in self.ues.get_mut(id).expect("slice has UEs") {
+                ue.attach();
+            }
+            self.metrics.counter("orchestrator.activated").inc();
+            self.events
+                .log(now, "orchestrator", format!("{id} active: UEs attached"));
+        }
+
+        // 2. Expire slices that ran their duration.
+        let expired: Vec<SliceId> = self
+            .records
+            .values()
+            .filter(|r| {
+                r.state == SliceState::Active && r.expires_at.is_some_and(|t| t <= now)
+            })
+            .map(|r| r.id)
+            .collect();
+        for id in &expired {
+            self.teardown(*id, SliceState::Expired);
+            self.events
+                .log(now, "orchestrator", format!("{id} expired, resources reclaimed"));
+        }
+
+        // 3. Generate traffic and sample radio quality for active slices.
+        let active_ids: Vec<SliceId> = self
+            .records
+            .values()
+            .filter(|r| r.state == SliceState::Active)
+            .map(|r| r.id)
+            .collect();
+        let mut offered_loads = Vec::with_capacity(active_ids.len());
+        let mut fractions: BTreeMap<SliceId, f64> = BTreeMap::new();
+        for &id in &active_ids {
+            // UEs drift before this epoch's channel sampling.
+            let mobility = self.config.mobility;
+            for ue in self.ues.get_mut(&id).expect("active slice has UEs") {
+                mobility.step(ue, &mut self.rng);
+            }
+            let demand_fraction = self
+                .traffic
+                .get_mut(&id)
+                .expect("active slice has a traffic process")
+                .next_demand();
+            let committed = self.records[&id].request.sla.throughput;
+            let offered = committed * demand_fraction;
+            let prb_rate = self
+                .ues
+                .get(&id)
+                .and_then(|ues| slice_average_cqi(ues, &self.channel, &mut self.rng))
+                .map(|cqi| self.cell.prb_rate(cqi))
+                .unwrap_or(RateMbps::ZERO);
+            fractions.insert(id, demand_fraction);
+            offered_loads.push(OfferedLoad {
+                slice: id,
+                offered,
+                prb_rate,
+            });
+        }
+
+        // 4. Schedule the RAN.
+        let outcomes = self.ran.run_epoch(now, &offered_loads);
+        let outcome_by_slice: BTreeMap<SliceId, _> =
+            outcomes.into_iter().map(|o| (o.slice, o)).collect();
+
+        // 5. Measure, judge, book, and feed the forecaster.
+        let mut verdicts = Vec::with_capacity(active_ids.len());
+        for load in &offered_loads {
+            let id = load.slice;
+            let outcome = &outcome_by_slice[&id];
+            // A slice whose vEPC is redeploying after a host failure serves
+            // nothing, whatever the radio delivered.
+            let epc_down = self.epc_down_until.get(&id).is_some_and(|&t| t > now);
+            // A faded/oversubscribed transport path caps what the radio
+            // delivered: the slice's share of its bottleneck link.
+            let delivered = if epc_down {
+                RateMbps::ZERO
+            } else { match self.transport.capacity_share(id) {
+                Some(share) if share < 1.0 => {
+                    let res_bw = self
+                        .transport
+                        .reservation(id)
+                        .expect("share implies a reservation")
+                        .bandwidth;
+                    outcome.delivered.min(res_bw * share)
+                }
+                _ => outcome.delivered,
+            } };
+            let transport_unserved = outcome.unserved
+                + outcome.delivered.saturating_sub(delivered);
+            let latency = self.end_to_end_latency(id, load, transport_unserved);
+            let record = self.records.get_mut(&id).expect("active slice has a record");
+            let verdict = self
+                .sla
+                .assess(record, load.offered, delivered, latency);
+            self.sla.book_epoch(now, record, &verdict);
+            let timeline = self.timelines.entry(id).or_insert_with(|| SliceTimeline {
+                offered: TimeSeries::with_capacity_limit(4096),
+                delivered: TimeSeries::with_capacity_limit(4096),
+                latency: TimeSeries::with_capacity_limit(4096),
+            });
+            timeline.offered.record(now, load.offered.value());
+            timeline.delivered.record(now, delivered.value());
+            timeline.latency.record(now, latency.value());
+            verdicts.push(verdict);
+            self.engine.observe(id, fractions[&id]);
+
+            // Optional: intra-slice PF split of the allocated PRBs, for the
+            // per-UE fairness the demo's verticals care about (every device
+            // in a fleet must work, not just the aggregate).
+            if self.config.ue_fairness_tracking {
+                let channels: Vec<UeChannel> = self
+                    .ues
+                    .get(&id)
+                    .map(|ues| {
+                        ues.iter()
+                            .map(|ue| {
+                                let cqi = self.channel.sample_cqi(ue.distance_m, &mut self.rng);
+                                UeChannel {
+                                    ue: ue.id,
+                                    cqi,
+                                    prb_rate: cqi
+                                        .map(|c| self.cell.prb_rate(c))
+                                        .unwrap_or(RateMbps::ZERO),
+                                }
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let pf = self.pf.entry(id).or_default();
+                let shares = pf.schedule(outcome.allocated, &channels, 0.1);
+                let rates: Vec<f64> = shares.iter().map(|sh| sh.rate.value()).collect();
+                self.metrics
+                    .series(&format!("orchestrator.{id}.ue_fairness"))
+                    .record(now, jain_index(&rates));
+            }
+        }
+
+        // 6. Periodic overbooked reconfiguration.
+        let mut reconfigured = 0;
+        if self.config.overbooking_enabled && self.epoch_count.is_multiple_of(self.config.reconfig_every) {
+            let slices: Vec<(SliceId, SliceRequest)> = active_ids
+                .iter()
+                .map(|&id| (id, self.records[&id].request.clone()))
+                .collect();
+            let applied = self.engine.reconfigure(
+                &slices,
+                self.allocator.config().planning_prb_rate,
+                &mut self.ran,
+                &mut self.transport,
+            );
+            reconfigured = applied.len();
+            // Third domain: follow the radio resize with a Heat stack
+            // update scaling the vEPC user plane to the new fraction.
+            for (slice, _old, new_reserved) in applied {
+                if let Some(p) = self.placements.get(&slice) {
+                    let fraction = new_reserved.ratio(p.nominal).clamp(0.0, 1.0);
+                    let _ = self.cloud.scale_for_slice(slice, fraction);
+                }
+            }
+            self.metrics
+                .counter("orchestrator.reconfigurations")
+                .add(reconfigured as u64);
+        }
+
+        // 7. Telemetry: domain snapshots cross the JSON API boundary, as the
+        //    testbed's REST monitoring did.
+        self.transport.record_epoch(now);
+        self.cloud.record_epoch(now);
+        self.last_monitoring = self.collect_monitoring(now);
+
+        let gain = OverbookingEngine::gain_report(&self.ran);
+        self.metrics
+            .series("orchestrator.overbooking_factor")
+            .record(now, gain.overbooking_factor);
+        self.metrics
+            .series("orchestrator.savings_fraction")
+            .record(now, gain.savings_fraction);
+        self.metrics
+            .series("orchestrator.net_revenue")
+            .record(now, self.sla.net().as_f64());
+
+        EpochReport {
+            now,
+            active: active_ids.len(),
+            verdicts,
+            gain,
+            net_revenue: self.sla.net(),
+            reconfigured,
+            activated,
+            expired,
+            batch_admitted,
+            batch_rejected,
+            sky,
+        }
+    }
+
+    /// End-to-end latency of a slice this epoch: air interface (inflated
+    /// when the slice's demand outran its allocation) + transport path
+    /// (load-dependent) + EPC processing.
+    fn end_to_end_latency(&self, id: SliceId, load: &OfferedLoad, unserved: RateMbps) -> Latency {
+        let congested = !load.offered.is_zero()
+            && unserved.value() > load.offered.value() * 0.05;
+        let ran_latency = if congested {
+            Latency::new(6.0) // HARQ + scheduling queue under saturation
+        } else {
+            Latency::new(1.0)
+        };
+        let transport = self.transport.path_delay(id).unwrap_or(Latency::ZERO);
+        let epc = self.allocator.config().epc_latency_budget;
+        ran_latency + transport + epc
+    }
+
+    fn teardown(&mut self, id: SliceId, end_state: SliceState) {
+        self.allocator
+            .release(id, &mut self.ran, &mut self.transport, &mut self.cloud);
+        if let Some(record) = self.records.get_mut(&id) {
+            record.transition(end_state).expect("active slice can end");
+            if let Some(plmn) = record.plmn {
+                self.free_plmns.push(plmn);
+            }
+        }
+        self.traffic.remove(&id);
+        self.ues.remove(&id);
+        self.epc_down_until.remove(&id);
+        self.pf.remove(&id);
+        self.engine.forget(id);
+        self.placements.remove(&id);
+        self.metrics.counter("orchestrator.expired").inc();
+    }
+
+    /// Terminate an active or deploying slice early (operator action),
+    /// refunding the unused fraction of its price.
+    pub fn terminate(&mut self, now: SimTime, id: SliceId) -> bool {
+        let Some(record) = self.records.get(&id) else {
+            return false;
+        };
+        if record.state.is_terminal() || record.state == SliceState::Requested {
+            return false;
+        }
+        let unused = match (record.active_at, record.expires_at) {
+            (Some(start), Some(end)) if end > start => {
+                let total = (end - start).as_secs_f64();
+                let used = now.saturating_duration_since(start).as_secs_f64();
+                (1.0 - used / total).clamp(0.0, 1.0)
+            }
+            _ => 1.0, // never activated: full refund
+        };
+        let record = self.records.get(&id).expect("checked").clone();
+        self.sla.book_early_termination(now, &record, unused);
+        self.ready_at.remove(&id);
+        self.teardown(id, SliceState::Terminated);
+        true
+    }
+
+    fn collect_monitoring(&self, now: SimTime) -> Vec<MonitoringReport> {
+        let mut reports = Vec::with_capacity(3);
+        for (domain, scalars) in [
+            ("ran", self.ran.metrics().scalar_snapshot()),
+            ("transport", self.transport.metrics().scalar_snapshot()),
+            ("cloud", self.cloud.metrics().scalar_snapshot()),
+        ] {
+            let report = MonitoringReport {
+                domain: domain.to_owned(),
+                at: now,
+                scalars,
+            };
+            // Round-trip through the wire format — the REST boundary.
+            let bytes = encode(&report).expect("reports are serializable");
+            reports.push(decode::<MonitoringReport>(&bytes).expect("just encoded"));
+        }
+        reports
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// All slice records (every state, including rejected/expired).
+    pub fn records(&self) -> impl Iterator<Item = &SliceRecord> {
+        self.records.values()
+    }
+
+    /// One slice's record.
+    pub fn record(&self, id: SliceId) -> Option<&SliceRecord> {
+        self.records.get(&id)
+    }
+
+    /// One slice's placement (present while deploying/active).
+    pub fn placement(&self, id: SliceId) -> Option<&Placement> {
+        self.placements.get(&id)
+    }
+
+    /// Slices currently in the given state.
+    pub fn count_in_state(&self, state: SliceState) -> usize {
+        self.records.values().filter(|r| r.state == state).count()
+    }
+
+    /// The gains-vs-penalties ledger.
+    pub fn ledger(&self) -> &ovnes_model::RevenueLedger {
+        self.sla.ledger()
+    }
+
+    /// The most recent monitoring reports (one per domain), as received
+    /// across the API boundary.
+    pub fn monitoring(&self) -> &[MonitoringReport] {
+        &self.last_monitoring
+    }
+
+    /// The dashboard's event feed.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// One slice's measurement history (available while active and kept
+    /// after it ends).
+    pub fn timeline(&self, slice: SliceId) -> Option<&SliceTimeline> {
+        self.timelines.get(&slice)
+    }
+
+    /// Orchestrator-level metrics.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The RAN controller (for snapshots in dashboards/benches).
+    pub fn ran(&self) -> &RanController {
+        &self.ran
+    }
+
+    /// The transport controller.
+    pub fn transport(&self) -> &TransportController {
+        &self.transport
+    }
+
+    /// The cloud controller.
+    pub fn cloud(&self) -> &CloudController {
+        &self.cloud
+    }
+
+    /// Monitoring epochs run so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch_count
+    }
+
+    // ---- fault injection ----------------------------------------------------
+
+    /// Fault injection: degrade a transport link to `factor` of nominal
+    /// capacity *without* triggering the orchestrator's reroute reaction.
+    /// Returns the slices left oversubscribed. Experiments use this to
+    /// measure the counterfactual where no µwave fallback exists.
+    pub fn inject_link_degradation(
+        &mut self,
+        link: ovnes_model::LinkId,
+        factor: f64,
+    ) -> Vec<SliceId> {
+        self.transport.degrade_link(link, factor)
+    }
+
+    /// Fault injection: restore a previously degraded link.
+    pub fn restore_link(&mut self, link: ovnes_model::LinkId) {
+        self.transport.restore_link(link);
+    }
+
+    /// Ask the orchestrator to reroute one slice's transport path now
+    /// (operator action / fault recovery). Returns `true` if it moved.
+    pub fn reroute_slice(&mut self, slice: SliceId) -> bool {
+        self.transport.reroute(slice) == Ok(true)
+    }
+
+    /// Fault injection: a compute host dies at `now`. Every slice whose
+    /// vEPC lost a VM is redeployed (same sizing, same or same-kind DC) and
+    /// suffers a total outage until the fresh stack completes; slices whose
+    /// vEPC cannot be re-placed anywhere are terminated with a pro-rated
+    /// refund. Returns `(redeployed, lost)`.
+    pub fn inject_host_failure(
+        &mut self,
+        now: SimTime,
+        dc: ovnes_model::DcId,
+        host: ovnes_model::HostId,
+    ) -> (Vec<SliceId>, Vec<SliceId>) {
+        let affected = self.cloud.fail_host(dc, host);
+        let mut redeployed = Vec::new();
+        let mut lost = Vec::new();
+        for slice in affected {
+            let Some(record) = self.records.get(&slice) else {
+                continue;
+            };
+            let template = epc_template(
+                slice,
+                &record.request.compute_demand(),
+                &EpcSizing::default(),
+            );
+            match self.cloud.redeploy_for_slice(slice, &template) {
+                Ok(stack) => {
+                    self.epc_down_until.insert(slice, now + stack.deploy_time);
+                    self.events.log(
+                        now,
+                        "cloud",
+                        format!(
+                            "{slice} vEPC lost to host failure; redeployed in {} ({})",
+                            stack.deploy_time, stack.dc
+                        ),
+                    );
+                    redeployed.push(slice);
+                }
+                Err(e) => {
+                    self.events.log(
+                        now,
+                        "cloud",
+                        format!("{slice} vEPC unrecoverable after host failure: {e}"),
+                    );
+                    self.terminate(now, slice);
+                    lost.push(slice);
+                }
+            }
+        }
+        (redeployed, lost)
+    }
+
+    /// Fault injection: return a failed compute host to service.
+    pub fn revive_host(&mut self, dc: ovnes_model::DcId, host: ovnes_model::HostId) {
+        self.cloud.revive_host(dc, host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_cloud::host::HostCapacity;
+    use ovnes_cloud::{DataCenter, DcKind, PlacementStrategy};
+    use ovnes_model::{DcId, DiskGb, EnbId, MemMb, TenantId, VCpus};
+    use ovnes_ran::Enb;
+    use ovnes_transport::Topology;
+
+    fn cap(v: u32, m: u64, d: u64) -> HostCapacity {
+        HostCapacity {
+            vcpus: VCpus::new(v),
+            mem: MemMb::new(m),
+            disk: DiskGb::new(d),
+        }
+    }
+
+    fn orchestrator(config: OrchestratorConfig) -> Orchestrator {
+        let cell = CellConfig::default_20mhz();
+        let ran = RanController::new(vec![
+            Enb::new(EnbId::new(0), cell),
+            Enb::new(EnbId::new(1), cell),
+        ]);
+        let transport = TransportController::new(Topology::testbed(), 1024);
+        let cloud = CloudController::new(vec![
+            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+        ]);
+        Orchestrator::new(config, ran, transport, cloud, cell, SimRng::seed_from(7))
+    }
+
+    fn embb(tp: f64) -> SliceRequest {
+        SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+            .throughput(RateMbps::new(tp))
+            .duration(SimDuration::from_mins(30))
+            .price(Money::from_units(100))
+            .penalty(Money::from_units(5))
+            .build()
+            .unwrap()
+    }
+
+    fn minute(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(n)
+    }
+
+    #[test]
+    fn submit_admits_and_deploys() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        assert_eq!(o.record(id).unwrap().state, SliceState::Deploying);
+        assert!(o.placement(id).is_some());
+        assert_eq!(o.count_in_state(SliceState::Deploying), 1);
+        // Income booked at admission.
+        assert_eq!(o.ledger().gross_income(), Money::from_units(100));
+    }
+
+    #[test]
+    fn slice_activates_after_deploy_time() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        let deploy = o.placement(id).unwrap().deploy_time;
+        assert!(deploy > SimDuration::from_secs(5), "a few seconds");
+        // First epoch at 1 min: deployment (≈14 s) completed.
+        let report = o.run_epoch(minute(1));
+        assert_eq!(report.activated, vec![id]);
+        assert_eq!(o.record(id).unwrap().state, SliceState::Active);
+        assert_eq!(report.active, 1);
+        assert_eq!(report.verdicts.len(), 1);
+    }
+
+    #[test]
+    fn slice_expires_after_duration() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=31 {
+            o.run_epoch(minute(e));
+        }
+        // Active at minute 1, 30-minute duration → expired by minute 31.
+        assert_eq!(o.record(id).unwrap().state, SliceState::Expired);
+        assert!(o.placement(id).is_none());
+        assert_eq!(o.count_in_state(SliceState::Active), 0);
+        // All domain resources freed.
+        assert!(o.ran().snapshot().enbs.iter().all(|r| r.reserved.is_zero()));
+        assert_eq!(o.transport().snapshot().paths, 0);
+        assert_eq!(o.cloud().snapshot().stacks, 0);
+    }
+
+    #[test]
+    fn epochs_report_sla_verdicts_and_gain() {
+        // Short season so the Holt–Winters warm-up (2 seasons + residuals)
+        // fits inside the test horizon.
+        let config = OrchestratorConfig {
+            overbooking: OverbookingConfig {
+                season_period: 6,
+                min_residuals: 4,
+                ..OverbookingConfig::default()
+            },
+            reconfig_every: 2,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        o.submit(SimTime::ZERO, embb(30.0)).unwrap();
+        let mut saw_gain = false;
+        for e in 1..=30 {
+            let report = o.run_epoch(minute(e));
+            if report.gain.savings_fraction > 0.0 {
+                saw_gain = true;
+            }
+            assert_eq!(report.verdicts.len(), report.active);
+        }
+        assert!(saw_gain, "overbooking reconfiguration should shrink reservations");
+    }
+
+    #[test]
+    fn overbooking_disabled_keeps_peak_reservations() {
+        let config = OrchestratorConfig {
+            overbooking_enabled: false,
+            policy: PolicyKind::Fcfs,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=20 {
+            let report = o.run_epoch(minute(e));
+            assert_eq!(report.reconfigured, 0);
+            assert_eq!(report.gain.savings_fraction, 0.0);
+        }
+        let p = o.placement(id).unwrap();
+        assert_eq!(p.reserved, p.nominal);
+    }
+
+    #[test]
+    fn rejection_when_ran_exhausted() {
+        let config = OrchestratorConfig {
+            policy: PolicyKind::Fcfs,
+            overbooking_enabled: false,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        // Each 45 Mbps slice needs 90 PRBs: one per cell, third rejected.
+        assert!(o.submit(SimTime::ZERO, embb(45.0)).is_ok());
+        assert!(o.submit(SimTime::ZERO, embb(45.0)).is_ok());
+        let rej = o.submit(SimTime::ZERO, embb(45.0)).unwrap_err();
+        assert!(rej.reason.contains("needs"), "{}", rej.reason);
+        assert_eq!(o.count_in_state(SliceState::Rejected), 1);
+        assert_eq!(
+            o.metrics().counter_value("orchestrator.rejected_policy"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn overbooking_admits_more_than_peak_baseline() {
+        // The demo's headline: with overbooking, the same infrastructure
+        // hosts more slices. Warm the system, then compare admission counts.
+        let mut with_ob = orchestrator(OrchestratorConfig::default());
+        let mut without = orchestrator(OrchestratorConfig {
+            overbooking_enabled: false,
+            policy: PolicyKind::Fcfs,
+            ..OrchestratorConfig::default()
+        });
+
+        let mut admitted = (0, 0);
+        for step in 0..60u64 {
+            let now = minute(step);
+            // One request every 4 minutes, long-lived so they accumulate.
+            if step % 4 == 0 {
+                let req = SliceRequest::builder(TenantId::new(step), SliceClass::Embb)
+                    .throughput(RateMbps::new(20.0))
+                    .duration(SimDuration::from_hours(10))
+                    .build()
+                    .unwrap();
+                if with_ob.submit(now, req.clone()).is_ok() {
+                    admitted.0 += 1;
+                }
+                if without.submit(now, req).is_ok() {
+                    admitted.1 += 1;
+                }
+            }
+            with_ob.run_epoch(now + SimDuration::from_secs(30));
+            without.run_epoch(now + SimDuration::from_secs(30));
+        }
+        assert!(
+            admitted.0 > admitted.1,
+            "overbooked {} vs peak {}",
+            admitted.0,
+            admitted.1
+        );
+    }
+
+    #[test]
+    fn terminate_refunds_and_frees() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        o.run_epoch(minute(1)); // activates
+        // Terminate at half the 30-min lifetime (active at minute 1).
+        assert!(o.terminate(minute(16), id));
+        assert_eq!(o.record(id).unwrap().state, SliceState::Terminated);
+        assert_eq!(o.transport().snapshot().paths, 0);
+        // Refund is half the price (±epoch rounding).
+        let net = o.ledger().net().as_f64();
+        assert!((net - 50.0).abs() < 5.0, "net {net}");
+        // Idempotent-ish: a second terminate is a no-op.
+        assert!(!o.terminate(minute(17), id));
+        assert!(!o.terminate(minute(17), SliceId::new(999)));
+    }
+
+    #[test]
+    fn plmns_are_recycled() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        let plmn = o.record(id).unwrap().plmn.unwrap();
+        o.run_epoch(minute(1));
+        o.terminate(minute(2), id);
+        let id2 = o.submit(minute(3), embb(25.0)).unwrap();
+        assert_eq!(o.record(id2).unwrap().plmn, Some(plmn), "PLMN reused");
+    }
+
+    #[test]
+    fn monitoring_reports_cross_api_boundary() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        o.run_epoch(minute(1));
+        let reports = o.monitoring();
+        assert_eq!(reports.len(), 3);
+        let domains: Vec<&str> = reports.iter().map(|r| r.domain.as_str()).collect();
+        assert_eq!(domains, vec!["ran", "transport", "cloud"]);
+        assert!(reports
+            .iter()
+            .any(|r| r.scalars.keys().any(|k| k.contains("utilization"))));
+    }
+
+    #[test]
+    fn batch_broker_decides_on_window() {
+        let config = OrchestratorConfig {
+            batch_window: Some(2),
+            overbooking_enabled: false,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        // Three large requests: only two fit the 200-PRB RAN at peak.
+        for (tenant, price) in [(1u64, 50i64), (2, 300), (3, 200)] {
+            let req = SliceRequest::builder(TenantId::new(tenant), SliceClass::Embb)
+                .throughput(RateMbps::new(45.0)) // 90 PRBs each
+                .price(Money::from_units(price))
+                .build()
+                .unwrap();
+            o.enqueue(req);
+        }
+        assert_eq!(o.pending_requests(), 3);
+        // Epoch 1: no decision (window = 2).
+        let r1 = o.run_epoch(minute(1));
+        assert!(r1.batch_admitted.is_empty());
+        assert_eq!(o.pending_requests(), 3);
+        // Epoch 2: knapsack picks the two highest-value requests.
+        let r2 = o.run_epoch(minute(2));
+        assert_eq!(r2.batch_admitted.len(), 2);
+        assert_eq!(r2.batch_rejected, 1);
+        assert_eq!(o.pending_requests(), 0);
+        // The cheap request (tenant 1, price 50) is the one rejected.
+        let admitted_prices: Vec<i64> = r2
+            .batch_admitted
+            .iter()
+            .map(|&id| o.record(id).unwrap().request.price.units())
+            .collect();
+        assert!(admitted_prices.contains(&300) && admitted_prices.contains(&200));
+        assert_eq!(o.ledger().gross_income(), Money::from_units(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_window")]
+    fn enqueue_without_batch_mode_panics() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        o.enqueue(embb(10.0));
+    }
+
+    #[test]
+    fn weather_reports_sky_and_survives_fades() {
+        let config = OrchestratorConfig {
+            weather_enabled: true,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        o.submit(SimTime::ZERO, embb(30.0)).unwrap();
+        let mut skies = std::collections::BTreeSet::new();
+        for e in 1..=600u64 {
+            let report = o.run_epoch(minute(e));
+            skies.insert(format!("{:?}", report.sky.expect("weather on")));
+            // Through fades the slice stays placed (rerouted or riding it
+            // out) until its 30-minute lifetime ends.
+            if e < 29 {
+                assert_eq!(report.active, 1, "epoch {e}");
+            }
+        }
+        assert!(skies.len() >= 2, "weather moved at least once: {skies:?}");
+    }
+
+    #[test]
+    fn weather_off_reports_no_sky() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let report = o.run_epoch(minute(1));
+        assert_eq!(report.sky, None);
+    }
+
+    #[test]
+    fn ue_fairness_tracking_records_jain_series() {
+        let config = OrchestratorConfig {
+            ue_fairness_tracking: true,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=10 {
+            o.run_epoch(minute(e));
+        }
+        let series = o
+            .metrics()
+            .series_ref(&format!("orchestrator.{id}.ue_fairness"))
+            .expect("fairness series recorded");
+        assert!(series.len() >= 9, "one sample per active epoch");
+        for &(_, jain) in series.points() {
+            assert!((0.0..=1.0 + 1e-9).contains(&jain), "jain {jain}");
+        }
+        // With 4 UEs at moderate distances, PF keeps fairness meaningful.
+        assert!(series.mean().unwrap() > 0.4, "{}", series.mean().unwrap());
+    }
+
+    #[test]
+    fn fairness_off_records_nothing() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        o.run_epoch(minute(1));
+        assert!(o
+            .metrics()
+            .series_ref(&format!("orchestrator.{id}.ue_fairness"))
+            .is_none());
+    }
+
+    #[test]
+    fn timeline_records_measurements() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        assert!(o.timeline(id).is_none(), "no epochs served yet");
+        for e in 1..=5 {
+            o.run_epoch(minute(e));
+        }
+        let t = o.timeline(id).expect("served epochs");
+        assert_eq!(t.offered.len(), 5);
+        assert_eq!(t.delivered.len(), 5);
+        assert_eq!(t.latency.len(), 5);
+        assert!(t.latency.min().unwrap() > 0.0);
+        // Timeline survives expiry (kept for post-run analysis).
+        for e in 6..=35 {
+            o.run_epoch(minute(e));
+        }
+        assert_eq!(o.record(id).unwrap().state, SliceState::Expired);
+        assert!(o.timeline(id).is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut o = orchestrator(OrchestratorConfig::default());
+            o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+            o.submit(SimTime::ZERO, embb(30.0)).unwrap();
+            let mut digest = Vec::new();
+            for e in 1..=15 {
+                let r = o.run_epoch(minute(e));
+                digest.push((r.active, r.net_revenue, r.gain.reserved_prbs));
+            }
+            digest
+        };
+        assert_eq!(run(), run());
+    }
+}

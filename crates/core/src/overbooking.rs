@@ -1,0 +1,427 @@
+//! The overbooking engine — the demo's headline mechanism.
+//!
+//! Per active slice, the engine maintains a Holt–Winters forecaster wrapped
+//! in a quantile provisioner (the "machine-learning engine" of §3). Each
+//! reconfiguration round it computes the demand fraction that covers next
+//! epoch with probability `quantile`, shrinks (or re-grows) the slice's PRB
+//! and transport reservations accordingly, and reports the multiplexing
+//! gain achieved: how much of the nominally sold capacity is actually left
+//! free for new admissions. *"Allocated network slices might be dynamically
+//! re-configured (overbooked) to accommodate new slice requests."*
+
+use crate::admission::ClassDemand;
+use ovnes_forecast::{Forecaster, ForecasterKind, QuantileProvisioner};
+use ovnes_model::{Prbs, RateMbps, SliceClass, SliceId, SliceRequest};
+use ovnes_ran::RanController;
+use ovnes_transport::TransportController;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tunables of the overbooking engine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverbookingConfig {
+    /// Target coverage probability: provision the q-quantile of forecast
+    /// demand. The aggressiveness knob experiments E2/E3 sweep.
+    pub quantile: f64,
+    /// Residuals required before trusting the forecaster (fall back to peak
+    /// provisioning until then).
+    pub min_residuals: usize,
+    /// Residual window length.
+    pub residual_window: usize,
+    /// Seasonal period of the forecasting model, in epochs.
+    pub season_period: usize,
+    /// Which forecaster drives provisioning (the swap-the-forecaster
+    /// ablation of DESIGN.md turns this knob; experiments default to
+    /// Holt–Winters per ref \[4\]).
+    pub forecaster: ForecasterKind,
+    /// Floor on the provisioned fraction of committed throughput.
+    pub min_fraction: f64,
+    /// Additive safety margin on the provisioned fraction.
+    pub safety_margin: f64,
+}
+
+impl Default for OverbookingConfig {
+    fn default() -> Self {
+        OverbookingConfig {
+            quantile: 0.95,
+            min_residuals: 12,
+            residual_window: 200,
+            season_period: 24,
+            forecaster: ForecasterKind::HoltWinters,
+            min_fraction: 0.1,
+            safety_margin: 0.02,
+        }
+    }
+}
+
+/// Multiplexing-gain accounting at a point in time — the dashboard's
+/// headline numbers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GainReport {
+    /// PRBs the admitted slices' SLA peaks would need (what a
+    /// non-overbooking deployment reserves).
+    pub nominal_prbs: Prbs,
+    /// PRBs actually reserved after overbooking.
+    pub reserved_prbs: Prbs,
+    /// Total PRB grid across the RAN.
+    pub grid_prbs: Prbs,
+    /// nominal / grid: how far the infrastructure is overbooked (>1 means
+    /// more capacity sold than exists).
+    pub overbooking_factor: f64,
+    /// 1 − reserved/nominal: the fraction of sold capacity released for new
+    /// admissions by overbooking.
+    pub savings_fraction: f64,
+}
+
+struct SliceTracker {
+    class: SliceClass,
+    provisioner: QuantileProvisioner<Box<dyn Forecaster>>,
+    /// Running mean of observed demand fraction.
+    mean_fraction: f64,
+    observations: u64,
+}
+
+/// Per-class running demand statistics shared with admission control.
+#[derive(Default)]
+struct ClassStats {
+    sum: f64,
+    count: u64,
+}
+
+/// The overbooking engine. See module docs.
+pub struct OverbookingEngine {
+    config: OverbookingConfig,
+    trackers: BTreeMap<SliceId, SliceTracker>,
+    class_stats: BTreeMap<&'static str, ClassStats>,
+}
+
+impl OverbookingEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: OverbookingConfig) -> OverbookingEngine {
+        OverbookingEngine {
+            config,
+            trackers: BTreeMap::new(),
+            class_stats: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OverbookingConfig {
+        &self.config
+    }
+
+    /// Start tracking a newly activated slice.
+    pub fn track(&mut self, slice: SliceId, class: SliceClass) {
+        let model = self.config.forecaster.build(self.config.season_period);
+        self.trackers.insert(
+            slice,
+            SliceTracker {
+                class,
+                provisioner: QuantileProvisioner::new(model, self.config.residual_window),
+                mean_fraction: 0.0,
+                observations: 0,
+            },
+        );
+    }
+
+    /// Stop tracking a departed slice.
+    pub fn forget(&mut self, slice: SliceId) {
+        self.trackers.remove(&slice);
+    }
+
+    /// Number of slices currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Feed the demand fraction (offered / committed) a slice showed this
+    /// epoch.
+    pub fn observe(&mut self, slice: SliceId, demand_fraction: f64) {
+        let Some(t) = self.trackers.get_mut(&slice) else {
+            return;
+        };
+        t.provisioner.observe(demand_fraction);
+        t.observations += 1;
+        t.mean_fraction += (demand_fraction - t.mean_fraction) / t.observations as f64;
+        let stats = self.class_stats.entry(t.class.label()).or_default();
+        stats.sum += demand_fraction;
+        stats.count += 1;
+    }
+
+    /// The fraction of committed throughput to provision for `slice` next
+    /// epoch, or `None` while the forecaster warms up (caller keeps peak).
+    pub fn target_fraction(&self, slice: SliceId) -> Option<f64> {
+        let t = self.trackers.get(&slice)?;
+        let provisioned = t
+            .provisioner
+            .provision(self.config.quantile, self.config.min_residuals)?;
+        Some(
+            (provisioned + self.config.safety_margin)
+                .clamp(self.config.min_fraction, 1.0),
+        )
+    }
+
+    /// Per-class mean demand fractions for the admission engine.
+    pub fn class_demand(&self) -> ClassDemand {
+        let mut out = ClassDemand::empty();
+        for class in SliceClass::ALL {
+            if let Some(s) = self.class_stats.get(class.label()) {
+                if s.count >= 10 {
+                    out.set(class, s.sum / s.count as f64);
+                }
+            }
+        }
+        out
+    }
+
+    /// One reconfiguration round: resize every warm slice's RAN and
+    /// transport reservations to its target fraction. Growth that no longer
+    /// fits (capacity since taken by new admissions) is skipped — the
+    /// scheduler's lending covers the shortfall statistically. Returns
+    /// `(slice, old_reserved, new_reserved)` for every applied change.
+    pub fn reconfigure(
+        &mut self,
+        slices: &[(SliceId, SliceRequest)],
+        planning_prb_rate: RateMbps,
+        ran: &mut RanController,
+        transport: &mut TransportController,
+    ) -> Vec<(SliceId, Prbs, Prbs)> {
+        let mut applied = Vec::new();
+        for (slice, request) in slices {
+            let Some(fraction) = self.target_fraction(*slice) else {
+                continue;
+            };
+            let target_tp = request.sla.throughput * fraction;
+            let target_prbs = Prbs::new(
+                (target_tp.value() / planning_prb_rate.value()).ceil().max(1.0) as u32,
+            );
+            let Some(current) = ran.reservation(*slice).map(|r| r.reserved) else {
+                continue;
+            };
+            if target_prbs == current {
+                continue;
+            }
+            if ran.resize(*slice, target_prbs).is_err() {
+                continue; // growth blocked by newer admissions; keep current
+            }
+            // Keep the transport reservation in step with the radio one.
+            let new_bw = RateMbps::new(
+                (target_prbs.value() as f64 * planning_prb_rate.value())
+                    .min(request.sla.throughput.value()),
+            );
+            if transport.resize(*slice, new_bw).is_err() {
+                // Transport could not follow: revert the radio resize to
+                // keep the two domains consistent.
+                let _ = ran.resize(*slice, current);
+                continue;
+            }
+            applied.push((*slice, current, target_prbs));
+        }
+        applied
+    }
+
+    /// Multiplexing-gain report from the RAN's current snapshot.
+    pub fn gain_report(ran: &RanController) -> GainReport {
+        let snap = ran.snapshot();
+        let nominal: Prbs = snap.enbs.iter().map(|r| r.nominal).sum();
+        let reserved: Prbs = snap.enbs.iter().map(|r| r.reserved).sum();
+        let grid: Prbs = snap.enbs.iter().map(|r| r.total).sum();
+        GainReport {
+            nominal_prbs: nominal,
+            reserved_prbs: reserved,
+            grid_prbs: grid,
+            overbooking_factor: nominal.ratio(grid),
+            savings_fraction: if nominal.is_zero() {
+                0.0
+            } else {
+                1.0 - reserved.ratio(nominal)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{EnbId, PlmnId, TenantId};
+    use ovnes_ran::{CellConfig, Enb};
+    use ovnes_transport::Topology;
+
+    fn engine(q: f64) -> OverbookingEngine {
+        OverbookingEngine::new(OverbookingConfig {
+            quantile: q,
+            min_residuals: 5,
+            season_period: 8,
+            ..OverbookingConfig::default()
+        })
+    }
+
+    fn warm(engine: &mut OverbookingEngine, slice: SliceId, fractions: &[f64]) {
+        for &f in fractions {
+            engine.observe(slice, f);
+        }
+    }
+
+    #[test]
+    fn target_none_until_warm() {
+        let mut e = engine(0.9);
+        let s = SliceId::new(1);
+        e.track(s, SliceClass::Embb);
+        assert_eq!(e.target_fraction(s), None);
+        // Two seasons (16) warm the HW model; +min_residuals epochs for
+        // residuals.
+        warm(&mut e, s, &[0.5; 16]);
+        assert_eq!(e.target_fraction(s), None, "model warm but residuals short");
+        warm(&mut e, s, &[0.5; 6]);
+        let f = e.target_fraction(s).unwrap();
+        assert!((f - 0.52).abs() < 0.01, "flat 0.5 demand + margin: {f}");
+    }
+
+    #[test]
+    fn untracked_slice_has_no_target() {
+        let e = engine(0.9);
+        assert_eq!(e.target_fraction(SliceId::new(7)), None);
+        assert_eq!(e.tracked(), 0);
+    }
+
+    #[test]
+    fn forget_drops_tracker() {
+        let mut e = engine(0.9);
+        e.track(SliceId::new(1), SliceClass::Embb);
+        assert_eq!(e.tracked(), 1);
+        e.forget(SliceId::new(1));
+        assert_eq!(e.tracked(), 0);
+        e.observe(SliceId::new(1), 0.5); // harmless
+    }
+
+    #[test]
+    fn target_clamped_to_bounds() {
+        let mut e = engine(0.9);
+        let s = SliceId::new(1);
+        e.track(s, SliceClass::Embb);
+        warm(&mut e, s, &vec![0.0; 30]);
+        assert_eq!(e.target_fraction(s), Some(0.1), "floor at min_fraction");
+        let mut e2 = engine(0.9);
+        e2.track(s, SliceClass::Embb);
+        warm(&mut e2, s, &vec![1.8; 30]);
+        assert_eq!(e2.target_fraction(s), Some(1.0), "cap at peak");
+    }
+
+    #[test]
+    fn higher_quantile_provisions_more() {
+        // Alternating demand: quantile choice matters.
+        let pattern: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.3 } else { 0.7 }).collect();
+        let s = SliceId::new(1);
+        let mut lo = engine(0.2);
+        lo.track(s, SliceClass::Embb);
+        warm(&mut lo, s, &pattern);
+        let mut hi = engine(0.98);
+        hi.track(s, SliceClass::Embb);
+        warm(&mut hi, s, &pattern);
+        assert!(hi.target_fraction(s).unwrap() > lo.target_fraction(s).unwrap());
+    }
+
+    #[test]
+    fn class_demand_needs_ten_observations() {
+        let mut e = engine(0.9);
+        let s = SliceId::new(1);
+        e.track(s, SliceClass::Urllc);
+        warm(&mut e, s, &[0.4; 9]);
+        assert_eq!(e.class_demand().get(SliceClass::Urllc), None);
+        e.observe(s, 0.4);
+        let f = e.class_demand().get(SliceClass::Urllc).unwrap();
+        assert!((f - 0.4).abs() < 1e-9);
+        assert_eq!(e.class_demand().get(SliceClass::Embb), None);
+    }
+
+    fn world() -> (RanController, TransportController) {
+        (
+            RanController::new(vec![Enb::new(EnbId::new(0), CellConfig::default_20mhz())]),
+            TransportController::new(Topology::testbed(), 1024),
+        )
+    }
+
+    fn request(tp: f64) -> SliceRequest {
+        SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+            .throughput(RateMbps::new(tp))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reconfigure_shrinks_warm_slice() {
+        let (mut ran, mut transport) = world();
+        let s = SliceId::new(1);
+        let req = request(40.0); // nominal 80 PRBs at 0.5
+        ran.install(EnbId::new(0), s, PlmnId::test_slice_plmn(0), Prbs::new(80), Prbs::new(80))
+            .unwrap();
+        let topo_src = transport.topology().radio_site(EnbId::new(0)).unwrap();
+        let topo_dst = transport.topology().dc_node(ovnes_model::DcId::new(1)).unwrap();
+        transport
+            .allocate(s, topo_src, topo_dst, RateMbps::new(40.0), ovnes_model::Latency::new(48.0))
+            .unwrap();
+
+        let mut e = engine(0.9);
+        e.track(s, SliceClass::Embb);
+        warm(&mut e, s, &vec![0.5; 30]); // slice only ever uses half
+
+        let applied = e.reconfigure(
+            &[(s, req.clone())],
+            RateMbps::new(0.5),
+            &mut ran,
+            &mut transport,
+        );
+        assert_eq!(applied.len(), 1);
+        let (_, old, new) = applied[0];
+        assert_eq!(old, Prbs::new(80));
+        assert!(new < old, "shrunk: {new}");
+        assert_eq!(ran.reservation(s).unwrap().reserved, new);
+        // Transport follows.
+        let bw = transport.reservation(s).unwrap().bandwidth;
+        assert!((bw.value() - new.value() as f64 * 0.5).abs() < 1e-9);
+        // Gain report reflects the savings.
+        let gain = OverbookingEngine::gain_report(&ran);
+        assert_eq!(gain.nominal_prbs, Prbs::new(80));
+        assert!(gain.savings_fraction > 0.3);
+    }
+
+    #[test]
+    fn reconfigure_skips_cold_slices() {
+        let (mut ran, mut transport) = world();
+        let s = SliceId::new(1);
+        ran.install(EnbId::new(0), s, PlmnId::test_slice_plmn(0), Prbs::new(80), Prbs::new(80))
+            .unwrap();
+        let mut e = engine(0.9);
+        e.track(s, SliceClass::Embb);
+        let applied = e.reconfigure(
+            &[(s, request(40.0))],
+            RateMbps::new(0.5),
+            &mut ran,
+            &mut transport,
+        );
+        assert!(applied.is_empty());
+        assert_eq!(ran.reservation(s).unwrap().reserved, Prbs::new(80));
+    }
+
+    #[test]
+    fn gain_report_on_empty_ran() {
+        let (ran, _) = world();
+        let g = OverbookingEngine::gain_report(&ran);
+        assert_eq!(g.nominal_prbs, Prbs::ZERO);
+        assert_eq!(g.overbooking_factor, 0.0);
+        assert_eq!(g.savings_fraction, 0.0);
+    }
+
+    #[test]
+    fn mean_fraction_tracks_running_mean() {
+        let mut e = engine(0.9);
+        let s = SliceId::new(1);
+        e.track(s, SliceClass::Mmtc);
+        for f in [0.2, 0.4, 0.6] {
+            e.observe(s, f);
+        }
+        let t = &e.trackers[&s];
+        assert!((t.mean_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(t.observations, 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! CSV and JSON export of dashboard/experiment series.
+
+use ovnes_sim::TimeSeries;
+use serde::Serialize;
+
+/// Render named time series as CSV: `time_s,<name1>,<name2>,…` rows joined
+/// on the union of timestamps (missing samples are empty cells).
+pub fn to_csv(series: &[(&str, &TimeSeries)]) -> String {
+    let mut out = String::new();
+    out.push_str("time_s");
+    for (name, _) in series {
+        out.push(',');
+        // Quote names containing commas.
+        if name.contains(',') {
+            out.push('"');
+            out.push_str(&name.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(name);
+        }
+    }
+    out.push('\n');
+
+    // Union of timestamps, ascending.
+    let mut times: Vec<u64> = series
+        .iter()
+        .flat_map(|(_, s)| s.points().iter().map(|&(t, _)| t.as_micros()))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    for t in times {
+        out.push_str(&format!("{:.6}", t as f64 / 1e6));
+        for (_, s) in series {
+            out.push(',');
+            if let Some(&(_, v)) = s
+                .points()
+                .iter()
+                .find(|&&(pt, _)| pt.as_micros() == t)
+            {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize any value as pretty JSON (for EXPERIMENTS.md appendices).
+pub fn to_json_pretty<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("exported values are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_sim::SimTime;
+
+    fn series(points: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in points {
+            s.record(SimTime::from_secs(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn csv_joins_on_time_union() {
+        let a = series(&[(1, 10.0), (2, 20.0)]);
+        let b = series(&[(2, 0.5), (3, 0.7)]);
+        let csv = to_csv(&[("load", &a), ("util", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,load,util");
+        assert_eq!(lines[1], "1.000000,10,");
+        assert_eq!(lines[2], "2.000000,20,0.5");
+        assert_eq!(lines[3], "3.000000,,0.7");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_names() {
+        let a = series(&[(1, 1.0)]);
+        let csv = to_csv(&[("a,b", &a)]);
+        assert!(csv.starts_with("time_s,\"a,b\""));
+    }
+
+    #[test]
+    fn csv_of_empty_series_is_header_only() {
+        let a = TimeSeries::new();
+        let csv = to_csv(&[("x", &a)]);
+        assert_eq!(csv, "time_s,x\n");
+    }
+
+    #[test]
+    fn json_pretty_round_trips() {
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+        }
+        let j = to_json_pretty(&S { a: 5 });
+        assert!(j.contains("\"a\": 5"));
+    }
+}

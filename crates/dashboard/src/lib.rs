@@ -1,0 +1,23 @@
+//! # ovnes-dashboard — the control dashboard, terminal edition
+//!
+//! The demo *"is operated through a dashboard that allows requesting network
+//! slices on-demand, monitors their performance once deployed and displays
+//! the achieved multiplexing gain through overbooking"*. This crate renders
+//! that dashboard's panels as text (tables + sparklines) from a live
+//! [`Orchestrator`](ovnes_orchestrator::Orchestrator), and exports the
+//! underlying series as CSV/JSON for the experiment write-ups.
+//!
+//! * [`table`] — aligned text tables.
+//! * [`spark`] — unicode sparklines for epoch series.
+//! * [`state`] — the dashboard view-model assembled from the orchestrator.
+//! * [`export`] — CSV and JSON export.
+
+pub mod export;
+pub mod spark;
+pub mod state;
+pub mod table;
+
+pub use export::{to_csv, to_json_pretty};
+pub use spark::sparkline;
+pub use state::DashboardView;
+pub use table::Table;

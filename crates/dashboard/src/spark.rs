@@ -1,0 +1,83 @@
+//! Unicode sparklines: the dashboard's inline utilization/gain charts.
+
+/// Render `values` as a sparkline using the eight block characters.
+///
+/// Values are scaled to the observed min–max range; a constant series
+/// renders mid-height. Non-finite values render as spaces.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            if span <= f64::EPSILON {
+                return BLOCKS[3];
+            }
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Sparkline of the most recent `n` values of a series.
+pub fn sparkline_tail(values: &[f64], n: usize) -> String {
+    let start = values.len().saturating_sub(n);
+    sparkline(&values[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn constant_renders_mid_height() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+    }
+
+    #[test]
+    fn ramp_uses_full_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn extremes_map_to_extremes() {
+        let s: Vec<char> = sparkline(&[0.0, 10.0, 0.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+        assert_eq!(s[2], '▁');
+    }
+
+    #[test]
+    fn non_finite_values_render_blank() {
+        let s: Vec<char> = sparkline(&[0.0, f64::NAN, 1.0]).chars().collect();
+        assert_eq!(s[1], ' ');
+        assert_eq!(sparkline(&[f64::NAN, f64::INFINITY]), "  ");
+    }
+
+    #[test]
+    fn tail_takes_last_n() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline_tail(&v, 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline_tail(&v[..3], 8).chars().count(), 3);
+    }
+}

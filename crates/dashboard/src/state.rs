@@ -1,0 +1,340 @@
+//! The dashboard view-model: the panels the demo's control dashboard shows,
+//! assembled from a live orchestrator.
+
+use crate::spark::sparkline_tail;
+use crate::table::{Align, Table};
+use ovnes_orchestrator::{Orchestrator, SliceState};
+use std::fmt::Write as _;
+
+/// A renderable snapshot of the whole dashboard.
+pub struct DashboardView {
+    sections: Vec<(String, String)>,
+}
+
+impl DashboardView {
+    /// Assemble the dashboard from the orchestrator's current state.
+    pub fn capture(orchestrator: &Orchestrator) -> DashboardView {
+        let sections = vec![
+            ("SLICES".to_string(), Self::slices_panel(orchestrator)),
+            ("RADIO ACCESS".to_string(), Self::ran_panel(orchestrator)),
+            ("TRANSPORT".to_string(), Self::transport_panel(orchestrator)),
+            ("CLOUD".to_string(), Self::cloud_panel(orchestrator)),
+            (
+                "OVERBOOKING — GAIN vs PENALTY".to_string(),
+                Self::gain_panel(orchestrator),
+            ),
+            ("EVENTS".to_string(), Self::events_panel(orchestrator)),
+        ];
+        DashboardView { sections }
+    }
+
+    fn slices_panel(o: &Orchestrator) -> String {
+        let mut t = Table::new(&[
+            "slice", "tenant", "class", "state", "plmn", "throughput", "latency", "price",
+            "violations",
+        ])
+        .with_aligns(&[
+            Align::Left,
+            Align::Left,
+            Align::Left,
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for r in o.records() {
+            if matches!(r.state, SliceState::Rejected) {
+                continue; // rejected requests live in the counters, not here
+            }
+            t.row(&[
+                r.id.to_string(),
+                r.request.tenant.to_string(),
+                r.request.class.to_string(),
+                r.state.to_string(),
+                r.plmn.map_or("-".into(), |p| p.to_string()),
+                r.request.sla.throughput.to_string(),
+                r.request.sla.max_latency.to_string(),
+                r.request.price.to_string(),
+                format!("{}/{}", r.epochs_violated, r.epochs_active),
+            ]);
+        }
+        let mut s = t.to_string();
+        let m = o.metrics();
+        let _ = writeln!(
+            s,
+            "submitted {}  admitted {}  rejected {} (policy {} / resources {})",
+            m.counter_value("orchestrator.submitted").unwrap_or(0),
+            m.counter_value("orchestrator.admitted").unwrap_or(0),
+            m.counter_value("orchestrator.rejected_policy").unwrap_or(0)
+                + m.counter_value("orchestrator.rejected_resources").unwrap_or(0),
+            m.counter_value("orchestrator.rejected_policy").unwrap_or(0),
+            m.counter_value("orchestrator.rejected_resources").unwrap_or(0),
+        );
+        s
+    }
+
+    fn ran_panel(o: &Orchestrator) -> String {
+        let snap = o.ran().snapshot();
+        let mut t = Table::new(&["enb", "plmns", "reserved", "nominal", "grid", "overbooking"])
+            .with_aligns(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        for row in &snap.enbs {
+            t.row(&[
+                row.enb.to_string(),
+                row.plmns.to_string(),
+                row.reserved.to_string(),
+                row.nominal.to_string(),
+                row.total.to_string(),
+                format!("{:.2}x", row.overbooking_factor),
+            ]);
+        }
+        let mut s = t.to_string();
+        for row in &snap.enbs {
+            if let Some(series) = o
+                .ran()
+                .metrics()
+                .series_ref(&format!("ran.{}.prb_utilization", row.enb))
+            {
+                let _ = writeln!(
+                    s,
+                    "{} PRB utilization {}",
+                    row.enb,
+                    sparkline_tail(&series.values(), 40)
+                );
+            }
+        }
+        s
+    }
+
+    fn transport_panel(o: &Orchestrator) -> String {
+        let snap = o.transport().snapshot();
+        let mut t = Table::new(&["link", "capacity", "reserved", "util", "health"]).with_aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for row in &snap.links {
+            t.row(&[
+                row.link.to_string(),
+                row.effective_capacity.to_string(),
+                row.reserved.to_string(),
+                format!("{:.0}%", row.utilization.min(9.99) * 100.0),
+                format!("{:.0}%", row.degradation * 100.0),
+            ]);
+        }
+        format!("{t}paths installed: {}\n", snap.paths)
+    }
+
+    fn cloud_panel(o: &Orchestrator) -> String {
+        let snap = o.cloud().snapshot();
+        let mut t = Table::new(&["dc", "kind", "vms", "utilization"]).with_aligns(&[
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+        for row in &snap.dcs {
+            t.row(&[
+                row.dc.to_string(),
+                format!("{:?}", row.kind).to_lowercase(),
+                row.vms.to_string(),
+                format!("{:.0}%", row.utilization * 100.0),
+            ]);
+        }
+        format!("{t}stacks deployed: {}\n", snap.stacks)
+    }
+
+    fn gain_panel(o: &Orchestrator) -> String {
+        let ledger = o.ledger();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "income {}   penalties {}   NET {}",
+            ledger.gross_income(),
+            ledger.total_penalties(),
+            ledger.net()
+        );
+        if let Some(series) = o.metrics().series_ref("orchestrator.savings_fraction") {
+            let _ = writeln!(
+                s,
+                "capacity released by overbooking {}  (now {:.0}%)",
+                sparkline_tail(&series.values(), 40),
+                series.last().map_or(0.0, |(_, v)| v * 100.0)
+            );
+        }
+        if let Some(series) = o.metrics().series_ref("orchestrator.overbooking_factor") {
+            let _ = writeln!(
+                s,
+                "overbooking factor               {}  (now {:.2}x)",
+                sparkline_tail(&series.values(), 40),
+                series.last().map_or(0.0, |(_, v)| v)
+            );
+        }
+        s
+    }
+
+    /// A per-slice detail view: demand vs delivery vs latency sparklines —
+    /// what clicking a slice row on the demo dashboard would show.
+    pub fn slice_detail(o: &Orchestrator, slice: ovnes_model::SliceId) -> Option<String> {
+        let record = o.record(slice)?;
+        let timeline = o.timeline(slice)?;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{slice} ({}, {})  committed {}  bound {}",
+            record.request.class, record.state, record.request.sla.throughput,
+            record.request.sla.max_latency,
+        );
+        let _ = writeln!(
+            s,
+            "offered   {}  (mean {:.1} Mbps)",
+            sparkline_tail(&timeline.offered.values(), 48),
+            timeline.offered.mean().unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            s,
+            "delivered {}  (mean {:.1} Mbps)",
+            sparkline_tail(&timeline.delivered.values(), 48),
+            timeline.delivered.mean().unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            s,
+            "latency   {}  (max {:.1} ms)",
+            sparkline_tail(&timeline.latency.values(), 48),
+            timeline.latency.max().unwrap_or(0.0)
+        );
+        let _ = writeln!(
+            s,
+            "violations {}/{} epochs  availability {:.2}%",
+            record.epochs_violated,
+            record.epochs_active,
+            record.availability() * 100.0
+        );
+        Some(s)
+    }
+
+    fn events_panel(o: &Orchestrator) -> String {
+        let mut s = String::new();
+        let events = o.events();
+        if events.is_empty() {
+            s.push_str("(no events yet)\n");
+            return s;
+        }
+        for e in events.tail(12) {
+            let _ = writeln!(s, "{e}");
+        }
+        let _ = writeln!(s, "({} events total)", events.total_logged());
+        s
+    }
+
+    /// Render the full dashboard.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, body) in &self.sections {
+            let _ = writeln!(out, "══ {title} {}", "═".repeat(60usize.saturating_sub(title.len())));
+            out.push_str(body);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The individual panels, for selective display.
+    pub fn sections(&self) -> &[(String, String)] {
+        &self.sections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_orchestrator::{DemoScenario, ScenarioConfig};
+    use ovnes_sim::SimDuration;
+
+    fn scenario() -> DemoScenario {
+        DemoScenario::build(ScenarioConfig {
+            horizon: SimDuration::from_hours(1),
+            arrivals_per_hour: 20.0,
+            ..ScenarioConfig::default()
+        })
+    }
+
+    #[test]
+    fn captures_all_panels() {
+        let mut s = scenario();
+        s.run();
+        let view = DashboardView::capture(s.orchestrator());
+        assert_eq!(view.sections().len(), 6);
+        let rendered = view.render();
+        for header in ["SLICES", "RADIO ACCESS", "TRANSPORT", "CLOUD", "GAIN vs PENALTY", "EVENTS"] {
+            assert!(rendered.contains(header), "missing {header}");
+        }
+        assert!(rendered.contains("enb-0"));
+        assert!(rendered.contains("dc-0"));
+        assert!(rendered.contains("NET"));
+    }
+
+    #[test]
+    fn shows_admission_counters() {
+        let mut s = scenario();
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(rendered.contains("submitted"));
+        assert!(rendered.contains("admitted"));
+    }
+
+    #[test]
+    fn empty_orchestrator_renders_without_panic() {
+        // A freshly built scenario that never ran still renders.
+        let s = scenario();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(rendered.contains("SLICES"));
+        assert!(rendered.contains("paths installed: 0"));
+    }
+
+    #[test]
+    fn slice_detail_renders_timeline() {
+        let mut s = scenario();
+        s.run();
+        // Find any slice that served epochs.
+        let id = s
+            .orchestrator()
+            .records()
+            .find(|r| r.epochs_active > 0)
+            .map(|r| r.id)
+            .expect("scenario served slices");
+        let detail = DashboardView::slice_detail(s.orchestrator(), id).unwrap();
+        assert!(detail.contains("offered"));
+        assert!(detail.contains("delivered"));
+        assert!(detail.contains("availability"));
+        // Unknown slices yield None.
+        assert!(DashboardView::slice_detail(s.orchestrator(), ovnes_model::SliceId::new(9999)).is_none());
+    }
+
+    #[test]
+    fn events_panel_shows_lifecycle() {
+        let mut s = scenario();
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(rendered.contains("admitted as"), "{rendered}");
+        assert!(rendered.contains("events total"));
+    }
+
+    #[test]
+    fn active_slices_appear_with_plmn() {
+        let mut s = scenario();
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        // At least one row carries a test PLMN (001-xx).
+        assert!(rendered.contains("001-"), "{rendered}");
+    }
+}

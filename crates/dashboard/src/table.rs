@@ -1,0 +1,167 @@
+//! Aligned text tables for terminal dashboards and experiment reports.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple text table: header + rows, rendered with box-drawing rules.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers (all left-aligned).
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the alignment of every column.
+    ///
+    /// # Panics
+    /// Panics if `aligns` length differs from the header count.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of display-able values.
+    pub fn row_display(&mut self, cells: &[&dyn fmt::Display]) -> &mut Table {
+        let strings: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&strings)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let pad = |s: &str, w: usize, a: Align| -> String {
+            let len = s.chars().count();
+            let fill = " ".repeat(w - len);
+            match a {
+                Align::Left => format!("{s}{fill}"),
+                Align::Right => format!("{fill}{s}"),
+            }
+        };
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let render_row = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .zip(&self.aligns)
+                .map(|((c, &w), &a)| pad(c, w, a))
+                .collect();
+            writeln!(f, " {}", line.join(" | "))
+        };
+        render_row(&self.headers, f)?;
+        writeln!(f, "{rule}")?;
+        for row in &self.rows {
+            render_row(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]).with_aligns(&[Align::Left, Align::Right]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "1234".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned values line up at the end.
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with(" 1234"));
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_display(&[&42, &"x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.to_string().contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_cell_count_panics() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn wrong_align_count_panics() {
+        let _ = Table::new(&["a", "b"]).with_aligns(&[Align::Left]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+
+    #[test]
+    fn unicode_width_is_char_based() {
+        let mut t = Table::new(&["µ"]);
+        t.row(&["ΔΣ".into()]);
+        let s = t.to_string();
+        assert!(s.contains("ΔΣ"));
+    }
+}

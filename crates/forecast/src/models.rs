@@ -1,0 +1,839 @@
+//! One-step-ahead traffic forecasters.
+//!
+//! All models share the online [`Forecaster`] interface: feed observations
+//! with [`observe`](Forecaster::observe), ask for a prediction `h` epochs
+//! ahead with [`predict`](Forecaster::predict). A model returns `None` until
+//! it has seen enough data to be meaningful (its *warm-up*), which the
+//! overbooking engine treats as "fall back to peak provisioning".
+
+/// Online one-step(-or-more)-ahead forecaster.
+pub trait Forecaster {
+    /// Feed the demand observed in the latest monitoring epoch.
+    fn observe(&mut self, value: f64);
+
+    /// Forecast the demand `horizon ≥ 1` epochs ahead, or `None` while
+    /// warming up.
+    fn predict(&self, horizon: usize) -> Option<f64>;
+
+    /// Stable short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of observations consumed so far.
+    fn observations(&self) -> usize;
+}
+
+impl Forecaster for Box<dyn Forecaster> {
+    fn observe(&mut self, value: f64) {
+        self.as_mut().observe(value)
+    }
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        self.as_ref().predict(horizon)
+    }
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn observations(&self) -> usize {
+        self.as_ref().observations()
+    }
+}
+
+/// Selector for constructing forecasters from configuration — the knob the
+/// overbooking engine's forecaster-swap ablation turns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ForecasterKind {
+    /// Persistence.
+    Naive,
+    /// Last season's value.
+    SeasonalNaive,
+    /// Exponential smoothing (α = 0.3).
+    Ewma,
+    /// Double exponential smoothing (α = 0.3, β = 0.1).
+    Holt,
+    /// Triple exponential smoothing (α = 0.3, β = 0.05, γ = 0.3).
+    HoltWinters,
+    /// AR(3) over a 4-season window.
+    Ar,
+    /// Mean of {seasonal-naive, EWMA, AR(3)} — diversity over tuning.
+    Ensemble,
+}
+
+impl ForecasterKind {
+    /// Instantiate with standard parameters for the given seasonal period.
+    pub fn build(self, period: usize) -> Box<dyn Forecaster> {
+        match self {
+            ForecasterKind::Naive => Box::new(Naive::new()),
+            ForecasterKind::SeasonalNaive => Box::new(SeasonalNaive::new(period)),
+            ForecasterKind::Ewma => Box::new(Ewma::new(0.3)),
+            ForecasterKind::Holt => Box::new(Holt::new(0.3, 0.1)),
+            ForecasterKind::HoltWinters => Box::new(HoltWinters::new(0.3, 0.05, 0.3, period)),
+            ForecasterKind::Ar => Box::new(Ar::new(3, (period * 4).max(7))),
+            ForecasterKind::Ensemble => Box::new(Ensemble::new(vec![
+                Box::new(SeasonalNaive::new(period)),
+                Box::new(Ewma::new(0.3)),
+                Box::new(Ar::new(3, (period * 4).max(7))),
+            ])),
+        }
+    }
+}
+
+/// Equal-weight model averaging: every observation feeds all members; the
+/// prediction is the mean of the members that are warm. Averaging diverse
+/// models hedges each one's failure mode (seasonal models on aseasonal
+/// traffic, smoothing models on seasonal traffic) at the cost of never
+/// being the single best.
+pub struct Ensemble {
+    members: Vec<Box<dyn Forecaster>>,
+    n: usize,
+}
+
+impl Ensemble {
+    /// An ensemble over `members`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Forecaster>>) -> Ensemble {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Ensemble { members, n: 0 }
+    }
+
+    /// Number of member models.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Forecaster for Ensemble {
+    fn observe(&mut self, value: f64) {
+        for m in &mut self.members {
+            m.observe(value);
+        }
+        self.n += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        let warm: Vec<f64> = self
+            .members
+            .iter()
+            .filter_map(|m| m.predict(horizon))
+            .collect();
+        if warm.is_empty() {
+            return None;
+        }
+        Some(warm.iter().sum::<f64>() / warm.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Predicts the last observed value (persistence baseline).
+#[derive(Debug, Clone, Default)]
+pub struct Naive {
+    last: Option<f64>,
+    n: usize,
+}
+
+impl Naive {
+    /// New, unwarmed model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for Naive {
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+        self.n += 1;
+    }
+    fn predict(&self, _horizon: usize) -> Option<f64> {
+        self.last
+    }
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Arithmetic mean of the last `window` observations.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: Vec<f64>,
+    head: usize,
+    n: usize,
+}
+
+impl MovingAverage {
+    /// Model averaging the most recent `window` epochs.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage {
+            window,
+            buf: Vec::with_capacity(window),
+            head: 0,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for MovingAverage {
+    fn observe(&mut self, value: f64) {
+        if self.buf.len() < self.window {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.window;
+        }
+        self.n += 1;
+    }
+    fn predict(&self, _horizon: usize) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+    }
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Exponentially weighted moving average (simple exponential smoothing).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    level: Option<f64>,
+    n: usize,
+}
+
+impl Ewma {
+    /// Smoothing factor `alpha` in (0, 1]: larger reacts faster.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            alpha,
+            level: None,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn observe(&mut self, value: f64) {
+        self.level = Some(match self.level {
+            None => value,
+            Some(l) => self.alpha * value + (1.0 - self.alpha) * l,
+        });
+        self.n += 1;
+    }
+    fn predict(&self, _horizon: usize) -> Option<f64> {
+        self.level
+    }
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Holt's linear method (double exponential smoothing): level + trend.
+#[derive(Debug, Clone)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    n: usize,
+}
+
+impl Holt {
+    /// `alpha` smooths the level, `beta` the trend; both in (0, 1].
+    ///
+    /// # Panics
+    /// Panics if either factor is outside (0, 1].
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Holt {
+            alpha,
+            beta,
+            level: 0.0,
+            trend: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for Holt {
+    fn observe(&mut self, value: f64) {
+        match self.n {
+            0 => self.level = value,
+            1 => {
+                self.trend = value - self.level;
+                self.level = value;
+            }
+            _ => {
+                let prev_level = self.level;
+                self.level = self.alpha * value + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend =
+                    self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+            }
+        }
+        self.n += 1;
+    }
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        Some(self.level + self.trend * horizon as f64)
+    }
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Holt–Winters triple exponential smoothing with additive seasonality —
+/// the model of choice for diurnal mobile traffic (ref \[4\] of the paper).
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    seasonals: Vec<f64>,
+    /// Raw observations buffered until two full seasons allow initialization.
+    warmup: Vec<f64>,
+    n: usize,
+}
+
+impl HoltWinters {
+    /// `alpha`/`beta`/`gamma` smooth level/trend/seasonality; `period` is
+    /// the season length in epochs (e.g. 24 for hourly epochs and diurnal
+    /// traffic).
+    ///
+    /// # Panics
+    /// Panics if any factor is outside (0, 1] or `period < 2`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(period >= 2, "seasonal period must be at least 2");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            seasonals: Vec::new(),
+            warmup: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Season length in epochs.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    fn initialize(&mut self) {
+        let m = self.period;
+        debug_assert_eq!(self.warmup.len(), 2 * m);
+        let season1: f64 = self.warmup[..m].iter().sum::<f64>() / m as f64;
+        let season2: f64 = self.warmup[m..].iter().sum::<f64>() / m as f64;
+        self.level = season2;
+        self.trend = (season2 - season1) / m as f64;
+        // Seasonal index i: average deviation from its season's mean.
+        self.seasonals = (0..m)
+            .map(|i| ((self.warmup[i] - season1) + (self.warmup[m + i] - season2)) / 2.0)
+            .collect();
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn observe(&mut self, value: f64) {
+        if self.seasonals.is_empty() {
+            self.warmup.push(value);
+            self.n += 1;
+            if self.warmup.len() == 2 * self.period {
+                self.initialize();
+                self.warmup.clear();
+                self.warmup.shrink_to_fit();
+            }
+            return;
+        }
+        let s_idx = self.n % self.period;
+        let seasonal = self.seasonals[s_idx];
+        let prev_level = self.level;
+        self.level =
+            self.alpha * (value - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.seasonals[s_idx] =
+            self.gamma * (value - self.level) + (1.0 - self.gamma) * seasonal;
+        self.n += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        if self.seasonals.is_empty() || horizon == 0 {
+            return if horizon == 0 { Some(self.level) } else { None };
+        }
+        let s_idx = (self.n + horizon - 1) % self.period;
+        Some(self.level + self.trend * horizon as f64 + self.seasonals[s_idx])
+    }
+
+    fn name(&self) -> &'static str {
+        "holt-winters"
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Seasonal persistence: predict the value observed one full season ago.
+/// The strongest *simple* baseline for seasonal traffic and the sanity bar
+/// any trained model must clear.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    /// Ring buffer of the last `period` observations.
+    ring: Vec<f64>,
+    n: usize,
+}
+
+impl SeasonalNaive {
+    /// Seasonal-naive model with the given season length.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        SeasonalNaive {
+            period,
+            ring: vec![0.0; period],
+            n: 0,
+        }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn observe(&mut self, value: f64) {
+        let idx = self.n % self.period;
+        self.ring[idx] = value;
+        self.n += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        if self.n < self.period {
+            return None;
+        }
+        // The epoch `horizon` steps ahead falls at this seasonal index; the
+        // ring holds the most recent observation at every index.
+        let idx = (self.n + horizon.max(1) - 1) % self.period;
+        Some(self.ring[idx])
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Autoregressive model AR(p), refit over a sliding window with the
+/// Levinson–Durbin recursion on sample autocovariances.
+#[derive(Debug, Clone)]
+pub struct Ar {
+    order: usize,
+    window: usize,
+    history: Vec<f64>,
+    n: usize,
+}
+
+impl Ar {
+    /// AR model of the given `order`, fit on the most recent `window`
+    /// observations.
+    ///
+    /// # Panics
+    /// Panics if `order` is zero or `window <= 2 * order`.
+    pub fn new(order: usize, window: usize) -> Self {
+        assert!(order > 0, "AR order must be positive");
+        assert!(window > 2 * order, "window must exceed 2x order");
+        Ar {
+            order,
+            window,
+            history: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Sample autocovariance at `lag` of the centered window.
+    fn autocovariance(centered: &[f64], lag: usize) -> f64 {
+        let n = centered.len();
+        (0..n - lag).map(|i| centered[i] * centered[i + lag]).sum::<f64>() / n as f64
+    }
+
+    /// Fit AR coefficients by Levinson–Durbin. Returns `(mean, phi)`.
+    fn fit(&self) -> Option<(f64, Vec<f64>)> {
+        if self.history.len() < 2 * self.order + 1 {
+            return None;
+        }
+        let mean = self.history.iter().sum::<f64>() / self.history.len() as f64;
+        let centered: Vec<f64> = self.history.iter().map(|v| v - mean).collect();
+        let r: Vec<f64> = (0..=self.order)
+            .map(|k| Self::autocovariance(&centered, k))
+            .collect();
+        if r[0] <= f64::EPSILON {
+            // Constant signal: AR degenerates to the mean.
+            return Some((mean, vec![0.0; self.order]));
+        }
+        // Levinson–Durbin recursion.
+        let mut phi = vec![0.0; self.order];
+        let mut prev = vec![0.0; self.order];
+        let mut err = r[0];
+        for k in 0..self.order {
+            let mut acc = r[k + 1];
+            for j in 0..k {
+                acc -= prev[j] * r[k - j];
+            }
+            let reflection = acc / err;
+            phi[..k].copy_from_slice(&prev[..k]);
+            phi[k] = reflection;
+            for j in 0..k {
+                phi[j] = prev[j] - reflection * prev[k - 1 - j];
+            }
+            err *= 1.0 - reflection * reflection;
+            if err <= f64::EPSILON {
+                break;
+            }
+            prev[..=k].copy_from_slice(&phi[..=k]);
+        }
+        Some((mean, phi))
+    }
+}
+
+impl Forecaster for Ar {
+    fn observe(&mut self, value: f64) {
+        self.history.push(value);
+        if self.history.len() > self.window {
+            self.history.remove(0);
+        }
+        self.n += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Option<f64> {
+        let (mean, phi) = self.fit()?;
+        // Iterate the recursion `horizon` steps, feeding predictions back in.
+        let mut tail: Vec<f64> = self
+            .history
+            .iter()
+            .rev()
+            .take(self.order)
+            .map(|v| v - mean)
+            .collect(); // tail[0] = most recent, centered
+        let mut out = 0.0;
+        for _ in 0..horizon.max(1) {
+            out = phi.iter().zip(tail.iter()).map(|(p, v)| p * v).sum();
+            tail.rotate_right(1);
+            tail[0] = out;
+        }
+        Some(mean + out)
+    }
+
+    fn name(&self) -> &'static str {
+        "ar"
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed<F: Forecaster>(f: &mut F, values: &[f64]) {
+        for &v in values {
+            f.observe(v);
+        }
+    }
+
+    #[test]
+    fn naive_predicts_last() {
+        let mut m = Naive::new();
+        assert_eq!(m.predict(1), None);
+        feed(&mut m, &[1.0, 5.0, 3.0]);
+        assert_eq!(m.predict(1), Some(3.0));
+        assert_eq!(m.predict(10), Some(3.0));
+        assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn moving_average_slides() {
+        let mut m = MovingAverage::new(3);
+        assert_eq!(m.predict(1), None);
+        feed(&mut m, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.predict(1), Some(2.0));
+        m.observe(10.0); // window now 2,3,10
+        assert_eq!(m.predict(1), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn moving_average_rejects_zero_window() {
+        MovingAverage::new(0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut m = Ewma::new(0.3);
+        feed(&mut m, &vec![7.0; 100]);
+        assert!((m.predict(1).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_step_change() {
+        let mut m = Ewma::new(0.5);
+        feed(&mut m, &[0.0; 10]);
+        feed(&mut m, &[10.0; 10]);
+        let p = m.predict(1).unwrap();
+        assert!(p > 9.9, "after 10 epochs at alpha=0.5, level ≈ 10, got {p}");
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend() {
+        let mut m = Holt::new(0.8, 0.8);
+        // y = 2t + 1
+        feed(&mut m, &(0..50).map(|t| 2.0 * t as f64 + 1.0).collect::<Vec<_>>());
+        let one = m.predict(1).unwrap();
+        let five = m.predict(5).unwrap();
+        assert!((one - 101.0).abs() < 0.5, "next should be ~101, got {one}");
+        assert!((five - 109.0).abs() < 0.5, "t+5 should be ~109, got {five}");
+    }
+
+    #[test]
+    fn holt_warms_up_after_two_points() {
+        let mut m = Holt::new(0.5, 0.5);
+        assert_eq!(m.predict(1), None);
+        m.observe(1.0);
+        assert_eq!(m.predict(1), None);
+        m.observe(2.0);
+        assert!(m.predict(1).is_some());
+    }
+
+    #[test]
+    fn holt_winters_learns_seasonality() {
+        let period = 12;
+        let mut m = HoltWinters::new(0.4, 0.1, 0.6, period);
+        // Pure sinusoid around 100 with amplitude 30, no noise, no trend.
+        let wave = |t: usize| {
+            100.0 + 30.0 * (std::f64::consts::TAU * (t % period) as f64 / period as f64).sin()
+        };
+        for t in 0..period * 8 {
+            m.observe(wave(t));
+        }
+        // Over the next full season, HW must track the wave closely; a naive
+        // persistence forecast cannot (it lags by one epoch).
+        let t0 = period * 8;
+        let mut hw_err = 0.0;
+        let mut naive_err = 0.0;
+        for h in 1..=period {
+            let actual = wave(t0 + h - 1);
+            hw_err += (m.predict(h).unwrap() - actual).abs();
+            naive_err += (wave(t0 - 1) - actual).abs();
+        }
+        assert!(
+            hw_err < naive_err / 4.0,
+            "HW err {hw_err:.2} should be far below naive {naive_err:.2}"
+        );
+    }
+
+    #[test]
+    fn holt_winters_warmup_is_two_seasons() {
+        let mut m = HoltWinters::new(0.5, 0.5, 0.5, 4);
+        for t in 0..7 {
+            m.observe(t as f64);
+            assert_eq!(m.predict(1), None, "still warming at t={t}");
+        }
+        m.observe(7.0);
+        assert!(m.predict(1).is_some());
+    }
+
+    #[test]
+    fn ar_fits_ar1_process() {
+        // Deterministic AR(1): x_{t+1} = 0.8 x_t (+ mean 50 offset).
+        let mut m = Ar::new(1, 64);
+        let mut x = 30.0f64;
+        for _ in 0..64 {
+            m.observe(50.0 + x);
+            x *= 0.8;
+        }
+        // Once decayed to (almost) the mean, prediction must be near 50.
+        let p = m.predict(1).unwrap();
+        assert!((p - 50.0).abs() < 1.0, "got {p}");
+    }
+
+    #[test]
+    fn ar_predicts_alternating_series() {
+        // x_t = (-1)^t  → AR(1) with phi = -1.
+        let mut m = Ar::new(1, 40);
+        for t in 0..40 {
+            m.observe(if t % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        // Last observation was -1.0 (t=39), so next is +1.0.
+        let p = m.predict(1).unwrap();
+        assert!((p - 1.0).abs() < 0.1, "got {p}");
+        // Two steps ahead flips back.
+        let p2 = m.predict(2).unwrap();
+        assert!((p2 + 1.0).abs() < 0.15, "got {p2}");
+    }
+
+    #[test]
+    fn ar_constant_signal_predicts_mean() {
+        let mut m = Ar::new(2, 16);
+        feed(&mut m, &[42.0; 16]);
+        assert!((m.predict(1).unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ar_needs_enough_history() {
+        let mut m = Ar::new(2, 16);
+        feed(&mut m, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.predict(1), None, "needs 2p+1 = 5 points");
+        m.observe(5.0);
+        assert!(m.predict(1).is_some());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Naive::new().name(), "naive");
+        assert_eq!(MovingAverage::new(2).name(), "moving-average");
+        assert_eq!(Ewma::new(0.5).name(), "ewma");
+        assert_eq!(Holt::new(0.5, 0.5).name(), "holt");
+        assert_eq!(HoltWinters::new(0.5, 0.5, 0.5, 4).name(), "holt-winters");
+        assert_eq!(Ar::new(1, 8).name(), "ar");
+        assert_eq!(SeasonalNaive::new(4).name(), "seasonal-naive");
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let mut m = SeasonalNaive::new(4);
+        assert_eq!(m.predict(1), None);
+        feed(&mut m, &[10.0, 20.0, 30.0, 40.0]);
+        // After one full season, prediction for the next epoch (index 0)
+        // is last season's index-0 value.
+        assert_eq!(m.predict(1), Some(10.0));
+        assert_eq!(m.predict(2), Some(20.0));
+        assert_eq!(m.predict(4), Some(40.0));
+        assert_eq!(m.predict(5), Some(10.0), "wraps a full season");
+        // Feed one more: index 0 now holds 50.
+        m.observe(50.0);
+        assert_eq!(m.predict(4), Some(50.0));
+        assert_eq!(m.predict(1), Some(20.0));
+    }
+
+    #[test]
+    fn seasonal_naive_perfect_on_pure_seasonality() {
+        let period = 6;
+        let wave = |t: usize| (t % period) as f64 * 3.0;
+        let mut m = SeasonalNaive::new(period);
+        for t in 0..period * 4 {
+            m.observe(wave(t));
+        }
+        for h in 1..=period {
+            let predicted = m.predict(h).unwrap();
+            assert_eq!(predicted, wave(period * 4 + h - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn seasonal_naive_rejects_zero_period() {
+        SeasonalNaive::new(0);
+    }
+
+    #[test]
+    fn ensemble_averages_warm_members() {
+        let mut e = Ensemble::new(vec![
+            Box::new(Naive::new()),
+            Box::new(SeasonalNaive::new(4)),
+        ]);
+        assert_eq!(e.members(), 2);
+        assert_eq!(e.predict(1), None);
+        // One observation: only Naive is warm → prediction equals it.
+        e.observe(10.0);
+        assert_eq!(e.predict(1), Some(10.0));
+        // Warm both: seasonal-naive predicts last season's slot, naive the
+        // last value; the ensemble is their mean.
+        for v in [20.0, 30.0, 40.0, 50.0] {
+            e.observe(v);
+        }
+        // naive → 50; seasonal (period 4, next slot = index 1) → 20.
+        assert_eq!(e.predict(1), Some(35.0));
+        assert_eq!(e.observations(), 5);
+        assert_eq!(e.name(), "ensemble");
+    }
+
+    #[test]
+    fn ensemble_kind_builds_and_forecasts() {
+        let mut m = ForecasterKind::Ensemble.build(6);
+        for t in 0..60 {
+            m.observe((t % 6) as f64);
+        }
+        let p = m.predict(1).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ensemble_rejected() {
+        Ensemble::new(vec![]);
+    }
+
+    #[test]
+    fn ensemble_hedges_across_traffic_kinds() {
+        use crate::eval::backtest;
+        use crate::traces::{TraceGenerator, TraceSpec};
+        use ovnes_sim::SimRng;
+        // On each class, the ensemble must not be catastrophically worse
+        // than the best single member (within 2x of its RMSE), while no
+        // single member achieves that across all classes vs the *best*.
+        for spec in [TraceSpec::embb(24), TraceSpec::urllc(24), TraceSpec::mmtc(24)] {
+            let series = TraceGenerator::new(spec, SimRng::seed_from(3)).take(24 * 30);
+            let ens = backtest(&mut *ForecasterKind::Ensemble.build(24), &series);
+            let best = [
+                ForecasterKind::SeasonalNaive,
+                ForecasterKind::Ewma,
+                ForecasterKind::Ar,
+            ]
+            .into_iter()
+            .map(|k| backtest(&mut *k.build(24), &series).rmse)
+            .fold(f64::INFINITY, f64::min);
+            assert!(ens.rmse < best * 2.0, "ensemble {} vs best {}", ens.rmse, best);
+        }
+    }
+}

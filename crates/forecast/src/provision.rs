@@ -1,0 +1,218 @@
+//! Quantile provisioning — the bridge from forecasting to overbooking.
+//!
+//! The overbooking engine's core move is to reserve for each slice not its
+//! committed peak but *the capacity that covers next epoch's demand with
+//! probability q*. [`QuantileProvisioner`] wraps any [`Forecaster`], keeps
+//! an empirical window of one-step forecast residuals, and answers
+//! [`provision(q)`](QuantileProvisioner::provision) = point forecast +
+//! q-quantile of the residuals. Larger q → safer, smaller multiplexing gain;
+//! smaller q → more gain, more SLA-violation risk. Experiments E2/E3 sweep q.
+
+use crate::models::Forecaster;
+
+/// A forecaster plus an empirical residual distribution.
+pub struct QuantileProvisioner<F: Forecaster> {
+    model: F,
+    /// One-step-ahead residuals: actual − predicted (newest last).
+    residuals: Vec<f64>,
+    /// Maximum residuals retained.
+    window: usize,
+    /// Prediction issued for the upcoming observation, if the model was warm.
+    pending: Option<f64>,
+}
+
+impl<F: Forecaster> QuantileProvisioner<F> {
+    /// Wrap `model`, retaining the last `window` residuals.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(model: F, window: usize) -> Self {
+        assert!(window > 0, "residual window must be positive");
+        QuantileProvisioner {
+            model,
+            residuals: Vec::new(),
+            window,
+            pending: None,
+        }
+    }
+
+    /// Feed the demand observed in the latest epoch. Updates the residual
+    /// window against the prediction issued last epoch, then advances the
+    /// model and issues the next pending prediction.
+    pub fn observe(&mut self, actual: f64) {
+        if let Some(predicted) = self.pending.take() {
+            self.residuals.push(actual - predicted);
+            if self.residuals.len() > self.window {
+                self.residuals.remove(0);
+            }
+        }
+        self.model.observe(actual);
+        self.pending = self.model.predict(1);
+    }
+
+    /// The wrapped model's one-step point forecast.
+    pub fn point_forecast(&self) -> Option<f64> {
+        self.model.predict(1)
+    }
+
+    /// Empirical `q`-quantile of the residual window (linear interpolation),
+    /// or `None` until at least one residual exists.
+    pub fn residual_quantile(&self, q: f64) -> Option<f64> {
+        if self.residuals.is_empty() {
+            return None;
+        }
+        let mut sorted = self.residuals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Capacity that covers next epoch's demand with probability ≈ `q`:
+    /// point forecast + q-quantile of residuals, floored at zero.
+    ///
+    /// `None` until the model is warm *and* at least `min_residuals`
+    /// residuals have been collected — before that, the caller should fall
+    /// back to peak provisioning (exactly what the orchestrator does).
+    pub fn provision(&self, q: f64, min_residuals: usize) -> Option<f64> {
+        if self.residuals.len() < min_residuals.max(1) {
+            return None;
+        }
+        let point = self.point_forecast()?;
+        let margin = self.residual_quantile(q)?;
+        Some((point + margin).max(0.0))
+    }
+
+    /// Number of residuals currently held.
+    pub fn residual_count(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Access the wrapped model.
+    pub fn model(&self) -> &F {
+        &self.model
+    }
+
+    /// Name of the wrapped model.
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Ewma, HoltWinters, Naive};
+    use crate::traces::{TraceGenerator, TraceSpec};
+    use ovnes_sim::SimRng;
+
+    #[test]
+    fn residuals_accumulate_after_warmup() {
+        let mut p = QuantileProvisioner::new(Naive::new(), 10);
+        p.observe(5.0); // model warm after this; pending = 5.0
+        assert_eq!(p.residual_count(), 0);
+        p.observe(7.0); // residual 7-5 = 2
+        assert_eq!(p.residual_count(), 1);
+        assert_eq!(p.residual_quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn residual_window_is_bounded() {
+        let mut p = QuantileProvisioner::new(Naive::new(), 5);
+        for i in 0..50 {
+            p.observe(i as f64);
+        }
+        assert_eq!(p.residual_count(), 5);
+        // Naive residual of a linear ramp is always +1.
+        assert_eq!(p.residual_quantile(0.0), Some(1.0));
+        assert_eq!(p.residual_quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut p = QuantileProvisioner::new(Naive::new(), 10);
+        p.observe(0.0);
+        // Produce residuals 1, 2, 3, 4 (observations step by varying jumps).
+        for v in [1.0, 3.0, 6.0, 10.0] {
+            p.observe(v);
+        }
+        assert_eq!(p.residual_quantile(0.0), Some(1.0));
+        assert_eq!(p.residual_quantile(1.0), Some(4.0));
+        assert_eq!(p.residual_quantile(0.5), Some(2.5));
+    }
+
+    #[test]
+    fn provision_requires_min_residuals() {
+        let mut p = QuantileProvisioner::new(Naive::new(), 10);
+        p.observe(1.0);
+        p.observe(1.0);
+        assert_eq!(p.provision(0.9, 5), None);
+        for _ in 0..5 {
+            p.observe(1.0);
+        }
+        assert_eq!(p.provision(0.9, 5), Some(1.0), "flat series provisions its level");
+    }
+
+    #[test]
+    fn provision_floors_at_zero() {
+        let mut p = QuantileProvisioner::new(Naive::new(), 10);
+        p.observe(10.0);
+        p.observe(0.0); // residual -10
+        p.observe(0.0); // residual 0
+        // Point forecast 0, q=0 margin = -10 → clamped to 0.
+        assert_eq!(p.provision(0.0, 1), Some(0.0));
+    }
+
+    #[test]
+    fn higher_quantile_provisions_more() {
+        let spec = TraceSpec::embb(24);
+        let mut gen = TraceGenerator::new(spec, SimRng::seed_from(42));
+        let mut p = QuantileProvisioner::new(Ewma::new(0.4), 200);
+        for _ in 0..300 {
+            p.observe(gen.next_demand());
+        }
+        let lo = p.provision(0.5, 10).unwrap();
+        let hi = p.provision(0.95, 10).unwrap();
+        assert!(hi > lo, "q=0.95 ({hi}) must exceed q=0.5 ({lo})");
+    }
+
+    #[test]
+    fn coverage_matches_target_quantile() {
+        // Provisioning at q should cover ≈ q of future epochs.
+        let spec = TraceSpec::embb(24);
+        let mut gen = TraceGenerator::new(spec, SimRng::seed_from(9));
+        let mut p = QuantileProvisioner::new(HoltWinters::new(0.3, 0.05, 0.3, 24), 300);
+        // Warm up.
+        for _ in 0..24 * 10 {
+            p.observe(gen.next_demand());
+        }
+        let q = 0.9;
+        let mut covered = 0usize;
+        let n = 2000;
+        for _ in 0..n {
+            let prov = p.provision(q, 30).unwrap();
+            let actual = gen.next_demand();
+            if actual <= prov {
+                covered += 1;
+            }
+            p.observe(actual);
+        }
+        let cov = covered as f64 / n as f64;
+        assert!(
+            (cov - q).abs() < 0.05,
+            "coverage {cov:.3} should be near target {q}"
+        );
+    }
+
+    #[test]
+    fn model_accessors() {
+        let p = QuantileProvisioner::new(Naive::new(), 4);
+        assert_eq!(p.model_name(), "naive");
+        assert_eq!(p.model().observations(), 0);
+        assert_eq!(p.point_forecast(), None);
+        assert_eq!(p.residual_quantile(0.5), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Synthetic traffic traces — the stand-in for the live LTE traffic of the
+//! physical testbed.
+//!
+//! Each admitted slice in the demo carries real user traffic whose history
+//! the orchestrator mines for forecasts. Here a [`TraceGenerator`] plays
+//! that role: a deterministic (seeded) per-epoch demand process with the
+//! statistical structure mobile traffic exhibits — diurnal seasonality,
+//! short-range autocorrelation, noise, and class-dependent burstiness.
+//!
+//! Demand is expressed as a *fraction of the slice's committed SLA
+//! throughput* (so 1.0 = the slice uses exactly what it bought, and values
+//! above 1.0 are clipped by the enforcement layer, not here).
+
+use ovnes_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameter set describing a traffic process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Baseline demand as a fraction of committed throughput.
+    pub base: f64,
+    /// Amplitude of the diurnal (seasonal) component, same units as `base`.
+    pub seasonal_amplitude: f64,
+    /// Season length in epochs (e.g. 24 for hourly epochs).
+    pub period: usize,
+    /// Phase offset of the seasonal component, in epochs.
+    pub phase: usize,
+    /// Standard deviation of Gaussian epoch noise.
+    pub noise_std: f64,
+    /// Per-epoch probability of a burst.
+    pub burst_prob: f64,
+    /// Mean burst height (exponentially distributed), added on top.
+    pub burst_mean: f64,
+    /// AR(1) coefficient of the noise (0 = white, →1 = strongly correlated).
+    pub noise_ar: f64,
+}
+
+impl TraceSpec {
+    /// eMBB: strong diurnal swing, moderate noise — the forecastable case
+    /// overbooking profits from.
+    pub fn embb(period: usize) -> TraceSpec {
+        TraceSpec {
+            base: 0.55,
+            seasonal_amplitude: 0.35,
+            period,
+            phase: 0,
+            noise_std: 0.05,
+            burst_prob: 0.02,
+            burst_mean: 0.10,
+            noise_ar: 0.5,
+        }
+    }
+
+    /// URLLC: low average, hard bursts (event traffic), weak seasonality.
+    pub fn urllc(period: usize) -> TraceSpec {
+        TraceSpec {
+            base: 0.30,
+            seasonal_amplitude: 0.10,
+            period,
+            phase: period / 3,
+            noise_std: 0.04,
+            burst_prob: 0.10,
+            burst_mean: 0.45,
+            noise_ar: 0.2,
+        }
+    }
+
+    /// mMTC: near-deterministic thin load (metering reports).
+    pub fn mmtc(period: usize) -> TraceSpec {
+        TraceSpec {
+            base: 0.70,
+            seasonal_amplitude: 0.05,
+            period,
+            phase: 0,
+            noise_std: 0.02,
+            burst_prob: 0.0,
+            burst_mean: 0.0,
+            noise_ar: 0.1,
+        }
+    }
+
+    /// A flat, noiseless process at `level` — for tests and calibration.
+    pub fn constant(level: f64) -> TraceSpec {
+        TraceSpec {
+            base: level,
+            seasonal_amplitude: 0.0,
+            period: 24,
+            phase: 0,
+            noise_std: 0.0,
+            burst_prob: 0.0,
+            burst_mean: 0.0,
+            noise_ar: 0.0,
+        }
+    }
+
+    /// The deterministic (noise- and burst-free) demand at epoch `t`.
+    pub fn deterministic_component(&self, t: u64) -> f64 {
+        let angle = std::f64::consts::TAU * ((t as usize + self.phase) % self.period) as f64
+            / self.period as f64;
+        (self.base + self.seasonal_amplitude * angle.sin()).max(0.0)
+    }
+}
+
+/// Stateful, seeded demand process over monitoring epochs.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: TraceSpec,
+    rng: SimRng,
+    epoch: u64,
+    ar_state: f64,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `spec` with its own RNG stream.
+    pub fn new(spec: TraceSpec, rng: SimRng) -> Self {
+        TraceGenerator {
+            spec,
+            rng,
+            epoch: 0,
+            ar_state: 0.0,
+        }
+    }
+
+    /// The spec driving this generator.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    /// Epochs generated so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Produce the next epoch's demand (fraction of committed throughput,
+    /// clamped to be non-negative).
+    pub fn next_demand(&mut self) -> f64 {
+        let det = self.spec.deterministic_component(self.epoch);
+        // AR(1)-correlated Gaussian noise.
+        let innovation = self.rng.normal(0.0, self.spec.noise_std);
+        self.ar_state = self.spec.noise_ar * self.ar_state + innovation;
+        let mut demand = det + self.ar_state;
+        if self.spec.burst_prob > 0.0 && self.rng.chance(self.spec.burst_prob) {
+            demand += self.rng.exponential(1.0 / self.spec.burst_mean.max(1e-9));
+        }
+        self.epoch += 1;
+        demand.max(0.0)
+    }
+
+    /// Generate `n` epochs at once.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_demand()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(1234)
+    }
+
+    #[test]
+    fn constant_spec_is_exactly_flat() {
+        let mut g = TraceGenerator::new(TraceSpec::constant(0.4), rng());
+        for _ in 0..50 {
+            assert_eq!(g.next_demand(), 0.4);
+        }
+        assert_eq!(g.epoch(), 50);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut a = TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(7));
+        let mut b = TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(7));
+        assert_eq!(a.take(100), b.take(100));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(7));
+        let mut b = TraceGenerator::new(TraceSpec::embb(24), SimRng::seed_from(8));
+        assert_ne!(a.take(100), b.take(100));
+    }
+
+    #[test]
+    fn demand_is_never_negative() {
+        let spec = TraceSpec {
+            base: 0.05,
+            seasonal_amplitude: 0.5, // swings well below zero pre-clamp
+            period: 24,
+            phase: 0,
+            noise_std: 0.2,
+            burst_prob: 0.1,
+            burst_mean: 0.3,
+            noise_ar: 0.6,
+        };
+        let mut g = TraceGenerator::new(spec, rng());
+        assert!(g.take(2000).into_iter().all(|d| d >= 0.0));
+    }
+
+    #[test]
+    fn seasonal_component_has_period() {
+        let spec = TraceSpec::embb(24);
+        for t in 0..24u64 {
+            assert!(
+                (spec.deterministic_component(t) - spec.deterministic_component(t + 24)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn embb_peaks_mid_season() {
+        let spec = TraceSpec::embb(24);
+        // sin peaks at a quarter period: epoch 6 of 24.
+        let peak = spec.deterministic_component(6);
+        let trough = spec.deterministic_component(18);
+        assert!((peak - 0.90).abs() < 1e-9, "got {peak}");
+        assert!((trough - 0.20).abs() < 1e-9, "got {trough}");
+    }
+
+    #[test]
+    fn trace_mean_tracks_base() {
+        // Long-run mean over whole seasons ≈ base (seasonality averages out,
+        // bursts add burst_prob * burst_mean).
+        let spec = TraceSpec::embb(24);
+        let expected = spec.base + spec.burst_prob * spec.burst_mean;
+        let mut g = TraceGenerator::new(spec, rng());
+        let n = 24 * 500;
+        let mean = g.take(n).iter().sum::<f64>() / n as f64;
+        assert!((mean - expected).abs() < 0.02, "mean {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn urllc_bursts_fatten_the_tail() {
+        let mut bursty = TraceGenerator::new(TraceSpec::urllc(24), SimRng::seed_from(5));
+        let mut calm = TraceGenerator::new(TraceSpec::mmtc(24), SimRng::seed_from(5));
+        let p99 = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[(v.len() as f64 * 0.99) as usize]
+        };
+        let b99 = p99(bursty.take(5000));
+        let bmean = TraceSpec::urllc(24).base;
+        let c99 = p99(calm.take(5000));
+        let cmean = TraceSpec::mmtc(24).base;
+        // Relative tail (p99/mean) is much fatter for URLLC.
+        assert!(b99 / bmean > 1.8, "URLLC p99/mean = {}", b99 / bmean);
+        assert!(c99 / cmean < 1.3, "mMTC p99/mean = {}", c99 / cmean);
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = TraceSpec::urllc(24);
+        let j = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<TraceSpec>(&j).unwrap(), spec);
+    }
+}

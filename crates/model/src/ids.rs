@@ -1,0 +1,127 @@
+//! Typed identifiers for every entity in the testbed.
+//!
+//! Plain `u64` wrappers with a distinct type per entity class, so a slice id
+//! can never be passed where an eNB id is expected. All ids are allocated by
+//! the component that owns the entity (the RAN controller mints `EnbId`s,
+//! the orchestrator mints `SliceId`s, …).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($name:ident, $prefix:literal, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub const fn new(v: u64) -> Self {
+                $name(v)
+            }
+
+            /// The raw index.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(SliceId, "slice-", "A network slice instance, minted by the E2E orchestrator at admission.");
+id_type!(TenantId, "tenant-", "A tenant (vertical industry customer) requesting slices.");
+id_type!(EnbId, "enb-", "An eNodeB (radio access point) in the RAN domain.");
+id_type!(UeId, "ue-", "A user equipment attached to a PLMN/slice.");
+id_type!(NodeId, "node-", "A vertex of the transport topology graph.");
+id_type!(LinkId, "link-", "An edge of the transport topology graph.");
+id_type!(SwitchId, "switch-", "An OpenFlow-programmable switch in the transport network.");
+id_type!(DcId, "dc-", "A data center (edge or core).");
+id_type!(HostId, "host-", "A compute host inside a data center.");
+id_type!(VmId, "vm-", "A virtual machine (VNF component) instance.");
+id_type!(StackId, "stack-", "A Heat-style orchestration stack (group of VMs with lifecycle).");
+
+/// Deterministic id allocator: hands out 0, 1, 2, … of any id type.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Allocator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint the next id.
+    #[allow(clippy::should_implement_trait)] // not an iterator: mints typed ids
+    pub fn next<T: From<u64>>(&mut self) -> T {
+        let v = self.next;
+        self.next += 1;
+        T::from(v)
+    }
+
+    /// How many ids have been minted.
+    pub fn minted(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", SliceId::new(3)), "slice-3");
+        assert_eq!(format!("{:?}", EnbId::new(0)), "enb-0");
+        assert_eq!(format!("{}", StackId::new(12)), "stack-12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VmId::new(1));
+        set.insert(VmId::new(1));
+        set.insert(VmId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(LinkId::new(1) < LinkId::new(5));
+    }
+
+    #[test]
+    fn allocator_is_sequential() {
+        let mut alloc = IdAllocator::new();
+        let a: SliceId = alloc.next();
+        let b: SliceId = alloc.next();
+        assert_eq!(a, SliceId::new(0));
+        assert_eq!(b, SliceId::new(1));
+        assert_eq!(alloc.minted(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = DcId::new(42);
+        let j = serde_json::to_string(&id).unwrap();
+        assert_eq!(serde_json::from_str::<DcId>(&j).unwrap(), id);
+    }
+}

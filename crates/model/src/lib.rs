@@ -1,0 +1,20 @@
+//! # ovnes-model — shared domain vocabulary for end-to-end network slicing
+//!
+//! Types every domain of the reproduced testbed agrees on: physical
+//! [`units`], PLMN identifiers ([`plmn`]) onto which slices are mapped (the
+//! demo's MOCN trick), slice requests and SLAs ([`crate::slice`]) exactly as the
+//! demo's dashboard form collects them (duration, max latency, expected
+//! throughput, price, penalty), typed entity [`ids`], and the [`revenue`]
+//! accounting the admission engine maximizes.
+
+pub mod ids;
+pub mod plmn;
+pub mod revenue;
+pub mod slice;
+pub mod units;
+
+pub use ids::{DcId, EnbId, HostId, LinkId, NodeId, SliceId, StackId, SwitchId, TenantId, UeId, VmId};
+pub use plmn::PlmnId;
+pub use revenue::{Money, RevenueLedger, RevenueRecord};
+pub use slice::{Sla, SliceClass, SliceRequest, SliceRequestBuilder};
+pub use units::{DiskGb, Latency, MemMb, Prbs, RateMbps, VCpus};

@@ -1,0 +1,205 @@
+//! Public Land Mobile Network identifiers.
+//!
+//! The demo's key trick for slicing a commercial RAN without slicing-aware
+//! equipment: each admitted network slice is materialized as a *dedicated
+//! PLMN* dynamically installed on the MOCN-sharing eNBs, so UEs select their
+//! slice by PLMN id. A PLMN id is a 3-digit mobile country code (MCC) plus a
+//! 2- or 3-digit mobile network code (MNC).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A PLMN identifier: MCC (3 digits) + MNC (2–3 digits).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlmnId {
+    mcc: u16,
+    mnc: u16,
+    /// MNC digit count (2 or 3): "001-01" and "001-001" are distinct PLMNs.
+    mnc_digits: u8,
+}
+
+/// Error parsing or constructing a [`PlmnId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlmnError {
+    /// MCC out of the 3-digit range (0–999).
+    BadMcc(u32),
+    /// MNC out of range for the stated digit count.
+    BadMnc(u32),
+    /// MNC digit count was not 2 or 3.
+    BadMncDigits(u8),
+    /// String form was not `MCC-MNC`.
+    BadFormat(String),
+}
+
+impl fmt::Display for PlmnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlmnError::BadMcc(v) => write!(f, "MCC {v} out of range 0..=999"),
+            PlmnError::BadMnc(v) => write!(f, "MNC {v} out of range for digit count"),
+            PlmnError::BadMncDigits(d) => write!(f, "MNC digit count {d} (must be 2 or 3)"),
+            PlmnError::BadFormat(s) => write!(f, "malformed PLMN string {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlmnError {}
+
+impl PlmnId {
+    /// Construct with an explicit MNC digit count.
+    pub fn new(mcc: u32, mnc: u32, mnc_digits: u8) -> Result<Self, PlmnError> {
+        if mcc > 999 {
+            return Err(PlmnError::BadMcc(mcc));
+        }
+        let limit = match mnc_digits {
+            2 => 99,
+            3 => 999,
+            d => return Err(PlmnError::BadMncDigits(d)),
+        };
+        if mnc > limit {
+            return Err(PlmnError::BadMnc(mnc));
+        }
+        Ok(PlmnId {
+            mcc: mcc as u16,
+            mnc: mnc as u16,
+            mnc_digits,
+        })
+    }
+
+    /// Two-digit-MNC constructor (the common European form the demo uses).
+    pub fn new2(mcc: u32, mnc: u32) -> Result<Self, PlmnError> {
+        Self::new(mcc, mnc, 2)
+    }
+
+    /// Mobile country code.
+    pub fn mcc(self) -> u16 {
+        self.mcc
+    }
+
+    /// Mobile network code.
+    pub fn mnc(self) -> u16 {
+        self.mnc
+    }
+
+    /// The test-network PLMN (MCC 001) assigned to the `n`-th slice.
+    ///
+    /// The demo dynamically installs one PLMN per slice; we allocate them
+    /// from the reserved test range `001-01 … 001-99`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 99` (the eNB model enforces a far smaller per-cell
+    /// PLMN budget long before this).
+    pub fn test_slice_plmn(n: u64) -> PlmnId {
+        assert!(n < 99, "test PLMN range exhausted");
+        PlmnId::new2(1, (n + 1) as u32).expect("range-checked above")
+    }
+}
+
+impl fmt::Debug for PlmnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:03}-{:0width$}",
+            self.mcc,
+            self.mnc,
+            width = self.mnc_digits as usize
+        )
+    }
+}
+
+impl fmt::Display for PlmnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for PlmnId {
+    type Err = PlmnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (mcc_s, mnc_s) = s
+            .split_once('-')
+            .ok_or_else(|| PlmnError::BadFormat(s.to_owned()))?;
+        if mcc_s.len() != 3 || !(mnc_s.len() == 2 || mnc_s.len() == 3) {
+            return Err(PlmnError::BadFormat(s.to_owned()));
+        }
+        let mcc: u32 = mcc_s
+            .parse()
+            .map_err(|_| PlmnError::BadFormat(s.to_owned()))?;
+        let mnc: u32 = mnc_s
+            .parse()
+            .map_err(|_| PlmnError::BadFormat(s.to_owned()))?;
+        PlmnId::new(mcc, mnc, mnc_s.len() as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_ranges() {
+        assert!(PlmnId::new2(262, 1).is_ok());
+        assert_eq!(PlmnId::new(1000, 1, 2), Err(PlmnError::BadMcc(1000)));
+        assert_eq!(PlmnId::new(262, 100, 2), Err(PlmnError::BadMnc(100)));
+        assert!(PlmnId::new(262, 100, 3).is_ok());
+        assert_eq!(PlmnId::new(262, 1, 4), Err(PlmnError::BadMncDigits(4)));
+    }
+
+    #[test]
+    fn display_pads_digits() {
+        assert_eq!(format!("{}", PlmnId::new2(1, 1).unwrap()), "001-01");
+        assert_eq!(format!("{}", PlmnId::new(262, 7, 3).unwrap()), "262-007");
+    }
+
+    #[test]
+    fn mnc_digit_count_distinguishes_plmns() {
+        let two = PlmnId::new(1, 1, 2).unwrap();
+        let three = PlmnId::new(1, 1, 3).unwrap();
+        assert_ne!(two, three);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["001-01", "262-02", "310-410", "001-001"] {
+            let p: PlmnId = s.parse().unwrap();
+            assert_eq!(format!("{p}"), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in ["00101", "1-01", "001-1", "001-0001", "abc-01", "001-xy"] {
+            assert!(s.parse::<PlmnId>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn test_slice_plmns_are_distinct() {
+        let a = PlmnId::test_slice_plmn(0);
+        let b = PlmnId::test_slice_plmn(1);
+        assert_eq!(format!("{a}"), "001-01");
+        assert_eq!(format!("{b}"), "001-02");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn test_slice_plmn_range_is_bounded() {
+        PlmnId::test_slice_plmn(99);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = PlmnId::new2(262, 42).unwrap();
+        assert_eq!(p.mcc(), 262);
+        assert_eq!(p.mnc(), 42);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PlmnId::new(310, 410, 3).unwrap();
+        let j = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<PlmnId>(&j).unwrap(), p);
+    }
+}

@@ -1,0 +1,293 @@
+//! Money and revenue accounting.
+//!
+//! The demo dashboard's headline view is *gains vs. penalties*: revenue from
+//! slices admitted thanks to overbooking, against the penalties paid when an
+//! overbooked slice's SLA is violated. [`Money`] is integer cents so the
+//! ledger is exact; [`RevenueLedger`] accumulates the records the dashboard
+//! displays.
+
+use crate::{SliceId, TenantId};
+use ovnes_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// Exact currency amount in integer cents. Signed, because the net of gains
+/// and penalties can go negative under reckless overbooking.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero.
+    pub const ZERO: Money = Money(0);
+
+    /// From whole currency units (e.g. euros).
+    pub const fn from_units(units: i64) -> Money {
+        Money(units * 100)
+    }
+
+    /// From cents.
+    pub const fn from_cents(cents: i64) -> Money {
+        Money(cents)
+    }
+
+    /// Whole units (truncating).
+    pub const fn units(self) -> i64 {
+        self.0 / 100
+    }
+
+    /// Cents.
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// Value as float units, for ratios and plots.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// Scale by a float factor, rounding to the nearest cent.
+    pub fn scale(self, k: f64) -> Money {
+        Money((self.0 as f64 * k).round() as i64)
+    }
+
+    /// True if strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, o: Money) -> Money {
+        Money(self.0 + o.0)
+    }
+}
+impl AddAssign for Money {
+    fn add_assign(&mut self, o: Money) {
+        self.0 += o.0;
+    }
+}
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, o: Money) -> Money {
+        Money(self.0 - o.0)
+    }
+}
+impl SubAssign for Money {
+    fn sub_assign(&mut self, o: Money) {
+        self.0 -= o.0;
+    }
+}
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One revenue event in the ledger.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RevenueRecord {
+    /// When the event was booked.
+    pub at: SimTime,
+    /// The slice the event concerns.
+    pub slice: SliceId,
+    /// The paying/penalized tenant.
+    pub tenant: TenantId,
+    /// What kind of event.
+    pub kind: RevenueKind,
+    /// Signed amount: positive for income, negative for penalties/refunds.
+    pub amount: Money,
+}
+
+/// Classification of revenue events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RevenueKind {
+    /// Slice admitted: the agreed price is booked.
+    AdmissionIncome,
+    /// SLA violated in a monitoring epoch: the agreed penalty is paid out.
+    SlaPenalty,
+    /// Slice terminated early by the provider: remaining value refunded.
+    EarlyTerminationRefund,
+}
+
+/// Append-only record of gains and penalties — the data behind the demo
+/// dashboard's "gain vs. penalty" display.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RevenueLedger {
+    records: Vec<RevenueRecord>,
+}
+
+impl RevenueLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Book an event. Income must be recorded positive, penalties/refunds
+    /// negative; the kind/sign pairing is asserted.
+    pub fn book(&mut self, record: RevenueRecord) {
+        match record.kind {
+            RevenueKind::AdmissionIncome => {
+                debug_assert!(record.amount.cents() >= 0, "income must be non-negative")
+            }
+            RevenueKind::SlaPenalty | RevenueKind::EarlyTerminationRefund => {
+                debug_assert!(record.amount.cents() <= 0, "outflows must be non-positive")
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// All records, in booking order.
+    pub fn records(&self) -> &[RevenueRecord] {
+        &self.records
+    }
+
+    /// Total positive income (admission revenue).
+    pub fn gross_income(&self) -> Money {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RevenueKind::AdmissionIncome)
+            .map(|r| r.amount)
+            .sum()
+    }
+
+    /// Total penalties paid (returned as a non-negative magnitude).
+    pub fn total_penalties(&self) -> Money {
+        -self
+            .records
+            .iter()
+            .filter(|r| r.kind == RevenueKind::SlaPenalty)
+            .map(|r| r.amount)
+            .sum::<Money>()
+    }
+
+    /// Net revenue: income minus all outflows.
+    pub fn net(&self) -> Money {
+        self.records.iter().map(|r| r.amount).sum()
+    }
+
+    /// Net revenue attributable to one slice.
+    pub fn net_for_slice(&self, slice: SliceId) -> Money {
+        self.records
+            .iter()
+            .filter(|r| r.slice == slice)
+            .map(|r| r.amount)
+            .sum()
+    }
+
+    /// Number of SLA penalty events booked.
+    pub fn penalty_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RevenueKind::SlaPenalty)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn money_construction_and_accessors() {
+        let m = Money::from_units(12);
+        assert_eq!(m.cents(), 1200);
+        assert_eq!(m.units(), 12);
+        assert_eq!(m.as_f64(), 12.0);
+        assert_eq!(Money::from_cents(1250).units(), 12);
+    }
+
+    #[test]
+    fn money_arithmetic_is_exact() {
+        let a = Money::from_cents(10);
+        let b = Money::from_cents(3);
+        assert_eq!((a + b).cents(), 13);
+        assert_eq!((a - b).cents(), 7);
+        assert_eq!((b - a).cents(), -7);
+        assert_eq!((-a).cents(), -10);
+        assert!((b - a).is_negative());
+        let total: Money = [a, b, -a].into_iter().sum();
+        assert_eq!(total, b);
+    }
+
+    #[test]
+    fn money_scale_rounds_to_cent() {
+        assert_eq!(Money::from_cents(100).scale(0.333).cents(), 33);
+        assert_eq!(Money::from_cents(100).scale(0.335).cents(), 34);
+    }
+
+    #[test]
+    fn money_display() {
+        assert_eq!(Money::from_cents(1234).to_string(), "12.34");
+        assert_eq!(Money::from_cents(-5).to_string(), "-0.05");
+        assert_eq!(Money::ZERO.to_string(), "0.00");
+    }
+
+    fn rec(kind: RevenueKind, cents: i64, slice: u64) -> RevenueRecord {
+        RevenueRecord {
+            at: SimTime::ZERO,
+            slice: SliceId::new(slice),
+            tenant: TenantId::new(0),
+            kind,
+            amount: Money::from_cents(cents),
+        }
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let mut l = RevenueLedger::new();
+        l.book(rec(RevenueKind::AdmissionIncome, 10_000, 1));
+        l.book(rec(RevenueKind::AdmissionIncome, 5_000, 2));
+        l.book(rec(RevenueKind::SlaPenalty, -1_500, 1));
+        l.book(rec(RevenueKind::SlaPenalty, -500, 1));
+        l.book(rec(RevenueKind::EarlyTerminationRefund, -1_000, 2));
+
+        assert_eq!(l.gross_income(), Money::from_cents(15_000));
+        assert_eq!(l.total_penalties(), Money::from_cents(2_000));
+        assert_eq!(l.net(), Money::from_cents(12_000));
+        assert_eq!(l.net_for_slice(SliceId::new(1)), Money::from_cents(8_000));
+        assert_eq!(l.net_for_slice(SliceId::new(2)), Money::from_cents(4_000));
+        assert_eq!(l.net_for_slice(SliceId::new(9)), Money::ZERO);
+        assert_eq!(l.penalty_count(), 2);
+        assert_eq!(l.records().len(), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-positive")]
+    fn ledger_rejects_positive_penalty() {
+        let mut l = RevenueLedger::new();
+        l.book(rec(RevenueKind::SlaPenalty, 100, 1));
+    }
+
+    #[test]
+    fn money_serde_round_trip() {
+        let m = Money::from_cents(-4321);
+        let j = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<Money>(&j).unwrap(), m);
+    }
+}

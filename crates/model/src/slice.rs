@@ -1,0 +1,465 @@
+//! Network slice requests and service-level agreements.
+//!
+//! [`SliceRequest`] carries exactly the parameters the demo's dashboard form
+//! collects when a tenant asks for a slice: *time duration, maximum latency
+//! allowed, expected throughput, the price willing to be paid, and the
+//! penalty expected in case of SLA violation* (§3 of the paper), plus the
+//! slice class that determines how the vEPC is sized.
+
+use crate::revenue::Money;
+use crate::units::{DiskGb, Latency, MemMb, RateMbps, VCpus};
+use crate::TenantId;
+use ovnes_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// 5G service categories; each maps to an SLA template and a vEPC sizing
+/// profile. The demo's heterogeneous requests span these classes (vertical
+/// industries: automotive → URLLC, e-health → URLLC/eMBB, media → eMBB,
+/// metering → mMTC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SliceClass {
+    /// Enhanced mobile broadband: throughput-dominated.
+    Embb,
+    /// Ultra-reliable low-latency communication: latency-dominated.
+    Urllc,
+    /// Massive machine-type communication: many devices, thin flows.
+    Mmtc,
+}
+
+impl SliceClass {
+    /// All classes, in a fixed order (for sweeps and reports).
+    pub const ALL: [SliceClass; 3] = [SliceClass::Embb, SliceClass::Urllc, SliceClass::Mmtc];
+
+    /// Typical SLA template for the class (starting point for request
+    /// generators; individual requests override freely).
+    pub fn default_sla(self) -> Sla {
+        match self {
+            SliceClass::Embb => Sla {
+                throughput: RateMbps::new(50.0),
+                max_latency: Latency::new(50.0),
+                availability: 0.99,
+            },
+            SliceClass::Urllc => Sla {
+                throughput: RateMbps::new(5.0),
+                max_latency: Latency::new(5.0),
+                availability: 0.9999,
+            },
+            SliceClass::Mmtc => Sla {
+                throughput: RateMbps::new(2.0),
+                max_latency: Latency::new(100.0),
+                availability: 0.95,
+            },
+        }
+    }
+
+    /// vEPC compute sizing for a slice of this class carrying `throughput`.
+    ///
+    /// Control-plane components (MME/HSS) scale with device count, the user
+    /// plane (SGW/PGW) with throughput; the class encodes the device/traffic
+    /// mix, so the profile differs per class.
+    pub fn compute_demand(self, throughput: RateMbps) -> ComputeDemand {
+        let tp = throughput.value();
+        let (base_vcpu, vcpu_per_100mbps, base_mem, mem_per_100mbps) = match self {
+            SliceClass::Embb => (2u32, 2.0, 2048u64, 2048.0),
+            SliceClass::Urllc => (2, 4.0, 2048, 1024.0), // fast-path headroom
+            SliceClass::Mmtc => (1, 1.0, 1024, 512.0),   // thin user plane
+        };
+        ComputeDemand {
+            vcpus: VCpus::new(base_vcpu + (vcpu_per_100mbps * tp / 100.0).ceil() as u32),
+            mem: MemMb::new(base_mem + (mem_per_100mbps * tp / 100.0).ceil() as u64),
+            disk: DiskGb::new(10),
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SliceClass::Embb => "embb",
+            SliceClass::Urllc => "urllc",
+            SliceClass::Mmtc => "mmtc",
+        }
+    }
+}
+
+impl fmt::Display for SliceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Service-level agreement of a slice.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Expected (committed) downlink throughput.
+    pub throughput: RateMbps,
+    /// Maximum end-to-end one-way latency.
+    pub max_latency: Latency,
+    /// Fraction of monitoring epochs in which the SLA must be met.
+    pub availability: f64,
+}
+
+impl Sla {
+    /// True if a delivered `(rate, latency)` pair satisfies the SLA.
+    pub fn is_met(&self, delivered: RateMbps, latency: Latency) -> bool {
+        delivered.value() >= self.throughput.value() && latency.value() <= self.max_latency.value()
+    }
+}
+
+/// Cloud resources a slice's vEPC needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeDemand {
+    /// Virtual CPU cores.
+    pub vcpus: VCpus,
+    /// RAM.
+    pub mem: MemMb,
+    /// Block storage.
+    pub disk: DiskGb,
+}
+
+/// A tenant's request for an end-to-end network slice — the dashboard form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceRequest {
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// Service category.
+    pub class: SliceClass,
+    /// The SLA the tenant buys.
+    pub sla: Sla,
+    /// How long the slice should live once deployed.
+    pub duration: SimDuration,
+    /// Price the tenant pays if the slice is admitted and runs to term.
+    pub price: Money,
+    /// Penalty the provider owes per monitoring epoch in which the SLA is
+    /// violated.
+    pub penalty: Money,
+    /// Whether the slice's traffic must terminate at the *edge* data center
+    /// (low-latency services) rather than the core.
+    pub needs_edge: bool,
+}
+
+impl SliceRequest {
+    /// Start building a request for `tenant` of the given `class`, seeded
+    /// with the class's default SLA and a 1-hour duration.
+    pub fn builder(tenant: TenantId, class: SliceClass) -> SliceRequestBuilder {
+        SliceRequestBuilder {
+            tenant,
+            class,
+            sla: class.default_sla(),
+            duration: SimDuration::from_hours(1),
+            price: Money::from_units(100),
+            penalty: Money::from_units(10),
+            needs_edge: matches!(class, SliceClass::Urllc),
+        }
+    }
+
+    /// Cloud demand implied by the class and committed throughput.
+    pub fn compute_demand(&self) -> ComputeDemand {
+        self.class.compute_demand(self.sla.throughput)
+    }
+
+    /// Revenue density: price per committed megabit-hour — the admission
+    /// engine's greedy ordering key.
+    pub fn revenue_density(&self) -> f64 {
+        let mbit_hours = self.sla.throughput.value() * self.duration.as_secs_f64() / 3600.0;
+        if mbit_hours <= 0.0 {
+            return 0.0;
+        }
+        self.price.units() as f64 / mbit_hours
+    }
+}
+
+impl SliceRequest {
+    /// Preset: an automotive V2X slice (the demo's flagship vertical) —
+    /// thin, hard-latency URLLC at the edge.
+    pub fn automotive(tenant: TenantId) -> SliceRequest {
+        SliceRequest::builder(tenant, SliceClass::Urllc)
+            .throughput(RateMbps::new(5.0))
+            .max_latency(Latency::new(5.0))
+            .availability(0.9999)
+            .price(Money::from_units(90))
+            .penalty(Money::from_units(1))
+            .build()
+            .expect("preset parameters are valid")
+    }
+
+    /// Preset: an e-health remote-monitoring slice — URLLC with a slightly
+    /// relaxed bound.
+    pub fn e_health(tenant: TenantId) -> SliceRequest {
+        SliceRequest::builder(tenant, SliceClass::Urllc)
+            .throughput(RateMbps::new(8.0))
+            .max_latency(Latency::new(10.0))
+            .availability(0.999)
+            .price(Money::from_units(70))
+            .penalty(Money::from_units(1))
+            .build()
+            .expect("preset parameters are valid")
+    }
+
+    /// Preset: a media-streaming eMBB slice.
+    pub fn media_streaming(tenant: TenantId) -> SliceRequest {
+        SliceRequest::builder(tenant, SliceClass::Embb)
+            .throughput(RateMbps::new(40.0))
+            .max_latency(Latency::new(50.0))
+            .price(Money::from_units(110))
+            .penalty(Money::from_units(1))
+            .build()
+            .expect("preset parameters are valid")
+    }
+
+    /// Preset: a smart-metering mMTC slice.
+    pub fn smart_metering(tenant: TenantId) -> SliceRequest {
+        SliceRequest::builder(tenant, SliceClass::Mmtc)
+            .throughput(RateMbps::new(2.0))
+            .max_latency(Latency::new(100.0))
+            .availability(0.95)
+            .price(Money::from_units(25))
+            .penalty(Money::from_units(1))
+            .build()
+            .expect("preset parameters are valid")
+    }
+}
+
+/// Builder for [`SliceRequest`] with validation at [`build`](Self::build).
+#[derive(Clone, Debug)]
+pub struct SliceRequestBuilder {
+    tenant: TenantId,
+    class: SliceClass,
+    sla: Sla,
+    duration: SimDuration,
+    price: Money,
+    penalty: Money,
+    needs_edge: bool,
+}
+
+/// Why a [`SliceRequestBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Throughput must be strictly positive.
+    ZeroThroughput,
+    /// Latency bound must be strictly positive.
+    ZeroLatency,
+    /// Duration must be strictly positive.
+    ZeroDuration,
+    /// Availability must lie in (0, 1].
+    BadAvailability,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::ZeroThroughput => f.write_str("expected throughput must be > 0"),
+            RequestError::ZeroLatency => f.write_str("latency bound must be > 0"),
+            RequestError::ZeroDuration => f.write_str("slice duration must be > 0"),
+            RequestError::BadAvailability => f.write_str("availability must be in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl SliceRequestBuilder {
+    /// Set the committed throughput.
+    pub fn throughput(mut self, rate: RateMbps) -> Self {
+        self.sla.throughput = rate;
+        self
+    }
+
+    /// Set the maximum allowed latency.
+    pub fn max_latency(mut self, lat: Latency) -> Self {
+        self.sla.max_latency = lat;
+        self
+    }
+
+    /// Set the required availability (fraction of epochs meeting the SLA).
+    pub fn availability(mut self, a: f64) -> Self {
+        self.sla.availability = a;
+        self
+    }
+
+    /// Set the slice lifetime.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Set the offered price.
+    pub fn price(mut self, p: Money) -> Self {
+        self.price = p;
+        self
+    }
+
+    /// Set the per-epoch SLA violation penalty.
+    pub fn penalty(mut self, p: Money) -> Self {
+        self.penalty = p;
+        self
+    }
+
+    /// Require (or waive) edge-datacenter termination.
+    pub fn needs_edge(mut self, yes: bool) -> Self {
+        self.needs_edge = yes;
+        self
+    }
+
+    /// Validate and produce the request.
+    pub fn build(self) -> Result<SliceRequest, RequestError> {
+        if self.sla.throughput.is_zero() {
+            return Err(RequestError::ZeroThroughput);
+        }
+        if self.sla.max_latency.is_zero() {
+            return Err(RequestError::ZeroLatency);
+        }
+        if self.duration.is_zero() {
+            return Err(RequestError::ZeroDuration);
+        }
+        if !(self.sla.availability > 0.0 && self.sla.availability <= 1.0) {
+            return Err(RequestError::BadAvailability);
+        }
+        Ok(SliceRequest {
+            tenant: self.tenant,
+            class: self.class,
+            sla: self.sla,
+            duration: self.duration,
+            price: self.price,
+            penalty: self.penalty,
+            needs_edge: self.needs_edge,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant() -> TenantId {
+        TenantId::new(1)
+    }
+
+    #[test]
+    fn builder_defaults_from_class() {
+        let req = SliceRequest::builder(tenant(), SliceClass::Urllc).build().unwrap();
+        assert_eq!(req.class, SliceClass::Urllc);
+        assert_eq!(req.sla.max_latency, Latency::new(5.0));
+        assert!(req.needs_edge, "URLLC defaults to edge termination");
+        let embb = SliceRequest::builder(tenant(), SliceClass::Embb).build().unwrap();
+        assert!(!embb.needs_edge);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let req = SliceRequest::builder(tenant(), SliceClass::Embb)
+            .throughput(RateMbps::new(200.0))
+            .max_latency(Latency::new(20.0))
+            .availability(0.999)
+            .duration(SimDuration::from_hours(4))
+            .price(Money::from_units(500))
+            .penalty(Money::from_units(50))
+            .needs_edge(true)
+            .build()
+            .unwrap();
+        assert_eq!(req.sla.throughput.value(), 200.0);
+        assert_eq!(req.duration, SimDuration::from_hours(4));
+        assert_eq!(req.price, Money::from_units(500));
+        assert!(req.needs_edge);
+    }
+
+    #[test]
+    fn builder_validates() {
+        let base = SliceRequest::builder(tenant(), SliceClass::Embb);
+        assert_eq!(
+            base.clone().throughput(RateMbps::ZERO).build(),
+            Err(RequestError::ZeroThroughput)
+        );
+        assert_eq!(
+            base.clone().max_latency(Latency::ZERO).build(),
+            Err(RequestError::ZeroLatency)
+        );
+        assert_eq!(
+            base.clone().duration(SimDuration::ZERO).build(),
+            Err(RequestError::ZeroDuration)
+        );
+        assert_eq!(
+            base.clone().availability(0.0).build(),
+            Err(RequestError::BadAvailability)
+        );
+        assert_eq!(
+            base.clone().availability(1.5).build(),
+            Err(RequestError::BadAvailability)
+        );
+        assert!(base.availability(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn sla_is_met_checks_both_axes() {
+        let sla = Sla {
+            throughput: RateMbps::new(10.0),
+            max_latency: Latency::new(20.0),
+            availability: 0.99,
+        };
+        assert!(sla.is_met(RateMbps::new(10.0), Latency::new(20.0)));
+        assert!(!sla.is_met(RateMbps::new(9.9), Latency::new(5.0)));
+        assert!(!sla.is_met(RateMbps::new(50.0), Latency::new(21.0)));
+    }
+
+    #[test]
+    fn compute_demand_scales_with_throughput() {
+        let small = SliceClass::Embb.compute_demand(RateMbps::new(10.0));
+        let large = SliceClass::Embb.compute_demand(RateMbps::new(500.0));
+        assert!(large.vcpus > small.vcpus);
+        assert!(large.mem > small.mem);
+    }
+
+    #[test]
+    fn urllc_buys_fast_path_headroom() {
+        let urllc = SliceClass::Urllc.compute_demand(RateMbps::new(100.0));
+        let mmtc = SliceClass::Mmtc.compute_demand(RateMbps::new(100.0));
+        assert!(urllc.vcpus > mmtc.vcpus);
+    }
+
+    #[test]
+    fn revenue_density_orders_requests() {
+        let cheap = SliceRequest::builder(tenant(), SliceClass::Embb)
+            .throughput(RateMbps::new(100.0))
+            .price(Money::from_units(100))
+            .build()
+            .unwrap();
+        let dense = SliceRequest::builder(tenant(), SliceClass::Embb)
+            .throughput(RateMbps::new(10.0))
+            .price(Money::from_units(100))
+            .build()
+            .unwrap();
+        assert!(dense.revenue_density() > cheap.revenue_density());
+    }
+
+    #[test]
+    fn class_labels_and_display() {
+        assert_eq!(SliceClass::Embb.to_string(), "embb");
+        assert_eq!(SliceClass::ALL.len(), 3);
+    }
+
+    #[test]
+    fn vertical_presets_are_valid_and_distinct() {
+        let t = tenant();
+        let presets = [
+            SliceRequest::automotive(t),
+            SliceRequest::e_health(t),
+            SliceRequest::media_streaming(t),
+            SliceRequest::smart_metering(t),
+        ];
+        for r in &presets {
+            assert!(r.sla.throughput.value() > 0.0);
+            assert!(r.penalty < r.price);
+        }
+        assert!(presets[0].needs_edge && presets[1].needs_edge);
+        assert!(!presets[2].needs_edge && !presets[3].needs_edge);
+        assert!(presets[0].sla.max_latency < presets[2].sla.max_latency);
+        assert_eq!(presets[3].class, SliceClass::Mmtc);
+    }
+
+    #[test]
+    fn request_serde_round_trip() {
+        let req = SliceRequest::builder(tenant(), SliceClass::Mmtc).build().unwrap();
+        let j = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<SliceRequest>(&j).unwrap(), req);
+    }
+}

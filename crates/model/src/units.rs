@@ -1,0 +1,365 @@
+//! Physical units used across the three resource domains of an end-to-end
+//! slice: radio ([`Prbs`]), transport ([`RateMbps`], [`Latency`]) and cloud
+//! ([`VCpus`], [`MemMb`], [`DiskGb`]).
+//!
+//! All are transparent newtypes so a PRB count can never be confused with a
+//! vCPU count at a crate boundary. Continuous quantities are `f64`-backed;
+//! discrete ones (`Prbs`, `VCpus`, `MemMb`, `DiskGb`) are integer-backed with
+//! saturating subtraction, since resource accounting must never wrap.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Generates the shared impl surface for an `f64`-backed unit.
+macro_rules! float_unit {
+    ($name:ident, $doc:literal, $suffix:literal) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Construct from a raw value (negative inputs clamp to zero —
+            /// a resource quantity is never negative).
+            pub fn new(v: f64) -> Self {
+                $name(if v.is_finite() && v > 0.0 { v } else { 0.0 })
+            }
+
+            /// The raw value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True if this quantity is zero.
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Subtraction clamped at zero.
+            pub fn saturating_sub(self, other: Self) -> Self {
+                $name((self.0 - other.0).max(0.0))
+            }
+
+            /// The ratio `self / other`, or 0 when `other` is zero.
+            pub fn ratio(self, other: Self) -> f64 {
+                if other.0 == 0.0 {
+                    0.0
+                } else {
+                    self.0 / other.0
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, o: $name) -> $name {
+                $name(self.0 + o.0)
+            }
+        }
+        impl AddAssign for $name {
+            fn add_assign(&mut self, o: $name) {
+                self.0 += o.0;
+            }
+        }
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, o: $name) -> $name {
+                $name::new(self.0 - o.0)
+            }
+        }
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, o: $name) {
+                *self = *self - o;
+            }
+        }
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, k: f64) -> $name {
+                $name::new(self.0 * k)
+            }
+        }
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, k: f64) -> $name {
+                $name::new(self.0 / k)
+            }
+        }
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, |a, b| a + b)
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3}{}", self.0, $suffix)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+/// Generates the shared impl surface for an integer-backed unit.
+macro_rules! int_unit {
+    ($name:ident, $repr:ty, $doc:literal, $suffix:literal) => {
+        #[doc = $doc]
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name($repr);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0);
+
+            /// Construct from a raw count.
+            pub const fn new(v: $repr) -> Self {
+                $name(v)
+            }
+
+            /// The raw count.
+            pub const fn value(self) -> $repr {
+                self.0
+            }
+
+            /// True if this quantity is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Subtraction clamped at zero (resource accounting never wraps).
+            pub fn saturating_sub(self, other: Self) -> Self {
+                $name(self.0.saturating_sub(other.0))
+            }
+
+            /// Checked subtraction: `None` when `other` exceeds `self`.
+            pub fn checked_sub(self, other: Self) -> Option<Self> {
+                self.0.checked_sub(other.0).map($name)
+            }
+
+            /// Utilization fraction `self / capacity`, or 0 for zero capacity.
+            pub fn ratio(self, capacity: Self) -> f64 {
+                if capacity.0 == 0 {
+                    0.0
+                } else {
+                    self.0 as f64 / capacity.0 as f64
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, o: $name) -> $name {
+                $name(self.0 + o.0)
+            }
+        }
+        impl AddAssign for $name {
+            fn add_assign(&mut self, o: $name) {
+                self.0 += o.0;
+            }
+        }
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, o: $name) -> $name {
+                $name(self.0 - o.0)
+            }
+        }
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, o: $name) {
+                self.0 -= o.0;
+            }
+        }
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, |a, b| a + b)
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $suffix)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+float_unit!(
+    RateMbps,
+    "Data rate in megabits per second: slice throughput demands, link capacities, delivered goodput.",
+    "Mbps"
+);
+
+float_unit!(
+    Latency,
+    "One-way latency in milliseconds: slice SLA bounds and per-hop transport delays.",
+    "ms"
+);
+
+int_unit!(
+    Prbs,
+    u32,
+    "Physical Resource Blocks — the LTE radio resource unit the RAN controller reserves per PLMN/slice.",
+    "PRB"
+);
+
+int_unit!(
+    VCpus,
+    u32,
+    "Virtual CPU cores allocated to VNF instances in the edge/core data centers.",
+    "vCPU"
+);
+
+int_unit!(
+    MemMb,
+    u64,
+    "RAM in mebibytes allocated to VNF instances.",
+    "MB"
+);
+
+int_unit!(
+    DiskGb,
+    u64,
+    "Block storage in gibibytes allocated to VNF instances.",
+    "GB"
+);
+
+impl RateMbps {
+    /// Megabytes transferred over `seconds` at this rate (for load math).
+    pub fn megabytes_over(self, seconds: f64) -> f64 {
+        self.0 * seconds / 8.0
+    }
+}
+
+impl Latency {
+    /// Convert to a simulation duration.
+    pub fn to_duration(self) -> ovnes_sim::SimDuration {
+        ovnes_sim::SimDuration::from_millis_f64(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_unit_clamps_negative_and_nan() {
+        assert_eq!(RateMbps::new(-5.0), RateMbps::ZERO);
+        assert_eq!(RateMbps::new(f64::NAN), RateMbps::ZERO);
+        assert_eq!(Latency::new(3.5).value(), 3.5);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let a = RateMbps::new(100.0);
+        let b = RateMbps::new(30.0);
+        assert_eq!((a + b).value(), 130.0);
+        assert_eq!((a - b).value(), 70.0);
+        assert_eq!((b - a), RateMbps::ZERO, "subtraction clamps at zero");
+        assert_eq!((a * 0.5).value(), 50.0);
+        assert_eq!((a / 4.0).value(), 25.0);
+        assert_eq!(a.saturating_sub(b).value(), 70.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn float_ratio_handles_zero_denominator() {
+        assert_eq!(RateMbps::new(10.0).ratio(RateMbps::ZERO), 0.0);
+        assert_eq!(RateMbps::new(30.0).ratio(RateMbps::new(60.0)), 0.5);
+    }
+
+    #[test]
+    fn float_sum() {
+        let total: RateMbps = [10.0, 20.0, 30.0].iter().map(|&v| RateMbps::new(v)).sum();
+        assert_eq!(total.value(), 60.0);
+    }
+
+    #[test]
+    fn int_arithmetic() {
+        let a = Prbs::new(50);
+        let b = Prbs::new(20);
+        assert_eq!((a + b).value(), 70);
+        assert_eq!((a - b).value(), 30);
+        assert_eq!(b.saturating_sub(a), Prbs::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Prbs::new(30)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.ratio(Prbs::new(100)), 0.2);
+        assert_eq!(b.ratio(Prbs::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_plain_sub_underflow_panics_in_debug() {
+        let _ = Prbs::new(1) - Prbs::new(2);
+    }
+
+    #[test]
+    fn int_sum_and_ordering() {
+        let total: VCpus = [1u32, 2, 3].iter().map(|&v| VCpus::new(v)).sum();
+        assert_eq!(total, VCpus::new(6));
+        assert!(MemMb::new(1024) < MemMb::new(2048));
+        assert_eq!(DiskGb::new(10).max(DiskGb::new(4)), DiskGb::new(10));
+    }
+
+    #[test]
+    fn display_uses_suffixes() {
+        assert_eq!(format!("{}", RateMbps::new(12.5)), "12.500Mbps");
+        assert_eq!(format!("{}", Latency::new(3.0)), "3.000ms");
+        assert_eq!(format!("{}", Prbs::new(25)), "25PRB");
+        assert_eq!(format!("{}", VCpus::new(4)), "4vCPU");
+        assert_eq!(format!("{}", MemMb::new(2048)), "2048MB");
+        assert_eq!(format!("{}", DiskGb::new(40)), "40GB");
+    }
+
+    #[test]
+    fn rate_to_bytes() {
+        // 8 Mbps for 2 seconds = 2 megabytes.
+        assert_eq!(RateMbps::new(8.0).megabytes_over(2.0), 2.0);
+    }
+
+    #[test]
+    fn latency_to_duration() {
+        assert_eq!(Latency::new(2.5).to_duration().as_micros(), 2_500);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = RateMbps::new(42.0);
+        let j = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<RateMbps>(&j).unwrap(), r);
+        let p = Prbs::new(7);
+        let j = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Prbs>(&j).unwrap(), p);
+    }
+}

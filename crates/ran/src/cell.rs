@@ -1,0 +1,393 @@
+//! eNodeB and cell model with MOCN RAN sharing.
+//!
+//! An [`Enb`] broadcasts a set of PLMNs (the MOCN sharing model of the
+//! demo's NEC MB4420 small cells) and holds a per-PLMN *PRB reservation*.
+//! Installing a slice in the RAN = installing its PLMN on the serving eNBs
+//! with the PRB share the orchestrator computed; overbooking shows up here
+//! as the sum of *nominal* (SLA-peak) PRB needs exceeding the cell's grid
+//! while the sum of *reserved* PRBs stays within it.
+
+use crate::cqi::{prb_rate_mbps, Cqi};
+use ovnes_model::{EnbId, Prbs, RateMbps, SliceId};
+use ovnes_model::PlmnId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Radio configuration of a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Channel bandwidth in MHz (one of 1.4, 3, 5, 10, 15, 20).
+    pub bandwidth_mhz: f64,
+    /// Number of spatial layers (1 = SISO, 2 = 2x2 MIMO, …). Scales the
+    /// per-PRB rate.
+    pub mimo_layers: u8,
+    /// Maximum PLMNs the cell can broadcast simultaneously (MOCN limit;
+    /// 6 per 3GPP SIB1).
+    pub max_plmns: usize,
+}
+
+impl CellConfig {
+    /// A 20 MHz, 2x2 MIMO cell broadcasting up to 6 PLMNs — the demo's
+    /// small-cell class.
+    pub fn default_20mhz() -> CellConfig {
+        CellConfig {
+            bandwidth_mhz: 20.0,
+            mimo_layers: 2,
+            max_plmns: 6,
+        }
+    }
+
+    /// PRB grid size for the configured bandwidth (3GPP TS 36.101).
+    ///
+    /// # Panics
+    /// Panics on a non-standard bandwidth.
+    pub fn total_prbs(&self) -> Prbs {
+        let n = match self.bandwidth_mhz {
+            b if (b - 1.4).abs() < 1e-9 => 6,
+            b if (b - 3.0).abs() < 1e-9 => 15,
+            b if (b - 5.0).abs() < 1e-9 => 25,
+            b if (b - 10.0).abs() < 1e-9 => 50,
+            b if (b - 15.0).abs() < 1e-9 => 75,
+            b if (b - 20.0).abs() < 1e-9 => 100,
+            other => panic!("non-standard LTE bandwidth {other} MHz"),
+        };
+        Prbs::new(n)
+    }
+
+    /// Per-PRB rate at `cqi`, including the MIMO layer gain.
+    pub fn prb_rate(&self, cqi: Cqi) -> RateMbps {
+        RateMbps::new(prb_rate_mbps(cqi) * self.mimo_layers as f64)
+    }
+
+    /// Cell capacity at a uniform `cqi`.
+    pub fn capacity_at(&self, cqi: Cqi) -> RateMbps {
+        self.prb_rate(cqi) * self.total_prbs().value() as f64
+    }
+}
+
+/// A PLMN installed on an eNB on behalf of a slice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlmnReservation {
+    /// The broadcast PLMN.
+    pub plmn: PlmnId,
+    /// The slice this PLMN materializes.
+    pub slice: SliceId,
+    /// PRBs reserved (guaranteed) for this PLMN each epoch.
+    pub reserved: Prbs,
+    /// Nominal PRBs the slice's SLA peak would need — what a non-overbooking
+    /// deployment would have reserved. `reserved <= nominal` is the
+    /// overbooking headroom.
+    pub nominal: Prbs,
+}
+
+/// Errors from eNB slice operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RanError {
+    /// The PLMN broadcast budget (SIB1 limit) is exhausted.
+    PlmnBudgetExhausted {
+        /// The configured limit.
+        max: usize,
+    },
+    /// Not enough unreserved PRBs.
+    InsufficientPrbs {
+        /// PRBs requested.
+        requested: Prbs,
+        /// PRBs still unreserved.
+        available: Prbs,
+    },
+    /// The PLMN (slice) is already installed on this eNB.
+    AlreadyInstalled(SliceId),
+    /// No such slice installed on this eNB.
+    NotInstalled(SliceId),
+}
+
+impl fmt::Display for RanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RanError::PlmnBudgetExhausted { max } => {
+                write!(f, "cell already broadcasts its maximum of {max} PLMNs")
+            }
+            RanError::InsufficientPrbs { requested, available } => {
+                write!(f, "requested {requested} but only {available} unreserved")
+            }
+            RanError::AlreadyInstalled(s) => write!(f, "slice {s} already installed"),
+            RanError::NotInstalled(s) => write!(f, "slice {s} not installed"),
+        }
+    }
+}
+
+impl std::error::Error for RanError {}
+
+/// An eNodeB with MOCN sharing: one cell, several PLMNs, per-PLMN PRB
+/// reservations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Enb {
+    id: EnbId,
+    config: CellConfig,
+    /// Installed reservations, keyed by slice for deterministic iteration.
+    reservations: BTreeMap<SliceId, PlmnReservation>,
+}
+
+impl Enb {
+    /// A new eNB with the given cell configuration and no PLMNs installed.
+    pub fn new(id: EnbId, config: CellConfig) -> Enb {
+        Enb {
+            id,
+            config,
+            reservations: BTreeMap::new(),
+        }
+    }
+
+    /// This eNB's id.
+    pub fn id(&self) -> EnbId {
+        self.id
+    }
+
+    /// The cell configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// Total PRB grid of the cell.
+    pub fn total_prbs(&self) -> Prbs {
+        self.config.total_prbs()
+    }
+
+    /// PRBs currently reserved across all installed PLMNs.
+    pub fn reserved_prbs(&self) -> Prbs {
+        self.reservations.values().map(|r| r.reserved).sum()
+    }
+
+    /// PRBs not yet reserved.
+    pub fn available_prbs(&self) -> Prbs {
+        self.total_prbs().saturating_sub(self.reserved_prbs())
+    }
+
+    /// Sum of nominal (SLA-peak) PRB needs of installed slices. When this
+    /// exceeds [`total_prbs`](Self::total_prbs) the cell is overbooked.
+    pub fn nominal_prbs(&self) -> Prbs {
+        self.reservations.values().map(|r| r.nominal).sum()
+    }
+
+    /// Overbooking factor: nominal / grid. 1.0 means fully booked with no
+    /// overbooking; above 1.0 the cell is overbooked.
+    pub fn overbooking_factor(&self) -> f64 {
+        self.nominal_prbs().ratio(self.total_prbs())
+    }
+
+    /// Install a slice's PLMN with `reserved` PRBs (`nominal` records the
+    /// non-overbooked need for gain accounting).
+    pub fn install_plmn(
+        &mut self,
+        slice: SliceId,
+        plmn: PlmnId,
+        reserved: Prbs,
+        nominal: Prbs,
+    ) -> Result<(), RanError> {
+        if self.reservations.contains_key(&slice) {
+            return Err(RanError::AlreadyInstalled(slice));
+        }
+        if self.reservations.len() >= self.config.max_plmns {
+            return Err(RanError::PlmnBudgetExhausted {
+                max: self.config.max_plmns,
+            });
+        }
+        let available = self.available_prbs();
+        if reserved > available {
+            return Err(RanError::InsufficientPrbs {
+                requested: reserved,
+                available,
+            });
+        }
+        self.reservations.insert(
+            slice,
+            PlmnReservation {
+                plmn,
+                slice,
+                reserved,
+                nominal,
+            },
+        );
+        Ok(())
+    }
+
+    /// Resize an installed slice's reservation (the overbooking engine's
+    /// periodic reconfiguration path).
+    pub fn resize_reservation(&mut self, slice: SliceId, reserved: Prbs) -> Result<(), RanError> {
+        // Capacity check against the grid minus everyone else's reservation.
+        let others: Prbs = self
+            .reservations
+            .values()
+            .filter(|r| r.slice != slice)
+            .map(|r| r.reserved)
+            .sum();
+        if !self.reservations.contains_key(&slice) {
+            return Err(RanError::NotInstalled(slice));
+        }
+        let available = self.total_prbs().saturating_sub(others);
+        if reserved > available {
+            return Err(RanError::InsufficientPrbs {
+                requested: reserved,
+                available,
+            });
+        }
+        self.reservations
+            .get_mut(&slice)
+            .expect("checked above")
+            .reserved = reserved;
+        Ok(())
+    }
+
+    /// Remove a slice's PLMN, freeing its PRBs.
+    pub fn release_plmn(&mut self, slice: SliceId) -> Result<PlmnReservation, RanError> {
+        self.reservations
+            .remove(&slice)
+            .ok_or(RanError::NotInstalled(slice))
+    }
+
+    /// The reservation for `slice`, if installed.
+    pub fn reservation(&self, slice: SliceId) -> Option<&PlmnReservation> {
+        self.reservations.get(&slice)
+    }
+
+    /// All installed reservations in slice-id order.
+    pub fn reservations(&self) -> impl Iterator<Item = &PlmnReservation> {
+        self.reservations.values()
+    }
+
+    /// Number of PLMNs currently broadcast.
+    pub fn plmn_count(&self) -> usize {
+        self.reservations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enb() -> Enb {
+        Enb::new(EnbId::new(0), CellConfig::default_20mhz())
+    }
+
+    fn plmn(n: u64) -> PlmnId {
+        PlmnId::test_slice_plmn(n)
+    }
+
+    #[test]
+    fn prb_grid_matches_3gpp() {
+        let grids = [(1.4, 6u32), (3.0, 15), (5.0, 25), (10.0, 50), (15.0, 75), (20.0, 100)];
+        for (bw, prbs) in grids {
+            let cfg = CellConfig {
+                bandwidth_mhz: bw,
+                mimo_layers: 1,
+                max_plmns: 6,
+            };
+            assert_eq!(cfg.total_prbs(), Prbs::new(prbs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-standard")]
+    fn odd_bandwidth_rejected() {
+        CellConfig { bandwidth_mhz: 7.0, mimo_layers: 1, max_plmns: 6 }.total_prbs();
+    }
+
+    #[test]
+    fn mimo_scales_rate() {
+        let siso = CellConfig { mimo_layers: 1, ..CellConfig::default_20mhz() };
+        let mimo = CellConfig::default_20mhz();
+        let cqi = Cqi::new(15).unwrap();
+        assert!((mimo.prb_rate(cqi).value() - 2.0 * siso.prb_rate(cqi).value()).abs() < 1e-12);
+        // 20 MHz 2x2 at CQI 15 ≈ 146 Mbps — the familiar LTE cat-4 figure.
+        let cap = mimo.capacity_at(cqi).value();
+        assert!((cap - 146.6).abs() < 1.0, "got {cap}");
+    }
+
+    #[test]
+    fn install_and_release_round_trip() {
+        let mut e = enb();
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(40)).unwrap();
+        assert_eq!(e.reserved_prbs(), Prbs::new(30));
+        assert_eq!(e.available_prbs(), Prbs::new(70));
+        assert_eq!(e.nominal_prbs(), Prbs::new(40));
+        assert_eq!(e.plmn_count(), 1);
+        let r = e.release_plmn(SliceId::new(1)).unwrap();
+        assert_eq!(r.reserved, Prbs::new(30));
+        assert_eq!(e.reserved_prbs(), Prbs::ZERO);
+        assert_eq!(e.plmn_count(), 0);
+    }
+
+    #[test]
+    fn double_install_rejected() {
+        let mut e = enb();
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(10), Prbs::new(10)).unwrap();
+        assert_eq!(
+            e.install_plmn(SliceId::new(1), plmn(1), Prbs::new(10), Prbs::new(10)),
+            Err(RanError::AlreadyInstalled(SliceId::new(1)))
+        );
+    }
+
+    #[test]
+    fn prb_exhaustion_rejected() {
+        let mut e = enb();
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(80), Prbs::new(80)).unwrap();
+        assert_eq!(
+            e.install_plmn(SliceId::new(2), plmn(1), Prbs::new(30), Prbs::new(30)),
+            Err(RanError::InsufficientPrbs {
+                requested: Prbs::new(30),
+                available: Prbs::new(20)
+            })
+        );
+    }
+
+    #[test]
+    fn plmn_budget_enforced() {
+        let mut e = Enb::new(
+            EnbId::new(0),
+            CellConfig { max_plmns: 2, ..CellConfig::default_20mhz() },
+        );
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(10), Prbs::new(10)).unwrap();
+        e.install_plmn(SliceId::new(2), plmn(1), Prbs::new(10), Prbs::new(10)).unwrap();
+        assert_eq!(
+            e.install_plmn(SliceId::new(3), plmn(2), Prbs::new(10), Prbs::new(10)),
+            Err(RanError::PlmnBudgetExhausted { max: 2 })
+        );
+    }
+
+    #[test]
+    fn resize_up_and_down() {
+        let mut e = enb();
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(50)).unwrap();
+        e.install_plmn(SliceId::new(2), plmn(1), Prbs::new(40), Prbs::new(40)).unwrap();
+        e.resize_reservation(SliceId::new(1), Prbs::new(60)).unwrap();
+        assert_eq!(e.reservation(SliceId::new(1)).unwrap().reserved, Prbs::new(60));
+        // 60 + 40 = 100: full. Growing slice 2 must fail.
+        assert!(matches!(
+            e.resize_reservation(SliceId::new(2), Prbs::new(41)),
+            Err(RanError::InsufficientPrbs { .. })
+        ));
+        e.resize_reservation(SliceId::new(1), Prbs::new(5)).unwrap();
+        assert_eq!(e.available_prbs(), Prbs::new(55));
+    }
+
+    #[test]
+    fn resize_missing_slice_errors() {
+        let mut e = enb();
+        assert_eq!(
+            e.resize_reservation(SliceId::new(9), Prbs::new(1)),
+            Err(RanError::NotInstalled(SliceId::new(9)))
+        );
+        assert!(e.release_plmn(SliceId::new(9)).is_err());
+    }
+
+    #[test]
+    fn overbooking_factor_reflects_nominal_load() {
+        let mut e = enb();
+        // Reserved 60 PRBs, but nominal (peak) need is 140 → factor 1.4.
+        e.install_plmn(SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(70)).unwrap();
+        e.install_plmn(SliceId::new(2), plmn(1), Prbs::new(30), Prbs::new(70)).unwrap();
+        assert!((e.overbooking_factor() - 1.4).abs() < 1e-12);
+        assert_eq!(e.reserved_prbs(), Prbs::new(60), "grid itself is not oversubscribed");
+    }
+}

@@ -1,0 +1,369 @@
+//! The RAN domain controller.
+//!
+//! One of the three hierarchical controllers of the demo (§2): it owns the
+//! eNBs, executes the orchestrator's PLMN install/resize/release commands,
+//! runs the per-epoch PRB scheduler, and publishes utilization telemetry
+//! upstream through its [`MetricRegistry`].
+
+use crate::cell::{Enb, PlmnReservation, RanError};
+use crate::scheduler::{schedule_epoch, SliceLoad, SliceScheduleOutcome};
+use ovnes_model::{EnbId, PlmnId, Prbs, RateMbps, SliceId};
+use ovnes_sim::{MetricRegistry, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Offered traffic of one slice this epoch, as the orchestrator reports it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OfferedLoad {
+    /// The slice.
+    pub slice: SliceId,
+    /// Offered traffic.
+    pub offered: RateMbps,
+    /// Effective per-PRB rate for this slice's UEs this epoch.
+    pub prb_rate: RateMbps,
+}
+
+/// Telemetry snapshot of the whole RAN domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RanSnapshot {
+    /// Per-eNB rows.
+    pub enbs: Vec<EnbRow>,
+}
+
+/// One eNB's row in a [`RanSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnbRow {
+    /// The eNB.
+    pub enb: EnbId,
+    /// Grid size.
+    pub total: Prbs,
+    /// PRBs reserved across installed PLMNs.
+    pub reserved: Prbs,
+    /// Sum of nominal (SLA-peak) PRB needs.
+    pub nominal: Prbs,
+    /// Installed PLMN count.
+    pub plmns: usize,
+    /// nominal / total — above 1.0 the cell is overbooked.
+    pub overbooking_factor: f64,
+}
+
+/// The RAN domain controller. See module docs.
+pub struct RanController {
+    enbs: BTreeMap<EnbId, Enb>,
+    /// Which eNB each slice is installed on.
+    placements: BTreeMap<SliceId, EnbId>,
+    metrics: MetricRegistry,
+}
+
+impl RanController {
+    /// A controller managing `enbs`.
+    ///
+    /// # Panics
+    /// Panics if two eNBs share an id.
+    pub fn new(enbs: Vec<Enb>) -> RanController {
+        let mut map = BTreeMap::new();
+        for enb in enbs {
+            let prev = map.insert(enb.id(), enb);
+            assert!(prev.is_none(), "duplicate eNB id");
+        }
+        RanController {
+            enbs: map,
+            placements: BTreeMap::new(),
+            metrics: MetricRegistry::new(),
+        }
+    }
+
+    /// Ids of all managed eNBs.
+    pub fn enb_ids(&self) -> Vec<EnbId> {
+        self.enbs.keys().copied().collect()
+    }
+
+    /// The eNB serving `slice`, if installed.
+    pub fn placement(&self, slice: SliceId) -> Option<EnbId> {
+        self.placements.get(&slice).copied()
+    }
+
+    /// The reservation of `slice`, if installed.
+    pub fn reservation(&self, slice: SliceId) -> Option<&PlmnReservation> {
+        let enb = self.placements.get(&slice)?;
+        self.enbs[enb].reservation(slice)
+    }
+
+    /// The eNB with the most available PRBs that can still broadcast another
+    /// PLMN and fit `prbs`, or `None` if the RAN cannot host the slice.
+    pub fn best_fit(&self, prbs: Prbs) -> Option<EnbId> {
+        self.enbs
+            .values()
+            .filter(|e| e.available_prbs() >= prbs && e.plmn_count() < e.config().max_plmns)
+            .max_by_key(|e| (e.available_prbs(), std::cmp::Reverse(e.id())))
+            .map(|e| e.id())
+    }
+
+    /// Install `slice` as `plmn` on `enb` with the given reservation.
+    pub fn install(
+        &mut self,
+        enb: EnbId,
+        slice: SliceId,
+        plmn: PlmnId,
+        reserved: Prbs,
+        nominal: Prbs,
+    ) -> Result<(), RanError> {
+        let cell = self
+            .enbs
+            .get_mut(&enb)
+            .ok_or(RanError::NotInstalled(slice))?;
+        cell.install_plmn(slice, plmn, reserved, nominal)?;
+        self.placements.insert(slice, enb);
+        self.metrics.counter("ran.installs").inc();
+        Ok(())
+    }
+
+    /// Resize `slice`'s reservation (overbooking reconfiguration).
+    pub fn resize(&mut self, slice: SliceId, reserved: Prbs) -> Result<(), RanError> {
+        let enb = *self
+            .placements
+            .get(&slice)
+            .ok_or(RanError::NotInstalled(slice))?;
+        self.enbs
+            .get_mut(&enb)
+            .expect("placement points at a managed eNB")
+            .resize_reservation(slice, reserved)?;
+        self.metrics.counter("ran.resizes").inc();
+        Ok(())
+    }
+
+    /// Release `slice`'s PLMN and reservation.
+    pub fn release(&mut self, slice: SliceId) -> Result<PlmnReservation, RanError> {
+        let enb = self
+            .placements
+            .remove(&slice)
+            .ok_or(RanError::NotInstalled(slice))?;
+        let res = self
+            .enbs
+            .get_mut(&enb)
+            .expect("placement points at a managed eNB")
+            .release_plmn(slice)?;
+        self.metrics.counter("ran.releases").inc();
+        Ok(res)
+    }
+
+    /// Run one scheduling epoch at `now`: split `offered` by serving eNB,
+    /// schedule each cell, record telemetry, and return all outcomes.
+    ///
+    /// Loads for slices not installed anywhere are ignored (the slice is
+    /// mid-teardown); callers detect this by the missing outcome.
+    pub fn run_epoch(&mut self, now: SimTime, offered: &[OfferedLoad]) -> Vec<SliceScheduleOutcome> {
+        // Group loads per eNB, preserving input order within each cell.
+        let mut per_enb: BTreeMap<EnbId, Vec<SliceLoad>> = BTreeMap::new();
+        for load in offered {
+            let Some(&enb) = self.placements.get(&load.slice) else {
+                continue;
+            };
+            let reserved = self.enbs[&enb]
+                .reservation(load.slice)
+                .expect("placement implies reservation")
+                .reserved;
+            per_enb.entry(enb).or_default().push(SliceLoad {
+                slice: load.slice,
+                reserved,
+                offered: load.offered,
+                prb_rate: load.prb_rate,
+            });
+        }
+
+        let mut outcomes = Vec::new();
+        for (&enb_id, loads) in &per_enb {
+            let enb = &self.enbs[&enb_id];
+            let outs = schedule_epoch(enb.total_prbs(), loads);
+            let used: u32 = outs.iter().map(|o| o.allocated.value()).sum();
+            let util = used as f64 / enb.total_prbs().value() as f64;
+            self.metrics
+                .series(&format!("ran.{enb_id}.prb_utilization"))
+                .record(now, util);
+            outcomes.extend(outs);
+        }
+        // Idle cells still report zero utilization.
+        for (&enb_id, enb) in &self.enbs {
+            if !per_enb.contains_key(&enb_id) {
+                self.metrics
+                    .series(&format!("ran.{enb_id}.prb_utilization"))
+                    .record(now, 0.0);
+                let _ = enb;
+            }
+        }
+        outcomes
+    }
+
+    /// Current domain snapshot for the orchestrator/dashboard.
+    pub fn snapshot(&self) -> RanSnapshot {
+        RanSnapshot {
+            enbs: self
+                .enbs
+                .values()
+                .map(|e| EnbRow {
+                    enb: e.id(),
+                    total: e.total_prbs(),
+                    reserved: e.reserved_prbs(),
+                    nominal: e.nominal_prbs(),
+                    plmns: e.plmn_count(),
+                    overbooking_factor: e.overbooking_factor(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The controller's telemetry registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellConfig;
+
+    fn controller() -> RanController {
+        RanController::new(vec![
+            Enb::new(EnbId::new(0), CellConfig::default_20mhz()),
+            Enb::new(EnbId::new(1), CellConfig::default_20mhz()),
+        ])
+    }
+
+    fn plmn(n: u64) -> PlmnId {
+        PlmnId::test_slice_plmn(n)
+    }
+
+    #[test]
+    fn install_places_and_tracks() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(30))
+            .unwrap();
+        assert_eq!(c.placement(SliceId::new(1)), Some(EnbId::new(0)));
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().reserved, Prbs::new(30));
+        assert_eq!(c.metrics().counter_value("ran.installs"), Some(1));
+    }
+
+    #[test]
+    fn best_fit_prefers_emptier_cell() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(60), Prbs::new(60))
+            .unwrap();
+        assert_eq!(c.best_fit(Prbs::new(50)), Some(EnbId::new(1)));
+        // Nothing fits 150 PRBs.
+        assert_eq!(c.best_fit(Prbs::new(150)), None);
+    }
+
+    #[test]
+    fn best_fit_respects_plmn_budget() {
+        let mut c = RanController::new(vec![Enb::new(
+            EnbId::new(0),
+            CellConfig { max_plmns: 1, ..CellConfig::default_20mhz() },
+        )]);
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(10), Prbs::new(10))
+            .unwrap();
+        assert_eq!(c.best_fit(Prbs::new(10)), None, "PLMN budget exhausted");
+    }
+
+    #[test]
+    fn release_frees_resources() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(30))
+            .unwrap();
+        c.release(SliceId::new(1)).unwrap();
+        assert_eq!(c.placement(SliceId::new(1)), None);
+        assert_eq!(c.best_fit(Prbs::new(100)), Some(EnbId::new(0)).or(Some(EnbId::new(1))));
+        assert!(c.release(SliceId::new(1)).is_err(), "double release");
+    }
+
+    #[test]
+    fn resize_changes_reservation() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(50))
+            .unwrap();
+        c.resize(SliceId::new(1), Prbs::new(45)).unwrap();
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().reserved, Prbs::new(45));
+        assert!(c.resize(SliceId::new(9), Prbs::new(1)).is_err());
+    }
+
+    #[test]
+    fn run_epoch_schedules_per_cell_and_records_utilization() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(50), Prbs::new(50))
+            .unwrap();
+        c.install(EnbId::new(1), SliceId::new(2), plmn(1), Prbs::new(50), Prbs::new(50))
+            .unwrap();
+        let outs = c.run_epoch(
+            SimTime::from_secs(1),
+            &[
+                OfferedLoad { slice: SliceId::new(1), offered: RateMbps::new(10.0), prb_rate: RateMbps::new(0.5) },
+                OfferedLoad { slice: SliceId::new(2), offered: RateMbps::new(20.0), prb_rate: RateMbps::new(0.5) },
+            ],
+        );
+        assert_eq!(outs.len(), 2);
+        let util0 = c
+            .metrics()
+            .series_ref("ran.enb-0.prb_utilization")
+            .unwrap()
+            .last()
+            .unwrap()
+            .1;
+        assert!((util0 - 0.20).abs() < 1e-9, "20 of 100 PRBs, got {util0}");
+    }
+
+    #[test]
+    fn run_epoch_ignores_uninstalled_slices() {
+        let mut c = controller();
+        let outs = c.run_epoch(
+            SimTime::ZERO,
+            &[OfferedLoad {
+                slice: SliceId::new(9),
+                offered: RateMbps::new(5.0),
+                prb_rate: RateMbps::new(0.5),
+            }],
+        );
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn idle_cells_report_zero_utilization() {
+        let mut c = controller();
+        c.run_epoch(SimTime::ZERO, &[]);
+        for enb in [0u64, 1] {
+            let util = c
+                .metrics()
+                .series_ref(&format!("ran.enb-{enb}.prb_utilization"))
+                .unwrap()
+                .last()
+                .unwrap()
+                .1;
+            assert_eq!(util, 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_overbooking() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(40), Prbs::new(90))
+            .unwrap();
+        c.install(EnbId::new(0), SliceId::new(2), plmn(1), Prbs::new(40), Prbs::new(60))
+            .unwrap();
+        let snap = c.snapshot();
+        let row0 = snap.enbs.iter().find(|r| r.enb == EnbId::new(0)).unwrap();
+        assert_eq!(row0.reserved, Prbs::new(80));
+        assert_eq!(row0.nominal, Prbs::new(150));
+        assert!((row0.overbooking_factor - 1.5).abs() < 1e-12);
+        assert_eq!(row0.plmns, 2);
+        let row1 = snap.enbs.iter().find(|r| r.enb == EnbId::new(1)).unwrap();
+        assert_eq!(row1.overbooking_factor, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_enb_ids_rejected() {
+        RanController::new(vec![
+            Enb::new(EnbId::new(0), CellConfig::default_20mhz()),
+            Enb::new(EnbId::new(0), CellConfig::default_20mhz()),
+        ]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Link adaptation: the 3GPP TS 36.213 CQI table and the SNR→CQI→rate chain.
+//!
+//! LTE UEs report a Channel Quality Indicator (1–15); the eNB picks the
+//! modulation and code rate accordingly. The spectral efficiency column of
+//! the 4-bit CQI table (TS 36.213 Table 7.2.3-1) times the resource-element
+//! budget of a PRB gives the per-PRB data rate the scheduler works with.
+
+use serde::{Deserialize, Serialize};
+
+/// A CQI index, 1..=15 (0 means out-of-range / no transmission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cqi(u8);
+
+/// One row of the CQI table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CqiRow {
+    /// CQI index.
+    pub index: u8,
+    /// Modulation name.
+    pub modulation: &'static str,
+    /// Bits per modulation symbol.
+    pub bits_per_symbol: u8,
+    /// Effective code rate × 1024 (as the spec tabulates it).
+    pub code_rate_x1024: u16,
+    /// Spectral efficiency in information bits per symbol.
+    pub efficiency: f64,
+}
+
+/// 3GPP TS 36.213 Table 7.2.3-1 (4-bit CQI).
+pub const CQI_TABLE: [CqiRow; 15] = [
+    CqiRow { index: 1, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 78, efficiency: 0.1523 },
+    CqiRow { index: 2, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 120, efficiency: 0.2344 },
+    CqiRow { index: 3, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 193, efficiency: 0.3770 },
+    CqiRow { index: 4, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 308, efficiency: 0.6016 },
+    CqiRow { index: 5, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 449, efficiency: 0.8770 },
+    CqiRow { index: 6, modulation: "QPSK", bits_per_symbol: 2, code_rate_x1024: 602, efficiency: 1.1758 },
+    CqiRow { index: 7, modulation: "16QAM", bits_per_symbol: 4, code_rate_x1024: 378, efficiency: 1.4766 },
+    CqiRow { index: 8, modulation: "16QAM", bits_per_symbol: 4, code_rate_x1024: 490, efficiency: 1.9141 },
+    CqiRow { index: 9, modulation: "16QAM", bits_per_symbol: 4, code_rate_x1024: 616, efficiency: 2.4063 },
+    CqiRow { index: 10, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 466, efficiency: 2.7305 },
+    CqiRow { index: 11, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 567, efficiency: 3.3223 },
+    CqiRow { index: 12, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 666, efficiency: 3.9023 },
+    CqiRow { index: 13, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 772, efficiency: 4.5234 },
+    CqiRow { index: 14, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 873, efficiency: 5.1152 },
+    CqiRow { index: 15, modulation: "64QAM", bits_per_symbol: 6, code_rate_x1024: 948, efficiency: 5.5547 },
+];
+
+/// SNR (dB) threshold above which each CQI index becomes usable, following
+/// the common ~1.9 dB/CQI linearized BLER-10% mapping.
+const SNR_THRESHOLDS_DB: [f64; 15] = [
+    -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+];
+
+impl Cqi {
+    /// Lowest usable CQI.
+    pub const MIN: Cqi = Cqi(1);
+    /// Highest CQI.
+    pub const MAX: Cqi = Cqi(15);
+
+    /// Construct from an index, returning `None` outside 1..=15.
+    pub fn new(index: u8) -> Option<Cqi> {
+        (1..=15).contains(&index).then_some(Cqi(index))
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The table row for this CQI.
+    pub fn row(self) -> &'static CqiRow {
+        &CQI_TABLE[self.0 as usize - 1]
+    }
+
+    /// Spectral efficiency in information bits per symbol.
+    pub fn efficiency(self) -> f64 {
+        self.row().efficiency
+    }
+}
+
+/// Map an SNR in dB to the best sustainable CQI, or `None` below the
+/// CQI-1 threshold (outage).
+pub fn snr_to_cqi(snr_db: f64) -> Option<Cqi> {
+    let mut best = None;
+    for (i, &thr) in SNR_THRESHOLDS_DB.iter().enumerate() {
+        if snr_db >= thr {
+            best = Some(Cqi(i as u8 + 1));
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Per-PRB data rate in Mbps at a given CQI.
+///
+/// A PRB is 12 subcarriers × 14 OFDM symbols per 1 ms subframe; ~11 of the
+/// 14 symbols carry user data after control/reference overhead (typical
+/// effective figure used in LTE dimensioning).
+pub fn prb_rate_mbps(cqi: Cqi) -> f64 {
+    const SUBCARRIERS: f64 = 12.0;
+    const DATA_SYMBOLS_PER_MS: f64 = 11.0;
+    // bits per ms = efficiency × RE count; Mbps = kbit/ms ÷ 1000 × 1000 → same number.
+    cqi.efficiency() * SUBCARRIERS * DATA_SYMBOLS_PER_MS / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_spec_endpoints() {
+        assert_eq!(CQI_TABLE[0].efficiency, 0.1523);
+        assert_eq!(CQI_TABLE[14].efficiency, 5.5547);
+        assert_eq!(CQI_TABLE[6].modulation, "16QAM");
+        assert_eq!(CQI_TABLE[9].modulation, "64QAM");
+    }
+
+    #[test]
+    fn table_efficiency_is_monotone() {
+        for w in CQI_TABLE.windows(2) {
+            assert!(w[0].efficiency < w[1].efficiency);
+        }
+    }
+
+    #[test]
+    fn cqi_construction_bounds() {
+        assert_eq!(Cqi::new(0), None);
+        assert_eq!(Cqi::new(16), None);
+        assert_eq!(Cqi::new(1), Some(Cqi::MIN));
+        assert_eq!(Cqi::new(15), Some(Cqi::MAX));
+        assert_eq!(Cqi::new(9).unwrap().index(), 9);
+    }
+
+    #[test]
+    fn snr_mapping_is_monotone() {
+        let mut last = 0u8;
+        for snr10 in -100..300 {
+            let snr = snr10 as f64 / 10.0;
+            if let Some(c) = snr_to_cqi(snr) {
+                assert!(c.index() >= last);
+                last = c.index();
+            } else {
+                assert_eq!(last, 0, "outage only below the first threshold");
+            }
+        }
+        assert_eq!(last, 15);
+    }
+
+    #[test]
+    fn snr_mapping_key_points() {
+        assert_eq!(snr_to_cqi(-10.0), None, "deep outage");
+        assert_eq!(snr_to_cqi(-6.7).unwrap().index(), 1);
+        assert_eq!(snr_to_cqi(0.0).unwrap().index(), 3);
+        assert_eq!(snr_to_cqi(22.7).unwrap().index(), 15);
+        assert_eq!(snr_to_cqi(40.0).unwrap().index(), 15);
+    }
+
+    #[test]
+    fn prb_rate_spans_expected_range() {
+        // CQI 15: 5.5547 × 132 RE/ms ≈ 0.733 Mbps per PRB → a 100-PRB cell
+        // peaks around 73 Mbps per antenna layer, the familiar LTE figure.
+        let top = prb_rate_mbps(Cqi::MAX);
+        assert!((top - 0.7332).abs() < 0.001, "got {top}");
+        let bottom = prb_rate_mbps(Cqi::MIN);
+        assert!((bottom - 0.0201).abs() < 0.001, "got {bottom}");
+    }
+
+    #[test]
+    fn prb_rate_monotone_in_cqi() {
+        for i in 1..15u8 {
+            assert!(prb_rate_mbps(Cqi::new(i).unwrap()) < prb_rate_mbps(Cqi::new(i + 1).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Slice-aware PRB scheduling for one monitoring epoch.
+//!
+//! The MOCN contract: every PLMN's *reserved* PRBs are guaranteed, but PRBs
+//! a slice does not use this epoch — plus any unreserved grid — are lent to
+//! slices whose demand exceeds their reservation. This intra-cell
+//! statistical multiplexing (ref \[1\] of the paper) is what makes radio
+//! overbooking safe *on average*: the overbooking engine shrinks
+//! reservations knowing the scheduler will cover forecast misses with
+//! whatever is idle.
+
+use ovnes_model::{Prbs, RateMbps, SliceId};
+use serde::{Deserialize, Serialize};
+
+/// Per-slice input to an epoch of scheduling.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceLoad {
+    /// The slice.
+    pub slice: SliceId,
+    /// PRBs guaranteed to this slice.
+    pub reserved: Prbs,
+    /// Traffic the slice offers this epoch.
+    pub offered: RateMbps,
+    /// Rate one PRB carries for this slice's UE population this epoch
+    /// (from its average CQI).
+    pub prb_rate: RateMbps,
+}
+
+/// Per-slice outcome of an epoch of scheduling.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceScheduleOutcome {
+    /// The slice.
+    pub slice: SliceId,
+    /// PRBs actually allocated this epoch.
+    pub allocated: Prbs,
+    /// Throughput actually delivered.
+    pub delivered: RateMbps,
+    /// Offered traffic that could not be served.
+    pub unserved: RateMbps,
+    /// PRBs of this slice's reservation that were lent out (it did not need
+    /// them).
+    pub lent: Prbs,
+    /// PRBs this slice borrowed beyond its reservation.
+    pub borrowed: Prbs,
+}
+
+/// Schedule one epoch: allocate `total_prbs` among `loads`.
+///
+/// Deterministic: iteration follows the order of `loads`; remainder PRBs go
+/// to the earliest unsatisfied slices. Slices in radio outage
+/// (`prb_rate == 0`) receive nothing and their whole offered load is
+/// unserved.
+pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceScheduleOutcome> {
+    // PRBs each slice needs to carry its offered load at its link quality.
+    let needed: Vec<Prbs> = loads
+        .iter()
+        .map(|l| {
+            if l.prb_rate.is_zero() || l.offered.is_zero() {
+                Prbs::ZERO
+            } else {
+                Prbs::new((l.offered.value() / l.prb_rate.value()).ceil() as u32)
+            }
+        })
+        .collect();
+
+    // Phase 1: everyone gets min(needed, reserved) — the guarantee.
+    let mut allocated: Vec<Prbs> = loads
+        .iter()
+        .zip(&needed)
+        .map(|(l, &n)| n.min(l.reserved))
+        .collect();
+
+    // Phase 2: lend the idle grid to unmet slices, proportionally to unmet
+    // need, remainders in input order.
+    let used: Prbs = allocated.iter().copied().sum();
+    let mut leftover = total_prbs.saturating_sub(used).value();
+    loop {
+        let unmet: Vec<(usize, u32)> = loads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, _)| {
+                let gap = needed[i].saturating_sub(allocated[i]).value();
+                (gap > 0).then_some((i, gap))
+            })
+            .collect();
+        if leftover == 0 || unmet.is_empty() {
+            break;
+        }
+        let total_gap: u64 = unmet.iter().map(|&(_, g)| g as u64).sum();
+        if total_gap <= leftover as u64 {
+            // Everyone's gap fits: satisfy all.
+            for (i, gap) in unmet {
+                allocated[i] += Prbs::new(gap);
+            }
+            break;
+        }
+        // Proportional floor share; guarantee progress via remainder pass.
+        let mut granted_any = false;
+        let mut remaining = leftover;
+        for &(i, gap) in &unmet {
+            let share = ((leftover as u64 * gap as u64) / total_gap) as u32;
+            let grant = share.min(gap).min(remaining);
+            if grant > 0 {
+                allocated[i] += Prbs::new(grant);
+                remaining -= grant;
+                granted_any = true;
+            }
+        }
+        // Remainder: one PRB at a time in input order.
+        if remaining > 0 {
+            for &(i, _) in &unmet {
+                if remaining == 0 {
+                    break;
+                }
+                if needed[i].saturating_sub(allocated[i]).value() > 0 {
+                    allocated[i] += Prbs::new(1);
+                    remaining -= 1;
+                    granted_any = true;
+                }
+            }
+        }
+        leftover = remaining;
+        if !granted_any {
+            break;
+        }
+    }
+
+    loads
+        .iter()
+        .zip(&needed)
+        .zip(&allocated)
+        .map(|((l, &_need), &alloc)| {
+            let delivered = RateMbps::new(
+                (alloc.value() as f64 * l.prb_rate.value()).min(l.offered.value()),
+            );
+            SliceScheduleOutcome {
+                slice: l.slice,
+                allocated: alloc,
+                delivered,
+                unserved: l.offered.saturating_sub(delivered),
+                lent: l.reserved.saturating_sub(alloc),
+                borrowed: alloc.saturating_sub(l.reserved),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(id: u64, reserved: u32, offered: f64, prb_rate: f64) -> SliceLoad {
+        SliceLoad {
+            slice: SliceId::new(id),
+            reserved: Prbs::new(reserved),
+            offered: RateMbps::new(offered),
+            prb_rate: RateMbps::new(prb_rate),
+        }
+    }
+
+    #[test]
+    fn demand_within_reservation_is_fully_served() {
+        let out = schedule_epoch(Prbs::new(100), &[load(1, 50, 10.0, 0.5)]);
+        assert_eq!(out[0].allocated, Prbs::new(20));
+        assert_eq!(out[0].delivered.value(), 10.0);
+        assert_eq!(out[0].unserved, RateMbps::ZERO);
+        assert_eq!(out[0].lent, Prbs::new(30));
+        assert_eq!(out[0].borrowed, Prbs::ZERO);
+    }
+
+    #[test]
+    fn idle_reservation_is_lent_to_saturated_slice() {
+        // Slice 1 reserved 80 but idle; slice 2 reserved 20 but wants 50 PRBs.
+        let out = schedule_epoch(
+            Prbs::new(100),
+            &[load(1, 80, 0.0, 0.5), load(2, 20, 25.0, 0.5)],
+        );
+        assert_eq!(out[0].allocated, Prbs::ZERO);
+        assert_eq!(out[1].allocated, Prbs::new(50));
+        assert_eq!(out[1].borrowed, Prbs::new(30));
+        assert_eq!(out[1].delivered.value(), 25.0);
+    }
+
+    #[test]
+    fn reservations_are_guaranteed_under_contention() {
+        // Both want the whole cell; reservations split it 70/30.
+        let out = schedule_epoch(
+            Prbs::new(100),
+            &[load(1, 70, 100.0, 0.5), load(2, 30, 100.0, 0.5)],
+        );
+        assert_eq!(out[0].allocated, Prbs::new(70));
+        assert_eq!(out[1].allocated, Prbs::new(30));
+        assert_eq!(out[0].delivered.value(), 35.0);
+        assert_eq!(out[1].delivered.value(), 15.0);
+        assert!(out[0].unserved.value() > 0.0 && out[1].unserved.value() > 0.0);
+    }
+
+    #[test]
+    fn unreserved_grid_is_shared_proportionally() {
+        // 100 PRBs, only 40 reserved. Slices need 60 and 30 beyond nothing:
+        // slice 1: reserved 20, needs 80 (gap 60); slice 2: reserved 20,
+        // needs 50 (gap 30). Leftover = 60, split 40/20 by proportion.
+        let out = schedule_epoch(
+            Prbs::new(100),
+            &[load(1, 20, 40.0, 0.5), load(2, 20, 25.0, 0.5)],
+        );
+        assert_eq!(out[0].allocated, Prbs::new(60));
+        assert_eq!(out[1].allocated, Prbs::new(40));
+        let total: u32 = out.iter().map(|o| o.allocated.value()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_grid() {
+        let loads: Vec<SliceLoad> = (0..7)
+            .map(|i| load(i, 10, (i as f64 + 1.0) * 13.0, 0.3 + 0.05 * i as f64))
+            .collect();
+        let out = schedule_epoch(Prbs::new(100), &loads);
+        let total: u32 = out.iter().map(|o| o.allocated.value()).sum();
+        assert!(total <= 100, "allocated {total}");
+    }
+
+    #[test]
+    fn outage_slice_gets_nothing() {
+        let out = schedule_epoch(
+            Prbs::new(100),
+            &[load(1, 50, 10.0, 0.0), load(2, 20, 30.0, 0.5)],
+        );
+        assert_eq!(out[0].allocated, Prbs::ZERO);
+        assert_eq!(out[0].unserved.value(), 10.0);
+        // Outage slice's reservation is lent out.
+        assert_eq!(out[1].allocated, Prbs::new(60));
+        assert_eq!(out[0].lent, Prbs::new(50));
+    }
+
+    #[test]
+    fn zero_offered_load_allocates_nothing() {
+        let out = schedule_epoch(Prbs::new(100), &[load(1, 50, 0.0, 0.5)]);
+        assert_eq!(out[0].allocated, Prbs::ZERO);
+        assert_eq!(out[0].delivered, RateMbps::ZERO);
+        assert_eq!(out[0].lent, Prbs::new(50));
+    }
+
+    #[test]
+    fn empty_cell_is_fine() {
+        assert!(schedule_epoch(Prbs::new(100), &[]).is_empty());
+    }
+
+    #[test]
+    fn delivered_never_exceeds_offered() {
+        // Needed PRBs are ceiled, so allocation could carry slightly more
+        // than offered; delivered must clip at offered.
+        let out = schedule_epoch(Prbs::new(100), &[load(1, 50, 10.1, 0.5)]);
+        assert_eq!(out[0].allocated, Prbs::new(21));
+        assert_eq!(out[0].delivered.value(), 10.1);
+    }
+
+    #[test]
+    fn overbooked_cell_degrades_gracefully() {
+        // Three slices each "own" 50 nominal PRBs on a 100-PRB cell
+        // (overbooked 1.5×) but reservations were shrunk to 33 each.
+        // When all peak simultaneously, each gets its ~third of the cell.
+        let loads: Vec<SliceLoad> =
+            (1..=3).map(|i| load(i, 33, 25.0, 0.5)).collect();
+        let out = schedule_epoch(Prbs::new(100), &loads);
+        for o in &out {
+            assert!(o.allocated >= Prbs::new(33), "{:?}", o);
+            assert!(o.delivered.value() >= 16.5);
+            assert!(o.unserved.value() > 0.0, "demand 25 > 100/3 PRBs × 0.5");
+        }
+        let total: u32 = out.iter().map(|o| o.allocated.value()).sum();
+        assert_eq!(total, 100, "full grid in play under saturation");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let loads: Vec<SliceLoad> = (0..5).map(|i| load(i, 15, 20.0, 0.4)).collect();
+        let a = schedule_epoch(Prbs::new(100), &loads);
+        let b = schedule_epoch(Prbs::new(100), &loads);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,318 @@
+//! User equipment and its radio channel.
+//!
+//! In the demo, commercial UEs associate with the PLMN-id of their slice and
+//! connect "after few seconds". Here a [`Ue`] carries the same association
+//! (IMSI → PLMN → slice) plus a [`ChannelModel`] — log-distance pathloss
+//! with lognormal shadowing — that yields the time-varying SNR/CQI the PRB
+//! scheduler converts into throughput.
+
+use crate::cqi::{snr_to_cqi, Cqi};
+use ovnes_model::{PlmnId, UeId};
+use ovnes_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Log-distance pathloss channel with lognormal shadowing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// eNB transmit power + antenna gains minus noise floor, in dB: the SNR
+    /// a UE would see at the reference distance with no pathloss beyond it.
+    pub link_budget_db: f64,
+    /// Pathloss at the reference distance (1 m), dB.
+    pub pl0_db: f64,
+    /// Pathloss exponent (2 = free space, 3–4 = urban).
+    pub exponent: f64,
+    /// Standard deviation of the lognormal shadowing term, dB.
+    pub shadowing_std_db: f64,
+}
+
+impl ChannelModel {
+    /// Typical urban small-cell parameters: a UE at 50 m sees ~22 dB SNR
+    /// (CQI 14–15), at 200 m ~5 dB (CQI 6–7), cell edge near 400 m.
+    pub fn urban_small_cell() -> ChannelModel {
+        ChannelModel {
+            link_budget_db: 105.0,
+            pl0_db: 30.0,
+            exponent: 3.1,
+            shadowing_std_db: 4.0,
+        }
+    }
+
+    /// Deterministic mean SNR (dB) at `distance_m` meters (no shadowing).
+    pub fn mean_snr_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        self.link_budget_db - self.pl0_db - 10.0 * self.exponent * d.log10()
+    }
+
+    /// Sample the instantaneous SNR at `distance_m`, with shadowing drawn
+    /// from `rng`.
+    pub fn sample_snr_db(&self, distance_m: f64, rng: &mut SimRng) -> f64 {
+        self.mean_snr_db(distance_m) + rng.normal(0.0, self.shadowing_std_db)
+    }
+
+    /// Sample the CQI at `distance_m` (`None` = outage this epoch).
+    pub fn sample_cqi(&self, distance_m: f64, rng: &mut SimRng) -> Option<Cqi> {
+        snr_to_cqi(self.sample_snr_db(distance_m, rng))
+    }
+}
+
+/// A user equipment associated with one slice's PLMN.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ue {
+    /// Identifier.
+    pub id: UeId,
+    /// The PLMN (and hence slice) this UE selects.
+    pub plmn: PlmnId,
+    /// Distance from its serving eNB, meters.
+    pub distance_m: f64,
+    /// Whether the UE has completed attach (EPC bearer established).
+    pub attached: bool,
+}
+
+impl Ue {
+    /// A detached UE at `distance_m` from its serving eNB.
+    pub fn new(id: UeId, plmn: PlmnId, distance_m: f64) -> Ue {
+        Ue {
+            id,
+            plmn,
+            distance_m,
+            attached: false,
+        }
+    }
+
+    /// Mark attach complete (called when the slice's vEPC accepts the UE).
+    pub fn attach(&mut self) {
+        self.attached = true;
+    }
+
+    /// Detach (slice teardown or mobility out of coverage).
+    pub fn detach(&mut self) {
+        self.attached = false;
+    }
+}
+
+/// Mobility model: per-epoch bounded random walk of the UE's distance from
+/// its serving eNB. Crude but sufficient to exercise what mobility does to
+/// the scheduler — link quality drifts over a slice's lifetime, so the
+/// per-PRB rate the orchestrator observed at admission decays or improves.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MobilityModel {
+    /// Standard deviation of the per-epoch distance step, meters.
+    pub step_std_m: f64,
+    /// Closest approach to the eNB.
+    pub min_distance_m: f64,
+    /// Cell-edge bound (UEs never leave the cell in this model; handover is
+    /// out of the demo's scope — its two eNBs serve disjoint PLMN areas).
+    pub max_distance_m: f64,
+}
+
+impl MobilityModel {
+    /// Pedestrian-scale drift: ~8 m per minute-epoch.
+    pub fn pedestrian() -> MobilityModel {
+        MobilityModel {
+            step_std_m: 8.0,
+            min_distance_m: 10.0,
+            max_distance_m: 350.0,
+        }
+    }
+
+    /// Vehicular drift: ~60 m per minute-epoch.
+    pub fn vehicular() -> MobilityModel {
+        MobilityModel {
+            step_std_m: 60.0,
+            min_distance_m: 10.0,
+            max_distance_m: 350.0,
+        }
+    }
+
+    /// No movement.
+    pub fn stationary() -> MobilityModel {
+        MobilityModel {
+            step_std_m: 0.0,
+            min_distance_m: 10.0,
+            max_distance_m: 350.0,
+        }
+    }
+
+    /// Advance `ue` by one epoch.
+    pub fn step(&self, ue: &mut Ue, rng: &mut SimRng) {
+        if self.step_std_m == 0.0 {
+            return;
+        }
+        let delta = rng.normal(0.0, self.step_std_m);
+        ue.distance_m = (ue.distance_m + delta).clamp(self.min_distance_m, self.max_distance_m);
+    }
+}
+
+/// Average CQI over a set of UEs this epoch: the scheduler's effective
+/// link quality for a slice. UEs in outage contribute CQI 0; returns `None`
+/// if `ues` is empty or all are in outage.
+pub fn slice_average_cqi(
+    ues: &[Ue],
+    channel: &ChannelModel,
+    rng: &mut SimRng,
+) -> Option<Cqi> {
+    if ues.is_empty() {
+        return None;
+    }
+    let mut sum = 0u32;
+    let mut n = 0u32;
+    for ue in ues {
+        if let Some(cqi) = channel.sample_cqi(ue.distance_m, rng) {
+            sum += cqi.index() as u32;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    Cqi::new((sum as f64 / n as f64).round() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> ChannelModel {
+        ChannelModel::urban_small_cell()
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let c = ch();
+        let near = c.mean_snr_db(10.0);
+        let mid = c.mean_snr_db(100.0);
+        let far = c.mean_snr_db(1000.0);
+        assert!(near > mid && mid > far);
+        // One decade of distance costs 10·n dB.
+        assert!((near - mid - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urban_profile_gives_sane_cqis() {
+        let c = ch();
+        assert!(snr_to_cqi(c.mean_snr_db(50.0)).unwrap().index() >= 13, "near UE is high CQI");
+        let far = snr_to_cqi(c.mean_snr_db(200.0)).unwrap().index();
+        assert!((5..=9).contains(&far), "mid-range UE got CQI {far}");
+        assert!(snr_to_cqi(c.mean_snr_db(2000.0)).is_none(), "deep edge is outage");
+    }
+
+    #[test]
+    fn distance_clamps_below_one_meter() {
+        let c = ch();
+        assert_eq!(c.mean_snr_db(0.0), c.mean_snr_db(1.0));
+    }
+
+    #[test]
+    fn shadowing_has_configured_spread() {
+        let c = ch();
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let mean_snr = c.mean_snr_db(100.0);
+        let samples: Vec<f64> = (0..n).map(|_| c.sample_snr_db(100.0, &mut rng)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((m - mean_snr).abs() < 0.1);
+        assert!((sd - c.shadowing_std_db).abs() < 0.1);
+    }
+
+    #[test]
+    fn ue_lifecycle() {
+        let mut ue = Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 80.0);
+        assert!(!ue.attached);
+        ue.attach();
+        assert!(ue.attached);
+        ue.detach();
+        assert!(!ue.attached);
+    }
+
+    #[test]
+    fn slice_average_cqi_empty_and_outage() {
+        let c = ch();
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(slice_average_cqi(&[], &c, &mut rng), None);
+        let far = vec![Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 50_000.0)];
+        assert_eq!(slice_average_cqi(&far, &c, &mut rng), None);
+    }
+
+    #[test]
+    fn slice_average_cqi_blends_near_and_far() {
+        let c = ch();
+        let mut rng = SimRng::seed_from(5);
+        let plmn = PlmnId::test_slice_plmn(0);
+        let ues = vec![
+            Ue::new(UeId::new(1), plmn, 30.0),
+            Ue::new(UeId::new(2), plmn, 250.0),
+        ];
+        let mut sum = 0u32;
+        let trials = 500;
+        for _ in 0..trials {
+            sum += slice_average_cqi(&ues, &c, &mut rng).unwrap().index() as u32;
+        }
+        let avg = sum as f64 / trials as f64;
+        assert!((8.0..13.0).contains(&avg), "blended CQI ≈ 10±2, got {avg}");
+    }
+
+    #[test]
+    fn stationary_model_never_moves() {
+        let mut ue = Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 100.0);
+        let mut rng = SimRng::seed_from(1);
+        let m = MobilityModel::stationary();
+        for _ in 0..100 {
+            m.step(&mut ue, &mut rng);
+        }
+        assert_eq!(ue.distance_m, 100.0);
+    }
+
+    #[test]
+    fn mobility_respects_bounds() {
+        let mut ue = Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 100.0);
+        let mut rng = SimRng::seed_from(2);
+        let m = MobilityModel::vehicular();
+        for _ in 0..10_000 {
+            m.step(&mut ue, &mut rng);
+            assert!(ue.distance_m >= m.min_distance_m && ue.distance_m <= m.max_distance_m);
+        }
+    }
+
+    #[test]
+    fn mobility_actually_moves_and_explores() {
+        let mut ue = Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 100.0);
+        let mut rng = SimRng::seed_from(3);
+        let m = MobilityModel::pedestrian();
+        let mut min_seen = ue.distance_m;
+        let mut max_seen = ue.distance_m;
+        for _ in 0..2_000 {
+            m.step(&mut ue, &mut rng);
+            min_seen = min_seen.min(ue.distance_m);
+            max_seen = max_seen.max(ue.distance_m);
+        }
+        assert!(max_seen - min_seen > 100.0, "range {}", max_seen - min_seen);
+    }
+
+    #[test]
+    fn vehicular_drifts_faster_than_pedestrian() {
+        let spread = |model: MobilityModel, seed: u64| {
+            let mut ue = Ue::new(UeId::new(1), PlmnId::test_slice_plmn(0), 180.0);
+            let mut rng = SimRng::seed_from(seed);
+            let start = ue.distance_m;
+            let mut total = 0.0;
+            for _ in 0..50 {
+                let before = ue.distance_m;
+                model.step(&mut ue, &mut rng);
+                total += (ue.distance_m - before).abs();
+            }
+            let _ = start;
+            total
+        };
+        assert!(
+            spread(MobilityModel::vehicular(), 7) > 3.0 * spread(MobilityModel::pedestrian(), 7)
+        );
+    }
+
+    #[test]
+    fn channel_serde_round_trip() {
+        let c = ch();
+        let j = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ChannelModel>(&j).unwrap(), c);
+    }
+}

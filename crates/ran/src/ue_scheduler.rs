@@ -1,0 +1,273 @@
+//! Intra-slice scheduling: dividing a slice's allocated PRBs among its UEs.
+//!
+//! [`schedule_epoch`](crate::scheduler::schedule_epoch) decides how many
+//! PRBs each *slice* gets; this module decides how each slice spends them
+//! on its *UEs* with the classic proportional-fair (PF) rule: each PRB
+//! round goes to the UE maximizing `instantaneous_rate / average_rate`, so
+//! cell-edge UEs are not starved (as max-rate would) while good channels
+//! are still favored (unlike round-robin).
+//!
+//! PF state (the throughput average) persists across epochs in
+//! [`PfState`]; the demo's per-slice QoS is the aggregate, but per-UE
+//! fairness determines whether *every* device in a vertical's fleet works.
+
+use crate::cqi::Cqi;
+use ovnes_model::{Prbs, RateMbps, UeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One UE's channel state this epoch, as input to PF.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UeChannel {
+    /// The UE.
+    pub ue: UeId,
+    /// Its achievable CQI this epoch (`None` = outage: unschedulable).
+    pub cqi: Option<Cqi>,
+    /// Rate one PRB carries at that CQI (cell profile applied).
+    pub prb_rate: RateMbps,
+}
+
+/// One UE's share of the slice's PRBs this epoch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UeShare {
+    /// The UE.
+    pub ue: UeId,
+    /// PRBs granted.
+    pub prbs: Prbs,
+    /// Rate achieved with them.
+    pub rate: RateMbps,
+}
+
+/// Persistent proportional-fair state: exponentially averaged per-UE
+/// throughput.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PfState {
+    /// Averaged throughput per UE (Mbps).
+    averages: BTreeMap<UeId, f64>,
+}
+
+impl PfState {
+    /// Fresh state (all averages start at zero → first epoch is rate-blind
+    /// and therefore fair by construction).
+    pub fn new() -> PfState {
+        Self::default()
+    }
+
+    /// The current throughput average of `ue` (0 if never scheduled).
+    pub fn average(&self, ue: UeId) -> f64 {
+        self.averages.get(&ue).copied().unwrap_or(0.0)
+    }
+
+    /// Drop state for UEs that left the slice.
+    pub fn retain(&mut self, keep: impl Fn(UeId) -> bool) {
+        self.averages.retain(|&ue, _| keep(ue));
+    }
+
+    /// Distribute `prbs` among `channels` by iterated PF and update the
+    /// averages with smoothing factor `alpha` (e.g. 0.1).
+    ///
+    /// Deterministic: metric ties break toward the lower UE id. PRBs are
+    /// granted in blocks of one; UEs in outage receive nothing and their
+    /// average decays.
+    pub fn schedule(
+        &mut self,
+        prbs: Prbs,
+        channels: &[UeChannel],
+        alpha: f64,
+    ) -> Vec<UeShare> {
+        let mut granted: BTreeMap<UeId, u32> = BTreeMap::new();
+        let schedulable: Vec<&UeChannel> = channels
+            .iter()
+            .filter(|c| c.cqi.is_some() && !c.prb_rate.is_zero())
+            .collect();
+
+        if !schedulable.is_empty() {
+            // Track the rate each UE would accumulate this epoch; PF metric
+            // uses the long-term average plus a small epsilon.
+            for _ in 0..prbs.value() {
+                let best = schedulable
+                    .iter()
+                    .max_by(|a, b| {
+                        let metric = |c: &UeChannel| {
+                            c.prb_rate.value() / (self.average(c.ue) + 1e-6)
+                        };
+                        metric(a)
+                            .partial_cmp(&metric(b))
+                            .expect("rates are finite")
+                            // Ties: prefer the lower UE id.
+                            .then_with(|| b.ue.cmp(&a.ue))
+                    })
+                    .expect("schedulable is non-empty");
+                *granted.entry(best.ue).or_insert(0) += 1;
+                // Granting PRBs raises the *tentative* average so the next
+                // PRB can go elsewhere — the standard per-TTI PF loop.
+                let add = best.prb_rate.value();
+                *self.averages.entry(best.ue).or_insert(0.0) += add * alpha;
+            }
+        }
+
+        // Final smoothing update: decay everyone toward their epoch rate.
+        let mut shares = Vec::with_capacity(channels.len());
+        for c in channels {
+            let prbs_granted = granted.get(&c.ue).copied().unwrap_or(0);
+            let rate = RateMbps::new(prbs_granted as f64 * c.prb_rate.value());
+            let avg = self.averages.entry(c.ue).or_insert(0.0);
+            *avg = (1.0 - alpha) * *avg + alpha * rate.value();
+            shares.push(UeShare {
+                ue: c.ue,
+                prbs: Prbs::new(prbs_granted),
+                rate,
+            });
+        }
+        shares
+    }
+}
+
+/// Jain's fairness index of a set of rates: 1 = perfectly fair, 1/n =
+/// maximally unfair.
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq_sum: f64 = rates.iter().map(|r| r * r).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (rates.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqi::prb_rate_mbps;
+
+    fn ch(ue: u64, cqi: u8) -> UeChannel {
+        let c = Cqi::new(cqi);
+        UeChannel {
+            ue: UeId::new(ue),
+            cqi: c,
+            prb_rate: RateMbps::new(c.map_or(0.0, prb_rate_mbps)),
+        }
+    }
+
+    fn outage(ue: u64) -> UeChannel {
+        UeChannel {
+            ue: UeId::new(ue),
+            cqi: None,
+            prb_rate: RateMbps::ZERO,
+        }
+    }
+
+    #[test]
+    fn all_prbs_are_granted() {
+        let mut pf = PfState::new();
+        let channels = [ch(1, 10), ch(2, 10), ch(3, 10)];
+        let shares = pf.schedule(Prbs::new(30), &channels, 0.1);
+        let total: u32 = shares.iter().map(|s| s.prbs.value()).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn equal_channels_split_equally() {
+        let mut pf = PfState::new();
+        let channels = [ch(1, 9), ch(2, 9), ch(3, 9)];
+        for _ in 0..20 {
+            pf.schedule(Prbs::new(30), &channels, 0.1);
+        }
+        let shares = pf.schedule(Prbs::new(30), &channels, 0.1);
+        for s in &shares {
+            assert_eq!(s.prbs, Prbs::new(10), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn outage_ue_gets_nothing_but_others_share() {
+        let mut pf = PfState::new();
+        let channels = [ch(1, 12), outage(2), ch(3, 12)];
+        let shares = pf.schedule(Prbs::new(10), &channels, 0.1);
+        assert_eq!(shares[1].prbs, Prbs::ZERO);
+        assert_eq!(shares[1].rate, RateMbps::ZERO);
+        let total: u32 = shares.iter().map(|s| s.prbs.value()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn all_outage_grants_nothing() {
+        let mut pf = PfState::new();
+        let shares = pf.schedule(Prbs::new(10), &[outage(1), outage(2)], 0.1);
+        assert!(shares.iter().all(|s| s.prbs.is_zero()));
+    }
+
+    #[test]
+    fn pf_is_fairer_than_max_rate_under_asymmetry() {
+        // One near UE (CQI 14) and one edge UE (CQI 3). Max-rate would give
+        // everything to CQI 14 forever; PF must keep the edge UE alive.
+        let channels = [ch(1, 14), ch(2, 3)];
+        let mut pf = PfState::new();
+        let mut rates = [0.0f64; 2];
+        let epochs = 100;
+        for _ in 0..epochs {
+            let shares = pf.schedule(Prbs::new(20), &channels, 0.1);
+            for (i, s) in shares.iter().enumerate() {
+                rates[i] += s.rate.value();
+            }
+        }
+        assert!(rates[1] > 0.0, "edge UE starved");
+        // PF equalizes *time share*, not rate: with a ~13x channel gap the
+        // rate-domain Jain settles near 0.57 — still strictly above the 0.5
+        // a max-rate scheduler would produce (edge UE fully starved).
+        let fairness = jain_index(&rates);
+        assert!(fairness > 0.55, "Jain {fairness}");
+        // And PF still favors the better channel in *rate* terms.
+        assert!(rates[0] > rates[1]);
+    }
+
+    #[test]
+    fn pf_time_share_tilts_toward_edge_ue() {
+        // PF equalizes *relative* throughput, which means the edge UE gets
+        // at least as many PRBs as the strong one.
+        let channels = [ch(1, 14), ch(2, 3)];
+        let mut pf = PfState::new();
+        let mut prbs = [0u32; 2];
+        for _ in 0..100 {
+            let shares = pf.schedule(Prbs::new(20), &channels, 0.1);
+            for (i, s) in shares.iter().enumerate() {
+                prbs[i] += s.prbs.value();
+            }
+        }
+        assert!(prbs[1] >= prbs[0], "edge {} vs near {}", prbs[1], prbs[0]);
+    }
+
+    #[test]
+    fn retain_drops_departed_ues() {
+        let mut pf = PfState::new();
+        pf.schedule(Prbs::new(10), &[ch(1, 9), ch(2, 9)], 0.1);
+        assert!(pf.average(UeId::new(2)) > 0.0);
+        pf.retain(|ue| ue == UeId::new(1));
+        assert_eq!(pf.average(UeId::new(2)), 0.0);
+        assert!(pf.average(UeId::new(1)) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut pf = PfState::new();
+            let channels = [ch(1, 11), ch(2, 7), ch(3, 4)];
+            (0..50)
+                .map(|_| pf.schedule(Prbs::new(17), &channels, 0.1))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        let skewed = jain_index(&[10.0, 1.0, 1.0]);
+        assert!(skewed > 1.0 / 3.0 && skewed < 1.0);
+    }
+}

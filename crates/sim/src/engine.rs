@@ -1,0 +1,272 @@
+//! Generic discrete-event engine: an [`EventQueue`] plus a handler, advanced
+//! by polling — the simulation analogue of smoltcp's `poll()` loop.
+//!
+//! The handler is any [`Process`] implementation. On each [`Engine::step`],
+//! the earliest event is popped, the clock jumps to its timestamp, and the
+//! process handles it; the process may schedule further events through the
+//! [`Clock`] it is handed. [`Engine::run_until`] drains events up to a
+//! horizon, which is how every experiment harness advances the world.
+
+use crate::event::{EventQueue, ScheduledId};
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling context handed to a [`Process`] while it handles an event.
+///
+/// Wraps the engine's queue so a process can schedule and cancel follow-up
+/// events but cannot pop them out of order.
+pub struct Clock<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Clock<'a, E> {
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `after` from now.
+    pub fn schedule_in(&mut self, after: SimDuration, event: E) -> ScheduledId {
+        self.queue.schedule(self.now + after, event)
+    }
+
+    /// Schedule `event` at an absolute instant (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> ScheduledId {
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: ScheduledId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// An event handler driven by the [`Engine`].
+pub trait Process<E> {
+    /// Handle `event`, which fires at `clock.now()`. May schedule follow-ups.
+    fn handle(&mut self, event: E, clock: &mut Clock<'_, E>);
+}
+
+// Closures make ad-hoc processes (tests, small experiments) ergonomic.
+impl<E, F: FnMut(E, &mut Clock<'_, E>)> Process<E> for F {
+    fn handle(&mut self, event: E, clock: &mut Clock<'_, E>) {
+        self(event, clock)
+    }
+}
+
+/// What a single [`Engine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event fired; the clock now reads the contained instant.
+    Fired(SimTime),
+    /// No events pending; the clock did not move.
+    Idle,
+}
+
+/// The simulation driver: owns the clock and the future-event list.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    fired: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// New engine at `t = 0` with an empty schedule.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Live events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute instant (before or between runs).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> ScheduledId {
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule an event `after` from the current instant.
+    pub fn schedule_in(&mut self, after: SimDuration, event: E) -> ScheduledId {
+        self.queue.schedule(self.now + after, event)
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: ScheduledId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Fire the single earliest event through `process`.
+    pub fn step<P: Process<E>>(&mut self, process: &mut P) -> StepOutcome {
+        match self.queue.pop() {
+            Some(entry) => {
+                self.now = entry.at;
+                self.fired += 1;
+                let mut clock = Clock {
+                    now: self.now,
+                    queue: &mut self.queue,
+                };
+                process.handle(entry.payload, &mut clock);
+                StepOutcome::Fired(self.now)
+            }
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Fire every event with timestamp `<= horizon`, then advance the clock
+    /// to `horizon` (even if the queue drained early). Returns the number of
+    /// events fired.
+    pub fn run_until<P: Process<E>>(&mut self, horizon: SimTime, process: &mut P) -> u64 {
+        assert!(horizon >= self.now, "cannot run backwards");
+        let mut fired = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            self.step(process);
+            fired += 1;
+        }
+        self.now = horizon;
+        fired
+    }
+
+    /// Fire events until the queue drains or `max_events` is hit. Returns
+    /// the number fired. Useful for simulations that terminate naturally.
+    pub fn run_to_completion<P: Process<E>>(&mut self, max_events: u64, process: &mut P) -> u64 {
+        let mut fired = 0;
+        while fired < max_events {
+            match self.step(process) {
+                StepOutcome::Fired(_) => fired += 1,
+                StepOutcome::Idle => break,
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Ev {
+        Tick,
+        Boom,
+    }
+
+    #[test]
+    fn step_fires_earliest_and_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Boom);
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        let mut seen = Vec::new();
+        let mut p = |e: Ev, c: &mut Clock<'_, Ev>| seen.push((e, c.now()));
+        assert_eq!(eng.step(&mut p), StepOutcome::Fired(SimTime::from_secs(1)));
+        assert_eq!(eng.now(), SimTime::from_secs(1));
+        assert_eq!(seen, vec![(Ev::Tick, SimTime::from_secs(1))]);
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let mut p = |_: Ev, _: &mut Clock<'_, Ev>| {};
+        assert_eq!(eng.step(&mut p), StepOutcome::Idle);
+    }
+
+    #[test]
+    fn process_can_reschedule_itself() {
+        // A self-perpetuating tick: fires at 1s, 2s, 3s, ...
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        let mut count = 0u32;
+        let mut p = |e: Ev, c: &mut Clock<'_, Ev>| {
+            assert_eq!(e, Ev::Tick);
+            count += 1;
+            c.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+        };
+        let fired = eng.run_until(SimTime::from_secs(10), &mut p);
+        assert_eq!(fired, 10);
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+        assert_eq!(eng.pending(), 1, "the 11s tick is still queued");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_queue_drains() {
+        let mut eng: Engine<Ev> = Engine::new();
+        let mut p = |_: Ev, _: &mut Clock<'_, Ev>| {};
+        let fired = eng.run_until(SimTime::from_secs(100), &mut p);
+        assert_eq!(fired, 0);
+        assert_eq!(eng.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn run_until_does_not_fire_beyond_horizon() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        eng.schedule_at(SimTime::from_secs(50), Ev::Boom);
+        let mut seen = Vec::new();
+        let mut p = |e: Ev, _: &mut Clock<'_, Ev>| seen.push(e);
+        eng.run_until(SimTime::from_secs(10), &mut p);
+        assert_eq!(seen, vec![Ev::Tick]);
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn cancel_from_within_process() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        let boom = eng.schedule_at(SimTime::from_secs(2), Ev::Boom);
+        let mut fired = Vec::new();
+        let mut p = |e: Ev, c: &mut Clock<'_, Ev>| {
+            fired.push(e);
+            if e == Ev::Tick {
+                assert!(c.cancel(boom));
+            }
+        };
+        eng.run_to_completion(100, &mut p);
+        assert_eq!(fired, vec![Ev::Tick]);
+    }
+
+    #[test]
+    fn run_to_completion_respects_event_cap() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tick);
+        let mut p = |_: Ev, c: &mut Clock<'_, Ev>| {
+            c.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+        };
+        let fired = eng.run_to_completion(25, &mut p);
+        assert_eq!(fired, 25);
+        assert_eq!(eng.events_fired(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn run_until_rejects_past_horizon() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Tick);
+        let mut p = |_: Ev, _: &mut Clock<'_, Ev>| {};
+        eng.run_until(SimTime::from_secs(5), &mut p);
+        eng.run_until(SimTime::from_secs(1), &mut p);
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded, time-stamped event log — the feed behind the dashboard's
+//! "what just happened" panel (slice admitted, fade rerouted, …) and a
+//! first-class debugging aid for simulation runs.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One logged event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// Emitting component (`"orchestrator"`, `"transport"`, …).
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.at, self.component, self.message)
+    }
+}
+
+/// Ring buffer of the most recent `capacity` events.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    /// Total events ever logged (including evicted ones).
+    total: u64,
+}
+
+impl EventLog {
+    /// A log retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventLog {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn log(&mut self, at: SimTime, component: &str, message: impl Into<String>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(LogEntry {
+            at,
+            component: component.to_owned(),
+            message: message.into(),
+        });
+        self.total += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<&LogEntry> {
+        let skip = self.entries.len().saturating_sub(n);
+        self.entries.iter().skip(skip).collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total events ever logged (evicted ones included).
+    pub fn total_logged(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn logs_and_orders() {
+        let mut log = EventLog::new(10);
+        log.log(t(1), "orchestrator", "slice-0 admitted");
+        log.log(t(2), "transport", "slice-0 path installed");
+        assert_eq!(log.len(), 2);
+        let all: Vec<_> = log.entries().collect();
+        assert!(all[0].message.contains("admitted"));
+        assert_eq!(all[1].component, "transport");
+        assert_eq!(log.total_logged(), 2);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.log(t(i), "c", format!("event {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_logged(), 5);
+        let msgs: Vec<&str> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["event 2", "event 3", "event 4"]);
+    }
+
+    #[test]
+    fn tail_returns_most_recent() {
+        let mut log = EventLog::new(10);
+        for i in 0..6u64 {
+            log.log(t(i), "c", format!("e{i}"));
+        }
+        let tail: Vec<&str> = log.tail(2).iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(tail, vec!["e4", "e5"]);
+        assert_eq!(log.tail(100).len(), 6);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut log = EventLog::new(2);
+        log.log(t(90), "ran", "PLMN 001-01 on air");
+        let line = log.entries().next().unwrap().to_string();
+        assert!(line.contains("[ran]"));
+        assert!(line.contains("001-01"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+
+    #[test]
+    fn empty_log_behaviour() {
+        let log = EventLog::new(4);
+        assert!(log.is_empty());
+        assert!(log.tail(3).is_empty());
+        assert_eq!(log.total_logged(), 0);
+    }
+}

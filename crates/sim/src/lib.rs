@@ -1,0 +1,49 @@
+//! # ovnes-sim — deterministic discrete-event simulation kernel
+//!
+//! The original demo ran on a physical LTE testbed in wall-clock time. This
+//! crate replaces wall-clock time with *virtual time*: a microsecond-resolution
+//! [`SimTime`], a deterministic [`EventQueue`], a seeded, forkable
+//! [`SimRng`], and a telemetry layer ([`metrics`]) that the domain
+//! controllers use to report utilization to the end-to-end orchestrator —
+//! mirroring the monitoring feeds of the demo.
+//!
+//! Design follows the poll-style, event-driven idiom: nothing blocks, nothing
+//! races; every run is a pure function of its seed and its event schedule.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ovnes_sim::{SimTime, SimDuration, EventQueue, SimRng};
+//!
+//! // Virtual time.
+//! let t0 = SimTime::ZERO;
+//! let t1 = t0 + SimDuration::from_secs(2);
+//! assert_eq!((t1 - t0).as_millis_f64(), 2000.0);
+//!
+//! // Deterministic events: ties broken by insertion order.
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(t1, "b");
+//! q.schedule(t0, "a");
+//! q.schedule(t1, "c");
+//! let fired: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+//! assert_eq!(fired, vec!["a", "b", "c"]);
+//!
+//! // Seeded randomness: same seed, same stream.
+//! let mut r1 = SimRng::seed_from(42);
+//! let mut r2 = SimRng::seed_from(42);
+//! assert_eq!(r1.next_u64(), r2.next_u64());
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod eventlog;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Clock, Engine, Process, StepOutcome};
+pub use event::{EventEntry, EventQueue, ScheduledId};
+pub use eventlog::{EventLog, LogEntry};
+pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, TimeSeries};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,681 @@
+//! The transport domain controller.
+//!
+//! Executes the orchestrator's path allocation requests ("a dedicated path
+//! guaranteeing the required delay and capacity", §3), programs the
+//! OpenFlow switches along each chosen path, accounts bandwidth per link,
+//! reacts to mmWave degradation by rerouting affected slices, and publishes
+//! utilization telemetry.
+
+use crate::reservation::{effective_delay, LinkUsage, PathReservation};
+use crate::routing::cspf;
+use crate::switch::{FlowAction, FlowMatch, FlowRule, FlowTable, SwitchError};
+use crate::topology::{NodeKind, Topology};
+use ovnes_model::{Latency, LinkId, NodeId, RateMbps, SliceId, SwitchId};
+use ovnes_sim::{MetricRegistry, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from transport allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No path satisfies the capacity + delay constraints.
+    NoFeasiblePath,
+    /// The slice already holds a path.
+    AlreadyAllocated(SliceId),
+    /// No reservation for this slice.
+    NotAllocated(SliceId),
+    /// A switch on the chosen path ran out of flow table space.
+    FlowTable(SwitchError),
+    /// Growing the reservation would oversubscribe a link on the path.
+    InsufficientLinkCapacity(LinkId),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoFeasiblePath => f.write_str("no feasible path"),
+            TransportError::AlreadyAllocated(s) => write!(f, "slice {s} already has a path"),
+            TransportError::NotAllocated(s) => write!(f, "slice {s} has no path"),
+            TransportError::FlowTable(e) => write!(f, "flow table: {e}"),
+            TransportError::InsufficientLinkCapacity(l) => {
+                write!(f, "link {l} cannot absorb the resize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<SwitchError> for TransportError {
+    fn from(e: SwitchError) -> Self {
+        TransportError::FlowTable(e)
+    }
+}
+
+/// The result of a successful allocation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathAllocation {
+    /// The reservation installed.
+    pub reservation: PathReservation,
+    /// Delay of the path at allocation time (effective, load-dependent).
+    pub delay_at_allocation: Latency,
+}
+
+/// Telemetry snapshot of the transport domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransportSnapshot {
+    /// Per-link rows.
+    pub links: Vec<LinkRow>,
+    /// Number of installed path reservations.
+    pub paths: usize,
+}
+
+/// One link's row in a [`TransportSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkRow {
+    /// The link.
+    pub link: LinkId,
+    /// Effective (degraded) capacity.
+    pub effective_capacity: RateMbps,
+    /// Reserved bandwidth.
+    pub reserved: RateMbps,
+    /// Utilization of effective capacity.
+    pub utilization: f64,
+    /// Degradation factor currently applied.
+    pub degradation: f64,
+}
+
+/// The transport domain controller. See module docs.
+pub struct TransportController {
+    topo: Topology,
+    usage: Vec<LinkUsage>,
+    tables: BTreeMap<SwitchId, FlowTable>,
+    reservations: BTreeMap<SliceId, PathReservation>,
+    metrics: MetricRegistry,
+}
+
+impl TransportController {
+    /// A controller over `topo` with per-switch flow tables of
+    /// `flow_table_capacity` rules.
+    pub fn new(topo: Topology, flow_table_capacity: usize) -> TransportController {
+        let usage = topo
+            .links()
+            .iter()
+            .map(|l| LinkUsage::new(l.capacity))
+            .collect();
+        let tables = topo
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Switch(id) => Some((id, FlowTable::new(flow_table_capacity))),
+                _ => None,
+            })
+            .collect();
+        TransportController {
+            topo,
+            usage,
+            tables,
+            reservations: BTreeMap::new(),
+            metrics: MetricRegistry::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current usage of `link`.
+    pub fn link_usage(&self, link: LinkId) -> &LinkUsage {
+        &self.usage[link.value() as usize]
+    }
+
+    /// Effective (load- and degradation-aware) delay of `link` now.
+    pub fn link_delay(&self, link: LinkId) -> Latency {
+        let usage = self.link_usage(link);
+        effective_delay(self.topo.link(link).delay, usage.utilization())
+    }
+
+    /// The reservation held by `slice`, if any.
+    pub fn reservation(&self, slice: SliceId) -> Option<&PathReservation> {
+        self.reservations.get(&slice)
+    }
+
+    /// Fraction of `slice`'s reserved bandwidth its path can actually carry
+    /// right now: 1.0 on healthy links; on an oversubscribed link (fade or
+    /// failure pushed effective capacity below reservations) every
+    /// reservation is scaled back proportionally, and the slice's share is
+    /// its worst link's. `None` when the slice holds no path.
+    pub fn capacity_share(&self, slice: SliceId) -> Option<f64> {
+        let res = self.reservations.get(&slice)?;
+        let share = res
+            .path
+            .links
+            .iter()
+            .map(|&l| {
+                let util = self.usage[l.value() as usize].utilization();
+                if util > 1.0 {
+                    1.0 / util
+                } else {
+                    1.0
+                }
+            })
+            .fold(1.0f64, f64::min);
+        Some(share)
+    }
+
+    /// Current end-to-end effective delay of `slice`'s path.
+    pub fn path_delay(&self, slice: SliceId) -> Option<Latency> {
+        let res = self.reservations.get(&slice)?;
+        Some(
+            res.path
+                .links
+                .iter()
+                .map(|&l| self.link_delay(l))
+                .sum::<Latency>(),
+        )
+    }
+
+    /// Allocate a path for `slice` from `src` to `dst` carrying `bandwidth`
+    /// within `max_delay`. CSPF over residual capacities with base delays
+    /// (reservation-time delays are the committed ones; queueing shows up in
+    /// monitoring).
+    pub fn allocate(
+        &mut self,
+        slice: SliceId,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: RateMbps,
+        max_delay: Latency,
+    ) -> Result<PathAllocation, TransportError> {
+        if self.reservations.contains_key(&slice) {
+            return Err(TransportError::AlreadyAllocated(slice));
+        }
+        let usage = &self.usage;
+        let path = cspf(
+            &self.topo,
+            src,
+            dst,
+            |l| usage[l.value() as usize].available().value() >= bandwidth.value(),
+            |l| self.topo.link(l).delay,
+            max_delay,
+        )
+        .ok_or(TransportError::NoFeasiblePath)?;
+
+        self.install_rules(slice, &path.nodes, &path.links)?;
+        for &l in &path.links {
+            self.usage[l.value() as usize].reserved += bandwidth;
+        }
+        let reservation = PathReservation {
+            slice,
+            path,
+            bandwidth,
+            max_delay,
+        };
+        let delay_at_allocation = reservation
+            .path
+            .links
+            .iter()
+            .map(|&l| self.link_delay(l))
+            .sum::<Latency>();
+        self.reservations.insert(slice, reservation.clone());
+        self.metrics.counter("transport.allocations").inc();
+        Ok(PathAllocation {
+            reservation,
+            delay_at_allocation,
+        })
+    }
+
+    /// Install per-switch flow rules along a path; rolls back on failure.
+    fn install_rules(
+        &mut self,
+        slice: SliceId,
+        nodes: &[NodeId],
+        links: &[LinkId],
+    ) -> Result<(), TransportError> {
+        let mut installed: Vec<SwitchId> = Vec::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let NodeKind::Switch(sw) = self.topo.node(node).kind else {
+                continue;
+            };
+            // Interior switch: in-link is links[i-1], out-link links[i].
+            // A switch can also be an endpoint; endpoints need no rule.
+            if i == 0 || i == nodes.len() - 1 {
+                continue;
+            }
+            let rule = FlowRule {
+                priority: 100,
+                matches: FlowMatch {
+                    slice: Some(slice),
+                    in_link: Some(links[i - 1]),
+                },
+                action: FlowAction::Output(links[i]),
+            };
+            let table = self.tables.get_mut(&sw).expect("switch has a table");
+            match table.install(rule) {
+                Ok(()) => installed.push(sw),
+                Err(e) => {
+                    for sw in installed {
+                        self.tables
+                            .get_mut(&sw)
+                            .expect("switch has a table")
+                            .remove_slice(slice);
+                    }
+                    self.metrics.counter("transport.flow_table_rejections").inc();
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Release `slice`'s path, freeing bandwidth and flow rules.
+    pub fn release(&mut self, slice: SliceId) -> Result<PathReservation, TransportError> {
+        let res = self
+            .reservations
+            .remove(&slice)
+            .ok_or(TransportError::NotAllocated(slice))?;
+        for &l in &res.path.links {
+            self.usage[l.value() as usize].reserved = self.usage[l.value() as usize]
+                .reserved
+                .saturating_sub(res.bandwidth);
+        }
+        for table in self.tables.values_mut() {
+            table.remove_slice(slice);
+        }
+        self.metrics.counter("transport.releases").inc();
+        Ok(res)
+    }
+
+    /// Resize `slice`'s reservation in place (same path). Fails with
+    /// [`TransportError::InsufficientLinkCapacity`] if any link cannot absorb
+    /// the growth.
+    pub fn resize(&mut self, slice: SliceId, bandwidth: RateMbps) -> Result<(), TransportError> {
+        let res = self
+            .reservations
+            .get(&slice)
+            .ok_or(TransportError::NotAllocated(slice))?;
+        let old = res.bandwidth;
+        let links = res.path.links.clone();
+        if bandwidth.value() > old.value() {
+            let extra = bandwidth - old;
+            for &l in &links {
+                if self.usage[l.value() as usize].available().value() < extra.value() {
+                    return Err(TransportError::InsufficientLinkCapacity(l));
+                }
+            }
+        }
+        for &l in &links {
+            let u = &mut self.usage[l.value() as usize];
+            u.reserved = u.reserved.saturating_sub(old) + bandwidth;
+        }
+        self.reservations
+            .get_mut(&slice)
+            .expect("checked above")
+            .bandwidth = bandwidth;
+        self.metrics.counter("transport.resizes").inc();
+        Ok(())
+    }
+
+    /// Apply a degradation factor to `link` (e.g. rain fade on mmWave).
+    /// Returns the slices whose paths traverse the link and are now
+    /// oversubscribed (candidates for reroute).
+    pub fn degrade_link(&mut self, link: LinkId, factor: f64) -> Vec<SliceId> {
+        self.usage[link.value() as usize].degradation = factor.clamp(0.0, 1.0);
+        self.metrics.counter("transport.degradations").inc();
+        if self.usage[link.value() as usize].utilization() <= 1.0 {
+            return Vec::new();
+        }
+        self.reservations
+            .values()
+            .filter(|r| r.uses_link(link))
+            .map(|r| r.slice)
+            .collect()
+    }
+
+    /// Restore `link` to full health.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.usage[link.value() as usize].degradation = 1.0;
+    }
+
+    /// Re-route `slice` onto a new feasible path avoiding its current one's
+    /// bottleneck; keeps the old path if no better one exists.
+    ///
+    /// Returns `Ok(true)` if the slice moved, `Ok(false)` if it stayed.
+    pub fn reroute(&mut self, slice: SliceId) -> Result<bool, TransportError> {
+        let res = self
+            .reservations
+            .get(&slice)
+            .cloned()
+            .ok_or(TransportError::NotAllocated(slice))?;
+        let src = res.path.nodes[0];
+        let dst = *res.path.nodes.last().expect("paths are non-empty");
+        // Free our own reservation while searching so we can reuse healthy
+        // parts of our own path.
+        for &l in &res.path.links {
+            self.usage[l.value() as usize].reserved = self.usage[l.value() as usize]
+                .reserved
+                .saturating_sub(res.bandwidth);
+        }
+        let usage = &self.usage;
+        let candidate = cspf(
+            &self.topo,
+            src,
+            dst,
+            |l| usage[l.value() as usize].available().value() >= res.bandwidth.value(),
+            |l| self.topo.link(l).delay,
+            res.max_delay,
+        );
+        match candidate {
+            Some(path) if path != res.path => {
+                for table in self.tables.values_mut() {
+                    table.remove_slice(slice);
+                }
+                if let Err(e) = self.install_rules(slice, &path.nodes, &path.links) {
+                    // Roll back to the old path and rules.
+                    let _ = self.install_rules(slice, &res.path.nodes, &res.path.links);
+                    for &l in &res.path.links {
+                        self.usage[l.value() as usize].reserved += res.bandwidth;
+                    }
+                    return Err(e);
+                }
+                for &l in &path.links {
+                    self.usage[l.value() as usize].reserved += res.bandwidth;
+                }
+                self.reservations
+                    .get_mut(&slice)
+                    .expect("present")
+                    .path = path;
+                self.metrics.counter("transport.reroutes").inc();
+                Ok(true)
+            }
+            _ => {
+                // Stay put (possibly oversubscribed until the fade passes).
+                for &l in &res.path.links {
+                    self.usage[l.value() as usize].reserved += res.bandwidth;
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Record per-link utilization telemetry at `now`.
+    pub fn record_epoch(&mut self, now: SimTime) {
+        for link in self.topo.links() {
+            let util = self.usage[link.id.value() as usize].utilization();
+            self.metrics
+                .series(&format!("transport.{}.utilization", link.id))
+                .record(now, if util.is_finite() { util } else { 1.0 });
+        }
+    }
+
+    /// Domain snapshot for the orchestrator/dashboard.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            links: self
+                .topo
+                .links()
+                .iter()
+                .map(|l| {
+                    let u = &self.usage[l.id.value() as usize];
+                    LinkRow {
+                        link: l.id,
+                        effective_capacity: u.effective_capacity(),
+                        reserved: u.reserved,
+                        utilization: u.utilization(),
+                        degradation: u.degradation,
+                    }
+                })
+                .collect(),
+            paths: self.reservations.len(),
+        }
+    }
+
+    /// Flow table of `switch` (for tests/inspection).
+    pub fn flow_table(&self, switch: SwitchId) -> Option<&FlowTable> {
+        self.tables.get(&switch)
+    }
+
+    /// The controller's telemetry registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{DcId, EnbId};
+
+    fn testbed_controller() -> TransportController {
+        TransportController::new(Topology::testbed(), 1024)
+    }
+
+    fn endpoints(c: &TransportController) -> (NodeId, NodeId, NodeId) {
+        let t = c.topology();
+        (
+            t.radio_site(EnbId::new(0)).unwrap(),
+            t.dc_node(DcId::new(0)).unwrap(),
+            t.dc_node(DcId::new(1)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn allocate_picks_min_delay_feasible_path() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        // mmWave (0.5) + fiber (0.2) beats µwave (1.0) + fiber.
+        assert_eq!(alloc.delay_at_allocation, Latency::new(0.7));
+        assert_eq!(alloc.reservation.path.hops(), 2);
+        // Bandwidth accounted on both links.
+        for &l in &alloc.reservation.path.links {
+            assert_eq!(c.link_usage(l).reserved.value(), 100.0);
+        }
+    }
+
+    #[test]
+    fn allocate_installs_flow_rules_on_interior_switches() {
+        let mut c = testbed_controller();
+        let (src, _, core) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .unwrap();
+        // Path crosses pf5240 (sw 0) and core-agg (sw 1): one rule each.
+        assert_eq!(c.flow_table(SwitchId::new(0)).unwrap().len(), 1);
+        assert_eq!(c.flow_table(SwitchId::new(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn infeasible_capacity_is_rejected() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        // 5 Gbps exceeds even mmWave.
+        assert_eq!(
+            c.allocate(SliceId::new(1), src, edge, RateMbps::new(5000.0), Latency::new(50.0)),
+            Err(TransportError::NoFeasiblePath)
+        );
+    }
+
+    #[test]
+    fn infeasible_delay_is_rejected() {
+        let mut c = testbed_controller();
+        let (src, _, core) = endpoints(&c);
+        assert_eq!(
+            c.allocate(SliceId::new(1), src, core, RateMbps::new(10.0), Latency::new(0.1)),
+            Err(TransportError::NoFeasiblePath)
+        );
+    }
+
+    #[test]
+    fn double_allocation_rejected() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
+            .unwrap();
+        assert_eq!(
+            c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0)),
+            Err(TransportError::AlreadyAllocated(SliceId::new(1)))
+        );
+    }
+
+    #[test]
+    fn release_frees_bandwidth_and_rules() {
+        let mut c = testbed_controller();
+        let (src, _, core) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .unwrap();
+        c.release(SliceId::new(1)).unwrap();
+        for &l in &alloc.reservation.path.links {
+            assert_eq!(c.link_usage(l).reserved, RateMbps::ZERO);
+        }
+        assert!(c.flow_table(SwitchId::new(0)).unwrap().is_empty());
+        assert_eq!(
+            c.release(SliceId::new(1)),
+            Err(TransportError::NotAllocated(SliceId::new(1)))
+        );
+    }
+
+    #[test]
+    fn capacity_exhaustion_falls_back_to_secondary_path() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        // Fill the mmWave uplink (1000 Mbps).
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(950.0), Latency::new(5.0))
+            .unwrap();
+        // Next slice cannot fit on mmWave; must take µwave (delay 1.0 + 0.2).
+        let alloc = c
+            .allocate(SliceId::new(2), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        assert_eq!(alloc.delay_at_allocation, Latency::new(1.2));
+    }
+
+    #[test]
+    fn resize_up_and_down() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        c.resize(SliceId::new(1), RateMbps::new(300.0)).unwrap();
+        let l0 = alloc.reservation.path.links[0];
+        assert_eq!(c.link_usage(l0).reserved.value(), 300.0);
+        c.resize(SliceId::new(1), RateMbps::new(50.0)).unwrap();
+        assert_eq!(c.link_usage(l0).reserved.value(), 50.0);
+        // Growing past mmWave capacity fails.
+        assert!(matches!(
+            c.resize(SliceId::new(1), RateMbps::new(2000.0)),
+            Err(TransportError::InsufficientLinkCapacity(_))
+        ));
+        assert!(c.resize(SliceId::new(9), RateMbps::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn degrade_reports_oversubscribed_slices_and_reroute_moves_them() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(300.0), Latency::new(5.0))
+            .unwrap();
+        let mm = alloc.reservation.path.links[0];
+        // Rain fade: mmWave down to 20% → 200 Mbps < 300 reserved.
+        let affected = c.degrade_link(mm, 0.2);
+        assert_eq!(affected, vec![SliceId::new(1)]);
+        // Reroute moves the slice to the µwave path.
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(true));
+        let new_path = &c.reservation(SliceId::new(1)).unwrap().path;
+        assert!(!new_path.links.contains(&mm));
+        assert_eq!(c.link_usage(mm).reserved, RateMbps::ZERO);
+        // Restore and note a mild degradation doesn't flag anyone.
+        c.restore_link(mm);
+        assert!(c.degrade_link(mm, 0.9).is_empty());
+    }
+
+    #[test]
+    fn reroute_stays_put_when_no_alternative() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
+            .unwrap();
+        let mm = alloc.reservation.path.links[0];
+        // µwave is only 400 Mbps: a 500 Mbps slice cannot move.
+        c.degrade_link(mm, 0.1);
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().path, alloc.reservation.path);
+        assert!(c.reroute(SliceId::new(9)).is_err());
+    }
+
+    #[test]
+    fn path_delay_reflects_load() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        let light = c.path_delay(SliceId::new(1)).unwrap();
+        // Load the mmWave link to 95% with another slice.
+        c.allocate(SliceId::new(2), src, edge, RateMbps::new(850.0), Latency::new(5.0))
+            .unwrap();
+        let heavy = c.path_delay(SliceId::new(1)).unwrap();
+        assert!(heavy.value() > light.value(), "{heavy} vs {light}");
+        assert_eq!(c.path_delay(SliceId::new(9)), None);
+    }
+
+    #[test]
+    fn flow_table_exhaustion_rolls_back() {
+        let mut c = TransportController::new(Topology::testbed(), 1);
+        let (src, _, core) = endpoints(&c);
+        // Path src→core needs 2 interior rules (pf + agg); table cap 1 per
+        // switch is fine (one rule per switch). Fill pf's table first.
+        let (_, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
+            .unwrap();
+        let t1 = c.topology().radio_site(EnbId::new(1)).unwrap();
+        let err = c
+            .allocate(SliceId::new(2), t1, core, RateMbps::new(10.0), Latency::new(10.0))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::FlowTable(SwitchError::TableFull { .. })));
+        // Rollback: no orphan rules for slice 2, no bandwidth leaked.
+        assert_eq!(c.flow_table(SwitchId::new(1)).unwrap().len(), 0);
+        let snap = c.snapshot();
+        let leaked: f64 = snap
+            .links
+            .iter()
+            .map(|r| r.reserved.value())
+            .sum::<f64>();
+        assert_eq!(leaked, 20.0, "only slice 1's two links carry reservations");
+    }
+
+    #[test]
+    fn snapshot_and_epoch_telemetry() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
+            .unwrap();
+        c.record_epoch(SimTime::from_secs(1));
+        let snap = c.snapshot();
+        assert_eq!(snap.paths, 1);
+        let mm_row = snap.links.iter().find(|r| r.reserved.value() > 0.0).unwrap();
+        assert!((mm_row.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(c.metrics().counter_value("transport.allocations"), Some(1));
+        assert!(c
+            .metrics()
+            .series_ref(&format!("transport.{}.utilization", mm_row.link))
+            .is_some());
+    }
+
+    #[test]
+    fn allocation_counter_tracks() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        for i in 0..3 {
+            c.allocate(SliceId::new(i), src, edge, RateMbps::new(10.0), Latency::new(5.0))
+                .unwrap();
+        }
+        assert_eq!(c.metrics().counter_value("transport.allocations"), Some(3));
+        assert_eq!(c.snapshot().paths, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Topology generators beyond the fixed Fig. 2 testbed.
+//!
+//! The demo's programmable switch exists to "enable different transport
+//! network topology configurations"; these constructors build the standard
+//! shapes experiments sweep over — lines, rings, stars and random
+//! meshes — all switch-only graphs the caller can hang radio sites and DCs
+//! onto (or use as-is for routing studies).
+
+use crate::topology::{LinkKind, NodeKind, Topology, TopologyBuilder};
+use ovnes_model::{Latency, NodeId, RateMbps, SwitchId};
+use ovnes_sim::SimRng;
+
+fn add_switches(b: &mut TopologyBuilder, n: usize) -> Vec<NodeId> {
+    (0..n)
+        .map(|i| b.add_node(NodeKind::Switch(SwitchId::new(i as u64)), &format!("sw{i}")))
+        .collect()
+}
+
+/// A line of `n` switches: `sw0 — sw1 — … — sw(n-1)`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn line(n: usize, capacity: RateMbps, delay: Latency) -> Topology {
+    assert!(n >= 2, "a line needs at least two nodes");
+    let mut b = Topology::builder();
+    let nodes = add_switches(&mut b, n);
+    for w in nodes.windows(2) {
+        b.add_link(w[0], w[1], LinkKind::Wired, capacity, delay);
+    }
+    b.build()
+}
+
+/// A ring of `n` switches (a line plus the closing edge).
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn ring(n: usize, capacity: RateMbps, delay: Latency) -> Topology {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut b = Topology::builder();
+    let nodes = add_switches(&mut b, n);
+    for i in 0..n {
+        b.add_link(nodes[i], nodes[(i + 1) % n], LinkKind::Wired, capacity, delay);
+    }
+    b.build()
+}
+
+/// A star: switch 0 is the hub, switches 1..n are leaves.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn star(n: usize, capacity: RateMbps, delay: Latency) -> Topology {
+    assert!(n >= 2, "a star needs a hub and at least one leaf");
+    let mut b = Topology::builder();
+    let nodes = add_switches(&mut b, n);
+    for &leaf in &nodes[1..] {
+        b.add_link(nodes[0], leaf, LinkKind::Wired, capacity, delay);
+    }
+    b.build()
+}
+
+/// A connected random mesh: a ring (guaranteeing connectivity) plus
+/// `extra_chords` random chords with delays in `[0.1, 2.0]` ms.
+/// Deterministic given the RNG stream.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn random_mesh(n: usize, extra_chords: usize, capacity: RateMbps, rng: &mut SimRng) -> Topology {
+    assert!(n >= 3, "a mesh needs at least three nodes");
+    let mut b = Topology::builder();
+    let nodes = add_switches(&mut b, n);
+    for i in 0..n {
+        b.add_link(
+            nodes[i],
+            nodes[(i + 1) % n],
+            LinkKind::Wired,
+            capacity,
+            Latency::new(rng.uniform_range(0.1, 2.0)),
+        );
+    }
+    let mut added = 0;
+    // Bounded attempts so a tiny n cannot loop forever on self-pairs.
+    let mut attempts = 0;
+    while added < extra_chords && attempts < extra_chords * 20 {
+        attempts += 1;
+        let a = rng.uniform_usize(0, n);
+        let c = rng.uniform_usize(0, n);
+        if a != c {
+            b.add_link(
+                nodes[a],
+                nodes[c],
+                LinkKind::Wired,
+                capacity,
+                Latency::new(rng.uniform_range(0.1, 2.0)),
+            );
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::dijkstra;
+
+    const CAP: RateMbps = RateMbps::ZERO; // capacity irrelevant to shape tests
+
+    fn cap() -> RateMbps {
+        RateMbps::new(1000.0)
+    }
+
+    fn d() -> Latency {
+        Latency::new(1.0)
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(5, cap(), d());
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        // End to end = 4 hops.
+        let p = dijkstra(&t, t.nodes()[0].id, t.nodes()[4].id, |_| true, |l| t.link(l).delay)
+            .unwrap();
+        assert_eq!(p.hops(), 4);
+        let _ = CAP;
+    }
+
+    #[test]
+    fn ring_shape_and_two_paths() {
+        let t = ring(6, cap(), d());
+        assert_eq!(t.link_count(), 6);
+        // Opposite nodes are 3 hops apart either way.
+        let p = dijkstra(&t, t.nodes()[0].id, t.nodes()[3].id, |_| true, |l| t.link(l).delay)
+            .unwrap();
+        assert_eq!(p.hops(), 3);
+        // Killing one direction still leaves a route (the other way around).
+        let banned = p.links[0];
+        let q = dijkstra(&t, t.nodes()[0].id, t.nodes()[3].id, |l| l != banned, |l| {
+            t.link(l).delay
+        })
+        .unwrap();
+        assert_eq!(q.hops(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5, cap(), d());
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.neighbors(t.nodes()[0].id).len(), 4, "hub degree");
+        // Leaf to leaf always crosses the hub: 2 hops.
+        let p = dijkstra(&t, t.nodes()[1].id, t.nodes()[4].id, |_| true, |l| t.link(l).delay)
+            .unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn random_mesh_is_connected_and_deterministic() {
+        let build = || {
+            let mut rng = SimRng::seed_from(9);
+            random_mesh(12, 10, cap(), &mut rng)
+        };
+        let t = build();
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.link_count(), 12 + 10);
+        // Connectivity: everything reachable from node 0.
+        for target in t.nodes() {
+            assert!(
+                dijkstra(&t, t.nodes()[0].id, target.id, |_| true, |l| t.link(l).delay).is_some(),
+                "unreachable {:?}",
+                target.id
+            );
+        }
+        assert_eq!(build(), t, "same stream, same mesh");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_ring_rejected() {
+        ring(2, cap(), d());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_line_rejected() {
+        line(1, cap(), d());
+    }
+}

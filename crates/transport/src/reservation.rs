@@ -1,0 +1,174 @@
+//! Per-link bandwidth accounting and the load-dependent delay model.
+//!
+//! Each link tracks its nominal capacity, a degradation factor (rain fade on
+//! mmWave), and the bandwidth reserved by slice paths. [`effective_delay`]
+//! inflates a link's base delay as it fills — an M/M/1-flavored queueing
+//! penalty — which is how transport-side SLA violations emerge when the
+//! overbooking engine squeezes paths too hard.
+
+use crate::routing::Path;
+use ovnes_model::{Latency, LinkId, RateMbps, SliceId};
+use serde::{Deserialize, Serialize};
+
+/// Mutable state of one link: degradation and reservations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkUsage {
+    /// Nominal capacity (from the topology).
+    pub nominal_capacity: RateMbps,
+    /// Degradation factor in `[0, 1]`: 1 = healthy, 0.3 = heavy rain fade.
+    pub degradation: f64,
+    /// Bandwidth reserved by slice paths.
+    pub reserved: RateMbps,
+}
+
+impl LinkUsage {
+    /// Healthy, empty link of the given capacity.
+    pub fn new(nominal_capacity: RateMbps) -> LinkUsage {
+        LinkUsage {
+            nominal_capacity,
+            degradation: 1.0,
+            reserved: RateMbps::ZERO,
+        }
+    }
+
+    /// Capacity after degradation.
+    pub fn effective_capacity(&self) -> RateMbps {
+        self.nominal_capacity * self.degradation
+    }
+
+    /// Capacity not yet reserved (zero when degradation pushed effective
+    /// capacity below current reservations).
+    pub fn available(&self) -> RateMbps {
+        self.effective_capacity().saturating_sub(self.reserved)
+    }
+
+    /// Utilization of effective capacity, `>= 1` when oversubscribed after
+    /// degradation.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.effective_capacity();
+        if cap.is_zero() {
+            if self.reserved.is_zero() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.reserved.value() / cap.value()
+        }
+    }
+}
+
+/// Queueing-inflated one-way delay of a link at utilization `rho`.
+///
+/// `base` below `rho = 0.5`, then an M/M/1-style `rho/(1-rho)` penalty on
+/// the excess, capped at 10× base so a saturated link reports a large but
+/// finite delay (matching how real gear drops rather than queues forever).
+pub fn effective_delay(base: Latency, rho: f64) -> Latency {
+    if !rho.is_finite() {
+        return Latency::new(base.value() * 10.0);
+    }
+    let rho = rho.max(0.0);
+    if rho <= 0.5 {
+        return base;
+    }
+    let capped = rho.min(0.99);
+    let penalty = (capped - 0.5) / (1.0 - capped); // 0 at 0.5 → 49 at 0.99
+    let factor = (1.0 + penalty).min(10.0);
+    Latency::new(base.value() * if rho >= 0.99 { 10.0 } else { factor })
+}
+
+/// A slice's installed transport path with its bandwidth reservation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathReservation {
+    /// The owning slice.
+    pub slice: SliceId,
+    /// The reserved path.
+    pub path: Path,
+    /// Bandwidth reserved on every link of the path.
+    pub bandwidth: RateMbps,
+    /// The delay bound the path was admitted against.
+    pub max_delay: Latency,
+}
+
+impl PathReservation {
+    /// True if this reservation traverses `link`.
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.path.links.contains(&link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_accounting() {
+        let mut u = LinkUsage::new(RateMbps::new(1000.0));
+        assert_eq!(u.available().value(), 1000.0);
+        u.reserved = RateMbps::new(400.0);
+        assert_eq!(u.available().value(), 600.0);
+        assert!((u.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_shrinks_capacity() {
+        let mut u = LinkUsage::new(RateMbps::new(1000.0));
+        u.reserved = RateMbps::new(400.0);
+        u.degradation = 0.3;
+        assert_eq!(u.effective_capacity().value(), 300.0);
+        assert_eq!(u.available(), RateMbps::ZERO, "oversubscribed after fade");
+        assert!(u.utilization() > 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_utilization() {
+        let mut u = LinkUsage::new(RateMbps::new(1000.0));
+        u.degradation = 0.0;
+        assert_eq!(u.utilization(), 0.0);
+        u.reserved = RateMbps::new(1.0);
+        assert!(u.utilization().is_infinite());
+    }
+
+    #[test]
+    fn delay_flat_below_half_load() {
+        let base = Latency::new(1.0);
+        assert_eq!(effective_delay(base, 0.0), base);
+        assert_eq!(effective_delay(base, 0.5), base);
+        assert_eq!(effective_delay(base, -1.0), base, "negative clamps");
+    }
+
+    #[test]
+    fn delay_grows_monotonically_past_half_load() {
+        let base = Latency::new(1.0);
+        let mut last = 1.0;
+        for i in 51..=100 {
+            let rho = i as f64 / 100.0;
+            let d = effective_delay(base, rho).value();
+            assert!(d >= last, "rho={rho}: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn delay_caps_at_ten_x() {
+        let base = Latency::new(2.0);
+        assert_eq!(effective_delay(base, 1.0).value(), 20.0);
+        assert_eq!(effective_delay(base, 5.0).value(), 20.0);
+        assert_eq!(effective_delay(base, f64::INFINITY).value(), 20.0);
+    }
+
+    #[test]
+    fn reservation_link_membership() {
+        let res = PathReservation {
+            slice: SliceId::new(1),
+            path: Path {
+                links: vec![LinkId::new(3), LinkId::new(5)],
+                nodes: vec![],
+            },
+            bandwidth: RateMbps::new(10.0),
+            max_delay: Latency::new(5.0),
+        };
+        assert!(res.uses_link(LinkId::new(3)));
+        assert!(!res.uses_link(LinkId::new(4)));
+    }
+}

@@ -1,0 +1,378 @@
+//! Path computation over the transport graph.
+//!
+//! Three algorithms, all operating on *effective* per-link weights supplied
+//! by the caller (so the controller can route over residual capacities and
+//! degraded delays):
+//!
+//! * [`dijkstra`] — minimum-delay path.
+//! * [`cspf`] — constrained shortest path first: prune links below a
+//!   capacity floor, then find the minimum-delay path and check it against a
+//!   delay bound. This is the allocation query of the demo ("dedicated paths
+//!   are selected to guarantee the required delay and capacity", §3).
+//! * [`k_shortest_paths`] — Yen's algorithm, used for reroute candidates
+//!   when a mmWave link degrades.
+
+use crate::topology::Topology;
+use ovnes_model::{Latency, LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A loop-free path: the link sequence from source to destination.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Traversed links, in order.
+    pub links: Vec<LinkId>,
+    /// Traversed nodes, source first, destination last (`links.len() + 1`
+    /// entries).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Total delay under the caller's per-link delay function.
+    pub fn total_delay(&self, delay_of: impl Fn(LinkId) -> Latency) -> Latency {
+        self.links.iter().map(|&l| delay_of(l)).sum::<Latency>()
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    cost_us: u64,
+    node: NodeId,
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on cost; tie-break on node id for determinism.
+        other
+            .cost_us
+            .cmp(&self.cost_us)
+            .then_with(|| other.node.value().cmp(&self.node.value()))
+    }
+}
+
+/// Minimum-delay path from `src` to `dst`.
+///
+/// `usable` filters links (return `false` to exclude); `delay_of` supplies
+/// the current per-link delay. Returns `None` when `dst` is unreachable
+/// through usable links.
+pub fn dijkstra(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    usable: impl Fn(LinkId) -> bool,
+    delay_of: impl Fn(LinkId) -> Latency,
+) -> Option<Path> {
+    let n = topo.node_count();
+    let src_i = src.value() as usize;
+    let dst_i = dst.value() as usize;
+    assert!(src_i < n && dst_i < n, "unknown endpoint");
+    if src == dst {
+        return Some(Path {
+            links: Vec::new(),
+            nodes: vec![src],
+        });
+    }
+
+    // Distances in integer microseconds for exact comparisons.
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<(LinkId, NodeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src_i] = 0;
+    heap.push(QueueItem {
+        cost_us: 0,
+        node: src,
+    });
+
+    while let Some(QueueItem { cost_us, node }) = heap.pop() {
+        let ni = node.value() as usize;
+        if cost_us > dist[ni] {
+            continue; // stale entry
+        }
+        if node == dst {
+            break;
+        }
+        for &(link, peer) in topo.neighbors(node) {
+            if !usable(link) {
+                continue;
+            }
+            let w = delay_of(link).to_duration().as_micros();
+            let next = cost_us.saturating_add(w);
+            let pi = peer.value() as usize;
+            if next < dist[pi] {
+                dist[pi] = next;
+                prev[pi] = Some((link, node));
+                heap.push(QueueItem {
+                    cost_us: next,
+                    node: peer,
+                });
+            }
+        }
+    }
+
+    if dist[dst_i] == u64::MAX {
+        return None;
+    }
+    // Reconstruct.
+    let mut links = Vec::new();
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let (link, parent) = prev[cur.value() as usize].expect("reachable implies parent");
+        links.push(link);
+        nodes.push(parent);
+        cur = parent;
+    }
+    links.reverse();
+    nodes.reverse();
+    Some(Path { links, nodes })
+}
+
+/// Constrained shortest path first: the minimum-delay path among links whose
+/// `available` capacity (as judged by the caller-provided predicate) can
+/// carry the demand, subject to `max_delay` end-to-end.
+///
+/// Returns `None` if no feasible path exists.
+pub fn cspf(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    has_capacity: impl Fn(LinkId) -> bool,
+    delay_of: impl Fn(LinkId) -> Latency + Copy,
+    max_delay: Latency,
+) -> Option<Path> {
+    let path = dijkstra(topo, src, dst, has_capacity, delay_of)?;
+    (path.total_delay(delay_of).value() <= max_delay.value()).then_some(path)
+}
+
+/// Yen's k-shortest loop-free paths by delay, earliest-shortest first.
+///
+/// Returns up to `k` paths; fewer if the graph does not contain that many
+/// distinct loop-free paths.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    usable: impl Fn(LinkId) -> bool + Copy,
+    delay_of: impl Fn(LinkId) -> Latency + Copy,
+) -> Vec<Path> {
+    let Some(first) = dijkstra(topo, src, dst, usable, delay_of) else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while found.len() < k {
+        let last = found.last().expect("non-empty").clone();
+        // Branch at every spur node of the last found path.
+        for i in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[i];
+            let root_links = &last.links[..i];
+            let root_nodes = &last.nodes[..=i];
+
+            // Links to exclude: any link that an already *found* path with
+            // the same root takes out of the spur node. (Banning candidate
+            // paths' links too would wrongly suppress cheap paths at this
+            // iteration only to resurface them later, breaking the sorted-
+            // output invariant — classic Yen bans the A-list only.)
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in found.iter() {
+                if p.links.len() > i && p.links[..i] == *root_links {
+                    banned_links.push(p.links[i]);
+                }
+            }
+            // Nodes on the root (except the spur node) must not be revisited.
+            let banned_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
+
+            let spur = dijkstra(
+                topo,
+                spur_node,
+                dst,
+                |l| {
+                    if banned_links.contains(&l) || !usable(l) {
+                        return false;
+                    }
+                    let link = topo.link(l);
+                    // Exclude links touching banned nodes.
+                    !banned_nodes.contains(&link.a) && !banned_nodes.contains(&link.b)
+                },
+                delay_of,
+            );
+            if let Some(spur_path) = spur {
+                let mut links = root_links.to_vec();
+                links.extend_from_slice(&spur_path.links);
+                let mut nodes = root_nodes[..i].to_vec();
+                nodes.extend_from_slice(&spur_path.nodes);
+                let candidate = Path { links, nodes };
+                if !found.contains(&candidate) && !candidates.contains(&candidate) {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Promote the cheapest candidate (stable on delay then link ids).
+        candidates.sort_by_key(|p| {
+            (
+                p.total_delay(delay_of).to_duration().as_micros(),
+                p.links.iter().map(|l| l.value()).collect::<Vec<_>>(),
+            )
+        });
+        found.push(candidates.remove(0));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkKind, NodeKind, Topology};
+    use ovnes_model::{RateMbps, SwitchId};
+
+    /// A diamond: s ─a─ m1 ─b─ t (fast), s ─c─ m2 ─d─ t (slow), plus a
+    /// direct slow edge s ─e─ t.
+    fn diamond() -> (Topology, NodeId, NodeId) {
+        let mut b = Topology::builder();
+        let s = b.add_node(NodeKind::Switch(SwitchId::new(0)), "s");
+        let m1 = b.add_node(NodeKind::Switch(SwitchId::new(1)), "m1");
+        let m2 = b.add_node(NodeKind::Switch(SwitchId::new(2)), "m2");
+        let t = b.add_node(NodeKind::Switch(SwitchId::new(3)), "t");
+        let cap = RateMbps::new(1000.0);
+        b.add_link(s, m1, LinkKind::Wired, cap, Latency::new(1.0)); // 0
+        b.add_link(m1, t, LinkKind::Wired, cap, Latency::new(1.0)); // 1
+        b.add_link(s, m2, LinkKind::Wired, cap, Latency::new(2.0)); // 2
+        b.add_link(m2, t, LinkKind::Wired, cap, Latency::new(2.0)); // 3
+        b.add_link(s, t, LinkKind::Wired, cap, Latency::new(5.0)); // 4
+        (b.build(), s, t)
+    }
+
+    fn base_delay(topo: &Topology) -> impl Fn(LinkId) -> Latency + Copy + '_ {
+        move |l| topo.link(l).delay
+    }
+
+    #[test]
+    fn dijkstra_finds_min_delay_path() {
+        let (topo, s, t) = diamond();
+        let p = dijkstra(&topo, s, t, |_| true, base_delay(&topo)).unwrap();
+        assert_eq!(p.links, vec![LinkId::new(0), LinkId::new(1)]);
+        assert_eq!(p.nodes.len(), 3);
+        assert_eq!(p.total_delay(base_delay(&topo)), Latency::new(2.0));
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn dijkstra_same_node_is_empty_path() {
+        let (topo, s, _) = diamond();
+        let p = dijkstra(&topo, s, s, |_| true, base_delay(&topo)).unwrap();
+        assert!(p.links.is_empty());
+        assert_eq!(p.nodes, vec![s]);
+    }
+
+    #[test]
+    fn dijkstra_respects_usable_filter() {
+        let (topo, s, t) = diamond();
+        // Kill the fast path's first hop: route shifts to the 4 ms branch.
+        let p = dijkstra(&topo, s, t, |l| l != LinkId::new(0), base_delay(&topo)).unwrap();
+        assert_eq!(p.links, vec![LinkId::new(2), LinkId::new(3)]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_returns_none() {
+        let mut b = Topology::builder();
+        let a = b.add_node(NodeKind::Switch(SwitchId::new(0)), "a");
+        let c = b.add_node(NodeKind::Switch(SwitchId::new(1)), "c");
+        let topo = b.build();
+        assert_eq!(dijkstra(&topo, a, c, |_| true, |_| Latency::new(1.0)), None);
+    }
+
+    #[test]
+    fn cspf_prunes_capacity_and_bounds_delay() {
+        let (topo, s, t) = diamond();
+        // Fast path blocked by capacity: CSPF settles for the 4 ms branch.
+        let p = cspf(
+            &topo,
+            s,
+            t,
+            |l| l != LinkId::new(1),
+            base_delay(&topo),
+            Latency::new(4.5),
+        )
+        .unwrap();
+        assert_eq!(p.total_delay(base_delay(&topo)), Latency::new(4.0));
+        // Same pruning with a 3 ms bound: infeasible.
+        assert_eq!(
+            cspf(&topo, s, t, |l| l != LinkId::new(1), base_delay(&topo), Latency::new(3.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn yen_enumerates_in_delay_order() {
+        let (topo, s, t) = diamond();
+        let paths = k_shortest_paths(&topo, s, t, 5, |_| true, base_delay(&topo));
+        assert_eq!(paths.len(), 3, "diamond has exactly 3 loop-free s→t paths");
+        let delays: Vec<f64> = paths
+            .iter()
+            .map(|p| p.total_delay(base_delay(&topo)).value())
+            .collect();
+        assert_eq!(delays, vec![2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn yen_k1_equals_dijkstra() {
+        let (topo, s, t) = diamond();
+        let paths = k_shortest_paths(&topo, s, t, 1, |_| true, base_delay(&topo));
+        let best = dijkstra(&topo, s, t, |_| true, base_delay(&topo)).unwrap();
+        assert_eq!(paths, vec![best]);
+    }
+
+    #[test]
+    fn yen_handles_parallel_links() {
+        // Two parallel links of different delay: both must appear as
+        // distinct paths.
+        let mut b = Topology::builder();
+        let a = b.add_node(NodeKind::Switch(SwitchId::new(0)), "a");
+        let c = b.add_node(NodeKind::Switch(SwitchId::new(1)), "c");
+        b.add_link(a, c, LinkKind::MmWave, RateMbps::new(1000.0), Latency::new(0.5));
+        b.add_link(a, c, LinkKind::MicroWave, RateMbps::new(400.0), Latency::new(1.0));
+        let topo = b.build();
+        let paths = k_shortest_paths(&topo, a, c, 3, |_| true, base_delay(&topo));
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].links, vec![LinkId::new(0)]);
+        assert_eq!(paths[1].links, vec![LinkId::new(1)]);
+    }
+
+    #[test]
+    fn yen_on_testbed_radio_to_core() {
+        let topo = Topology::testbed();
+        let src = topo.radio_site(ovnes_model::EnbId::new(0)).unwrap();
+        let dst = topo.dc_node(ovnes_model::DcId::new(1)).unwrap();
+        let paths = k_shortest_paths(&topo, src, dst, 4, |_| true, base_delay(&topo));
+        // mmWave or µwave first hop, then pf → agg → core: exactly 2 paths.
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].total_delay(base_delay(&topo)).value()
+            <= paths[1].total_delay(base_delay(&topo)).value());
+    }
+
+    #[test]
+    fn paths_are_loop_free() {
+        let (topo, s, t) = diamond();
+        for p in k_shortest_paths(&topo, s, t, 10, |_| true, base_delay(&topo)) {
+            let mut seen = p.nodes.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), p.nodes.len(), "loop in {:?}", p.nodes);
+        }
+    }
+}

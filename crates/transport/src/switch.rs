@@ -1,0 +1,301 @@
+//! OpenFlow-style switch model.
+//!
+//! The demo's ProgrammableFlow PF5240 is programmed per slice: installing a
+//! slice's transport path means installing a flow rule on every switch along
+//! it. [`FlowTable`] reproduces the relevant contract — priority-ordered
+//! matching on (slice, in-port) with a bounded TCAM-like table — so the
+//! controller experiences the same failure mode real deployments do: flow
+//! table exhaustion.
+
+use ovnes_model::{LinkId, SliceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Match fields of a flow rule. `None` fields are wildcards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Match on the slice the packet belongs to (VLAN/PLMN-derived tag).
+    pub slice: Option<SliceId>,
+    /// Match on the ingress link.
+    pub in_link: Option<LinkId>,
+}
+
+impl FlowMatch {
+    /// Match everything.
+    pub const ANY: FlowMatch = FlowMatch {
+        slice: None,
+        in_link: None,
+    };
+
+    /// Match a specific slice on any ingress.
+    pub fn slice(slice: SliceId) -> FlowMatch {
+        FlowMatch {
+            slice: Some(slice),
+            in_link: None,
+        }
+    }
+
+    /// True if the rule matches a packet of `slice` arriving on `in_link`.
+    pub fn matches(&self, slice: SliceId, in_link: LinkId) -> bool {
+        self.slice.is_none_or(|s| s == slice) && self.in_link.is_none_or(|l| l == in_link)
+    }
+
+    /// Number of exact-match fields (more specific = wins ties).
+    fn specificity(&self) -> u8 {
+        self.slice.is_some() as u8 + self.in_link.is_some() as u8
+    }
+}
+
+/// What to do with a matched packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowAction {
+    /// Forward out of the given link.
+    Output(LinkId),
+    /// Drop the packet.
+    Drop,
+}
+
+/// A prioritized flow rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// Higher wins.
+    pub priority: u16,
+    /// Match fields.
+    pub matches: FlowMatch,
+    /// Action on match.
+    pub action: FlowAction,
+}
+
+/// Errors from flow table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The table is full.
+    TableFull {
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// An identical (priority, match) rule already exists.
+    DuplicateRule,
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::TableFull { capacity } => write!(f, "flow table full ({capacity} rules)"),
+            SwitchError::DuplicateRule => f.write_str("duplicate (priority, match) rule"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A bounded, priority-matched flow table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowTable {
+    capacity: usize,
+    rules: Vec<FlowRule>,
+}
+
+impl FlowTable {
+    /// A table holding at most `capacity` rules.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FlowTable {
+        assert!(capacity > 0, "flow table capacity must be positive");
+        FlowTable {
+            capacity,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Install a rule.
+    pub fn install(&mut self, rule: FlowRule) -> Result<(), SwitchError> {
+        if self
+            .rules
+            .iter()
+            .any(|r| r.priority == rule.priority && r.matches == rule.matches)
+        {
+            return Err(SwitchError::DuplicateRule);
+        }
+        if self.rules.len() >= self.capacity {
+            return Err(SwitchError::TableFull {
+                capacity: self.capacity,
+            });
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Remove all rules matching exactly on `slice` (slice teardown).
+    /// Returns how many rules were removed.
+    pub fn remove_slice(&mut self, slice: SliceId) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.matches.slice != Some(slice));
+        before - self.rules.len()
+    }
+
+    /// Look up the action for a packet of `slice` arriving on `in_link`:
+    /// highest priority wins, then higher match specificity, then earliest
+    /// installed. `None` = table miss.
+    pub fn lookup(&self, slice: SliceId, in_link: LinkId) -> Option<FlowAction> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.matches.matches(slice, in_link))
+            .max_by_key(|(i, r)| {
+                (
+                    r.priority,
+                    r.matches.specificity(),
+                    std::cmp::Reverse(*i),
+                )
+            })
+            .map(|(_, r)| r.action)
+    }
+
+    /// Rules currently installed.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Free rule slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.rules.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(priority: u16, slice: Option<u64>, in_link: Option<u64>, out: u64) -> FlowRule {
+        FlowRule {
+            priority,
+            matches: FlowMatch {
+                slice: slice.map(SliceId::new),
+                in_link: in_link.map(LinkId::new),
+            },
+            action: FlowAction::Output(LinkId::new(out)),
+        }
+    }
+
+    #[test]
+    fn lookup_matches_highest_priority() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(1, Some(1), None, 10)).unwrap();
+        t.install(rule(5, Some(1), None, 20)).unwrap();
+        assert_eq!(
+            t.lookup(SliceId::new(1), LinkId::new(0)),
+            Some(FlowAction::Output(LinkId::new(20)))
+        );
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(5, Some(1), None, 10)).unwrap();
+        t.install(rule(5, Some(1), Some(3), 20)).unwrap();
+        assert_eq!(
+            t.lookup(SliceId::new(1), LinkId::new(3)),
+            Some(FlowAction::Output(LinkId::new(20)))
+        );
+        assert_eq!(
+            t.lookup(SliceId::new(1), LinkId::new(4)),
+            Some(FlowAction::Output(LinkId::new(10)))
+        );
+    }
+
+    #[test]
+    fn earliest_installed_wins_full_ties() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(5, Some(1), Some(3), 10)).unwrap();
+        t.install(rule(5, None, Some(3), 20)).unwrap(); // same specificity? no: 1 field vs 2
+        t.install(rule(5, Some(2), Some(3), 30)).unwrap();
+        // For slice 1 @ link 3 the 2-field rule installed first wins.
+        assert_eq!(
+            t.lookup(SliceId::new(1), LinkId::new(3)),
+            Some(FlowAction::Output(LinkId::new(10)))
+        );
+    }
+
+    #[test]
+    fn wildcard_rule_catches_all() {
+        let mut t = FlowTable::new(10);
+        t.install(FlowRule {
+            priority: 0,
+            matches: FlowMatch::ANY,
+            action: FlowAction::Drop,
+        })
+        .unwrap();
+        assert_eq!(t.lookup(SliceId::new(42), LinkId::new(7)), Some(FlowAction::Drop));
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(1, Some(1), None, 10)).unwrap();
+        assert_eq!(t.lookup(SliceId::new(2), LinkId::new(0)), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(2);
+        t.install(rule(1, Some(1), None, 10)).unwrap();
+        t.install(rule(1, Some(2), None, 10)).unwrap();
+        assert_eq!(
+            t.install(rule(1, Some(3), None, 10)),
+            Err(SwitchError::TableFull { capacity: 2 })
+        );
+        assert_eq!(t.free_slots(), 0);
+        assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(1, Some(1), None, 10)).unwrap();
+        assert_eq!(
+            t.install(rule(1, Some(1), None, 99)),
+            Err(SwitchError::DuplicateRule)
+        );
+        // Same match at another priority is fine.
+        assert!(t.install(rule(2, Some(1), None, 99)).is_ok());
+    }
+
+    #[test]
+    fn remove_slice_clears_its_rules() {
+        let mut t = FlowTable::new(10);
+        t.install(rule(1, Some(1), Some(0), 10)).unwrap();
+        t.install(rule(1, Some(1), Some(2), 11)).unwrap();
+        t.install(rule(1, Some(2), None, 12)).unwrap();
+        assert_eq!(t.remove_slice(SliceId::new(1)), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(SliceId::new(1), LinkId::new(0)), None);
+        assert_eq!(t.remove_slice(SliceId::new(1)), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        FlowTable::new(0);
+    }
+
+    #[test]
+    fn match_semantics() {
+        let m = FlowMatch::slice(SliceId::new(1));
+        assert!(m.matches(SliceId::new(1), LinkId::new(9)));
+        assert!(!m.matches(SliceId::new(2), LinkId::new(9)));
+        assert!(FlowMatch::ANY.matches(SliceId::new(7), LinkId::new(7)));
+    }
+}

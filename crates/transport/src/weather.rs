@@ -1,0 +1,226 @@
+//! Weather over the wireless transport: the reason the testbed pairs every
+//! mmWave hop with a µwave hop.
+//!
+//! A three-state Markov chain (clear / light rain / heavy rain) advances
+//! once per monitoring epoch; each state maps to a capacity degradation
+//! factor applied to every weather-sensitive (mmWave) link. Dwell times are
+//! calibrated to minute epochs: rain events last tens of minutes and most
+//! of the day is clear.
+
+use crate::topology::Topology;
+use ovnes_model::LinkId;
+use ovnes_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sky condition over the deployment area.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sky {
+    /// Full mmWave capacity.
+    Clear,
+    /// Light rain: noticeable attenuation.
+    LightRain,
+    /// Heavy rain: mmWave nearly unusable.
+    HeavyRain,
+}
+
+impl Sky {
+    /// Capacity factor applied to weather-sensitive links in this state.
+    pub fn mmwave_factor(self) -> f64 {
+        match self {
+            Sky::Clear => 1.0,
+            Sky::LightRain => 0.5,
+            // Heavy rain over a multi-hundred-meter E-band hop: adaptive
+            // modulation collapses to the lowest profile — an order of
+            // magnitude and more below nominal.
+            Sky::HeavyRain => 0.03,
+        }
+    }
+}
+
+impl fmt::Display for Sky {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sky::Clear => "clear",
+            Sky::LightRain => "light-rain",
+            Sky::HeavyRain => "heavy-rain",
+        })
+    }
+}
+
+/// Per-epoch Markov weather process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeatherProcess {
+    state: Sky,
+    /// P(clear → light rain) per epoch.
+    pub onset: f64,
+    /// P(light → heavy) per epoch.
+    pub worsen: f64,
+    /// P(light → clear) per epoch.
+    pub clear_up: f64,
+    /// P(heavy → light) per epoch.
+    pub ease: f64,
+    epochs: u64,
+    rainy_epochs: u64,
+}
+
+impl WeatherProcess {
+    /// Temperate-climate defaults for minute epochs: a rain event every few
+    /// hours, lasting tens of minutes, occasionally intensifying.
+    pub fn temperate() -> WeatherProcess {
+        WeatherProcess {
+            state: Sky::Clear,
+            onset: 0.01,
+            worsen: 0.08,
+            clear_up: 0.06,
+            ease: 0.15,
+            epochs: 0,
+            rainy_epochs: 0,
+        }
+    }
+
+    /// A process that never rains (control runs).
+    pub fn always_clear() -> WeatherProcess {
+        WeatherProcess {
+            onset: 0.0,
+            ..Self::temperate()
+        }
+    }
+
+    /// Current sky condition.
+    pub fn sky(&self) -> Sky {
+        self.state
+    }
+
+    /// Fraction of stepped epochs that were rainy.
+    pub fn rain_fraction(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.rainy_epochs as f64 / self.epochs as f64
+        }
+    }
+
+    /// Advance one epoch; returns the (possibly unchanged) sky state.
+    pub fn step(&mut self, rng: &mut SimRng) -> Sky {
+        self.state = match self.state {
+            Sky::Clear => {
+                if rng.chance(self.onset) {
+                    Sky::LightRain
+                } else {
+                    Sky::Clear
+                }
+            }
+            Sky::LightRain => {
+                if rng.chance(self.worsen) {
+                    Sky::HeavyRain
+                } else if rng.chance(self.clear_up) {
+                    Sky::Clear
+                } else {
+                    Sky::LightRain
+                }
+            }
+            Sky::HeavyRain => {
+                if rng.chance(self.ease) {
+                    Sky::LightRain
+                } else {
+                    Sky::HeavyRain
+                }
+            }
+        };
+        self.epochs += 1;
+        if self.state != Sky::Clear {
+            self.rainy_epochs += 1;
+        }
+        self.state
+    }
+
+    /// The weather-sensitive links of `topo` (the ones `apply` will touch).
+    pub fn sensitive_links(topo: &Topology) -> Vec<LinkId> {
+        topo.links()
+            .iter()
+            .filter(|l| l.kind.weather_sensitive())
+            .map(|l| l.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear() {
+        let w = WeatherProcess::temperate();
+        assert_eq!(w.sky(), Sky::Clear);
+        assert_eq!(w.rain_fraction(), 0.0);
+    }
+
+    #[test]
+    fn always_clear_never_rains() {
+        let mut w = WeatherProcess::always_clear();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10_000 {
+            assert_eq!(w.step(&mut rng), Sky::Clear);
+        }
+        assert_eq!(w.rain_fraction(), 0.0);
+    }
+
+    #[test]
+    fn temperate_rains_sometimes_but_mostly_clear() {
+        let mut w = WeatherProcess::temperate();
+        let mut rng = SimRng::seed_from(2);
+        let mut saw_heavy = false;
+        for _ in 0..50_000 {
+            if w.step(&mut rng) == Sky::HeavyRain {
+                saw_heavy = true;
+            }
+        }
+        let f = w.rain_fraction();
+        assert!(f > 0.05 && f < 0.40, "rain fraction {f}");
+        assert!(saw_heavy, "long runs include heavy rain");
+    }
+
+    #[test]
+    fn rain_events_have_duration() {
+        // Once raining, the chain should usually stay rainy next epoch
+        // (dwell > 1), i.e. rain arrives in events, not single-epoch blips.
+        let mut w = WeatherProcess::temperate();
+        let mut rng = SimRng::seed_from(3);
+        let mut event_lengths = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..100_000 {
+            if w.step(&mut rng) != Sky::Clear {
+                current += 1;
+            } else if current > 0 {
+                event_lengths.push(current);
+                current = 0;
+            }
+        }
+        let mean: f64 =
+            event_lengths.iter().map(|&l| l as f64).sum::<f64>() / event_lengths.len() as f64;
+        assert!(mean > 5.0, "mean rain event {mean} epochs");
+    }
+
+    #[test]
+    fn factors_order_correctly() {
+        assert!(Sky::Clear.mmwave_factor() > Sky::LightRain.mmwave_factor());
+        assert!(Sky::LightRain.mmwave_factor() > Sky::HeavyRain.mmwave_factor());
+    }
+
+    #[test]
+    fn sensitive_links_are_the_mmwave_ones() {
+        let topo = Topology::testbed();
+        let links = WeatherProcess::sensitive_links(&topo);
+        assert_eq!(links.len(), 2, "two mmWave uplinks in Fig. 2");
+        for l in links {
+            assert!(topo.link(l).kind.weather_sensitive());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Sky::Clear.to_string(), "clear");
+        assert_eq!(Sky::HeavyRain.to_string(), "heavy-rain");
+    }
+}

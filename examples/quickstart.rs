@@ -1,0 +1,71 @@
+//! Quickstart: build the demo testbed, request a network slice from the
+//! "dashboard", watch it deploy, serve traffic under SLA monitoring, and
+//! tear down.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ovnes_bench::testbed_orchestrator;
+use ovnes_model::{Latency, Money, RateMbps, SliceClass, SliceRequest, TenantId};
+use ovnes_orchestrator::OrchestratorConfig;
+use ovnes_sim::{SimDuration, SimTime};
+
+fn main() {
+    // 1. The end-to-end orchestrator over the simulated Fig. 2 testbed:
+    //    two MOCN eNBs, mmWave/µwave + OpenFlow transport, edge + core DCs.
+    let mut orchestrator = testbed_orchestrator(OrchestratorConfig::default(), 42);
+
+    // 2. Fill in the dashboard form: duration, latency bound, throughput,
+    //    price, and the penalty we demand per violated epoch.
+    let request = SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+        .throughput(RateMbps::new(30.0))
+        .max_latency(Latency::new(40.0))
+        .duration(SimDuration::from_mins(45))
+        .price(Money::from_units(120))
+        .penalty(Money::from_units(6))
+        .build()
+        .expect("a valid request");
+
+    // 3. Submit. Admission control + three-domain allocation happen here.
+    let slice = match orchestrator.submit(SimTime::ZERO, request) {
+        Ok(id) => id,
+        Err(rejection) => {
+            println!("rejected: {}", rejection.reason);
+            return;
+        }
+    };
+    let placement = orchestrator.placement(slice).expect("admitted").clone();
+    println!("admitted {slice}");
+    println!("  PLMN       {}", orchestrator.record(slice).unwrap().plmn.unwrap());
+    println!("  eNB        {} ({} PRBs reserved)", placement.enb, placement.reserved);
+    println!("  transport  {} hops, {} committed", placement.path_hops, placement.path_delay);
+    println!("  cloud      {} (stack {})", placement.dc, placement.stack);
+    println!("  deploys in {}", placement.deploy_time);
+
+    // 4. Advance monitoring epochs: the slice activates after "a few
+    //    seconds", then serves traffic under SLA monitoring.
+    let epoch = orchestrator.config().epoch;
+    for e in 1..=10u64 {
+        let now = SimTime::ZERO + epoch * e;
+        let report = orchestrator.run_epoch(now);
+        if report.activated.contains(&slice) {
+            println!("\nepoch {e}: slice ACTIVE (UEs attached to its PLMN)");
+        }
+        for v in &report.verdicts {
+            println!(
+                "epoch {e}: delivered {} of {} at {}  [{}]",
+                v.delivered,
+                v.entitled,
+                v.latency,
+                if v.met { "SLA met" } else { "SLA violated" }
+            );
+        }
+    }
+
+    // 5. Terminate early and settle the books.
+    orchestrator.terminate(SimTime::ZERO + epoch * 11, slice);
+    let ledger = orchestrator.ledger();
+    println!("\nfinal accounting:");
+    println!("  income     {}", ledger.gross_income());
+    println!("  penalties  {}", ledger.total_penalties());
+    println!("  net        {}", ledger.net());
+}

@@ -1,0 +1,79 @@
+//! Rain fade on the mmWave transport and the controller's reaction — the
+//! failure mode the testbed's wireless transport (mmWave + µwave in
+//! parallel, §2) is built to survive: when the mmWave hop degrades, slices
+//! are rerouted over the µwave hop through the programmable switch.
+//!
+//! Run with: `cargo run --example rain_fade_reroute`
+
+use ovnes_model::{DcId, EnbId, Latency, RateMbps, SliceId};
+use ovnes_transport::{LinkKind, Topology, TransportController};
+
+fn main() {
+    let mut transport = TransportController::new(Topology::testbed(), 1024);
+    let src = transport
+        .topology()
+        .radio_site(EnbId::new(0))
+        .expect("testbed has enb0");
+    let dst = transport
+        .topology()
+        .dc_node(DcId::new(0))
+        .expect("testbed has the edge DC");
+
+    // Two slices share the mmWave uplink (1 Gbps).
+    for (i, bw) in [(1u64, 300.0), (2, 250.0)] {
+        let alloc = transport
+            .allocate(SliceId::new(i), src, dst, RateMbps::new(bw), Latency::new(5.0))
+            .expect("plenty of capacity");
+        println!(
+            "slice-{i}: {bw} Mbps over {} hops, committed delay {}",
+            alloc.reservation.path.hops(),
+            alloc.delay_at_allocation
+        );
+    }
+
+    let mm = transport
+        .topology()
+        .links()
+        .iter()
+        .find(|l| l.kind == LinkKind::MmWave && l.a == src || l.b == src)
+        .map(|l| l.id)
+        .expect("enb0 has a mmWave uplink");
+
+    println!("\n*** rain cell moves in: mmWave link {mm} degrades to 20% capacity ***");
+    let affected = transport.degrade_link(mm, 0.2);
+    println!("slices oversubscribed by the fade: {affected:?}");
+
+    for slice in affected {
+        match transport.reroute(slice) {
+            Ok(true) => {
+                let path = &transport.reservation(slice).expect("still placed").path;
+                let delay = transport.path_delay(slice).expect("has a path");
+                println!("  {slice} rerouted: now {} hops, delay {delay}", path.hops());
+            }
+            Ok(false) => println!("  {slice} could not move (µwave full), riding out the fade"),
+            Err(e) => println!("  {slice} reroute error: {e}"),
+        }
+    }
+
+    println!("\n*** rain passes: restoring link ***");
+    transport.restore_link(mm);
+    let snapshot = transport.snapshot();
+    for row in &snapshot.links {
+        if row.reserved.value() > 0.0 {
+            println!(
+                "  link {}: {} reserved of {} ({:.0}% utilized)",
+                row.link,
+                row.reserved,
+                row.effective_capacity,
+                row.utilization * 100.0
+            );
+        }
+    }
+    println!(
+        "\nreroutes performed: {}",
+        transport
+            .metrics()
+            .counter_value("transport.reroutes")
+            .unwrap_or(0)
+    );
+}

@@ -1,0 +1,117 @@
+//! Integration: the full slice lifecycle across all crates — request,
+//! admission, multi-domain allocation, deployment, activation, SLA-
+//! monitored service, expiry, and resource reclamation.
+
+use ovnes_bench::{embb_request, testbed_orchestrator, urllc_request};
+use ovnes_model::{Money, RateMbps, SliceClass, SliceRequest, TenantId};
+use ovnes_orchestrator::{OrchestratorConfig, SliceState};
+use ovnes_sim::{SimDuration, SimTime};
+
+fn minutes(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_mins(n)
+}
+
+#[test]
+fn request_to_expiry_walkthrough() {
+    let mut o = testbed_orchestrator(OrchestratorConfig::default(), 1);
+    let request = SliceRequest::builder(TenantId::new(1), SliceClass::Embb)
+        .throughput(RateMbps::new(25.0))
+        .duration(SimDuration::from_mins(20))
+        .price(Money::from_units(100))
+        .penalty(Money::from_units(5))
+        .build()
+        .unwrap();
+
+    let id = o.submit(SimTime::ZERO, request).unwrap();
+    assert_eq!(o.record(id).unwrap().state, SliceState::Deploying);
+
+    // Deployment is "a few seconds": between 5 and 30 s of virtual time.
+    let deploy = o.placement(id).unwrap().deploy_time;
+    assert!(deploy >= SimDuration::from_secs(5) && deploy <= SimDuration::from_secs(30));
+
+    // First epoch: active. Epochs 1..20: serving. Epoch 21+: expired.
+    let r1 = o.run_epoch(minutes(1));
+    assert_eq!(r1.activated, vec![id]);
+    let record = o.record(id).unwrap();
+    assert_eq!(record.state, SliceState::Active);
+    assert!(record.active_at.is_some() && record.expires_at.is_some());
+
+    for e in 2..=25 {
+        o.run_epoch(minutes(e));
+    }
+    let record = o.record(id).unwrap();
+    assert_eq!(record.state, SliceState::Expired);
+    assert!(record.epochs_active >= 19, "served ~20 epochs: {}", record.epochs_active);
+
+    // Everything reclaimed.
+    assert!(o.ran().snapshot().enbs.iter().all(|r| r.reserved.is_zero()));
+    assert_eq!(o.transport().snapshot().paths, 0);
+    assert_eq!(o.cloud().snapshot().stacks, 0);
+}
+
+#[test]
+fn urllc_end_to_end_latency_holds_at_the_edge() {
+    let mut o = testbed_orchestrator(OrchestratorConfig::default(), 2);
+    let id = o.submit(SimTime::ZERO, urllc_request(1)).unwrap();
+    let p = o.placement(id).unwrap();
+    assert_eq!(p.dc.value(), 0, "URLLC at the edge DC");
+
+    let mut violated = 0u64;
+    let mut epochs = 0u64;
+    for e in 1..=60 {
+        let report = o.run_epoch(minutes(e));
+        for v in &report.verdicts {
+            epochs += 1;
+            if !v.met {
+                violated += 1;
+            }
+            // Even when violated on throughput, the latency should be in
+            // single-digit ms while the slice is uncongested most epochs.
+            assert!(v.latency.value() < 30.0, "latency blowup: {}", v.latency);
+        }
+    }
+    assert!(epochs > 50);
+    assert!(
+        (violated as f64) < epochs as f64 * 0.25,
+        "URLLC violated {violated}/{epochs}"
+    );
+}
+
+#[test]
+fn concurrent_slices_share_the_testbed() {
+    let mut o = testbed_orchestrator(OrchestratorConfig::default(), 3);
+    let mut admitted = Vec::new();
+    for i in 0..6 {
+        let req = embb_request(i, 12.0);
+        if let Ok(id) = o.submit(SimTime::ZERO, req) {
+            admitted.push(id);
+        }
+    }
+    assert!(admitted.len() >= 4, "testbed hosts several slices");
+    o.run_epoch(minutes(1));
+    assert_eq!(o.count_in_state(SliceState::Active), admitted.len());
+
+    // Both eNBs are in use (best-fit spreads).
+    let snap = o.ran().snapshot();
+    assert!(snap.enbs.iter().all(|r| r.plmns > 0), "{snap:?}");
+
+    // All monitoring domains report.
+    assert_eq!(o.monitoring().len(), 3);
+}
+
+#[test]
+fn income_booked_at_admission_penalties_on_violation() {
+    let mut o = testbed_orchestrator(OrchestratorConfig::default(), 4);
+    let id = o.submit(SimTime::ZERO, embb_request(1, 20.0)).unwrap();
+    assert_eq!(o.ledger().gross_income(), Money::from_units(80)); // 20 Mbps × 4
+    for e in 1..=30 {
+        o.run_epoch(minutes(e));
+    }
+    let record = o.record(id).unwrap();
+    let expected_penalties = Money::from_units(4).scale(record.epochs_violated as f64);
+    assert_eq!(o.ledger().total_penalties(), expected_penalties);
+    assert_eq!(
+        o.ledger().net(),
+        Money::from_units(80) - expected_penalties
+    );
+}

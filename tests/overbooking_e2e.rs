@@ -1,0 +1,114 @@
+//! Integration: the paper's headline claims, end to end.
+//!
+//! 1. Overbooking admits more slices than peak reservation on the same
+//!    infrastructure and workload (the multiplexing gain).
+//! 2. The gain costs a bounded violation rate controlled by the quantile.
+//! 3. Reconfiguration actually moves reservations in the RAN and transport.
+
+use ovnes_orchestrator::{DemoScenario, PolicyKind, ScenarioConfig};
+use ovnes_sim::SimDuration;
+
+fn pressured(seed: u64, overbooking: bool, quantile: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        arrivals_per_hour: 40.0,
+        horizon: SimDuration::from_hours(10),
+        mean_duration: SimDuration::from_hours(3),
+        ..ScenarioConfig::default()
+    };
+    cfg.orchestrator.overbooking.season_period = 12;
+    cfg.orchestrator.overbooking.min_residuals = 8;
+    cfg.orchestrator.overbooking.quantile = quantile;
+    cfg.orchestrator.overbooking_enabled = overbooking;
+    cfg.orchestrator.policy = if overbooking {
+        PolicyKind::OverbookingAware
+    } else {
+        PolicyKind::Fcfs
+    };
+    cfg
+}
+
+#[test]
+fn overbooking_yields_multiplexing_gain() {
+    let mut gains = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let ob = DemoScenario::build(pressured(seed, true, 0.95)).run();
+        let base = DemoScenario::build(pressured(seed, false, 0.95)).run();
+        assert!(
+            ob.admitted > base.admitted,
+            "seed {seed}: overbooked {} <= baseline {}",
+            ob.admitted,
+            base.admitted
+        );
+        gains.push(ob.admitted as f64 / base.admitted as f64);
+        // The savings metric must actually be positive under overbooking
+        // and exactly zero under the baseline.
+        assert!(ob.mean_savings > 0.05, "savings {}", ob.mean_savings);
+        assert_eq!(base.mean_savings, 0.0);
+        // Overbooking factor exceeds 1 at some point: capacity was resold.
+        assert!(ob.peak_overbooking_factor > 1.0);
+    }
+    let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        mean_gain > 1.15,
+        "multiplexing gain should be well above 1: {mean_gain:.2}"
+    );
+}
+
+#[test]
+fn aggressiveness_trades_violations_for_admissions() {
+    let conservative = DemoScenario::build(pressured(5, true, 0.99)).run();
+    let aggressive = DemoScenario::build(pressured(5, true, 0.50)).run();
+    assert!(
+        aggressive.admitted >= conservative.admitted,
+        "aggressive admits at least as many: {} vs {}",
+        aggressive.admitted,
+        conservative.admitted
+    );
+    assert!(
+        aggressive.violation_rate() >= conservative.violation_rate(),
+        "aggressive violates at least as often: {} vs {}",
+        aggressive.violation_rate(),
+        conservative.violation_rate()
+    );
+    // And the conservative configuration stays comfortably safe.
+    assert!(conservative.violation_rate() < 0.15);
+}
+
+#[test]
+fn reconfiguration_counter_moves_under_overbooking() {
+    let mut s = DemoScenario::build(pressured(9, true, 0.9));
+    s.run();
+    let reconfigs = s
+        .orchestrator()
+        .metrics()
+        .counter_value("orchestrator.reconfigurations")
+        .unwrap_or(0);
+    assert!(reconfigs > 0, "overbooking must actually reconfigure");
+}
+
+#[test]
+fn baseline_never_reconfigures() {
+    let mut s = DemoScenario::build(pressured(9, false, 0.9));
+    s.run();
+    assert_eq!(
+        s.orchestrator()
+            .metrics()
+            .counter_value("orchestrator.reconfigurations")
+            .unwrap_or(0),
+        0
+    );
+}
+
+#[test]
+fn net_revenue_positive_at_sane_quantiles() {
+    for q in [0.9, 0.95] {
+        let s = DemoScenario::build(pressured(11, true, q)).run();
+        assert!(
+            s.net_revenue.cents() > 0,
+            "q={q}: net {} should be positive",
+            s.net_revenue
+        );
+        assert!(s.gross_income > s.penalties);
+    }
+}

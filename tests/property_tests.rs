@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use ovnes_model::{Money, Prbs, RateMbps, SliceId};
+use ovnes_orchestrator::admission::knapsack_select;
+use ovnes_ran::{schedule_epoch, SliceLoad};
+use ovnes_sim::{EventQueue, Histogram, SimRng, SimTime};
+use ovnes_transport::{dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- sim: event queue ------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.at >= last);
+            last = e.at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_tie_break_is_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_secs(1), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---- sim: histogram ----------------------------------------------------
+
+    #[test]
+    fn histogram_count_and_bounds(values in prop::collection::vec(0.0f64..100.0, 1..500)) {
+        let mut h = Histogram::linear(0.0, 100.0, 10);
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let (buckets, overflow) = h.buckets();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum::<u64>() + overflow;
+        prop_assert_eq!(total, values.len() as u64);
+        // Quantiles are monotone and within [min, max].
+        let q1 = h.quantile(0.25).unwrap();
+        let q2 = h.quantile(0.5).unwrap();
+        let q3 = h.quantile(0.75).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+        prop_assert!(q1 >= h.min().unwrap() - 1e-9);
+        prop_assert!(q3 <= h.max().unwrap() + 1e-9);
+    }
+
+    // ---- sim: rng determinism ----------------------------------------------
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---- model: money ------------------------------------------------------
+
+    #[test]
+    fn money_sum_is_associative(cents in prop::collection::vec(-1_000_000i64..1_000_000, 0..50)) {
+        let forward: Money = cents.iter().map(|&c| Money::from_cents(c)).sum();
+        let backward: Money = cents.iter().rev().map(|&c| Money::from_cents(c)).sum();
+        prop_assert_eq!(forward, backward);
+        prop_assert_eq!(forward.cents(), cents.iter().sum::<i64>());
+    }
+
+    // ---- ran: PRB scheduler --------------------------------------------------
+
+    #[test]
+    fn scheduler_never_oversubscribes_and_guarantees_reservations(
+        grid in 10u32..200,
+        specs in prop::collection::vec((0u32..80, 0.0f64..60.0, 0.1f64..0.8), 1..8)
+    ) {
+        // Scale reservations so they fit the grid.
+        let total_reserved: u32 = specs.iter().map(|&(r, _, _)| r).sum();
+        let scale = if total_reserved > grid && total_reserved > 0 {
+            grid as f64 / total_reserved as f64
+        } else {
+            1.0
+        };
+        let loads: Vec<SliceLoad> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, offered, rate))| SliceLoad {
+                slice: SliceId::new(i as u64),
+                reserved: Prbs::new((r as f64 * scale) as u32),
+                offered: RateMbps::new(offered),
+                prb_rate: RateMbps::new(rate),
+            })
+            .collect();
+        let outs = schedule_epoch(Prbs::new(grid), &loads);
+        let total: u32 = outs.iter().map(|o| o.allocated.value()).sum();
+        prop_assert!(total <= grid, "allocated {} > grid {}", total, grid);
+        for (load, out) in loads.iter().zip(&outs) {
+            // Guarantee: each slice gets at least min(needed, reserved).
+            let needed = if load.prb_rate.is_zero() || load.offered.is_zero() {
+                0
+            } else {
+                (load.offered.value() / load.prb_rate.value()).ceil() as u32
+            };
+            prop_assert!(
+                out.allocated.value() >= needed.min(load.reserved.value()),
+                "slice {} got {} < guaranteed {}",
+                load.slice, out.allocated, needed.min(load.reserved.value())
+            );
+            // Delivered never exceeds offered.
+            prop_assert!(out.delivered.value() <= load.offered.value() + 1e-9);
+            // lent + allocated >= reserved accounting.
+            prop_assert_eq!(
+                out.lent.value(),
+                load.reserved.value().saturating_sub(out.allocated.value())
+            );
+        }
+    }
+
+    // ---- orchestrator: knapsack ----------------------------------------------
+
+    #[test]
+    fn knapsack_fits_capacity_and_beats_fcfs(
+        cap in 1u32..150,
+        items in prop::collection::vec((1u32..50, 1i64..500), 0..12)
+    ) {
+        let reqs: Vec<(Prbs, Money)> = items
+            .iter()
+            .map(|&(p, m)| (Prbs::new(p), Money::from_units(m)))
+            .collect();
+        let selected = knapsack_select(&reqs, Prbs::new(cap));
+        let used: u32 = selected.iter().map(|&i| reqs[i].0.value()).sum();
+        prop_assert!(used <= cap);
+        // No duplicates.
+        let mut sorted = selected.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), selected.len());
+        // Knapsack revenue >= FCFS revenue.
+        let knap_rev: i64 = selected.iter().map(|&i| reqs[i].1.cents()).sum();
+        let mut used = 0u32;
+        let mut fcfs_rev = 0i64;
+        for &(p, m) in &reqs {
+            if used + p.value() <= cap {
+                used += p.value();
+                fcfs_rev += m.cents();
+            }
+        }
+        prop_assert!(knap_rev >= fcfs_rev);
+    }
+
+    // ---- transport: routing ------------------------------------------------
+
+    #[test]
+    fn dijkstra_is_optimal_among_yens_paths(seed in any::<u64>()) {
+        // Random ladder topology.
+        let mut rng = SimRng::seed_from(seed);
+        let mut b = Topology::builder();
+        let nodes: Vec<_> = (0..6)
+            .map(|i| b.add_node(NodeKind::Switch(ovnes_model::SwitchId::new(i)), "s"))
+            .collect();
+        for i in 0..5 {
+            b.add_link(
+                nodes[i],
+                nodes[i + 1],
+                LinkKind::Wired,
+                RateMbps::new(1000.0),
+                ovnes_model::Latency::new(rng.uniform_range(0.1, 5.0)),
+            );
+        }
+        // A few random chords.
+        for _ in 0..4 {
+            let a_i = rng.uniform_usize(0, 6);
+            let b_i = rng.uniform_usize(0, 6);
+            if a_i != b_i {
+                b.add_link(
+                    nodes[a_i],
+                    nodes[b_i],
+                    LinkKind::Wired,
+                    RateMbps::new(1000.0),
+                    ovnes_model::Latency::new(rng.uniform_range(0.1, 5.0)),
+                );
+            }
+        }
+        let topo = b.build();
+        let delay = |l: ovnes_model::LinkId| topo.link(l).delay;
+        let best = dijkstra(&topo, nodes[0], nodes[5], |_| true, delay).unwrap();
+        let paths = k_shortest_paths(&topo, nodes[0], nodes[5], 5, |_| true, delay);
+        prop_assert_eq!(&paths[0], &best);
+        // Yen's list is sorted by delay. The algorithms compare integer
+        // microseconds (exact arithmetic), so two paths within a microsecond
+        // per hop may order either way in raw f64 terms: the tolerance is
+        // the quantization bound (0.5 us per link, <= 6 links).
+        let delays: Vec<f64> = paths.iter().map(|p| p.total_delay(delay).value()).collect();
+        for w in delays.windows(2) {
+            prop_assert!(w[0] <= w[1] + 0.003, "{:?}", delays);
+        }
+        // All loop-free.
+        for p in &paths {
+            let mut ns = p.nodes.clone();
+            ns.sort();
+            ns.dedup();
+            prop_assert_eq!(ns.len(), p.nodes.len());
+        }
+    }
+}

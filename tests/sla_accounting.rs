@@ -1,0 +1,97 @@
+//! Integration: conservation laws of the revenue/SLA accounting.
+//!
+//! Whatever the workload, the books must balance: net = income − penalties
+//! − refunds; penalties equal violated epochs × per-slice penalty; income
+//! equals the sum of admitted prices.
+
+use ovnes_model::revenue::RevenueKind;
+use ovnes_model::Money;
+use ovnes_orchestrator::{DemoScenario, ScenarioConfig, SliceState};
+use ovnes_sim::SimDuration;
+
+fn run(seed: u64) -> DemoScenario {
+    let mut s = DemoScenario::build(ScenarioConfig {
+        seed,
+        arrivals_per_hour: 30.0,
+        horizon: SimDuration::from_hours(6),
+        ..ScenarioConfig::default()
+    });
+    s.run();
+    s
+}
+
+#[test]
+fn ledger_balances_exactly() {
+    let s = run(42);
+    let ledger = s.orchestrator().ledger();
+    let income: Money = ledger
+        .records()
+        .iter()
+        .filter(|r| r.kind == RevenueKind::AdmissionIncome)
+        .map(|r| r.amount)
+        .sum();
+    let outflows: Money = ledger
+        .records()
+        .iter()
+        .filter(|r| r.kind != RevenueKind::AdmissionIncome)
+        .map(|r| r.amount)
+        .sum();
+    assert_eq!(ledger.net(), income + outflows);
+    assert_eq!(ledger.gross_income(), income);
+}
+
+#[test]
+fn income_matches_admitted_prices() {
+    let s = run(7);
+    let o = s.orchestrator();
+    let expected: Money = o
+        .records()
+        .filter(|r| r.state != SliceState::Rejected)
+        .map(|r| r.request.price)
+        .sum();
+    assert_eq!(o.ledger().gross_income(), expected);
+}
+
+#[test]
+fn penalties_match_violated_epochs() {
+    let s = run(13);
+    let o = s.orchestrator();
+    let expected: Money = o
+        .records()
+        .map(|r| r.request.penalty.scale(r.epochs_violated as f64))
+        .sum();
+    assert_eq!(o.ledger().total_penalties(), expected);
+}
+
+#[test]
+fn penalty_count_matches_violation_counters() {
+    let s = run(21);
+    let o = s.orchestrator();
+    let violated_epochs: u64 = o.records().map(|r| r.epochs_violated).sum();
+    assert_eq!(o.ledger().penalty_count() as u64, violated_epochs);
+}
+
+#[test]
+fn rejected_slices_never_touch_the_ledger() {
+    let s = run(33);
+    let o = s.orchestrator();
+    for record in o.records().filter(|r| r.state == SliceState::Rejected) {
+        assert_eq!(
+            o.ledger().net_for_slice(record.id),
+            Money::ZERO,
+            "rejected {} has ledger entries",
+            record.id
+        );
+        assert_eq!(record.epochs_active, 0);
+    }
+}
+
+#[test]
+fn availability_counters_are_consistent() {
+    let s = run(55);
+    for record in s.orchestrator().records() {
+        assert!(record.epochs_violated <= record.epochs_active);
+        let a = record.availability();
+        assert!((0.0..=1.0).contains(&a), "availability {a}");
+    }
+}
