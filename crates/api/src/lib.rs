@@ -15,15 +15,52 @@
 //!   report controllers push upstream.
 //! * [`bus`] — the in-process message bus with per-endpoint handlers and
 //!   request accounting.
+//! * [`fault`] — deterministic control-plane fault injection and the retry
+//!   machinery that survives it.
+//!
+//! ## Fault injection in one example
+//!
+//! A [`FaultPlan`] declares, per endpoint, what the "network" does to
+//! calls: drop them, delay them, answer 5xx, corrupt the payload, or go
+//! dark on a schedule. The plan carries its own seed, so a chaos run is as
+//! reproducible as a clean one:
+//!
+//! ```
+//! use ovnes_api::{EndpointFaults, FaultInjector, FaultPlan, MessageBus, Response};
+//! use ovnes_sim::{SimDuration, SimTime};
+//!
+//! let mut bus = MessageBus::new();
+//! bus.register("ran/health", |req| Response::ok(req.id, vec![]));
+//!
+//! let plan = FaultPlan::new(42).with_endpoint(
+//!     "ran/health",
+//!     EndpointFaults::none()
+//!         .with_drop(0.2)
+//!         .with_delay(0.1, SimDuration::from_millis(200))
+//!         .with_outage(SimTime::from_secs(60), SimTime::from_secs(120)),
+//! );
+//! let mut injector = FaultInjector::new(plan);
+//! // Dropped/delayed per the seeded schedule; down in minute two.
+//! let _ = injector.call(&mut bus, SimTime::ZERO, "ran/health", vec![]);
+//! ```
+//!
+//! Endpoints a plan leaves out (or configures with all-zero probabilities)
+//! pass through byte-identically with no RNG draws, so a quiet plan is an
+//! exact no-op. [`RetryPolicy`] is the client side: bounded attempts,
+//! exponential backoff with deterministic jitter, per-call deadline.
 
 pub mod bus;
 pub mod codec;
 pub mod envelope;
+pub mod fault;
 pub mod messages;
 
 pub use bus::{BusError, MessageBus};
 pub use codec::{decode, encode, CodecError, WIRE_VERSION};
 pub use envelope::{Request, Response, Status};
+pub use fault::{
+    CallFailure, EndpointFaults, EndpointStats, FaultInjector, FaultPlan, RetryPolicy,
+};
 pub use messages::{
     CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
     TransportReply,

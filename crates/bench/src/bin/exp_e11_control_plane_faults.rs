@@ -1,0 +1,91 @@
+//! E11 — control-plane resilience: orchestration under a faulty REST boundary.
+//!
+//! The demo's orchestrator drives three domain controllers over HTTP; in any
+//! real deployment those calls get dropped, delayed, answered 5xx, or the
+//! controller goes dark for minutes. This harness sweeps a per-call drop
+//! probability on every health endpoint and schedules one hard outage
+//! (cloud controller dark for minutes [120, 180)), then measures what the
+//! retry/backoff machinery preserves: probes mostly succeed through drops,
+//! slices degrade rather than fail during the outage, and SLA delivery —
+//! which rides the data plane — is untouched.
+
+use ovnes_api::{EndpointFaults, FaultPlan};
+use ovnes_bench::{embb_request, report_header, testbed_orchestrator, urllc_request};
+use ovnes_orchestrator::{OrchestratorConfig, DOMAINS};
+use ovnes_sim::{SimDuration, SimTime};
+
+const EPOCHS: u64 = 12 * 60;
+
+fn main() {
+    report_header(
+        "E11",
+        "control-plane resilience (fault injection)",
+        "12 h, 6 slices; swept drop rate on health probes + one 60-min cloud outage",
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10} {:>11}",
+        "drop prob", "calls", "retries", "failures", "degraded", "restored", "viol.rate", "net revenue"
+    );
+
+    let seeds = [3u64, 14, 25];
+    for &drop in &[0.0f64, 0.1, 0.2, 0.3] {
+        let mut calls = 0u64;
+        let mut retries = 0u64;
+        let mut failures = 0u64;
+        let mut degraded = 0u64;
+        let mut restored = 0u64;
+        let mut violations = 0u64;
+        let mut slice_epochs = 0u64;
+        let mut net = 0.0f64;
+        for &seed in &seeds {
+            let mut o = testbed_orchestrator(OrchestratorConfig::default(), seed);
+            // The same fault plan every run: `drop` on every health probe,
+            // plus the cloud controller dark for minutes [120, 180).
+            let mut plan = FaultPlan::new(seed ^ 0xC0DE);
+            for domain in DOMAINS {
+                plan = plan.with_endpoint(
+                    &format!("{domain}/health"),
+                    EndpointFaults::none().with_drop(drop),
+                );
+            }
+            let outage_from = SimTime::ZERO + SimDuration::from_mins(120);
+            let outage_until = SimTime::ZERO + SimDuration::from_mins(180);
+            let cloud_faults = EndpointFaults::none()
+                .with_drop(drop)
+                .with_outage(outage_from, outage_until);
+            plan = plan.with_endpoint("cloud/health", cloud_faults);
+            o.set_fault_plan(plan);
+
+            for t in 0..4u64 {
+                let _ = o.submit(SimTime::ZERO, embb_request(t, 15.0));
+            }
+            let _ = o.submit(SimTime::ZERO, urllc_request(4));
+            let _ = o.submit(SimTime::ZERO, urllc_request(5));
+
+            let epoch = o.config().epoch;
+            let mut last_net = 0.0;
+            for e in 1..=EPOCHS {
+                let report = o.run_epoch(SimTime::ZERO + epoch * e);
+                retries += report.control_retries;
+                failures += report.control_failures;
+                degraded += report.degraded.len() as u64;
+                restored += report.restored.len() as u64;
+                slice_epochs += report.verdicts.len() as u64;
+                violations += report.verdicts.iter().filter(|v| !v.met).count() as u64;
+                last_net = report.net_revenue.as_f64();
+            }
+            calls += o.metrics().counter_value("control.calls").unwrap_or(0);
+            net += last_net;
+        }
+        println!(
+            "{drop:<10} {calls:>8} {retries:>8} {failures:>9} {degraded:>9} {restored:>9} {:>9.2}% {:>11.0}",
+            violations as f64 / slice_epochs.max(1) as f64 * 100.0,
+            net / seeds.len() as f64,
+        );
+    }
+    println!("\nretries mask drops (failures stay near the outage's floor of ~60");
+    println!("probe failures per run); the outage degrades every slice exactly once");
+    println!("and recovery restores them exactly once. the violation rate and net");
+    println!("revenue are flat across the sweep: a control-plane fault is not a");
+    println!("data-plane outage.");
+}

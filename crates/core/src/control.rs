@@ -1,0 +1,301 @@
+//! The orchestrator's control plane: the REST boundary it drives domain
+//! controllers over, made survivable.
+//!
+//! In the testbed, the orchestrator's health probes, commands, and
+//! monitoring pulls are HTTP calls that can be dropped, delayed, or
+//! answered 5xx. [`ControlPlane`] reproduces that boundary in-process: a
+//! [`MessageBus`] hosts one `health` and one `monitoring` endpoint per
+//! domain, an optional [`FaultInjector`] perturbs calls per a seeded
+//! [`FaultPlan`], and a [`RetryPolicy`] drives bounded retries with
+//! exponential, deterministically-jittered backoff under a per-call
+//! deadline.
+//!
+//! With no fault plan installed (or with a quiet plan) every call succeeds
+//! on the first attempt, makes no RNG draw, and is byte-identical to
+//! calling the bus directly — chaos machinery costs nothing when idle.
+
+use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy, Status};
+use ovnes_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// The domains the orchestrator supervises, in probe order.
+pub const DOMAINS: [&str; 3] = ["ran", "transport", "cloud"];
+
+/// Per-epoch control-plane call accounting, drained by the orchestrator at
+/// the end of each epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlEpochStats {
+    /// Logical calls issued (each may span several attempts).
+    pub calls: u64,
+    /// Extra attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Calls that exhausted their retry budget or deadline.
+    pub failures: u64,
+}
+
+/// The survivable REST boundary between orchestrator and controllers. See
+/// module docs.
+pub struct ControlPlane {
+    bus: MessageBus,
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    /// Jitter stream, created with the fault plan so that a plan-free
+    /// control plane owns no RNG at all.
+    jitter_rng: Option<SimRng>,
+    epoch: ControlEpochStats,
+}
+
+impl ControlPlane {
+    /// A control plane with `health` and `monitoring` endpoints registered
+    /// for every domain, no faults, and the default retry policy.
+    pub fn new() -> ControlPlane {
+        let mut bus = MessageBus::new();
+        for domain in DOMAINS {
+            // Health: a live controller answers 200 with an empty body.
+            bus.register(&format!("{domain}/health"), |req| {
+                Response::ok(req.id, Vec::new())
+            });
+            // Monitoring: the controller acknowledges a pushed report by
+            // echoing it (so the payload demonstrably survived the wire).
+            bus.register(&format!("{domain}/monitoring"), |req| {
+                Response::ok(req.id, req.body)
+            });
+        }
+        ControlPlane {
+            bus,
+            injector: None,
+            retry: RetryPolicy::default(),
+            jitter_rng: None,
+            epoch: ControlEpochStats::default(),
+        }
+    }
+
+    /// Install a fault plan. The injector and the retry jitter stream are
+    /// both seeded from the plan's own seed, so chaos runs reproduce
+    /// bit-for-bit and never perturb the simulation's other RNG streams.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        // Jitter gets an independent stream derived from the plan seed.
+        self.jitter_rng = Some(SimRng::seed_from(plan.seed() ^ 0x9E37_79B9_7F4A_7C15));
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Remove any installed fault plan (calls go straight to the bus).
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
+        self.jitter_rng = None;
+    }
+
+    /// Replace the retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Per-endpoint injected-fault stats (empty when no plan is installed).
+    pub fn fault_stats(&self) -> Option<&BTreeMap<String, ovnes_api::EndpointStats>> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Requests served by `endpoint` (successful dispatches only).
+    pub fn served(&self, endpoint: &str) -> u64 {
+        self.bus.served(endpoint)
+    }
+
+    /// Drain this epoch's call accounting.
+    pub fn take_epoch_stats(&mut self) -> ControlEpochStats {
+        std::mem::take(&mut self.epoch)
+    }
+
+    /// Probe a domain's health endpoint with retries. `true` means the
+    /// domain is reachable this epoch.
+    pub fn probe(&mut self, now: SimTime, domain: &str) -> bool {
+        let endpoint = format!("{domain}/health");
+        self.call_checked(now, &endpoint, Vec::new(), |r| r.status == Status::Ok)
+            .is_some()
+    }
+
+    /// Issue `body` to `endpoint` with retries; a response is accepted only
+    /// if `accept` holds (letting callers reject corrupted payloads and
+    /// retry them). Returns `None` once attempts or the deadline run out.
+    pub fn call_checked(
+        &mut self,
+        now: SimTime,
+        endpoint: &str,
+        body: Vec<u8>,
+        accept: impl Fn(&Response) -> bool,
+    ) -> Option<Response> {
+        self.epoch.calls += 1;
+        let mut elapsed = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.epoch.retries += 1;
+            }
+            let outcome = match self.injector.as_mut() {
+                Some(inj) => inj.call(&mut self.bus, now + elapsed, endpoint, body.clone()),
+                None => self
+                    .bus
+                    .call(endpoint, body.clone())
+                    .map(|r| (r, SimDuration::ZERO))
+                    .map_err(|e| ovnes_api::CallFailure::Bus(e.to_string())),
+            };
+            if let Ok((response, latency)) = outcome {
+                elapsed += latency;
+                // A 4xx rejection is a domain decision, not a transport
+                // fault: retrying would not change it.
+                if response.status == Status::Rejected {
+                    return Some(response);
+                }
+                if response.status == Status::Ok
+                    && accept(&response)
+                    && elapsed <= self.retry.deadline
+                {
+                    return Some(response);
+                }
+            }
+            if attempt >= self.retry.max_attempts {
+                break;
+            }
+            let backoff = match self.jitter_rng.as_mut() {
+                Some(rng) => self.retry.jittered_backoff(attempt, rng),
+                None => self.retry.backoff(attempt),
+            };
+            if elapsed + backoff > self.retry.deadline {
+                break;
+            }
+            elapsed += backoff;
+        }
+        self.epoch.failures += 1;
+        None
+    }
+}
+
+impl Default for ControlPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_api::EndpointFaults;
+
+    #[test]
+    fn clean_probes_succeed_without_retries() {
+        let mut cp = ControlPlane::new();
+        for domain in DOMAINS {
+            assert!(cp.probe(SimTime::ZERO, domain));
+        }
+        let stats = cp.take_epoch_stats();
+        assert_eq!(stats, ControlEpochStats { calls: 3, retries: 0, failures: 0 });
+        // Drained: the next read starts from zero.
+        assert_eq!(cp.take_epoch_stats(), ControlEpochStats::default());
+    }
+
+    #[test]
+    fn unknown_domain_fails_after_bounded_retries() {
+        let mut cp = ControlPlane::new();
+        assert!(!cp.probe(SimTime::ZERO, "atm"));
+        let stats = cp.take_epoch_stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.retries, cp.retry_policy().max_attempts as u64 - 1);
+    }
+
+    #[test]
+    fn outage_downs_exactly_one_domain() {
+        let mut cp = ControlPlane::new();
+        cp.set_fault_plan(FaultPlan::new(3).with_endpoint(
+            "cloud/health",
+            EndpointFaults::none()
+                .with_outage(SimTime::from_secs(60), SimTime::from_secs(120)),
+        ));
+        assert!(cp.probe(SimTime::from_secs(90), "ran"));
+        assert!(cp.probe(SimTime::from_secs(90), "transport"));
+        assert!(!cp.probe(SimTime::from_secs(90), "cloud"));
+        assert!(cp.probe(SimTime::from_secs(121), "cloud"));
+    }
+
+    #[test]
+    fn drops_are_retried_through() {
+        // 50% drops: with 4 attempts a probe fails only 1/16 of the time,
+        // so across 40 probes we expect successes *and* nonzero retries.
+        let mut cp = ControlPlane::new();
+        cp.set_fault_plan(FaultPlan::new(5).with_endpoint(
+            "ran/health",
+            EndpointFaults::none().with_drop(0.5),
+        ));
+        let mut ok = 0;
+        for i in 0..40u64 {
+            if cp.probe(SimTime::from_secs(i), "ran") {
+                ok += 1;
+            }
+        }
+        let stats = cp.take_epoch_stats();
+        assert!(ok >= 30, "retries should mask most drops: {ok}/40");
+        assert!(stats.retries > 0);
+    }
+
+    #[test]
+    fn corrupt_responses_are_rejected_by_the_acceptor() {
+        let mut cp = ControlPlane::new();
+        cp.set_fault_plan(FaultPlan::new(6).with_endpoint(
+            "ran/monitoring",
+            EndpointFaults::none().with_corrupt(1.0),
+        ));
+        let body = ovnes_api::encode(&42u32).unwrap();
+        // Every response is corrupted, so the decode check rejects all
+        // attempts and the call fails.
+        let got = cp.call_checked(SimTime::ZERO, "ran/monitoring", body, |r| {
+            ovnes_api::decode::<u32>(&r.body).is_ok()
+        });
+        assert!(got.is_none());
+        assert_eq!(cp.take_epoch_stats().failures, 1);
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing() {
+        let mut clean = ControlPlane::new();
+        let mut planned = ControlPlane::new();
+        planned.set_fault_plan(FaultPlan::new(7));
+        for i in 0..10u64 {
+            for domain in DOMAINS {
+                assert_eq!(
+                    clean.probe(SimTime::from_secs(i), domain),
+                    planned.probe(SimTime::from_secs(i), domain)
+                );
+            }
+        }
+        assert_eq!(clean.take_epoch_stats(), planned.take_epoch_stats());
+        for domain in DOMAINS {
+            let e = format!("{domain}/health");
+            assert_eq!(clean.served(&e), planned.served(&e));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_identical_plans() {
+        let run = || {
+            let mut cp = ControlPlane::new();
+            cp.set_fault_plan(FaultPlan::new(9).with_endpoint(
+                "transport/health",
+                EndpointFaults::none().with_drop(0.4).with_error(0.2),
+            ));
+            let outcomes: Vec<bool> = (0..100u64)
+                .map(|i| cp.probe(SimTime::from_secs(i), "transport"))
+                .collect();
+            (outcomes, cp.take_epoch_stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -21,11 +21,14 @@
 //!   dashboard's "gains vs. penalties").
 //! * [`orchestrator`] — the event-driven composition of all of the above
 //!   over the three domain controllers.
+//! * [`control`] — the survivable REST boundary: health probes, monitoring
+//!   pushes, retry/backoff, and deterministic fault injection.
 //! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
-//!   request generators.
+//!   request generators, plus the chaos-testing wrapper.
 
 pub mod admission;
 pub mod allocator;
+pub mod control;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod overbooking;
@@ -34,8 +37,11 @@ pub mod sla;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
 pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
+pub use control::{ControlEpochStats, ControlPlane, DOMAINS};
 pub use lifecycle::{SliceRecord, SliceState};
 pub use orchestrator::{EpochReport, Orchestrator, OrchestratorConfig, SliceTimeline};
 pub use overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
-pub use scenario::{DemoScenario, RequestGenerator, RequestMix, ScenarioConfig};
+pub use scenario::{
+    ChaosScenario, ChaosSummary, DemoScenario, RequestGenerator, RequestMix, ScenarioConfig,
+};
 pub use sla::{SlaMonitor, SlaVerdict};

@@ -25,6 +25,11 @@ pub enum SliceState {
     Deploying,
     /// Serving traffic.
     Active,
+    /// Serving traffic, but the control plane cannot currently reach one or
+    /// more domain controllers: reconfiguration and monitoring are
+    /// suspended for the slice until connectivity returns (data plane keeps
+    /// forwarding — a control-plane outage is not a service outage).
+    Degraded,
     /// Ran to its full duration; terminal.
     Expired,
     /// Torn down before its duration (operator action); terminal.
@@ -49,8 +54,12 @@ impl SliceState {
                 | (Requested, Deploying)
                 | (Deploying, Active)
                 | (Deploying, Terminated) // deployment failed mid-flight
+                | (Active, Degraded) // control plane lost a domain
+                | (Degraded, Active) // control plane recovered
                 | (Active, Expired)
                 | (Active, Terminated)
+                | (Degraded, Expired)
+                | (Degraded, Terminated)
         )
     }
 }
@@ -62,6 +71,7 @@ impl fmt::Display for SliceState {
             SliceState::Rejected => "rejected",
             SliceState::Deploying => "deploying",
             SliceState::Active => "active",
+            SliceState::Degraded => "degraded",
             SliceState::Expired => "expired",
             SliceState::Terminated => "terminated",
         })
@@ -218,10 +228,34 @@ mod tests {
             SliceState::Requested,
             SliceState::Deploying,
             SliceState::Active,
+            SliceState::Degraded,
             SliceState::Expired,
         ] {
             assert!(r.transition(next).is_err(), "{next} from terminal");
         }
+    }
+
+    #[test]
+    fn degraded_round_trip_and_exits() {
+        // Active ⇄ Degraded, and Degraded can end either way.
+        assert!(SliceState::Active.can_transition_to(SliceState::Degraded));
+        assert!(SliceState::Degraded.can_transition_to(SliceState::Active));
+        assert!(SliceState::Degraded.can_transition_to(SliceState::Expired));
+        assert!(SliceState::Degraded.can_transition_to(SliceState::Terminated));
+        // But a slice cannot be born degraded.
+        assert!(!SliceState::Requested.can_transition_to(SliceState::Degraded));
+        assert!(!SliceState::Deploying.can_transition_to(SliceState::Degraded));
+        assert!(!SliceState::Degraded.is_terminal());
+        assert_eq!(SliceState::Degraded.to_string(), "degraded");
+
+        let mut r = record();
+        r.transition(SliceState::Deploying).unwrap();
+        r.activate(SimTime::from_secs(10)).unwrap();
+        r.transition(SliceState::Degraded).unwrap();
+        r.transition(SliceState::Active).unwrap();
+        r.transition(SliceState::Degraded).unwrap();
+        r.transition(SliceState::Expired).unwrap();
+        assert!(r.state.is_terminal());
     }
 
     #[test]
@@ -230,6 +264,7 @@ mod tests {
             SliceState::Requested,
             SliceState::Deploying,
             SliceState::Active,
+            SliceState::Degraded,
         ] {
             assert!(!s.can_transition_to(s));
         }

@@ -18,10 +18,11 @@
 
 use crate::admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
 use crate::allocator::{AllocatorConfig, MultiDomainAllocator, Placement};
+use crate::control::{ControlPlane, DOMAINS};
 use crate::lifecycle::{SliceRecord, SliceState};
 use crate::overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
 use crate::sla::{SlaMonitor, SlaVerdict};
-use ovnes_api::{decode, encode, MonitoringReport};
+use ovnes_api::{decode, encode, FaultPlan, MonitoringReport, RetryPolicy, Status};
 use ovnes_cloud::{epc_template, CloudController, EpcSizing};
 use ovnes_forecast::{TraceGenerator, TraceSpec};
 use ovnes_model::ids::IdAllocator;
@@ -36,7 +37,7 @@ use ovnes_ran::{
 use ovnes_sim::{EventLog, MetricRegistry, SimDuration, SimRng, SimTime, TimeSeries};
 use ovnes_transport::{Sky, TransportController, WeatherProcess};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Orchestrator tunables.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -119,6 +120,16 @@ pub struct EpochReport {
     pub batch_rejected: usize,
     /// Sky condition this epoch (`None` when the weather process is off).
     pub sky: Option<Sky>,
+    /// Control-plane retries (attempts beyond the first) this epoch.
+    pub control_retries: u64,
+    /// Control-plane calls that exhausted retries/deadline this epoch.
+    pub control_failures: u64,
+    /// Slices marked `Degraded` this epoch (control plane lost a domain).
+    pub degraded: Vec<SliceId>,
+    /// Slices restored `Degraded → Active` this epoch.
+    pub restored: Vec<SliceId>,
+    /// Domains whose health probe failed this epoch, after retries.
+    pub unreachable_domains: Vec<String>,
 }
 
 /// Per-slice measurement history, recorded every active epoch — the data
@@ -185,6 +196,12 @@ pub struct Orchestrator {
     weather_rng: SimRng,
     last_sky: Sky,
     events: EventLog,
+    /// The REST boundary to the domain controllers, with optional fault
+    /// injection and retry/backoff (see [`crate::control`]).
+    control: ControlPlane,
+    /// Domains whose last health probe failed (edge-triggers the events
+    /// and the Degraded/restored transitions).
+    down_domains: BTreeSet<&'static str>,
 }
 
 impl Orchestrator {
@@ -238,7 +255,26 @@ impl Orchestrator {
             weather_rng,
             last_sky: Sky::Clear,
             events: EventLog::new(512),
+            control: ControlPlane::new(),
+            down_domains: BTreeSet::new(),
         }
+    }
+
+    /// Install a control-plane fault plan (chaos testing). The plan brings
+    /// its own seed, so the orchestrator's simulation streams are
+    /// untouched; a quiet plan is an exact no-op.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.control.set_fault_plan(plan);
+    }
+
+    /// Replace the control-plane retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.control.set_retry_policy(retry);
+    }
+
+    /// The control plane (for endpoint/retry stats in dashboards/benches).
+    pub fn control(&self) -> &ControlPlane {
+        &self.control
     }
 
     // ---- submission -------------------------------------------------------
@@ -473,6 +509,31 @@ impl Orchestrator {
     pub fn run_epoch(&mut self, now: SimTime) -> EpochReport {
         self.epoch_count += 1;
 
+        // 0a. Control plane: probe each domain controller's health endpoint
+        //     (with retry/backoff). A domain that stays unreachable is
+        //     skipped for reconfiguration and monitoring this epoch, and
+        //     its slices degrade below.
+        let mut unreachable_domains: Vec<String> = Vec::new();
+        for domain in DOMAINS {
+            let up = self.control.probe(now, domain);
+            let was_down = self.down_domains.contains(domain);
+            if up && was_down {
+                self.down_domains.remove(domain);
+                self.events
+                    .log(now, "control", format!("{domain} controller reachable again"));
+            } else if !up && !was_down {
+                self.down_domains.insert(domain);
+                self.events.log(
+                    now,
+                    "control",
+                    format!("{domain} controller unreachable (retries exhausted)"),
+                );
+            }
+            if !up {
+                unreachable_domains.push(domain.to_owned());
+            }
+        }
+
         // 0. Batch-broker decision on the configured cadence.
         let (batch_admitted, batch_rejected) = match self.config.batch_window {
             Some(w) if self.epoch_count.is_multiple_of(w) => self.decide_batch(now),
@@ -534,12 +595,14 @@ impl Orchestrator {
                 .log(now, "orchestrator", format!("{id} active: UEs attached"));
         }
 
-        // 2. Expire slices that ran their duration.
+        // 2. Expire slices that ran their duration (degraded ones too: the
+        //    data plane kept serving through the control-plane outage).
         let expired: Vec<SliceId> = self
             .records
             .values()
             .filter(|r| {
-                r.state == SliceState::Active && r.expires_at.is_some_and(|t| t <= now)
+                matches!(r.state, SliceState::Active | SliceState::Degraded)
+                    && r.expires_at.is_some_and(|t| t <= now)
             })
             .map(|r| r.id)
             .collect();
@@ -549,11 +612,75 @@ impl Orchestrator {
                 .log(now, "orchestrator", format!("{id} expired, resources reclaimed"));
         }
 
-        // 3. Generate traffic and sample radio quality for active slices.
+        // 2b. Degrade/restore on control-plane reachability. Every slice
+        //     spans all three domains, so one unreachable controller
+        //     degrades every active slice: the orchestrator can no longer
+        //     reconfigure or monitor it end-to-end, though its data plane
+        //     keeps forwarding.
+        let mut degraded: Vec<SliceId> = Vec::new();
+        let mut restored: Vec<SliceId> = Vec::new();
+        if self.down_domains.is_empty() {
+            let ids: Vec<SliceId> = self
+                .records
+                .values()
+                .filter(|r| r.state == SliceState::Degraded)
+                .map(|r| r.id)
+                .collect();
+            for id in ids {
+                self.records
+                    .get_mut(&id)
+                    .expect("listed above")
+                    .transition(SliceState::Active)
+                    .expect("degraded→active");
+                restored.push(id);
+            }
+            if !restored.is_empty() {
+                self.metrics
+                    .counter("orchestrator.restored")
+                    .add(restored.len() as u64);
+                self.events.log(
+                    now,
+                    "control",
+                    format!("{} slice(s) restored to active", restored.len()),
+                );
+            }
+        } else {
+            let ids: Vec<SliceId> = self
+                .records
+                .values()
+                .filter(|r| r.state == SliceState::Active)
+                .map(|r| r.id)
+                .collect();
+            for id in ids {
+                self.records
+                    .get_mut(&id)
+                    .expect("listed above")
+                    .transition(SliceState::Degraded)
+                    .expect("active→degraded");
+                degraded.push(id);
+            }
+            if !degraded.is_empty() {
+                self.metrics
+                    .counter("orchestrator.degraded")
+                    .add(degraded.len() as u64);
+                self.events.log(
+                    now,
+                    "control",
+                    format!(
+                        "{} slice(s) degraded: {} unreachable",
+                        degraded.len(),
+                        unreachable_domains.join(", ")
+                    ),
+                );
+            }
+        }
+
+        // 3. Generate traffic and sample radio quality for active slices
+        //    (degraded slices keep serving: the outage is control, not data).
         let active_ids: Vec<SliceId> = self
             .records
             .values()
-            .filter(|r| r.state == SliceState::Active)
+            .filter(|r| matches!(r.state, SliceState::Active | SliceState::Degraded))
             .map(|r| r.id)
             .collect();
         let mut offered_loads = Vec::with_capacity(active_ids.len());
@@ -663,9 +790,17 @@ impl Orchestrator {
             }
         }
 
-        // 6. Periodic overbooked reconfiguration.
+        // 6. Periodic overbooked reconfiguration. Resizing reservations
+        //    means commanding the RAN and transport controllers, so an
+        //    unreachable one postpones the whole reconfiguration to a
+        //    healthier epoch (graceful degradation, not a panic).
         let mut reconfigured = 0;
-        if self.config.overbooking_enabled && self.epoch_count.is_multiple_of(self.config.reconfig_every) {
+        let reconfig_reachable =
+            !self.down_domains.contains("ran") && !self.down_domains.contains("transport");
+        if self.config.overbooking_enabled
+            && self.epoch_count.is_multiple_of(self.config.reconfig_every)
+            && reconfig_reachable
+        {
             let slices: Vec<(SliceId, SliceRequest)> = active_ids
                 .iter()
                 .map(|&id| (id, self.records[&id].request.clone()))
@@ -678,11 +813,14 @@ impl Orchestrator {
             );
             reconfigured = applied.len();
             // Third domain: follow the radio resize with a Heat stack
-            // update scaling the vEPC user plane to the new fraction.
-            for (slice, _old, new_reserved) in applied {
-                if let Some(p) = self.placements.get(&slice) {
-                    let fraction = new_reserved.ratio(p.nominal).clamp(0.0, 1.0);
-                    let _ = self.cloud.scale_for_slice(slice, fraction);
+            // update scaling the vEPC user plane to the new fraction — but
+            // only if the cloud controller is answering.
+            if !self.down_domains.contains("cloud") {
+                for (slice, _old, new_reserved) in applied {
+                    if let Some(p) = self.placements.get(&slice) {
+                        let fraction = new_reserved.ratio(p.nominal).clamp(0.0, 1.0);
+                        let _ = self.cloud.scale_for_slice(slice, fraction);
+                    }
                 }
             }
             self.metrics
@@ -707,6 +845,16 @@ impl Orchestrator {
             .series("orchestrator.net_revenue")
             .record(now, self.sla.net().as_f64());
 
+        // Control-plane call accounting: per-epoch into the report,
+        // cumulatively into the metrics the dashboard panels read.
+        let cstats = self.control.take_epoch_stats();
+        self.metrics.counter("control.calls").add(cstats.calls);
+        self.metrics.counter("control.retries").add(cstats.retries);
+        self.metrics.counter("control.failures").add(cstats.failures);
+        self.metrics
+            .gauge("control.unreachable_domains")
+            .set(unreachable_domains.len() as f64);
+
         EpochReport {
             now,
             active: active_ids.len(),
@@ -719,6 +867,11 @@ impl Orchestrator {
             batch_admitted,
             batch_rejected,
             sky,
+            control_retries: cstats.retries,
+            control_failures: cstats.failures,
+            degraded,
+            restored,
+            unreachable_domains,
         }
     }
 
@@ -780,21 +933,33 @@ impl Orchestrator {
         true
     }
 
-    fn collect_monitoring(&self, now: SimTime) -> Vec<MonitoringReport> {
+    fn collect_monitoring(&mut self, now: SimTime) -> Vec<MonitoringReport> {
         let mut reports = Vec::with_capacity(3);
         for (domain, scalars) in [
             ("ran", self.ran.metrics().scalar_snapshot()),
             ("transport", self.transport.metrics().scalar_snapshot()),
             ("cloud", self.cloud.metrics().scalar_snapshot()),
         ] {
+            // A domain the health probe lost this epoch loses its report
+            // too — the dashboard shows a gap, exactly like the testbed's.
+            if self.down_domains.contains(domain) {
+                continue;
+            }
             let report = MonitoringReport {
                 domain: domain.to_owned(),
                 at: now,
                 scalars,
             };
-            // Round-trip through the wire format — the REST boundary.
+            // Round-trip through the wire format with retries — the REST
+            // boundary. Corrupted echoes fail the decode check and retry.
             let bytes = encode(&report).expect("reports are serializable");
-            reports.push(decode::<MonitoringReport>(&bytes).expect("just encoded"));
+            let endpoint = format!("{domain}/monitoring");
+            let accepted = self.control.call_checked(now, &endpoint, bytes, |r| {
+                r.status == Status::Ok && decode::<MonitoringReport>(&r.body).is_ok()
+            });
+            if let Some(response) = accepted {
+                reports.push(decode::<MonitoringReport>(&response.body).expect("checked decodable"));
+            }
         }
         reports
     }
@@ -1328,5 +1493,128 @@ mod tests {
             digest
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faultless_epochs_report_a_clean_control_plane() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=5 {
+            let r = o.run_epoch(minute(e));
+            assert_eq!(r.control_retries, 0);
+            assert_eq!(r.control_failures, 0);
+            assert!(r.unreachable_domains.is_empty());
+            assert!(r.degraded.is_empty());
+        }
+        // 3 health probes + 3 monitoring pushes per epoch.
+        assert_eq!(o.metrics().counter_value("control.calls"), Some(30));
+        assert_eq!(o.metrics().counter_value("control.failures"), Some(0));
+    }
+
+    #[test]
+    fn ran_outage_degrades_then_restores_slices() {
+        use ovnes_api::EndpointFaults;
+        let mut o = orchestrator(OrchestratorConfig::default());
+        // RAN controller dark for minutes [5, 8).
+        o.set_fault_plan(FaultPlan::new(11).with_endpoint(
+            "ran/health",
+            EndpointFaults::none().with_outage(minute(5), minute(8)),
+        ));
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+
+        for e in 1..=4 {
+            let r = o.run_epoch(minute(e));
+            assert!(r.unreachable_domains.is_empty(), "epoch {e}");
+        }
+        assert_eq!(o.record(id).unwrap().state, SliceState::Active);
+
+        // Outage starts: probe exhausts its retries, the slice degrades,
+        // and reconfiguration is suspended (RAN commands can't land).
+        let r5 = o.run_epoch(minute(5));
+        assert_eq!(r5.unreachable_domains, vec!["ran".to_string()]);
+        assert_eq!(r5.degraded, vec![id]);
+        assert_eq!(r5.reconfigured, 0);
+        assert!(r5.control_failures > 0);
+        assert!(r5.control_retries > 0);
+        assert_eq!(o.record(id).unwrap().state, SliceState::Degraded);
+        assert_eq!(o.count_in_state(SliceState::Degraded), 1);
+        // Monitoring skips the dark domain but the other two still report.
+        let domains: Vec<&str> = o.monitoring().iter().map(|m| m.domain.as_str()).collect();
+        assert_eq!(domains, vec!["transport", "cloud"]);
+
+        // Mid-outage: already degraded, so no new transition is reported,
+        // but the slice keeps serving (data plane is unaffected).
+        let r6 = o.run_epoch(minute(6));
+        assert!(r6.degraded.is_empty());
+        assert_eq!(r6.active, 1);
+        assert_eq!(r6.verdicts.len(), 1);
+
+        // Outage ends at minute 8: the probe succeeds and the slice is
+        // restored to Active.
+        o.run_epoch(minute(7));
+        let r8 = o.run_epoch(minute(8));
+        assert!(r8.unreachable_domains.is_empty());
+        assert_eq!(r8.restored, vec![id]);
+        assert_eq!(o.record(id).unwrap().state, SliceState::Active);
+        assert_eq!(o.monitoring().len(), 3);
+        assert_eq!(
+            o.metrics().counter_value("orchestrator.degraded"),
+            Some(1)
+        );
+        assert_eq!(
+            o.metrics().counter_value("orchestrator.restored"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn degraded_slices_still_expire_on_schedule() {
+        use ovnes_api::EndpointFaults;
+        let mut o = orchestrator(OrchestratorConfig::default());
+        // Outage spans the slice's whole 30-minute life and beyond.
+        o.set_fault_plan(FaultPlan::new(13).with_endpoint(
+            "transport/health",
+            EndpointFaults::none().with_outage(minute(2), minute(90)),
+        ));
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=40 {
+            o.run_epoch(minute(e));
+        }
+        assert_eq!(o.record(id).unwrap().state, SliceState::Expired);
+        assert_eq!(o.count_in_state(SliceState::Degraded), 0);
+        assert!(o.placement(id).is_none(), "resources freed at expiry");
+    }
+
+    #[test]
+    fn chaos_runs_with_drops_stay_deterministic() {
+        use ovnes_api::EndpointFaults;
+        let run = || {
+            let mut o = orchestrator(OrchestratorConfig::default());
+            o.set_fault_plan(
+                FaultPlan::new(17)
+                    .with_endpoint("ran/health", EndpointFaults::none().with_drop(0.3))
+                    .with_endpoint(
+                        "cloud/monitoring",
+                        EndpointFaults::none().with_error(0.2),
+                    ),
+            );
+            o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+            let mut digest = Vec::new();
+            for e in 1..=20 {
+                let r = o.run_epoch(minute(e));
+                digest.push((
+                    r.active,
+                    r.control_retries,
+                    r.control_failures,
+                    r.unreachable_domains.clone(),
+                    r.net_revenue,
+                ));
+            }
+            digest
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        // The plan is noisy enough that retries actually happened.
+        assert!(a.iter().any(|(_, retries, ..)| *retries > 0));
     }
 }

@@ -273,6 +273,12 @@ impl DemoScenario {
         &self.orchestrator
     }
 
+    /// Mutable access to the orchestrator (for pre-run configuration such
+    /// as installing a fault plan, and for mid-run fault injection).
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        &mut self.orchestrator
+    }
+
     /// The instantaneous arrival rate at `now` (constant or diurnal).
     fn arrival_rate_at(&self, now: SimTime) -> f64 {
         if !self.config.diurnal_arrivals {
@@ -361,10 +367,64 @@ impl DemoScenario {
     }
 }
 
+/// Aggregate result of a chaos run: the demo summary plus what the control
+/// plane went through.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// The plain scenario summary.
+    pub demo: DemoSummary,
+    /// Control-plane calls issued over the run.
+    pub control_calls: u64,
+    /// Retries (attempts beyond the first) over the run.
+    pub control_retries: u64,
+    /// Calls that exhausted retries/deadline over the run.
+    pub control_failures: u64,
+    /// Slice-epochs spent transitioning into `Degraded`.
+    pub degradations: u64,
+    /// Slice-epochs spent transitioning back to `Active`.
+    pub restorations: u64,
+}
+
+/// A [`DemoScenario`] run under an active control-plane [`FaultPlan`] —
+/// the chaos-testing entry point. Deterministic per `(config.seed,
+/// plan.seed())` pair.
+pub struct ChaosScenario {
+    inner: DemoScenario,
+}
+
+impl ChaosScenario {
+    /// Build the demo world and install `plan` on its control plane.
+    pub fn build(config: ScenarioConfig, plan: ovnes_api::FaultPlan) -> ChaosScenario {
+        let mut inner = DemoScenario::build(config);
+        inner.orchestrator_mut().set_fault_plan(plan);
+        ChaosScenario { inner }
+    }
+
+    /// The orchestrator under test.
+    pub fn orchestrator(&self) -> &Orchestrator {
+        self.inner.orchestrator()
+    }
+
+    /// Run to the horizon and summarize, including control-plane fallout.
+    pub fn run(&mut self) -> ChaosSummary {
+        let demo = self.inner.run();
+        let m = self.inner.orchestrator().metrics();
+        ChaosSummary {
+            demo,
+            control_calls: m.counter_value("control.calls").unwrap_or(0),
+            control_retries: m.counter_value("control.retries").unwrap_or(0),
+            control_failures: m.counter_value("control.failures").unwrap_or(0),
+            degradations: m.counter_value("orchestrator.degraded").unwrap_or(0),
+            restorations: m.counter_value("orchestrator.restored").unwrap_or(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::admission::PolicyKind;
+    use ovnes_api::{EndpointFaults, FaultPlan};
 
     fn quick_config(seed: u64) -> ScenarioConfig {
         ScenarioConfig {
@@ -531,5 +591,43 @@ mod tests {
         };
         assert_eq!(s.violation_rate(), 0.0);
         assert_eq!(s.admission_rate(), 0.0);
+    }
+
+    #[test]
+    fn chaos_with_quiet_plan_matches_plain_run() {
+        // A fault plan that injects nothing must leave the run
+        // byte-identical to the unwrapped scenario.
+        let plain = DemoScenario::build(quick_config(21)).run();
+        let chaos = ChaosScenario::build(quick_config(21), FaultPlan::new(999)).run();
+        assert_eq!(chaos.demo, plain);
+        assert_eq!(chaos.control_retries, 0);
+        assert_eq!(chaos.control_failures, 0);
+        assert_eq!(chaos.degradations, 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(77).with_endpoint(
+                "ran/health",
+                EndpointFaults::none().with_drop(0.3),
+            );
+            ChaosScenario::build(quick_config(4), plan).run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chaos_drops_surface_as_retries() {
+        let plan = FaultPlan::new(13).with_endpoint(
+            "transport/health",
+            EndpointFaults::none().with_drop(0.3),
+        );
+        let s = ChaosScenario::build(quick_config(6), plan).run();
+        assert!(s.control_retries > 0, "{s:?}");
+        assert!(s.control_calls > 0);
+        // Retries mask most 30% drops (p(fail) ≈ 0.8%), so the run itself
+        // proceeds normally.
+        assert!(s.demo.admitted > 0);
     }
 }

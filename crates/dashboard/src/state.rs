@@ -3,7 +3,7 @@
 
 use crate::spark::sparkline_tail;
 use crate::table::{Align, Table};
-use ovnes_orchestrator::{Orchestrator, SliceState};
+use ovnes_orchestrator::{Orchestrator, SliceState, DOMAINS};
 use std::fmt::Write as _;
 
 /// A renderable snapshot of the whole dashboard.
@@ -22,6 +22,10 @@ impl DashboardView {
             (
                 "OVERBOOKING — GAIN vs PENALTY".to_string(),
                 Self::gain_panel(orchestrator),
+            ),
+            (
+                "CONTROL PLANE".to_string(),
+                Self::control_panel(orchestrator),
             ),
             ("EVENTS".to_string(), Self::events_panel(orchestrator)),
         ];
@@ -223,6 +227,54 @@ impl DashboardView {
         Some(s)
     }
 
+    fn control_panel(o: &Orchestrator) -> String {
+        let m = o.metrics();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "calls {}   retries {}   failures {}   domains unreachable now {}",
+            m.counter_value("control.calls").unwrap_or(0),
+            m.counter_value("control.retries").unwrap_or(0),
+            m.counter_value("control.failures").unwrap_or(0),
+            m.gauge_value("control.unreachable_domains").unwrap_or(0.0) as u64,
+        );
+        let control = o.control();
+        let mut t = Table::new(&["endpoint", "served", "faults injected"]).with_aligns(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+        ]);
+        for domain in DOMAINS {
+            for kind in ["health", "monitoring"] {
+                let endpoint = format!("{domain}/{kind}");
+                let injected = control
+                    .fault_stats()
+                    .and_then(|stats| stats.get(&endpoint))
+                    .map_or(0, |st| st.injected());
+                t.row(&[
+                    endpoint.clone(),
+                    control.served(&endpoint).to_string(),
+                    injected.to_string(),
+                ]);
+            }
+        }
+        s.push_str(&t.to_string());
+        match control.fault_plan() {
+            Some(plan) => {
+                let _ = writeln!(
+                    s,
+                    "fault plan: seed {}, {} endpoint(s) configured",
+                    plan.seed(),
+                    plan.endpoints().count()
+                );
+            }
+            None => {
+                let _ = writeln!(s, "no fault plan installed");
+            }
+        }
+        s
+    }
+
     fn events_panel(o: &Orchestrator) -> String {
         let mut s = String::new();
         let events = o.events();
@@ -273,14 +325,25 @@ mod tests {
         let mut s = scenario();
         s.run();
         let view = DashboardView::capture(s.orchestrator());
-        assert_eq!(view.sections().len(), 6);
+        assert_eq!(view.sections().len(), 7);
         let rendered = view.render();
-        for header in ["SLICES", "RADIO ACCESS", "TRANSPORT", "CLOUD", "GAIN vs PENALTY", "EVENTS"] {
+        for header in [
+            "SLICES",
+            "RADIO ACCESS",
+            "TRANSPORT",
+            "CLOUD",
+            "GAIN vs PENALTY",
+            "CONTROL PLANE",
+            "EVENTS",
+        ] {
             assert!(rendered.contains(header), "missing {header}");
         }
         assert!(rendered.contains("enb-0"));
         assert!(rendered.contains("dc-0"));
         assert!(rendered.contains("NET"));
+        // With no fault plan the control panel still reports call volume.
+        assert!(rendered.contains("no fault plan installed"));
+        assert!(rendered.contains("ran/health"));
     }
 
     #[test]
@@ -318,6 +381,32 @@ mod tests {
         assert!(detail.contains("availability"));
         // Unknown slices yield None.
         assert!(DashboardView::slice_detail(s.orchestrator(), ovnes_model::SliceId::new(9999)).is_none());
+    }
+
+    #[test]
+    fn control_panel_surfaces_injected_faults() {
+        use ovnes_api::{EndpointFaults, FaultPlan};
+        let mut s = scenario();
+        s.orchestrator_mut().set_fault_plan(
+            FaultPlan::new(21)
+                .with_endpoint("ran/health", EndpointFaults::none().with_drop(0.4)),
+        );
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(rendered.contains("fault plan: seed 21, 1 endpoint(s) configured"));
+        assert!(rendered.contains("retries"), "{rendered}");
+        // The perturbed endpoint's injected-fault column is nonzero.
+        let line = rendered
+            .lines()
+            .find(|l| l.contains("ran/health"))
+            .expect("endpoint row");
+        let injected: u64 = line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .expect("numeric faults column");
+        assert!(injected > 0, "{line}");
     }
 
     #[test]

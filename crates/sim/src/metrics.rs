@@ -379,6 +379,17 @@ impl MetricRegistry {
             .collect()
     }
 
+    /// Counters whose name starts with `prefix`, in name order — the way a
+    /// dashboard panel pulls one subsystem's counters (e.g. `control.`)
+    /// without naming each one.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, c)| (k.as_str(), c.get()))
+            .collect()
+    }
+
     /// Flat snapshot of scalar metrics (counters + gauges + last series
     /// values), the payload a controller reports upstream each monitoring
     /// epoch.
@@ -553,6 +564,29 @@ mod tests {
         assert_eq!(snap["ran.prb_used"], 42.0);
         assert_eq!(snap["load"], 2.0);
         assert_eq!(reg.names().len(), 4);
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_one_subsystem() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("control.calls").add(9);
+        reg.counter("control.retries").add(2);
+        reg.counter("controller").add(1); // prefix match is textual
+        reg.counter("orchestrator.admitted").add(5);
+        assert_eq!(
+            reg.counters_with_prefix("control."),
+            vec![("control.calls", 9), ("control.retries", 2)]
+        );
+        assert_eq!(
+            reg.counters_with_prefix("control"),
+            vec![
+                ("control.calls", 9),
+                ("control.retries", 2),
+                ("controller", 1)
+            ]
+        );
+        assert!(reg.counters_with_prefix("zzz").is_empty());
+        assert_eq!(reg.counters_with_prefix("").len(), 4);
     }
 
     #[test]

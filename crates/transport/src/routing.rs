@@ -223,9 +223,16 @@ pub fn k_shortest_paths(
             break;
         }
         // Promote the cheapest candidate (stable on delay then link ids).
+        // Cost must be the sum of per-link *rounded* microsecond weights —
+        // the exact metric `dijkstra` minimizes. Summing the f64 delays and
+        // rounding once can order two near-tied candidates differently from
+        // the shortest-path search, breaking the sortedness of the result.
         candidates.sort_by_key(|p| {
             (
-                p.total_delay(delay_of).to_duration().as_micros(),
+                p.links
+                    .iter()
+                    .map(|&l| delay_of(l).to_duration().as_micros())
+                    .sum::<u64>(),
                 p.links.iter().map(|l| l.value()).collect::<Vec<_>>(),
             )
         });

@@ -1,10 +1,11 @@
 //! Property-based tests (proptest) on the core data structures and
 //! cross-crate invariants.
 
+use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy};
 use ovnes_model::{Money, Prbs, RateMbps, SliceId};
 use ovnes_orchestrator::admission::knapsack_select;
 use ovnes_ran::{schedule_epoch, SliceLoad};
-use ovnes_sim::{EventQueue, Histogram, SimRng, SimTime};
+use ovnes_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
 use ovnes_transport::{dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology};
 use proptest::prelude::*;
 
@@ -212,5 +213,99 @@ proptest! {
             ns.dedup();
             prop_assert_eq!(ns.len(), p.nodes.len());
         }
+    }
+
+    // ---- api: retry policy ---------------------------------------------------
+
+    #[test]
+    fn retry_backoff_is_monotone_and_capped(
+        base_ms in 1u64..2_000,
+        multiplier in 0.5f64..4.0,
+        cap_ms in 1u64..10_000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(base_ms),
+            multiplier,
+            max_backoff: SimDuration::from_millis(cap_ms),
+            jitter,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::seed_from(seed);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..10u32 {
+            let b = policy.backoff(attempt);
+            prop_assert!(b >= prev, "backoff shrank at attempt {}", attempt);
+            prop_assert!(b <= policy.max_backoff);
+            // Jitter only stretches, within the advertised band.
+            let j = policy.jittered_backoff(attempt, &mut rng);
+            prop_assert!(j >= b);
+            let band = b.as_secs_f64() * (1.0 + jitter) + 1e-6;
+            prop_assert!(j.as_secs_f64() <= band, "{j} outside [{b}, {band}]");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn retry_schedule_bounds_attempts_and_deadline(
+        base_ms in 1u64..1_000,
+        multiplier in 0.5f64..3.0,
+        cap_ms in 1u64..4_000,
+        deadline_ms in 0u64..8_000,
+        max_attempts in 1u32..12,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base_backoff: SimDuration::from_millis(base_ms),
+            multiplier,
+            max_backoff: SimDuration::from_millis(cap_ms),
+            deadline: SimDuration::from_millis(deadline_ms),
+            jitter: 0.0,
+        };
+        let schedule = policy.nominal_schedule();
+        // At most one wait per retry (attempts beyond the first).
+        prop_assert!(schedule.len() < max_attempts as usize || max_attempts == 1);
+        // The cumulative nominal wait respects the per-call deadline.
+        let mut elapsed = SimDuration::ZERO;
+        for &w in &schedule {
+            elapsed += w;
+        }
+        prop_assert!(elapsed <= policy.deadline);
+        // Waits themselves are monotone non-decreasing.
+        for w in schedule.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    // ---- api: fault injection -------------------------------------------------
+
+    #[test]
+    fn quiet_fault_plan_is_an_exact_noop(
+        seed in any::<u64>(),
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+    ) {
+        // An installed-but-empty plan must be indistinguishable from calling
+        // the bus directly: same responses, same served counters, no
+        // latency, no recorded faults.
+        let echo_bus = || {
+            let mut bus = MessageBus::new();
+            bus.register("echo", |req| Response::ok(req.id, req.body));
+            bus
+        };
+        let mut plain = echo_bus();
+        let mut wrapped = echo_bus();
+        let mut inj = FaultInjector::new(FaultPlan::new(seed));
+        for (i, body) in bodies.iter().enumerate() {
+            let a = plain.call("echo", body.clone()).unwrap();
+            let (b, latency) = inj
+                .call(&mut wrapped, SimTime::from_secs(i as u64), "echo", body.clone())
+                .unwrap();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(latency, SimDuration::ZERO);
+        }
+        prop_assert_eq!(plain.served("echo"), wrapped.served("echo"));
+        prop_assert!(inj.stats().is_empty());
     }
 }
