@@ -9,13 +9,13 @@
 use ovnes_cloud::host::HostCapacity;
 use ovnes_cloud::{CloudController, DataCenter, DcKind, PlacementStrategy};
 use ovnes_model::{
-    DcId, DiskGb, EnbId, Latency, MemMb, Money, RateMbps, SliceClass, SliceRequest, TenantId,
-    VCpus,
+    DcId, DiskGb, EnbId, Latency, MemMb, Money, RateMbps, SliceClass, SliceRequest, SwitchId,
+    TenantId, VCpus,
 };
 use ovnes_orchestrator::{Orchestrator, OrchestratorConfig};
 use ovnes_ran::{CellConfig, Enb, RanController};
 use ovnes_sim::{SimDuration, SimRng};
-use ovnes_transport::{Topology, TransportController};
+use ovnes_transport::{LinkKind, NodeKind, Topology, TransportController};
 
 /// The standard host profile of the core DC.
 pub fn core_host() -> HostCapacity {
@@ -53,6 +53,71 @@ pub fn testbed_world() -> (RanController, TransportController, CloudController, 
 /// An orchestrator over the standard world.
 pub fn testbed_orchestrator(config: OrchestratorConfig, seed: u64) -> Orchestrator {
     let (ran, transport, cloud, cell) = testbed_world();
+    Orchestrator::new(config, ran, transport, cloud, cell, SimRng::seed_from(seed))
+}
+
+/// A scaled-up world for the epoch-scaling experiment (E12): `cells` eNBs
+/// star-wired into one packet fabric, which uplinks to an edge DC directly
+/// and to a core DC through an aggregation switch. All links are wired so
+/// the fixture is weather-insensitive, and the cells accept 12 PLMNs each
+/// so ~6 slices/cell fits with headroom. DC pools scale with the cell
+/// count so compute is never the admission bottleneck.
+pub fn scaling_world(
+    cells: usize,
+) -> (RanController, TransportController, CloudController, CellConfig) {
+    let cell = CellConfig {
+        max_plmns: 12,
+        ..CellConfig::default_20mhz()
+    };
+    let ran = RanController::new(
+        (0..cells)
+            .map(|i| Enb::new(EnbId::new(i as u64), cell))
+            .collect(),
+    );
+    let mut b = Topology::builder();
+    let pf = b.add_node(NodeKind::Switch(SwitchId::new(0)), "pf-fabric");
+    for i in 0..cells {
+        let site = b.add_node(
+            NodeKind::RadioSite(EnbId::new(i as u64)),
+            &format!("enb{i}-site"),
+        );
+        b.add_default_link(site, pf, LinkKind::Wired);
+    }
+    let edge = b.add_node(NodeKind::DataCenter(DcId::new(0)), "edge-dc");
+    let agg = b.add_node(NodeKind::Switch(SwitchId::new(1)), "agg-switch");
+    let core = b.add_node(NodeKind::DataCenter(DcId::new(1)), "core-dc");
+    b.add_default_link(pf, edge, LinkKind::Wired);
+    b.add_default_link(pf, agg, LinkKind::Wired);
+    b.add_link(
+        agg,
+        core,
+        LinkKind::Wired,
+        LinkKind::Wired.default_capacity(),
+        Latency::new(4.0),
+    );
+    let transport = TransportController::new(b.build(), 4096);
+    let cloud = CloudController::new(vec![
+        DataCenter::homogeneous(
+            DcId::new(0),
+            DcKind::Edge,
+            cells.max(2),
+            edge_host(),
+            PlacementStrategy::WorstFit,
+        ),
+        DataCenter::homogeneous(
+            DcId::new(1),
+            DcKind::Core,
+            (cells * 4).max(12),
+            core_host(),
+            PlacementStrategy::WorstFit,
+        ),
+    ]);
+    (ran, transport, cloud, cell)
+}
+
+/// An orchestrator over the scaled world.
+pub fn scaling_orchestrator(cells: usize, config: OrchestratorConfig, seed: u64) -> Orchestrator {
+    let (ran, transport, cloud, cell) = scaling_world(cells);
     Orchestrator::new(config, ran, transport, cloud, cell, SimRng::seed_from(seed))
 }
 
@@ -103,6 +168,18 @@ mod tests {
         assert_eq!(ran.enb_ids().len(), 2);
         assert_eq!(transport.topology().link_count(), 7);
         assert_eq!(cloud.dc_ids().len(), 2);
+    }
+
+    #[test]
+    fn scaling_world_builds_at_any_cell_count() {
+        for cells in [1usize, 4, 16] {
+            let (ran, transport, cloud, cell) = scaling_world(cells);
+            assert_eq!(ran.enb_ids().len(), cells);
+            // One access link per cell, plus fabric→edge, fabric→agg, agg→core.
+            assert_eq!(transport.topology().link_count(), cells + 3);
+            assert_eq!(cloud.dc_ids().len(), 2);
+            assert_eq!(cell.max_plmns, 12);
+        }
     }
 
     #[test]

@@ -65,11 +65,13 @@ impl ClassDemand {
 
 impl ResourceView {
     /// PRBs needed to carry `throughput` at the planning rate.
+    ///
+    /// Delegates to [`Prbs::for_rate`], the epsilon-tolerant rounding shared
+    /// with the allocator and overbooking engine, so exactly-divisible rates
+    /// (e.g. 1.2 Mbps at 0.4 Mbps/PRB) never over-reserve by a PRB and flip
+    /// an admission decision.
     pub fn prbs_needed(&self, throughput: RateMbps) -> Prbs {
-        if self.planning_prb_rate.is_zero() {
-            return Prbs::new(u32::MAX);
-        }
-        Prbs::new((throughput.value() / self.planning_prb_rate.value()).ceil() as u32)
+        Prbs::for_rate(throughput, self.planning_prb_rate)
     }
 }
 
@@ -144,11 +146,44 @@ impl AdmissionPolicy for Fcfs {
 /// only requests whose revenue density clears an escalating bar are
 /// admitted — saving the scarce tail capacity for high-value slices.
 pub struct GreedyRevenue {
-    /// Utilization above which gating starts.
+    /// Utilization above which gating starts. Clamped to
+    /// `[0, GreedyRevenue::MAX_KNEE]` when used: a knee at or above 1.0
+    /// would make the gate unreachable (the severity ramp degenerates
+    /// through its `max(1e-9)` guard and the bar collapses to zero).
     pub util_knee: f64,
     /// Revenue density (price units per Mbit-hour) required at full
     /// utilization; the bar rises linearly from 0 at the knee.
     pub density_bar_at_full: f64,
+}
+
+impl GreedyRevenue {
+    /// Highest usable knee: the bar must still have room to ramp before
+    /// utilization 1.0.
+    pub const MAX_KNEE: f64 = 0.99;
+
+    /// Build a policy with the knee and bar validated: the knee is clamped
+    /// to `[0, MAX_KNEE]` (non-finite values fall back to `MAX_KNEE`), the
+    /// bar floored at zero.
+    pub fn new(util_knee: f64, density_bar_at_full: f64) -> GreedyRevenue {
+        GreedyRevenue {
+            util_knee: Self::effective_knee(util_knee),
+            density_bar_at_full: if density_bar_at_full.is_finite() {
+                density_bar_at_full.max(0.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    // Fields are public, so re-validate at decision time too: construction
+    // via a struct literal must not smuggle a degenerate knee past `new`.
+    fn effective_knee(knee: f64) -> f64 {
+        if knee.is_finite() {
+            knee.clamp(0.0, Self::MAX_KNEE)
+        } else {
+            Self::MAX_KNEE
+        }
+    }
 }
 
 impl Default for GreedyRevenue {
@@ -172,9 +207,9 @@ impl AdmissionPolicy for GreedyRevenue {
                 reason: format!("needs {need}, only {} free", view.available_prbs),
             };
         }
-        if view.ran_utilization > self.util_knee {
-            let severity =
-                (view.ran_utilization - self.util_knee) / (1.0 - self.util_knee).max(1e-9);
+        let knee = Self::effective_knee(self.util_knee);
+        if view.ran_utilization > knee {
+            let severity = (view.ran_utilization - knee) / (1.0 - knee);
             let bar = self.density_bar_at_full * severity.clamp(0.0, 1.0);
             let density = request.revenue_density();
             if density < bar {
@@ -328,6 +363,39 @@ mod tests {
     }
 
     #[test]
+    fn prbs_needed_is_exact_on_divisible_rates() {
+        // Regression: 1.2 / 0.4 is 3.0000000000000004 in f64 — a plain ceil
+        // said 4 PRBs and could flip an admission decision on a full cell.
+        let v = ResourceView {
+            available_prbs: Prbs::new(100),
+            ran_utilization: 0.0,
+            planning_prb_rate: RateMbps::new(0.4),
+            class_demand: ClassDemand::empty(),
+        };
+        assert_eq!(v.prbs_needed(RateMbps::new(1.2)), Prbs::new(3));
+        assert_eq!(v.prbs_needed(RateMbps::new(2.0)), Prbs::new(5));
+        assert_eq!(v.prbs_needed(RateMbps::new(0.4)), Prbs::new(1));
+        // Real fractions still round up.
+        assert_eq!(v.prbs_needed(RateMbps::new(1.21)), Prbs::new(4));
+    }
+
+    #[test]
+    fn prbs_needed_exactness_decides_admission_at_the_margin() {
+        // With exactly 3 PRBs free, a 1.2 Mbps request at 0.4 Mbps/PRB fits
+        // precisely; the old rounding rejected it.
+        let v = ResourceView {
+            available_prbs: Prbs::new(3),
+            ran_utilization: 0.0,
+            planning_prb_rate: RateMbps::new(0.4),
+            class_demand: ClassDemand::empty(),
+        };
+        match Fcfs.decide(&request(1.2, 10, 1), &v) {
+            AdmissionDecision::Admit { reserved } => assert_eq!(reserved, Prbs::new(3)),
+            other => panic!("exact-fit request rejected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn fcfs_admits_when_fits() {
         let mut p = Fcfs;
         match p.decide(&request(25.0, 100, 10), &view(100, 0.9)) {
@@ -365,6 +433,47 @@ mod tests {
             p.decide(&request(25.0, 100, 1), &view(100, 0.95)),
             AdmissionDecision::Admit { .. }
         ));
+    }
+
+    #[test]
+    fn greedy_new_clamps_degenerate_parameters() {
+        let p = GreedyRevenue::new(1.0, 2.0);
+        assert_eq!(p.util_knee, GreedyRevenue::MAX_KNEE);
+        let p = GreedyRevenue::new(f64::NAN, -3.0);
+        assert_eq!(p.util_knee, GreedyRevenue::MAX_KNEE);
+        assert_eq!(p.density_bar_at_full, 0.0);
+        let p = GreedyRevenue::new(-0.5, 2.0);
+        assert_eq!(p.util_knee, 0.0);
+        // In-range parameters pass through untouched.
+        let p = GreedyRevenue::new(0.6, 2.0);
+        assert_eq!(p.util_knee, 0.6);
+        assert_eq!(p.density_bar_at_full, 2.0);
+    }
+
+    #[test]
+    fn greedy_knee_at_or_above_one_still_gates_at_full_load() {
+        // A knee >= 1.0 used to make the gate unreachable: severity went
+        // non-positive, the bar collapsed to 0, and every low-value request
+        // sailed through at 100% utilization. The clamp restores gating.
+        for knee in [1.0, 1.5, f64::INFINITY] {
+            let mut p = GreedyRevenue {
+                util_knee: knee,
+                density_bar_at_full: 2.0,
+            };
+            // Density 0.4 at full load must be rejected (bar ≈ 2.0).
+            assert!(
+                matches!(
+                    p.decide(&request(25.0, 10, 1), &view(100, 1.0)),
+                    AdmissionDecision::Reject { .. }
+                ),
+                "knee {knee} let a low-value request through at full load"
+            );
+            // High-value requests still clear the bar.
+            assert!(matches!(
+                p.decide(&request(25.0, 100, 1), &view(100, 1.0)),
+                AdmissionDecision::Admit { .. }
+            ));
+        }
     }
 
     #[test]

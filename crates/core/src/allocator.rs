@@ -132,11 +132,11 @@ impl MultiDomainAllocator {
         &self.config
     }
 
-    /// PRBs the SLA peak of `request` needs at the planning rate.
+    /// PRBs the SLA peak of `request` needs at the planning rate
+    /// (epsilon-tolerant rounding shared with admission; see
+    /// [`Prbs::for_rate`]).
     pub fn nominal_prbs(&self, request: &SliceRequest) -> Prbs {
-        Prbs::new(
-            (request.sla.throughput.value() / self.config.planning_prb_rate.value()).ceil() as u32,
-        )
+        Prbs::for_rate(request.sla.throughput, self.config.planning_prb_rate)
     }
 
     /// Allocate `request` as `slice`/`plmn`, reserving `reserved` PRBs

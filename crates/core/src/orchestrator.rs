@@ -153,6 +153,32 @@ pub struct Rejection {
     pub reason: String,
 }
 
+/// Per-slice simulation state mutated by the epoch hot path: the traffic
+/// process, the UE population, and the slice's private radio RNG stream.
+/// Grouped in one struct so the parallel compute phase can hand each slice
+/// to a worker as a single disjoint `&mut` borrow.
+struct SliceSimState {
+    traffic: TraceGenerator,
+    ues: Vec<Ue>,
+    /// Every draw the epoch hot path makes for this slice (mobility, CQI,
+    /// fairness channels) comes from this stream. It is forked at admission
+    /// under a label keyed by the slice's id, so what a slice draws is a
+    /// function of its identity — never of shard or thread scheduling order.
+    rng: SimRng,
+}
+
+/// What the parallel compute phase produces per active slice; applied
+/// serially afterwards in id order.
+struct SliceEpochSample {
+    slice: SliceId,
+    demand_fraction: f64,
+    offered: RateMbps,
+    prb_rate: RateMbps,
+    /// Per-UE channel draws for the PF fairness split (empty unless
+    /// fairness tracking is on).
+    channels: Vec<UeChannel>,
+}
+
 /// The end-to-end orchestrator. See module docs.
 pub struct Orchestrator {
     config: OrchestratorConfig,
@@ -179,8 +205,10 @@ pub struct Orchestrator {
     timelines: BTreeMap<SliceId, SliceTimeline>,
     /// Proportional-fair state per slice (only when fairness tracking is on).
     pf: BTreeMap<SliceId, PfState>,
-    traffic: BTreeMap<SliceId, TraceGenerator>,
-    ues: BTreeMap<SliceId, Vec<Ue>>,
+    /// Traffic process + UEs + private RNG stream per slice, keyed (and
+    /// therefore iterated) in slice-id order — the order the parallel epoch
+    /// phase shards and reduces in.
+    sim_state: BTreeMap<SliceId, SliceSimState>,
     channel: ChannelModel,
     rng: SimRng,
     ids: IdAllocator,
@@ -189,6 +217,9 @@ pub struct Orchestrator {
     next_plmn: u64,
     metrics: MetricRegistry,
     epoch_count: u64,
+    /// When the last epoch closed; `run_epoch` rejects a clock that runs
+    /// backwards (it would corrupt event-log ordering and SLA accounting).
+    last_epoch_at: Option<SimTime>,
     last_monitoring: Vec<MonitoringReport>,
     weather: WeatherProcess,
     /// Dedicated stream so enabling weather never perturbs the radio/
@@ -240,8 +271,7 @@ impl Orchestrator {
             epc_down_until: BTreeMap::new(),
             timelines: BTreeMap::new(),
             pf: BTreeMap::new(),
-            traffic: BTreeMap::new(),
-            ues: BTreeMap::new(),
+            sim_state: BTreeMap::new(),
             channel,
             rng,
             ids: IdAllocator::new(),
@@ -250,6 +280,7 @@ impl Orchestrator {
             next_plmn: 0,
             metrics: MetricRegistry::new(),
             epoch_count: 0,
+            last_epoch_at: None,
             last_monitoring: Vec::new(),
             weather: WeatherProcess::temperate(),
             weather_rng,
@@ -438,8 +469,11 @@ impl Orchestrator {
                     SliceClass::Urllc => TraceSpec::urllc(self.config.overbooking.season_period),
                     SliceClass::Mmtc => TraceSpec::mmtc(self.config.overbooking.season_period),
                 };
+                // Streams are keyed by the slice's id, so each slice's
+                // realization depends only on its identity (admission itself
+                // is serial, keeping the parent stream deterministic).
                 let trace_rng = self.rng.fork(&format!("traffic-{id}"));
-                self.traffic.insert(id, TraceGenerator::new(spec, trace_rng));
+                let radio_rng = self.rng.fork(&format!("radio-{id}"));
                 let (lo, hi) = self.config.ue_distance_range;
                 let ues = (0..self.config.ues_per_slice)
                     .map(|_| {
@@ -447,7 +481,14 @@ impl Orchestrator {
                         Ue::new(ue_id, plmn, self.rng.uniform_range(lo, hi))
                     })
                     .collect();
-                self.ues.insert(id, ues);
+                self.sim_state.insert(
+                    id,
+                    SliceSimState {
+                        traffic: TraceGenerator::new(spec, trace_rng),
+                        ues,
+                        rng: radio_rng,
+                    },
+                );
                 self.engine.track(id, request.class);
                 self.placements.insert(id, placement);
                 self.records.insert(id, record);
@@ -506,7 +547,20 @@ impl Orchestrator {
     // ---- the monitoring epoch ---------------------------------------------
 
     /// Advance one monitoring epoch ending at `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous epoch's close — a monitoring
+    /// clock that runs backwards would corrupt event-log ordering and SLA
+    /// accounting, so it is treated as a harness bug. Equal timestamps are
+    /// allowed (a zero-length epoch re-measures the same instant).
     pub fn run_epoch(&mut self, now: SimTime) -> EpochReport {
+        if let Some(last) = self.last_epoch_at {
+            assert!(
+                now >= last,
+                "run_epoch clock went backwards: {now} after epoch at {last}"
+            );
+        }
+        self.last_epoch_at = Some(now);
         self.epoch_count += 1;
 
         // 0a. Control plane: probe each domain controller's health endpoint
@@ -587,7 +641,7 @@ impl Orchestrator {
             self.ready_at.remove(id);
             let record = self.records.get_mut(id).expect("deploying slice has a record");
             record.activate(now).expect("deploying→active");
-            for ue in self.ues.get_mut(id).expect("slice has UEs") {
+            for ue in &mut self.sim_state.get_mut(id).expect("slice has UEs").ues {
                 ue.attach();
             }
             self.metrics.counter("orchestrator.activated").inc();
@@ -677,38 +731,79 @@ impl Orchestrator {
 
         // 3. Generate traffic and sample radio quality for active slices
         //    (degraded slices keep serving: the outage is control, not data).
+        //
+        //    This is the epoch hot path, run as collect → par-compute →
+        //    ordered-apply. Collect: shard the per-slice sim state in
+        //    ascending slice-id order (each shard is a disjoint `&mut`).
+        //    Par-compute: mobility, traffic, and channel sampling per slice,
+        //    each drawing only from that slice's private RNG stream — no
+        //    shard touches shared state, so thread count cannot change any
+        //    draw. Ordered-apply: fold results back in the same id order.
         let active_ids: Vec<SliceId> = self
             .records
             .values()
             .filter(|r| matches!(r.state, SliceState::Active | SliceState::Degraded))
             .map(|r| r.id)
             .collect();
-        let mut offered_loads = Vec::with_capacity(active_ids.len());
-        let mut fractions: BTreeMap<SliceId, f64> = BTreeMap::new();
-        for &id in &active_ids {
+        let active: BTreeSet<SliceId> = active_ids.iter().copied().collect();
+        let mobility = self.config.mobility;
+        let cell = self.cell;
+        let channel = &self.channel;
+        let records = &self.records;
+        let fairness = self.config.ue_fairness_tracking;
+        let shards: Vec<(SliceId, &mut SliceSimState)> = self
+            .sim_state
+            .iter_mut()
+            .filter(|(id, _)| active.contains(id))
+            .map(|(&id, state)| (id, state))
+            .collect();
+        let samples = ovnes_sim::par::par_map(shards, move |(id, state)| {
             // UEs drift before this epoch's channel sampling.
-            let mobility = self.config.mobility;
-            for ue in self.ues.get_mut(&id).expect("active slice has UEs") {
-                mobility.step(ue, &mut self.rng);
+            for ue in &mut state.ues {
+                mobility.step(ue, &mut state.rng);
             }
-            let demand_fraction = self
-                .traffic
-                .get_mut(&id)
-                .expect("active slice has a traffic process")
-                .next_demand();
-            let committed = self.records[&id].request.sla.throughput;
-            let offered = committed * demand_fraction;
-            let prb_rate = self
-                .ues
-                .get(&id)
-                .and_then(|ues| slice_average_cqi(ues, &self.channel, &mut self.rng))
-                .map(|cqi| self.cell.prb_rate(cqi))
+            let demand_fraction = state.traffic.next_demand();
+            let committed = records[&id].request.sla.throughput;
+            let prb_rate = slice_average_cqi(&state.ues, channel, &mut state.rng)
+                .map(|cqi| cell.prb_rate(cqi))
                 .unwrap_or(RateMbps::ZERO);
-            fractions.insert(id, demand_fraction);
-            offered_loads.push(OfferedLoad {
+            // Per-UE channel draws for the PF fairness split; sampled here
+            // (from this slice's stream) so the serial apply phase below
+            // needs no RNG at all.
+            let channels: Vec<UeChannel> = if fairness {
+                state
+                    .ues
+                    .iter()
+                    .map(|ue| {
+                        let cqi = channel.sample_cqi(ue.distance_m, &mut state.rng);
+                        UeChannel {
+                            ue: ue.id,
+                            cqi,
+                            prb_rate: cqi.map(|c| cell.prb_rate(c)).unwrap_or(RateMbps::ZERO),
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            SliceEpochSample {
                 slice: id,
-                offered,
+                demand_fraction,
+                offered: committed * demand_fraction,
                 prb_rate,
+                channels,
+            }
+        });
+        let mut offered_loads = Vec::with_capacity(samples.len());
+        let mut fractions: BTreeMap<SliceId, f64> = BTreeMap::new();
+        let mut ue_channels: BTreeMap<SliceId, Vec<UeChannel>> = BTreeMap::new();
+        for sample in samples {
+            fractions.insert(sample.slice, sample.demand_fraction);
+            ue_channels.insert(sample.slice, sample.channels);
+            offered_loads.push(OfferedLoad {
+                slice: sample.slice,
+                offered: sample.offered,
+                prb_rate: sample.prb_rate,
             });
         }
 
@@ -761,26 +856,11 @@ impl Orchestrator {
 
             // Optional: intra-slice PF split of the allocated PRBs, for the
             // per-UE fairness the demo's verticals care about (every device
-            // in a fleet must work, not just the aggregate).
+            // in a fleet must work, not just the aggregate). The channels
+            // were sampled in the parallel phase from this slice's stream;
+            // PF state mutation stays here in the serial apply.
             if self.config.ue_fairness_tracking {
-                let channels: Vec<UeChannel> = self
-                    .ues
-                    .get(&id)
-                    .map(|ues| {
-                        ues.iter()
-                            .map(|ue| {
-                                let cqi = self.channel.sample_cqi(ue.distance_m, &mut self.rng);
-                                UeChannel {
-                                    ue: ue.id,
-                                    cqi,
-                                    prb_rate: cqi
-                                        .map(|c| self.cell.prb_rate(c))
-                                        .unwrap_or(RateMbps::ZERO),
-                                }
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default();
+                let channels = ue_channels.remove(&id).unwrap_or_default();
                 let pf = self.pf.entry(id).or_default();
                 let shares = pf.schedule(outcome.allocated, &channels, 0.1);
                 let rates: Vec<f64> = shares.iter().map(|sh| sh.rate.value()).collect();
@@ -900,8 +980,7 @@ impl Orchestrator {
                 self.free_plmns.push(plmn);
             }
         }
-        self.traffic.remove(&id);
-        self.ues.remove(&id);
+        self.sim_state.remove(&id);
         self.epc_down_until.remove(&id);
         self.pf.remove(&id);
         self.engine.forget(id);
@@ -1493,6 +1572,56 @@ mod tests {
             digest
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_reports_identical_at_any_thread_count() {
+        // The tentpole invariant: the parallel epoch pipeline must be
+        // bit-for-bit independent of the worker count, including the
+        // fairness channel sampling and the per-slice RNG streams.
+        let run = |threads: usize| {
+            ovnes_sim::par::set_thread_override(Some(threads));
+            let mut o = orchestrator(OrchestratorConfig {
+                ue_fairness_tracking: true,
+                ..OrchestratorConfig::default()
+            });
+            for tp in [10.0, 15.0, 20.0, 25.0, 30.0] {
+                o.submit(SimTime::ZERO, embb(tp)).unwrap();
+            }
+            let reports: Vec<EpochReport> = (1..=12).map(|e| o.run_epoch(minute(e))).collect();
+            let fairness: Vec<Vec<(SimTime, f64)>> = o
+                .records()
+                .map(|r| r.id)
+                .filter_map(|id| {
+                    o.metrics()
+                        .series_ref(&format!("orchestrator.{id}.ue_fairness"))
+                        .map(|s| s.points().to_vec())
+                })
+                .collect();
+            ovnes_sim::par::set_thread_override(None);
+            (reports, fairness)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn epoch_clock_cannot_go_backwards() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        o.run_epoch(minute(2));
+        o.run_epoch(minute(1));
+    }
+
+    #[test]
+    fn epoch_at_the_same_instant_is_allowed() {
+        let mut o = orchestrator(OrchestratorConfig::default());
+        o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        o.run_epoch(minute(1));
+        // Zero-length epoch: legal (re-measures the same instant).
+        let r = o.run_epoch(minute(1));
+        assert_eq!(r.now, minute(1));
     }
 
     #[test]

@@ -192,9 +192,7 @@ impl OverbookingEngine {
                 continue;
             };
             let target_tp = request.sla.throughput * fraction;
-            let target_prbs = Prbs::new(
-                (target_tp.value() / planning_prb_rate.value()).ceil().max(1.0) as u32,
-            );
+            let target_prbs = Prbs::for_rate(target_tp, planning_prb_rate).max(Prbs::new(1));
             let Some(current) = ran.reservation(*slice).map(|r| r.reserved) else {
                 continue;
             };

@@ -268,6 +268,43 @@ impl Latency {
     }
 }
 
+impl Prbs {
+    /// Tolerance for [`Prbs::for_rate`]: a quotient within this distance of
+    /// an integer is treated as exact. PRB counts are small (hundreds), so
+    /// any residue below this is float-division noise, not real demand.
+    pub const RATE_EPSILON: f64 = 1e-9;
+
+    /// PRBs needed to carry `throughput` when one PRB delivers `per_prb`.
+    ///
+    /// This is the single rounding rule for rate→PRB conversion across
+    /// admission, allocation, overbooking, and scheduling. A naive
+    /// `(t / r).ceil()` over-reserves on exactly-divisible rates — e.g.
+    /// `1.2 / 0.4` is `3.0000000000000004` in f64, which plain `ceil`
+    /// inflates to 4 PRBs and can silently flip an admission decision.
+    /// Quotients within [`Prbs::RATE_EPSILON`] of an integer snap down.
+    ///
+    /// Degenerate inputs: zero `throughput` needs zero PRBs; a zero (or
+    /// non-positive) `per_prb` cannot carry anything, so the need saturates
+    /// at `u32::MAX` — callers that prefer to treat outage as "no demand"
+    /// must guard before calling.
+    pub fn for_rate(throughput: RateMbps, per_prb: RateMbps) -> Prbs {
+        if throughput.value() <= 0.0 {
+            return Prbs::ZERO;
+        }
+        if per_prb.value() <= 0.0 {
+            return Prbs::new(u32::MAX);
+        }
+        let q = throughput.value() / per_prb.value();
+        let floor = q.floor();
+        let n = if q - floor < Self::RATE_EPSILON {
+            floor
+        } else {
+            floor + 1.0
+        };
+        Prbs::new(n.min(u32::MAX as f64) as u32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +388,34 @@ mod tests {
     #[test]
     fn latency_to_duration() {
         assert_eq!(Latency::new(2.5).to_duration().as_micros(), 2_500);
+    }
+
+    #[test]
+    fn for_rate_snaps_float_noise_on_exact_divisions() {
+        // 1.2 / 0.4 == 3.0000000000000004 in f64; a plain ceil says 4.
+        assert_eq!(Prbs::for_rate(RateMbps::new(1.2), RateMbps::new(0.4)), Prbs::new(3));
+        assert_eq!(Prbs::for_rate(RateMbps::new(0.4), RateMbps::new(0.4)), Prbs::new(1));
+        assert_eq!(Prbs::for_rate(RateMbps::new(2.0), RateMbps::new(0.4)), Prbs::new(5));
+        assert_eq!(Prbs::for_rate(RateMbps::new(0.3), RateMbps::new(0.1)), Prbs::new(3));
+        assert_eq!(Prbs::for_rate(RateMbps::new(10.0), RateMbps::new(0.5)), Prbs::new(20));
+    }
+
+    #[test]
+    fn for_rate_still_rounds_real_fractions_up() {
+        assert_eq!(Prbs::for_rate(RateMbps::new(10.1), RateMbps::new(0.5)), Prbs::new(21));
+        assert_eq!(Prbs::for_rate(RateMbps::new(0.01), RateMbps::new(0.5)), Prbs::new(1));
+        assert_eq!(Prbs::for_rate(RateMbps::new(1.21), RateMbps::new(0.4)), Prbs::new(4));
+    }
+
+    #[test]
+    fn for_rate_degenerate_inputs() {
+        assert_eq!(Prbs::for_rate(RateMbps::ZERO, RateMbps::new(0.5)), Prbs::ZERO);
+        assert_eq!(
+            Prbs::for_rate(RateMbps::new(1.0), RateMbps::ZERO),
+            Prbs::new(u32::MAX),
+            "zero per-PRB rate saturates: nothing can carry the demand"
+        );
+        assert_eq!(Prbs::for_rate(RateMbps::ZERO, RateMbps::ZERO), Prbs::ZERO);
     }
 
     #[test]

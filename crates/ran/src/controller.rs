@@ -150,10 +150,17 @@ impl RanController {
     /// Run one scheduling epoch at `now`: split `offered` by serving eNB,
     /// schedule each cell, record telemetry, and return all outcomes.
     ///
+    /// Cells are independent PRB grids, so they are scheduled in parallel
+    /// (collect → par-compute → ordered-apply). `schedule_epoch` is a pure
+    /// function of its cell's inputs, and both the per-cell batches and the
+    /// result apply follow ascending eNB id, so outcome order and telemetry
+    /// are identical at any thread count.
+    ///
     /// Loads for slices not installed anywhere are ignored (the slice is
     /// mid-teardown); callers detect this by the missing outcome.
     pub fn run_epoch(&mut self, now: SimTime, offered: &[OfferedLoad]) -> Vec<SliceScheduleOutcome> {
-        // Group loads per eNB, preserving input order within each cell.
+        // Collect: group loads per eNB (ascending id), preserving input
+        // order within each cell, and snapshot each grid size.
         let mut per_enb: BTreeMap<EnbId, Vec<SliceLoad>> = BTreeMap::new();
         for load in offered {
             let Some(&enb) = self.placements.get(&load.slice) else {
@@ -170,25 +177,35 @@ impl RanController {
                 prb_rate: load.prb_rate,
             });
         }
+        let cells: Vec<(EnbId, Prbs, Vec<SliceLoad>)> = per_enb
+            .into_iter()
+            .map(|(enb_id, loads)| (enb_id, self.enbs[&enb_id].total_prbs(), loads))
+            .collect();
 
-        let mut outcomes = Vec::new();
-        for (&enb_id, loads) in &per_enb {
-            let enb = &self.enbs[&enb_id];
-            let outs = schedule_epoch(enb.total_prbs(), loads);
+        // Par-compute: one shard per busy cell.
+        let scheduled = ovnes_sim::par::par_map(cells, |(enb_id, total, loads)| {
+            let outs = schedule_epoch(total, &loads);
             let used: u32 = outs.iter().map(|o| o.allocated.value()).sum();
-            let util = used as f64 / enb.total_prbs().value() as f64;
+            let util = used as f64 / total.value() as f64;
+            (enb_id, util, outs)
+        });
+
+        // Ordered apply: telemetry and outcome concatenation in cell order.
+        let mut outcomes = Vec::new();
+        let mut busy = Vec::with_capacity(scheduled.len());
+        for (enb_id, util, outs) in scheduled {
             self.metrics
                 .series(&format!("ran.{enb_id}.prb_utilization"))
                 .record(now, util);
+            busy.push(enb_id);
             outcomes.extend(outs);
         }
         // Idle cells still report zero utilization.
-        for (&enb_id, enb) in &self.enbs {
-            if !per_enb.contains_key(&enb_id) {
+        for &enb_id in self.enbs.keys() {
+            if !busy.contains(&enb_id) {
                 self.metrics
                     .series(&format!("ran.{enb_id}.prb_utilization"))
                     .record(now, 0.0);
-                let _ = enb;
             }
         }
         outcomes
@@ -356,6 +373,52 @@ mod tests {
         assert_eq!(row0.plmns, 2);
         let row1 = snap.enbs.iter().find(|r| r.enb == EnbId::new(1)).unwrap();
         assert_eq!(row1.overbooking_factor, 0.0);
+    }
+
+    #[test]
+    fn run_epoch_outcomes_independent_of_thread_count() {
+        // Eight cells, three slices each; outcomes and telemetry must be
+        // identical whether cells are scheduled serially or in parallel.
+        let run = |threads: usize| {
+            ovnes_sim::par::set_thread_override(Some(threads));
+            let mut c = RanController::new(
+                (0..8)
+                    .map(|i| Enb::new(EnbId::new(i), CellConfig::default_20mhz()))
+                    .collect(),
+            );
+            let mut loads = Vec::new();
+            for s in 0..24u64 {
+                c.install(
+                    EnbId::new(s % 8),
+                    SliceId::new(s),
+                    plmn(s),
+                    Prbs::new(20),
+                    Prbs::new(30),
+                )
+                .unwrap();
+                loads.push(OfferedLoad {
+                    slice: SliceId::new(s),
+                    offered: RateMbps::new(5.0 + s as f64),
+                    prb_rate: RateMbps::new(0.4),
+                });
+            }
+            let outs = c.run_epoch(SimTime::from_secs(60), &loads);
+            let utils: Vec<f64> = (0..8)
+                .map(|i| {
+                    c.metrics()
+                        .series_ref(&format!("ran.enb-{i}.prb_utilization"))
+                        .unwrap()
+                        .last()
+                        .unwrap()
+                        .1
+                })
+                .collect();
+            ovnes_sim::par::set_thread_override(None);
+            (outs, utils)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
     }
 
     #[test]

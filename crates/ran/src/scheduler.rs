@@ -50,14 +50,16 @@ pub struct SliceScheduleOutcome {
 /// (`prb_rate == 0`) receive nothing and their whole offered load is
 /// unserved.
 pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceScheduleOutcome> {
-    // PRBs each slice needs to carry its offered load at its link quality.
+    // PRBs each slice needs to carry its offered load at its link quality
+    // (epsilon-tolerant rounding; an outage slice needs nothing it can use,
+    // so guard `prb_rate == 0` before `for_rate` would saturate).
     let needed: Vec<Prbs> = loads
         .iter()
         .map(|l| {
-            if l.prb_rate.is_zero() || l.offered.is_zero() {
+            if l.prb_rate.is_zero() {
                 Prbs::ZERO
             } else {
-                Prbs::new((l.offered.value() / l.prb_rate.value()).ceil() as u32)
+                Prbs::for_rate(l.offered, l.prb_rate)
             }
         })
         .collect();
@@ -252,6 +254,17 @@ mod tests {
         let out = schedule_epoch(Prbs::new(100), &[load(1, 50, 10.1, 0.5)]);
         assert_eq!(out[0].allocated, Prbs::new(21));
         assert_eq!(out[0].delivered.value(), 10.1);
+    }
+
+    #[test]
+    fn exactly_divisible_demand_does_not_over_allocate() {
+        // 1.2 Mbps at 0.4 Mbps/PRB needs exactly 3 PRBs; float noise in the
+        // quotient used to make this 4, silently stealing a PRB of lending
+        // headroom from the rest of the cell.
+        let out = schedule_epoch(Prbs::new(100), &[load(1, 50, 1.2, 0.4)]);
+        assert_eq!(out[0].allocated, Prbs::new(3));
+        assert_eq!(out[0].delivered.value(), 1.2);
+        assert_eq!(out[0].lent, Prbs::new(47));
     }
 
     #[test]

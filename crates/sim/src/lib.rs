@@ -38,6 +38,7 @@ pub mod engine;
 pub mod event;
 pub mod eventlog;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod time;
 

@@ -44,6 +44,19 @@ impl SimRng {
         SimRng::seed_from(hash ^ salt.rotate_left(17))
     }
 
+    /// Derive an independent child stream from a label **without advancing
+    /// the parent**.
+    ///
+    /// Unlike [`SimRng::fork`], this is a pure function of (current parent
+    /// state, label): calling it repeatedly with the same label yields the
+    /// same child, and deriving streams for many entities in *any order*
+    /// yields the same set of children. This is the primitive behind the
+    /// parallel epoch pipeline's per-entity RNG rule — a shard's stream is
+    /// keyed by the entity's stable id, never by iteration or thread order.
+    pub fn stream(&self, label: &str) -> SimRng {
+        self.clone().fork(label)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
@@ -188,6 +201,33 @@ mod tests {
         let mut x = p3.fork("ran");
         let mut y = p4.fork("cloud");
         assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn streams_are_order_independent_and_leave_parent_untouched() {
+        // Deriving per-entity streams must not depend on derivation order —
+        // the property the parallel epoch pipeline rests on.
+        let parent = SimRng::seed_from(1234);
+        let mut ab = (parent.stream("slice-1"), parent.stream("slice-2"));
+        let mut ba = (parent.stream("slice-2"), parent.stream("slice-1"));
+        assert_eq!(ab.0.next_u64(), ba.1.next_u64());
+        assert_eq!(ab.1.next_u64(), ba.0.next_u64());
+
+        // Same label twice: same stream. Different labels: different streams.
+        let mut again = parent.stream("slice-1");
+        let mut first = parent.stream("slice-1");
+        assert_eq!(again.next_u64(), first.next_u64());
+        assert_ne!(
+            parent.stream("slice-1").next_u64(),
+            parent.stream("slice-3").next_u64()
+        );
+
+        // The parent stream itself is unperturbed by derivation.
+        let mut a = SimRng::seed_from(55);
+        let mut b = SimRng::seed_from(55);
+        let _ = a.stream("x");
+        let _ = a.stream("y");
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -85,6 +85,31 @@ fn same_seed_identical_under_active_fault_plan() {
 }
 
 #[test]
+fn same_seed_identical_across_thread_counts() {
+    // The parallel epoch pipeline must be invisible in results: one seed,
+    // one output, whether the per-slice and per-cell shards run on 1, 2, or
+    // 8 workers. Compare the scenario summary, the rendered dashboard, and
+    // the byte-exact JSON of every monitoring report.
+    let run = |threads: usize| {
+        ovnes_sim::par::set_thread_override(Some(threads));
+        let mut s = DemoScenario::build(config(2024));
+        let summary = s.run();
+        let dashboard = DashboardView::capture(s.orchestrator()).render();
+        let monitoring: Vec<String> = s
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        ovnes_sim::par::set_thread_override(None);
+        (summary, dashboard, monitoring)
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(2), "2 workers diverged from serial");
+    assert_eq!(serial, run(8), "8 workers diverged from serial");
+}
+
+#[test]
 fn monitoring_reports_are_reproducible_across_the_wire() {
     // The REST/JSON boundary must not introduce nondeterminism (e.g. map
     // ordering): reports from identical runs must be byte-identical JSON.

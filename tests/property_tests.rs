@@ -5,7 +5,7 @@ use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy};
 use ovnes_model::{Money, Prbs, RateMbps, SliceId};
 use ovnes_orchestrator::admission::knapsack_select;
 use ovnes_ran::{schedule_epoch, SliceLoad};
-use ovnes_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
+use ovnes_sim::{EventQueue, Histogram, ScheduledId, SimDuration, SimRng, SimTime};
 use ovnes_transport::{dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology};
 use proptest::prelude::*;
 
@@ -36,6 +36,59 @@ proptest! {
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    // The queue's O(1) `len` is `heap size − cancelled size` with lazy
+    // cancellation; this invariant must survive any interleaving of
+    // schedule/cancel/pop/peek_time against a trivial model counter.
+    #[test]
+    fn event_queue_len_consistent_under_arbitrary_interleavings(
+        ops in prop::collection::vec((0u8..4, 0u64..120), 1..300)
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model_len: usize = 0;
+        let mut live: Vec<ScheduledId> = Vec::new();
+        for (i, &(op, arg)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    // Schedule at/after the watermark (earlier would panic).
+                    let at = q.watermark() + SimDuration::from_secs(arg);
+                    live.push(q.schedule(at, i as u64));
+                    model_len += 1;
+                }
+                1 => {
+                    // Cancel a previously issued handle (possibly stale).
+                    if !live.is_empty() {
+                        let id = live.remove(arg as usize % live.len());
+                        if q.cancel(id) {
+                            model_len -= 1;
+                        }
+                    }
+                }
+                2 => {
+                    if q.pop().is_some() {
+                        model_len -= 1;
+                    } else {
+                        prop_assert_eq!(model_len, 0, "pop returned None on non-empty queue");
+                    }
+                }
+                _ => {
+                    // peek_time must not change the observable count.
+                    let before = q.len();
+                    let _ = q.peek_time();
+                    prop_assert_eq!(q.len(), before);
+                }
+            }
+            prop_assert_eq!(q.len(), model_len, "after op {} ({}, {})", i, op, arg);
+            prop_assert_eq!(q.is_empty(), model_len == 0);
+        }
+        // Drain: exactly model_len events remain.
+        let mut drained = 0;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, model_len);
+        prop_assert!(q.is_empty());
     }
 
     // ---- sim: histogram ----------------------------------------------------
@@ -108,11 +161,12 @@ proptest! {
         let total: u32 = outs.iter().map(|o| o.allocated.value()).sum();
         prop_assert!(total <= grid, "allocated {} > grid {}", total, grid);
         for (load, out) in loads.iter().zip(&outs) {
-            // Guarantee: each slice gets at least min(needed, reserved).
-            let needed = if load.prb_rate.is_zero() || load.offered.is_zero() {
+            // Guarantee: each slice gets at least min(needed, reserved),
+            // where "needed" uses the scheduler's epsilon-tolerant rounding.
+            let needed = if load.prb_rate.is_zero() {
                 0
             } else {
-                (load.offered.value() / load.prb_rate.value()).ceil() as u32
+                Prbs::for_rate(load.offered, load.prb_rate).value()
             };
             prop_assert!(
                 out.allocated.value() >= needed.min(load.reserved.value()),
