@@ -158,6 +158,27 @@ pub fn report_kv(pairs: &[(&str, String)]) {
     }
 }
 
+/// Write the same pairs as one JSON object at `path`, so experiment results
+/// are machine-readable (CI archives them to track the perf trajectory).
+/// Values that parse as finite numbers are written as JSON numbers; anything
+/// else stays a string. Keys are emitted in sorted order.
+pub fn report_json(path: &str, pairs: &[(&str, String)]) -> std::io::Result<()> {
+    let mut obj = serde_json::Map::new();
+    for (k, v) in pairs {
+        let value = match v.parse::<f64>() {
+            Ok(n) if n.is_finite() => serde_json::Number::from_f64(n)
+                .map(serde_json::Value::Number)
+                .unwrap_or_else(|| serde_json::Value::String(v.clone())),
+            _ => serde_json::Value::String(v.clone()),
+        };
+        obj.insert(k.to_string(), value);
+    }
+    let mut body = serde_json::to_string_pretty(&serde_json::Value::Object(obj))
+        .expect("maps of strings/numbers always serialize");
+    body.push('\n');
+    std::fs::write(path, body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +201,27 @@ mod tests {
             assert_eq!(cloud.dc_ids().len(), 2);
             assert_eq!(cell.max_plmns, 12);
         }
+    }
+
+    #[test]
+    fn report_json_writes_numbers_and_strings() {
+        let path = std::env::temp_dir().join("ovnes_report_json_test.json");
+        let path = path.to_str().unwrap();
+        report_json(
+            path,
+            &[
+                ("zeta_speedup", "12.5".to_string()),
+                ("alpha_mode", "full".to_string()),
+            ],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["zeta_speedup"], serde_json::json!(12.5));
+        assert_eq!(v["alpha_mode"], serde_json::json!("full"));
+        // Keys come out sorted regardless of input order.
+        assert!(body.find("alpha_mode").unwrap() < body.find("zeta_speedup").unwrap());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

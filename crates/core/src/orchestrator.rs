@@ -1107,6 +1107,12 @@ impl Orchestrator {
         &self.transport
     }
 
+    /// Mutable transport controller access, for cache A/B toggles in
+    /// benches and the determinism suite.
+    pub fn transport_mut(&mut self) -> &mut TransportController {
+        &mut self.transport
+    }
+
     /// The cloud controller.
     pub fn cloud(&self) -> &CloudController {
         &self.cloud

@@ -18,6 +18,6 @@ pub mod state;
 pub mod table;
 
 pub use export::{to_csv, to_json_pretty};
-pub use spark::sparkline;
+pub use spark::{sparkline, sparkline_points};
 pub use state::DashboardView;
 pub use table::Table;

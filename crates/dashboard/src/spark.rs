@@ -5,20 +5,40 @@
 /// Values are scaled to the observed min–max range; a constant series
 /// renders mid-height. Non-finite values render as spaces.
 pub fn sparkline(values: &[f64]) -> String {
+    render(values.len(), values.iter().copied())
+}
+
+/// Sparkline of a [`ovnes_sim::TimeSeries`] window, straight off the
+/// borrowed `(time, value)` points — no intermediate value vector.
+pub fn sparkline_points(points: &[(ovnes_sim::SimTime, f64)]) -> String {
+    render(points.len(), points.iter().map(|&(_, v)| v))
+}
+
+/// Sparkline of the most recent `n` values of a series.
+pub fn sparkline_tail(values: &[f64], n: usize) -> String {
+    let start = values.len().saturating_sub(n);
+    sparkline(&values[start..])
+}
+
+fn render(len: usize, values: impl Iterator<Item = f64> + Clone) -> String {
     const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    if values.is_empty() {
+    if len == 0 {
         return String::new();
     }
-    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-    if finite.is_empty() {
-        return " ".repeat(values.len());
+    let lo = values
+        .clone()
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let hi = values
+        .clone()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if lo > hi {
+        return " ".repeat(len); // nothing finite
     }
-    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = hi - lo;
     values
-        .iter()
-        .map(|&v| {
+        .map(|v| {
             if !v.is_finite() {
                 return ' ';
             }
@@ -29,12 +49,6 @@ pub fn sparkline(values: &[f64]) -> String {
             BLOCKS[idx.min(7)]
         })
         .collect()
-}
-
-/// Sparkline of the most recent `n` values of a series.
-pub fn sparkline_tail(values: &[f64], n: usize) -> String {
-    let start = values.len().saturating_sub(n);
-    sparkline(&values[start..])
 }
 
 #[cfg(test)]
@@ -70,6 +84,21 @@ mod tests {
         let s: Vec<char> = sparkline(&[0.0, f64::NAN, 1.0]).chars().collect();
         assert_eq!(s[1], ' ');
         assert_eq!(sparkline(&[f64::NAN, f64::INFINITY]), "  ");
+    }
+
+    #[test]
+    fn points_render_like_plain_values() {
+        use ovnes_sim::SimTime;
+        let points: Vec<(SimTime, f64)> = (0u64..20)
+            .map(|i| (SimTime::from_secs(i), (i as f64 * 0.7).sin()))
+            .collect();
+        let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+        assert_eq!(sparkline_points(&points), sparkline(&values));
+        assert_eq!(sparkline_points(&[]), "");
+        assert_eq!(
+            sparkline_points(&[(SimTime::from_secs(0), f64::NAN)]),
+            " "
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The dashboard view-model: the panels the demo's control dashboard shows,
 //! assembled from a live orchestrator.
 
-use crate::spark::sparkline_tail;
+use crate::spark::sparkline_points;
 use crate::table::{Align, Table};
 use ovnes_orchestrator::{Orchestrator, SliceState, DOMAINS};
 use std::fmt::Write as _;
@@ -111,7 +111,7 @@ impl DashboardView {
                     s,
                     "{} PRB utilization {}",
                     row.enb,
-                    sparkline_tail(&series.values(), 40)
+                    sparkline_points(series.tail(40))
                 );
             }
         }
@@ -172,7 +172,7 @@ impl DashboardView {
             let _ = writeln!(
                 s,
                 "capacity released by overbooking {}  (now {:.0}%)",
-                sparkline_tail(&series.values(), 40),
+                sparkline_points(series.tail(40)),
                 series.last().map_or(0.0, |(_, v)| v * 100.0)
             );
         }
@@ -180,7 +180,7 @@ impl DashboardView {
             let _ = writeln!(
                 s,
                 "overbooking factor               {}  (now {:.2}x)",
-                sparkline_tail(&series.values(), 40),
+                sparkline_points(series.tail(40)),
                 series.last().map_or(0.0, |(_, v)| v)
             );
         }
@@ -202,19 +202,19 @@ impl DashboardView {
         let _ = writeln!(
             s,
             "offered   {}  (mean {:.1} Mbps)",
-            sparkline_tail(&timeline.offered.values(), 48),
+            sparkline_points(timeline.offered.tail(48)),
             timeline.offered.mean().unwrap_or(0.0)
         );
         let _ = writeln!(
             s,
             "delivered {}  (mean {:.1} Mbps)",
-            sparkline_tail(&timeline.delivered.values(), 48),
+            sparkline_points(timeline.delivered.tail(48)),
             timeline.delivered.mean().unwrap_or(0.0)
         );
         let _ = writeln!(
             s,
             "latency   {}  (max {:.1} ms)",
-            sparkline_tail(&timeline.latency.values(), 48),
+            sparkline_points(timeline.latency.tail(48)),
             timeline.latency.max().unwrap_or(0.0)
         );
         let _ = writeln!(

@@ -53,5 +53,5 @@ pub use models::{
     Ar, Ensemble, Ewma, Forecaster, ForecasterKind, Holt, HoltWinters, MovingAverage, Naive,
     SeasonalNaive,
 };
-pub use provision::QuantileProvisioner;
+pub use provision::{QuantileProvisioner, ResidualWindow};
 pub use traces::{TraceGenerator, TraceSpec};

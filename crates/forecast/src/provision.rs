@@ -9,14 +9,111 @@
 //! smaller q → more gain, more SLA-violation risk. Experiments E2/E3 sweep q.
 
 use crate::models::Forecaster;
+use std::collections::VecDeque;
+
+/// An order-maintained sliding window of residuals.
+///
+/// Keeps the last `capacity` values twice: in arrival order (a ring, for
+/// eviction) and in sorted order (for quantiles). A push is one binary
+/// search plus one `Vec` shift — O(log w) compare cost, no allocation, no
+/// per-query sort — and [`quantile`](ResidualWindow::quantile) is O(1).
+/// Results are bit-identical to cloning and sorting the window from scratch,
+/// which survives as [`quantile_reference`](ResidualWindow::quantile_reference),
+/// the oracle the property tests and the E13 microbench compare against.
+#[derive(Debug, Clone)]
+pub struct ResidualWindow {
+    capacity: usize,
+    /// Arrival order, oldest first.
+    arrivals: VecDeque<f64>,
+    /// The same values, ascending.
+    sorted: Vec<f64>,
+}
+
+impl ResidualWindow {
+    /// An empty window retaining at most `capacity` values.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "residual window must be positive");
+        ResidualWindow {
+            capacity,
+            arrivals: VecDeque::with_capacity(capacity + 1),
+            sorted: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Add `value`, evicting the oldest value once the window is full.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite (residuals are finite by
+    /// construction; NaN would poison the order maintenance).
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "residuals are finite");
+        if self.arrivals.len() == self.capacity {
+            let oldest = self.arrivals.pop_front().expect("window is full");
+            let at = self.sorted.partition_point(|&x| x < oldest);
+            debug_assert!(at < self.sorted.len(), "evictee must be present");
+            self.sorted.remove(at);
+        }
+        let at = self.sorted.partition_point(|&x| x < value);
+        self.sorted.insert(at, value);
+        self.arrivals.push_back(value);
+    }
+
+    /// Values currently held.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when no value has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The maximum number of values retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The values in arrival order, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.arrivals.iter().copied()
+    }
+
+    /// Empirical `q`-quantile (linear interpolation between order
+    /// statistics), or `None` while empty. O(1): reads the maintained order.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        Self::interpolate(&self.sorted, q)
+    }
+
+    /// Reference clone-and-sort quantile — the pre-incremental
+    /// implementation, kept as the oracle [`quantile`](Self::quantile) is
+    /// property-tested (and benchmarked) against.
+    pub fn quantile_reference(&self, q: f64) -> Option<f64> {
+        let mut sorted: Vec<f64> = self.arrivals.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
+        Self::interpolate(&sorted, q)
+    }
+
+    fn interpolate(sorted: &[f64], q: f64) -> Option<f64> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
 
 /// A forecaster plus an empirical residual distribution.
 pub struct QuantileProvisioner<F: Forecaster> {
     model: F,
     /// One-step-ahead residuals: actual − predicted (newest last).
-    residuals: Vec<f64>,
-    /// Maximum residuals retained.
-    window: usize,
+    residuals: ResidualWindow,
     /// Prediction issued for the upcoming observation, if the model was warm.
     pending: Option<f64>,
 }
@@ -27,11 +124,9 @@ impl<F: Forecaster> QuantileProvisioner<F> {
     /// # Panics
     /// Panics if `window` is zero.
     pub fn new(model: F, window: usize) -> Self {
-        assert!(window > 0, "residual window must be positive");
         QuantileProvisioner {
             model,
-            residuals: Vec::new(),
-            window,
+            residuals: ResidualWindow::new(window),
             pending: None,
         }
     }
@@ -42,9 +137,6 @@ impl<F: Forecaster> QuantileProvisioner<F> {
     pub fn observe(&mut self, actual: f64) {
         if let Some(predicted) = self.pending.take() {
             self.residuals.push(actual - predicted);
-            if self.residuals.len() > self.window {
-                self.residuals.remove(0);
-            }
         }
         self.model.observe(actual);
         self.pending = self.model.predict(1);
@@ -56,19 +148,17 @@ impl<F: Forecaster> QuantileProvisioner<F> {
     }
 
     /// Empirical `q`-quantile of the residual window (linear interpolation),
-    /// or `None` until at least one residual exists.
+    /// or `None` until at least one residual exists. O(1) per query.
     pub fn residual_quantile(&self, q: f64) -> Option<f64> {
-        if self.residuals.is_empty() {
-            return None;
-        }
-        let mut sorted = self.residuals.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
-        let q = q.clamp(0.0, 1.0);
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+        self.residuals.quantile(q)
+    }
+
+    /// Clone-and-sort reference for [`residual_quantile`]
+    /// (test/bench oracle).
+    ///
+    /// [`residual_quantile`]: Self::residual_quantile
+    pub fn residual_quantile_reference(&self, q: f64) -> Option<f64> {
+        self.residuals.quantile_reference(q)
     }
 
     /// Capacity that covers next epoch's demand with probability ≈ `q`:
@@ -214,5 +304,58 @@ mod tests {
         assert_eq!(p.model().observations(), 0);
         assert_eq!(p.point_forecast(), None);
         assert_eq!(p.residual_quantile(0.5), None);
+        assert_eq!(p.residual_quantile_reference(0.5), None);
+    }
+
+    #[test]
+    fn window_maintains_sorted_order_under_eviction() {
+        let mut w = ResidualWindow::new(3);
+        for v in [5.0, 1.0, 3.0] {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.quantile(0.5), Some(3.0));
+        assert_eq!(w.quantile(1.0), Some(5.0));
+        // Evicts 5.0 (oldest), not the largest-by-chance duplicate.
+        w.push(2.0);
+        assert_eq!(w.values().collect::<Vec<_>>(), vec![1.0, 3.0, 2.0]);
+        assert_eq!(w.quantile(1.0), Some(3.0));
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn window_quantile_matches_reference_with_duplicates() {
+        let mut w = ResidualWindow::new(8);
+        for v in [2.0, 2.0, -1.0, 2.0, 0.5, -1.0, 7.0, 2.0, 2.0, -3.0] {
+            w.push(v);
+            for q in [0.0, 0.1, 0.25, 0.5, 0.73, 0.95, 1.0] {
+                assert_eq!(
+                    w.quantile(q).map(f64::to_bits),
+                    w.quantile_reference(q).map(f64::to_bits),
+                    "q={q} after pushing {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_has_no_quantile() {
+        let w = ResidualWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.5), None);
+        assert_eq!(w.quantile_reference(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_window_rejected() {
+        ResidualWindow::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_residual_rejected() {
+        ResidualWindow::new(4).push(f64::NAN);
     }
 }

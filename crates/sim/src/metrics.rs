@@ -9,6 +9,7 @@
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -70,13 +71,49 @@ impl Gauge {
     }
 }
 
+/// Rolling aggregates of a [`TimeSeries`], maintained incrementally at
+/// `record()` time so the accessors are O(1).
+///
+/// Every field replicates the left-to-right fold of the corresponding scan
+/// (`scan_mean` etc.) exactly, so reads are bit-identical to rescanning.
+/// Eviction from a capacity-limited series cannot be folded incrementally
+/// without changing float associativity, so it invalidates the cache; the
+/// next read rebuilds it with the reference scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Aggregates {
+    /// Running `Σ value` (the `Iterator::sum` fold, seeded at 0.0).
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Running `Σ value·dt` over consecutive sample pairs (dt in µs).
+    weighted: f64,
+    /// Running `Σ dt` over consecutive sample pairs (µs).
+    dt_total: f64,
+}
+
 /// Time-stamped sequence of samples, the raw material of every dashboard
 /// chart and of the forecasting engine's training window.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `mean`/`max`/`min`/`time_weighted_mean` are O(1): they read rolling
+/// [`Aggregates`] kept up to date by `record()` (lazily rebuilt after an
+/// eviction), and always return the same bits as the `scan_*` references.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
     /// Optional cap: oldest points are dropped beyond it (monitoring window).
     capacity: Option<usize>,
+    /// Rolling aggregates; `None` after an eviction (or deserialization)
+    /// until the next read rebuilds them.
+    #[serde(skip)]
+    agg: Cell<Option<Aggregates>>,
+}
+
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        // The aggregate cache is derived state: two series are equal iff
+        // their samples and window policy are.
+        self.points == other.points && self.capacity == other.capacity
+    }
 }
 
 impl TimeSeries {
@@ -90,6 +127,7 @@ impl TimeSeries {
         TimeSeries {
             points: Vec::new(),
             capacity: Some(capacity.max(1)),
+            agg: Cell::new(None),
         }
     }
 
@@ -98,21 +136,80 @@ impl TimeSeries {
     /// # Panics
     /// Panics if `at` precedes the previous sample's timestamp.
     pub fn record(&mut self, at: SimTime, value: f64) {
-        if let Some(&(last, _)) = self.points.last() {
+        let prev = self.points.last().copied();
+        if let Some((last, _)) = prev {
             assert!(at >= last, "time series must be recorded in order");
+        }
+        // Fold the new sample into the cached aggregates, continuing the
+        // exact reference folds (see `Aggregates`). A cold cache stays cold:
+        // the next read pays one rebuilding scan instead.
+        match (self.agg.get(), prev) {
+            (Some(mut agg), Some((pt, pv))) => {
+                agg.sum += value;
+                agg.min = agg.min.min(value);
+                agg.max = agg.max.max(value);
+                let dt = (at - pt).as_micros() as f64;
+                agg.weighted += pv * dt;
+                agg.dt_total += dt;
+                self.agg.set(Some(agg));
+            }
+            (_, None) => {
+                self.agg.set(Some(Aggregates {
+                    sum: 0.0 + value,
+                    min: value,
+                    max: value,
+                    weighted: 0.0,
+                    dt_total: 0.0,
+                }));
+            }
+            (None, Some(_)) => {}
         }
         self.points.push((at, value));
         if let Some(cap) = self.capacity {
             if self.points.len() > cap {
                 let excess = self.points.len() - cap;
                 self.points.drain(..excess);
+                self.agg.set(None);
             }
         }
+    }
+
+    /// Rolling aggregates, rebuilt by the reference scans when cold.
+    /// `None` when the series is empty.
+    fn aggregates(&self) -> Option<Aggregates> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if let Some(agg) = self.agg.get() {
+            return Some(agg);
+        }
+        let mut weighted = 0.0;
+        let mut dt_total = 0.0;
+        for pair in self.points.windows(2) {
+            let dt = (pair[1].0 - pair[0].0).as_micros() as f64;
+            weighted += pair[0].1 * dt;
+            dt_total += dt;
+        }
+        let agg = Aggregates {
+            sum: self.points.iter().map(|&(_, v)| v).sum::<f64>(),
+            min: self.scan_min().expect("non-empty"),
+            max: self.scan_max().expect("non-empty"),
+            weighted,
+            dt_total,
+        };
+        self.agg.set(Some(agg));
+        Some(agg)
     }
 
     /// All samples, oldest first.
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points
+    }
+
+    /// The most recent `n` samples (all of them when `n >= len`), oldest
+    /// first — a borrow, so dashboard sparklines don't clone histories.
+    pub fn tail(&self, n: usize) -> &[(SimTime, f64)] {
+        &self.points[self.points.len().saturating_sub(n)..]
     }
 
     /// Just the values, oldest first (forecasting input).
@@ -135,33 +232,62 @@ impl TimeSeries {
         self.points.is_empty()
     }
 
-    /// Arithmetic mean of the values, or `None` when empty.
+    /// Arithmetic mean of the values, or `None` when empty. O(1).
     pub fn mean(&self) -> Option<f64> {
+        self.aggregates().map(|a| a.sum / self.points.len() as f64)
+    }
+
+    /// Maximum value, or `None` when empty. O(1).
+    pub fn max(&self) -> Option<f64> {
+        self.aggregates().map(|a| a.max)
+    }
+
+    /// Minimum value, or `None` when empty. O(1).
+    pub fn min(&self) -> Option<f64> {
+        self.aggregates().map(|a| a.min)
+    }
+
+    /// Time-weighted average over the recorded span: each value is held until
+    /// the next sample. Returns `None` with fewer than two samples. O(1).
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let agg = self.aggregates()?;
+        if agg.dt_total == 0.0 {
+            return self.mean();
+        }
+        Some(agg.weighted / agg.dt_total)
+    }
+
+    /// Reference full-scan mean — the pre-aggregate implementation, kept as
+    /// the oracle the O(1) path is tested against.
+    pub fn scan_mean(&self) -> Option<f64> {
         if self.points.is_empty() {
             return None;
         }
         Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
     }
 
-    /// Maximum value, or `None` when empty.
-    pub fn max(&self) -> Option<f64> {
+    /// Reference full-scan maximum (oracle for [`TimeSeries::max`]).
+    pub fn scan_max(&self) -> Option<f64> {
         self.points
             .iter()
             .map(|&(_, v)| v)
             .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
     }
 
-    /// Minimum value, or `None` when empty.
-    pub fn min(&self) -> Option<f64> {
+    /// Reference full-scan minimum (oracle for [`TimeSeries::min`]).
+    pub fn scan_min(&self) -> Option<f64> {
         self.points
             .iter()
             .map(|&(_, v)| v)
             .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.min(v))))
     }
 
-    /// Time-weighted average over the recorded span: each value is held until
-    /// the next sample. Returns `None` with fewer than two samples.
-    pub fn time_weighted_mean(&self) -> Option<f64> {
+    /// Reference full-scan time-weighted mean (oracle for
+    /// [`TimeSeries::time_weighted_mean`]).
+    pub fn scan_time_weighted_mean(&self) -> Option<f64> {
         if self.points.len() < 2 {
             return None;
         }
@@ -173,7 +299,7 @@ impl TimeSeries {
             total += dt;
         }
         if total == 0.0 {
-            return self.mean();
+            return self.scan_mean();
         }
         Some(weighted / total)
     }
@@ -222,7 +348,14 @@ impl Histogram {
     pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
         assert!(n > 0 && hi > lo);
         let width = (hi - lo) / n as f64;
-        Self::with_bounds((1..=n).map(|i| lo + width * i as f64).collect())
+        // The last bound is pinned to exactly `hi`: accumulating rounding in
+        // `lo + width·i` can leave it an ulp short, dropping values equal to
+        // `hi` into the overflow bucket.
+        Self::with_bounds(
+            (1..=n)
+                .map(|i| if i == n { hi } else { lo + width * i as f64 })
+                .collect(),
+        )
     }
 
     /// Exponentially widening buckets: first bound `first`, each `factor`×
@@ -491,6 +624,58 @@ mod tests {
         assert_eq!(s.time_weighted_mean(), None);
     }
 
+    /// The O(1) aggregates must return the same bits as the full scans at
+    /// every step — including across capacity evictions (cache rebuild) and
+    /// repeated-timestamp samples (dt = 0).
+    #[test]
+    fn rolling_aggregates_match_scans_bitwise() {
+        let mut unbounded = TimeSeries::new();
+        let mut bounded = TimeSeries::with_capacity_limit(7);
+        let values = [0.3, -1.5, 2.25, 2.25, 0.0, 9.75, -4.125, 0.5, 1.0 / 3.0, 7.7];
+        for (i, &v) in values.iter().cycle().take(40).enumerate() {
+            // Repeat some timestamps so zero-dt windows are covered.
+            let at = SimTime::from_secs((i / 2) as u64);
+            for s in [&mut unbounded, &mut bounded] {
+                s.record(at, v);
+                assert_eq!(s.mean().map(f64::to_bits), s.scan_mean().map(f64::to_bits));
+                assert_eq!(s.max().map(f64::to_bits), s.scan_max().map(f64::to_bits));
+                assert_eq!(s.min().map(f64::to_bits), s.scan_min().map(f64::to_bits));
+                assert_eq!(
+                    s.time_weighted_mean().map(f64::to_bits),
+                    s.scan_time_weighted_mean().map(f64::to_bits)
+                );
+            }
+        }
+        assert_eq!(bounded.len(), 7);
+    }
+
+    #[test]
+    fn aggregates_survive_serde_round_trip() {
+        let mut s = TimeSeries::with_capacity_limit(4);
+        for i in 0..9u64 {
+            s.record(SimTime::from_secs(i), i as f64 * 1.5 - 3.0);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // The cache is not serialized; the deserialized side rebuilds it.
+        assert_eq!(back.mean(), s.mean());
+        assert_eq!(back.time_weighted_mean(), s.time_weighted_mean());
+    }
+
+    #[test]
+    fn tail_borrows_last_n() {
+        let mut s = TimeSeries::new();
+        for i in 0..10u64 {
+            s.record(SimTime::from_secs(i), i as f64);
+        }
+        let tail = s.tail(3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0], (SimTime::from_secs(7), 7.0));
+        assert_eq!(s.tail(100).len(), 10, "oversized n clamps to len");
+        assert!(TimeSeries::new().tail(5).is_empty());
+    }
+
     #[test]
     fn histogram_buckets_and_overflow() {
         let mut h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
@@ -520,6 +705,21 @@ mod tests {
         assert!(q10 <= q50 && q50 <= q99, "{q10} {q50} {q99}");
         assert!((q50 - 50.0).abs() < 6.0, "median approx, got {q50}");
         assert!(h.quantile(1.0).unwrap() <= h.max().unwrap());
+    }
+
+    #[test]
+    fn linear_top_bound_is_inclusive() {
+        // Regression: with bounds built purely by accumulation,
+        // linear(0.0, 1.0, 3) ends at 0.3333…·3 = 0.9999999999999999 and an
+        // observation of exactly 1.0 leaks into the overflow bucket.
+        let mut h = Histogram::linear(0.0, 1.0, 3);
+        h.observe(1.0);
+        let (buckets, overflow) = h.buckets();
+        assert_eq!(overflow, 0, "hi must land in the last bucket");
+        assert_eq!(buckets.last().unwrap(), &(1.0, 1));
+        // Values past hi still overflow.
+        h.observe(1.0000001);
+        assert_eq!(h.buckets().1, 1);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Generation-stamped route cache for the transport decision plane.
+//!
+//! The controller answers the same path query over and over in steady
+//! state: every admitted slice of a given class asks for the same
+//! (src, dst, bandwidth, delay bound) CSPF computation, and after a mmWave
+//! fade the reroute storm asks once per affected pair. [`RouteCache`]
+//! memoizes those answers without ever changing them, which rests on a
+//! monotonicity argument:
+//!
+//! * Reserving bandwidth, resizing up, or degrading a link only *shrinks*
+//!   per-link headroom. Under the capacity predicate, shrinking can only
+//!   remove links from the usable set — it can never create a new shortest
+//!   path, and the deterministic tie-breaks in [`crate::routing::dijkstra`]
+//!   guarantee the previously chosen path stays chosen as long as its own
+//!   links remain usable. A cached `None` (infeasible) stays `None`:
+//!   shortest delays only grow as links drop out.
+//! * Releasing bandwidth, resizing down, restoring a degraded link, or a
+//!   reroute freeing its old path *grows* headroom and can change any
+//!   answer. Those operations bump [`RouteCache::note_growth`], which
+//!   invalidates every entry at once via a generation counter.
+//!
+//! A cache hit therefore requires (a) the entry's generation to match the
+//! current growth generation and (b) for `Some(path)` entries, every link
+//! of the cached path to still satisfy the caller's capacity predicate.
+//! Anything else is a miss and the caller recomputes.
+//!
+//! Hit/miss counters live here, *not* in the controller's
+//! [`ovnes_sim::MetricRegistry`]: the registry feeds monitoring reports, and
+//! cache telemetry in the reports would break the byte-identical
+//! cache-on/cache-off guarantee that E13 asserts.
+
+use crate::routing::Path;
+use ovnes_model::{LinkId, NodeId};
+use std::collections::BTreeMap;
+
+/// Identity of a path query: endpoints plus the constraint class.
+///
+/// Bandwidth and delay bound enter as raw `f64` bits — two queries share an
+/// entry only when their constraints are bitwise equal, which is exactly
+/// when the capacity predicate and delay check are the same function.
+/// `reclaim` carries the links whose own reservation the query may count as
+/// free (a reroute re-places a slice as if its current path were released);
+/// allocations leave it empty.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RouteKey {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Requested bandwidth, as `f64::to_bits` of Mbps.
+    pub bandwidth_bits: u64,
+    /// End-to-end delay bound, as `f64::to_bits` of milliseconds.
+    pub max_delay_bits: u64,
+    /// Links the query treats as holding reclaimable bandwidth (the
+    /// querying slice's own current path, in path order). Empty for
+    /// fresh allocations.
+    pub reclaim: Vec<LinkId>,
+}
+
+impl RouteKey {
+    /// Key for a fresh allocation query.
+    pub fn allocation(
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: ovnes_model::RateMbps,
+        max_delay: ovnes_model::Latency,
+    ) -> Self {
+        RouteKey {
+            src,
+            dst,
+            bandwidth_bits: bandwidth.value().to_bits(),
+            max_delay_bits: max_delay.value().to_bits(),
+            reclaim: Vec::new(),
+        }
+    }
+}
+
+/// Hit/miss counters for a [`RouteCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteCacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to recompute (stale generation, revalidation
+    /// failure, or absent entry).
+    pub misses: u64,
+}
+
+impl RouteCacheStats {
+    /// Fraction of lookups served from the cache; 0 when never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized CSPF answers, invalidated wholesale whenever link headroom
+/// grows (see the module docs for why shrinking does not invalidate).
+#[derive(Debug)]
+pub struct RouteCache {
+    enabled: bool,
+    max_entries: usize,
+    entries: BTreeMap<RouteKey, (u64, Option<Path>)>,
+    grow_gen: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl RouteCache {
+    /// Cache holding at most `max_entries` memoized answers.
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries > 0, "route cache needs room for an entry");
+        RouteCache {
+            enabled: true,
+            max_entries,
+            entries: BTreeMap::new(),
+            grow_gen: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether lookups may answer from the cache.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn the cache on or off. Turning it off drops all entries, so a
+    /// later re-enable starts cold rather than serving stale answers.
+    pub fn set_enabled(&mut self, on: bool) {
+        if !on {
+            self.entries.clear();
+        }
+        self.enabled = on;
+    }
+
+    /// Record that some link's headroom may have grown (release, resize
+    /// down, restore, reroute freeing its old path). Every cached answer
+    /// becomes stale at once.
+    pub fn note_growth(&mut self) {
+        self.grow_gen = self.grow_gen.wrapping_add(1);
+    }
+
+    /// Answer a query from the cache if it is provably still correct.
+    ///
+    /// Returns `Some(answer)` on a hit — where `answer` is the memoized
+    /// CSPF result, possibly `None` for "infeasible" — and `None` on a
+    /// miss. `usable` must be the same capacity predicate the caller would
+    /// hand to a fresh CSPF run; it revalidates cached path links.
+    pub fn lookup(
+        &mut self,
+        key: &RouteKey,
+        usable: impl Fn(LinkId) -> bool,
+    ) -> Option<Option<Path>> {
+        if !self.enabled {
+            return None;
+        }
+        let fresh = match self.entries.get(key) {
+            Some((gen, answer)) if *gen == self.grow_gen => match answer {
+                // No growth since this was computed, and the path still
+                // fits: the deterministic tie-breaks keep it optimal.
+                Some(path) if path.links.iter().all(|&l| usable(l)) => Some(Some(path.clone())),
+                Some(_) => None,
+                // Infeasibility is monotone under shrinking headroom.
+                None => Some(None),
+            },
+            _ => None,
+        };
+        match fresh {
+            Some(answer) => {
+                self.hits += 1;
+                Some(answer)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoize a freshly computed answer under the current generation.
+    pub fn insert(&mut self, key: RouteKey, answer: Option<Path>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.max_entries && !self.entries.contains_key(&key) {
+            // Evict stale generations first; fall back to a full reset if
+            // the current generation alone overflows the budget.
+            let gen = self.grow_gen;
+            self.entries.retain(|_, (g, _)| *g == gen);
+            if self.entries.len() >= self.max_entries {
+                self.entries.clear();
+            }
+        }
+        self.entries.insert(key, (self.grow_gen, answer));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Number of live entries (any generation).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_model::{Latency, RateMbps};
+
+    fn key(src: u64, dst: u64) -> RouteKey {
+        RouteKey::allocation(
+            NodeId::new(src),
+            NodeId::new(dst),
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+    }
+
+    fn path(links: &[u64]) -> Path {
+        Path {
+            links: links.iter().map(|&l| LinkId::new(l)).collect(),
+            nodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_requires_generation_and_link_revalidation() {
+        let mut cache = RouteCache::new(8);
+        cache.insert(key(0, 1), Some(path(&[3, 4])));
+
+        // Fresh entry, all links usable: hit.
+        assert_eq!(
+            cache.lookup(&key(0, 1), |_| true),
+            Some(Some(path(&[3, 4])))
+        );
+        // A cached link no longer fits: miss, caller must recompute.
+        assert_eq!(cache.lookup(&key(0, 1), |l| l != LinkId::new(4)), None);
+        // Growth invalidates even with every link usable.
+        cache.note_growth();
+        assert_eq!(cache.lookup(&key(0, 1), |_| true), None);
+        assert_eq!(cache.stats(), RouteCacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn negative_answers_hit_until_growth() {
+        let mut cache = RouteCache::new(8);
+        cache.insert(key(0, 1), None);
+        assert_eq!(cache.lookup(&key(0, 1), |_| false), Some(None));
+        cache.note_growth();
+        assert_eq!(cache.lookup(&key(0, 1), |_| false), None);
+    }
+
+    #[test]
+    fn distinct_constraint_classes_do_not_share_entries() {
+        let mut cache = RouteCache::new(8);
+        cache.insert(key(0, 1), Some(path(&[3])));
+        let mut wider = key(0, 1);
+        wider.bandwidth_bits = RateMbps::new(200.0).value().to_bits();
+        assert_eq!(cache.lookup(&wider, |_| true), None);
+        let mut reroute = key(0, 1);
+        reroute.reclaim = vec![LinkId::new(9)];
+        assert_eq!(cache.lookup(&reroute, |_| true), None);
+    }
+
+    #[test]
+    fn eviction_prefers_stale_generations() {
+        let mut cache = RouteCache::new(2);
+        cache.insert(key(0, 1), None);
+        cache.note_growth();
+        cache.insert(key(0, 2), None);
+        cache.insert(key(0, 3), None); // at capacity: stale (0,1) evicted
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&key(0, 2), |_| true), Some(None));
+        assert_eq!(cache.lookup(&key(0, 3), |_| true), Some(None));
+    }
+
+    #[test]
+    fn disabled_cache_answers_nothing_and_stores_nothing() {
+        let mut cache = RouteCache::new(8);
+        cache.set_enabled(false);
+        cache.insert(key(0, 1), None);
+        assert_eq!(cache.lookup(&key(0, 1), |_| true), None);
+        assert!(cache.is_empty());
+        cache.set_enabled(true);
+        assert_eq!(cache.lookup(&key(0, 1), |_| true), None);
+    }
+}

@@ -6,8 +6,9 @@
 //! reacts to mmWave degradation by rerouting affected slices, and publishes
 //! utilization telemetry.
 
+use crate::cache::{RouteCache, RouteKey};
 use crate::reservation::{effective_delay, LinkUsage, PathReservation};
-use crate::routing::cspf;
+use crate::routing::{cspf_with, Path, RoutingScratch};
 use crate::switch::{FlowAction, FlowMatch, FlowRule, FlowTable, SwitchError};
 use crate::topology::{NodeKind, Topology};
 use ovnes_model::{Latency, LinkId, NodeId, RateMbps, SliceId, SwitchId};
@@ -93,6 +94,8 @@ pub struct TransportController {
     tables: BTreeMap<SwitchId, FlowTable>,
     reservations: BTreeMap<SliceId, PathReservation>,
     metrics: MetricRegistry,
+    scratch: RoutingScratch,
+    route_cache: RouteCache,
 }
 
 impl TransportController {
@@ -118,7 +121,22 @@ impl TransportController {
             tables,
             reservations: BTreeMap::new(),
             metrics: MetricRegistry::new(),
+            scratch: RoutingScratch::new(),
+            route_cache: RouteCache::default(),
         }
+    }
+
+    /// Turn the route cache on or off (on by default). Cached and uncached
+    /// controllers return identical answers; disabling exists for A/B
+    /// benchmarking and for the determinism suite.
+    pub fn set_route_cache_enabled(&mut self, on: bool) {
+        self.route_cache.set_enabled(on);
+    }
+
+    /// The route cache (hit/miss stats live here, outside the metric
+    /// registry, so monitoring output is cache-invariant).
+    pub fn route_cache(&self) -> &RouteCache {
+        &self.route_cache
     }
 
     /// The underlying topology.
@@ -192,16 +210,12 @@ impl TransportController {
         if self.reservations.contains_key(&slice) {
             return Err(TransportError::AlreadyAllocated(slice));
         }
-        let usage = &self.usage;
-        let path = cspf(
-            &self.topo,
-            src,
-            dst,
-            |l| usage[l.value() as usize].available().value() >= bandwidth.value(),
-            |l| self.topo.link(l).delay,
-            max_delay,
-        )
-        .ok_or(TransportError::NoFeasiblePath)?;
+        let key = RouteKey::allocation(src, dst, bandwidth, max_delay);
+        let path = self
+            .cached_cspf(key, max_delay, |usage, l| {
+                usage[l.value() as usize].available().value() >= bandwidth.value()
+            })
+            .ok_or(TransportError::NoFeasiblePath)?;
 
         self.install_rules(slice, &path.nodes, &path.links)?;
         for &l in &path.links {
@@ -225,6 +239,35 @@ impl TransportController {
             reservation,
             delay_at_allocation,
         })
+    }
+
+    /// CSPF through the route cache: answer from the cache when provably
+    /// still correct, otherwise run the shared-scratch CSPF and memoize the
+    /// result (including infeasibility). `usable` is the capacity predicate
+    /// over the current link usage table; it must depend only on the usage
+    /// state and the constraint class encoded in `key`.
+    fn cached_cspf(
+        &mut self,
+        key: RouteKey,
+        max_delay: Latency,
+        usable: impl Fn(&[LinkUsage], LinkId) -> bool,
+    ) -> Option<Path> {
+        let usage = &self.usage;
+        if let Some(answer) = self.route_cache.lookup(&key, |l| usable(usage, l)) {
+            return answer;
+        }
+        let topo = &self.topo;
+        let fresh = cspf_with(
+            &mut self.scratch,
+            topo,
+            key.src,
+            key.dst,
+            |l| usable(usage, l),
+            |l| topo.link(l).delay,
+            max_delay,
+        );
+        self.route_cache.insert(key, fresh.clone());
+        fresh
     }
 
     /// Install per-switch flow rules along a path; rolls back on failure.
@@ -284,6 +327,7 @@ impl TransportController {
         for table in self.tables.values_mut() {
             table.remove_slice(slice);
         }
+        self.route_cache.note_growth();
         self.metrics.counter("transport.releases").inc();
         Ok(res)
     }
@@ -310,6 +354,10 @@ impl TransportController {
             let u = &mut self.usage[l.value() as usize];
             u.reserved = u.reserved.saturating_sub(old) + bandwidth;
         }
+        if bandwidth.value() < old.value() {
+            // Shrinking a reservation grows headroom on its links.
+            self.route_cache.note_growth();
+        }
         self.reservations
             .get_mut(&slice)
             .expect("checked above")
@@ -322,7 +370,13 @@ impl TransportController {
     /// Returns the slices whose paths traverse the link and are now
     /// oversubscribed (candidates for reroute).
     pub fn degrade_link(&mut self, link: LinkId, factor: f64) -> Vec<SliceId> {
-        self.usage[link.value() as usize].degradation = factor.clamp(0.0, 1.0);
+        let factor = factor.clamp(0.0, 1.0);
+        if factor > self.usage[link.value() as usize].degradation {
+            // Partial recovery is still growth; re-applying the same or a
+            // deeper fade (the every-epoch weather update) is not.
+            self.route_cache.note_growth();
+        }
+        self.usage[link.value() as usize].degradation = factor;
         self.metrics.counter("transport.degradations").inc();
         if self.usage[link.value() as usize].utilization() <= 1.0 {
             return Vec::new();
@@ -336,6 +390,9 @@ impl TransportController {
 
     /// Restore `link` to full health.
     pub fn restore_link(&mut self, link: LinkId) {
+        if self.usage[link.value() as usize].degradation < 1.0 {
+            self.route_cache.note_growth();
+        }
         self.usage[link.value() as usize].degradation = 1.0;
     }
 
@@ -351,38 +408,48 @@ impl TransportController {
             .ok_or(TransportError::NotAllocated(slice))?;
         let src = res.path.nodes[0];
         let dst = *res.path.nodes.last().expect("paths are non-empty");
-        // Free our own reservation while searching so we can reuse healthy
-        // parts of our own path.
-        for &l in &res.path.links {
-            self.usage[l.value() as usize].reserved = self.usage[l.value() as usize]
-                .reserved
-                .saturating_sub(res.bandwidth);
-        }
-        let usage = &self.usage;
-        let candidate = cspf(
-            &self.topo,
+        // Search as if our own reservation were released, so healthy parts
+        // of our own path can be reused — but without touching the usage
+        // table: a stay-put reroute then mutates nothing, which keeps the
+        // cache warm through a fade that offers no alternative.
+        let own = res.path.links.clone();
+        let bw = res.bandwidth;
+        let key = RouteKey {
             src,
             dst,
-            |l| usage[l.value() as usize].available().value() >= res.bandwidth.value(),
-            |l| self.topo.link(l).delay,
-            res.max_delay,
-        );
+            bandwidth_bits: bw.value().to_bits(),
+            max_delay_bits: res.max_delay.value().to_bits(),
+            reclaim: own.clone(),
+        };
+        let candidate = self.cached_cspf(key, res.max_delay, move |usage, l| {
+            let u = &usage[l.value() as usize];
+            let reserved = if own.contains(&l) {
+                u.reserved.saturating_sub(bw)
+            } else {
+                u.reserved
+            };
+            u.effective_capacity().saturating_sub(reserved).value() >= bw.value()
+        });
         match candidate {
             Some(path) if path != res.path => {
                 for table in self.tables.values_mut() {
                     table.remove_slice(slice);
                 }
                 if let Err(e) = self.install_rules(slice, &path.nodes, &path.links) {
-                    // Roll back to the old path and rules.
+                    // Roll back to the old rules; bandwidth never moved.
                     let _ = self.install_rules(slice, &res.path.nodes, &res.path.links);
-                    for &l in &res.path.links {
-                        self.usage[l.value() as usize].reserved += res.bandwidth;
-                    }
                     return Err(e);
+                }
+                for &l in &res.path.links {
+                    self.usage[l.value() as usize].reserved = self.usage[l.value() as usize]
+                        .reserved
+                        .saturating_sub(res.bandwidth);
                 }
                 for &l in &path.links {
                     self.usage[l.value() as usize].reserved += res.bandwidth;
                 }
+                // The old path's links just gained headroom.
+                self.route_cache.note_growth();
                 self.reservations
                     .get_mut(&slice)
                     .expect("present")
@@ -392,9 +459,6 @@ impl TransportController {
             }
             _ => {
                 // Stay put (possibly oversubscribed until the fade passes).
-                for &l in &res.path.links {
-                    self.usage[l.value() as usize].reserved += res.bandwidth;
-                }
                 Ok(false)
             }
         }
@@ -677,5 +741,88 @@ mod tests {
         }
         assert_eq!(c.metrics().counter_value("transport.allocations"), Some(3));
         assert_eq!(c.snapshot().paths, 3);
+    }
+
+    #[test]
+    fn steady_state_allocations_hit_the_route_cache() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        // Five same-class slices: one cold CSPF, four cache hits, all on
+        // the mmWave path (1000 Mbps absorbs 5 × 200).
+        let first = c
+            .allocate(SliceId::new(0), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+            .unwrap();
+        for i in 1..5 {
+            let a = c
+                .allocate(SliceId::new(i), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+                .unwrap();
+            assert_eq!(a.reservation.path, first.reservation.path);
+        }
+        let stats = c.route_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (4, 1));
+        // mmWave is now full: revalidation fails, a fresh CSPF falls back
+        // to µwave — the cache never serves an infeasible path.
+        let sixth = c
+            .allocate(SliceId::new(5), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+            .unwrap();
+        assert_ne!(sixth.reservation.path, first.reservation.path);
+        assert_eq!(c.route_cache().stats().misses, 2);
+    }
+
+    #[test]
+    fn release_invalidates_cached_routes() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(0), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        c.release(SliceId::new(0)).unwrap();
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        let stats = c.route_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+    }
+
+    #[test]
+    fn degradation_churn_invalidates_only_on_recovery() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(0), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        let mm = alloc.reservation.path.links[0];
+        // Deeper fade = shrink: cached path revalidates and still hits.
+        c.degrade_link(mm, 0.5);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        // Re-applying the same factor (every-epoch weather) stays a hit.
+        c.degrade_link(mm, 0.5);
+        c.allocate(SliceId::new(2), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        assert_eq!(c.route_cache().stats().hits, 2);
+        // Recovery is growth: the next query recomputes.
+        c.restore_link(mm);
+        c.allocate(SliceId::new(3), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        let stats = c.route_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+    }
+
+    #[test]
+    fn stay_put_reroutes_keep_the_cache_warm() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
+            .unwrap();
+        let mm = alloc.reservation.path.links[0];
+        // µwave (400 Mbps) cannot take 500: every reroute stays put, and
+        // after the first miss the identical query is served cached.
+        c.degrade_link(mm, 0.1);
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
+        let stats = c.route_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().path, alloc.reservation.path);
     }
 }

@@ -14,6 +14,8 @@
 //!   (capacity-pruned, delay-bounded) over residual capacities.
 //! * [`reservation`] — per-link bandwidth accounting with a load-dependent
 //!   delay model; path reservations as first-class objects.
+//! * [`cache`] — generation-stamped memoization of CSPF answers, so
+//!   steady-state allocations and reroute storms stop re-running Dijkstra.
 //! * [`controller`] — the transport domain controller: allocate/release
 //!   slice paths, install flow rules, degrade/restore links (mmWave rain
 //!   fade), reroute affected slices, publish telemetry.
@@ -42,6 +44,7 @@
 //! assert_eq!(transport.reroute(SliceId::new(1)), Ok(true));
 //! ```
 
+pub mod cache;
 pub mod controller;
 pub mod generators;
 pub mod reservation;
@@ -50,9 +53,13 @@ pub mod switch;
 pub mod topology;
 pub mod weather;
 
+pub use cache::{RouteCache, RouteCacheStats, RouteKey};
 pub use controller::{PathAllocation, TransportController, TransportError, TransportSnapshot};
 pub use reservation::{effective_delay, LinkUsage, PathReservation};
-pub use routing::{cspf, dijkstra, k_shortest_paths, Path};
+pub use routing::{
+    cspf, cspf_with, dijkstra, dijkstra_with, k_shortest_paths, k_shortest_paths_with, Path,
+    RoutingScratch,
+};
 pub use switch::{FlowAction, FlowMatch, FlowRule, FlowTable, SwitchError};
 pub use topology::{Link, LinkKind, Node, NodeKind, Topology, TopologyBuilder};
 pub use generators::{line, random_mesh, ring, star};

@@ -39,7 +39,7 @@ impl Path {
     }
 }
 
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct QueueItem {
     cost_us: u64,
     node: NodeId,
@@ -60,12 +60,73 @@ impl Ord for QueueItem {
     }
 }
 
+/// Reusable Dijkstra working memory: distance/parent arrays and the
+/// frontier heap. A controller threads one scratch through every
+/// `*_with` query so the hot path allocates nothing per call.
+///
+/// Per-query reset is O(1): entries are stamped with a query epoch and an
+/// unstamped slot reads as "unvisited", so the arrays are never cleared.
+#[derive(Debug, Default)]
+pub struct RoutingScratch {
+    dist: Vec<u64>,
+    prev: Vec<Option<(LinkId, NodeId)>>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl RoutingScratch {
+    /// Empty scratch; buffers grow lazily to the topology size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new query over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, u64::MAX);
+            self.prev.resize(n, None);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist(&self, i: usize) -> u64 {
+        if self.stamp[i] == self.epoch {
+            self.dist[i]
+        } else {
+            u64::MAX
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, i: usize, dist: u64, prev: Option<(LinkId, NodeId)>) {
+        self.dist[i] = dist;
+        self.prev[i] = prev;
+        self.stamp[i] = self.epoch;
+    }
+}
+
 /// Minimum-delay path from `src` to `dst`.
 ///
 /// `usable` filters links (return `false` to exclude); `delay_of` supplies
 /// the current per-link delay. Returns `None` when `dst` is unreachable
 /// through usable links.
 pub fn dijkstra(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    usable: impl Fn(LinkId) -> bool,
+    delay_of: impl Fn(LinkId) -> Latency,
+) -> Option<Path> {
+    dijkstra_with(&mut RoutingScratch::new(), topo, src, dst, usable, delay_of)
+}
+
+/// [`dijkstra`] reusing the caller's [`RoutingScratch`] (allocation-free).
+pub fn dijkstra_with(
+    scratch: &mut RoutingScratch,
     topo: &Topology,
     src: NodeId,
     dst: NodeId,
@@ -84,18 +145,16 @@ pub fn dijkstra(
     }
 
     // Distances in integer microseconds for exact comparisons.
-    let mut dist = vec![u64::MAX; n];
-    let mut prev: Vec<Option<(LinkId, NodeId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[src_i] = 0;
-    heap.push(QueueItem {
+    scratch.begin(n);
+    scratch.visit(src_i, 0, None);
+    scratch.heap.push(QueueItem {
         cost_us: 0,
         node: src,
     });
 
-    while let Some(QueueItem { cost_us, node }) = heap.pop() {
+    while let Some(QueueItem { cost_us, node }) = scratch.heap.pop() {
         let ni = node.value() as usize;
-        if cost_us > dist[ni] {
+        if cost_us > scratch.dist(ni) {
             continue; // stale entry
         }
         if node == dst {
@@ -108,10 +167,9 @@ pub fn dijkstra(
             let w = delay_of(link).to_duration().as_micros();
             let next = cost_us.saturating_add(w);
             let pi = peer.value() as usize;
-            if next < dist[pi] {
-                dist[pi] = next;
-                prev[pi] = Some((link, node));
-                heap.push(QueueItem {
+            if next < scratch.dist(pi) {
+                scratch.visit(pi, next, Some((link, node)));
+                scratch.heap.push(QueueItem {
                     cost_us: next,
                     node: peer,
                 });
@@ -119,7 +177,7 @@ pub fn dijkstra(
         }
     }
 
-    if dist[dst_i] == u64::MAX {
+    if scratch.dist(dst_i) == u64::MAX {
         return None;
     }
     // Reconstruct.
@@ -127,7 +185,8 @@ pub fn dijkstra(
     let mut nodes = vec![dst];
     let mut cur = dst;
     while cur != src {
-        let (link, parent) = prev[cur.value() as usize].expect("reachable implies parent");
+        let (link, parent) =
+            scratch.prev[cur.value() as usize].expect("reachable implies parent");
         links.push(link);
         nodes.push(parent);
         cur = parent;
@@ -150,7 +209,20 @@ pub fn cspf(
     delay_of: impl Fn(LinkId) -> Latency + Copy,
     max_delay: Latency,
 ) -> Option<Path> {
-    let path = dijkstra(topo, src, dst, has_capacity, delay_of)?;
+    cspf_with(&mut RoutingScratch::new(), topo, src, dst, has_capacity, delay_of, max_delay)
+}
+
+/// [`cspf`] reusing the caller's [`RoutingScratch`] (allocation-free).
+pub fn cspf_with(
+    scratch: &mut RoutingScratch,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    has_capacity: impl Fn(LinkId) -> bool,
+    delay_of: impl Fn(LinkId) -> Latency + Copy,
+    max_delay: Latency,
+) -> Option<Path> {
+    let path = dijkstra_with(scratch, topo, src, dst, has_capacity, delay_of)?;
     (path.total_delay(delay_of).value() <= max_delay.value()).then_some(path)
 }
 
@@ -166,7 +238,21 @@ pub fn k_shortest_paths(
     usable: impl Fn(LinkId) -> bool + Copy,
     delay_of: impl Fn(LinkId) -> Latency + Copy,
 ) -> Vec<Path> {
-    let Some(first) = dijkstra(topo, src, dst, usable, delay_of) else {
+    k_shortest_paths_with(&mut RoutingScratch::new(), topo, src, dst, k, usable, delay_of)
+}
+
+/// [`k_shortest_paths`] reusing the caller's [`RoutingScratch`] for every
+/// inner shortest-path query.
+pub fn k_shortest_paths_with(
+    scratch: &mut RoutingScratch,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    usable: impl Fn(LinkId) -> bool + Copy,
+    delay_of: impl Fn(LinkId) -> Latency + Copy,
+) -> Vec<Path> {
+    let Some(first) = dijkstra_with(scratch, topo, src, dst, usable, delay_of) else {
         return Vec::new();
     };
     let mut found = vec![first];

@@ -110,6 +110,99 @@ fn same_seed_identical_across_thread_counts() {
 }
 
 #[test]
+fn route_cache_is_invisible_in_results() {
+    // The transport route cache is a pure memoization: one seed, one
+    // output, cache on (the default) or off. Compare the summary, the
+    // rendered dashboard, and the byte-exact JSON of every monitoring
+    // report — cache hit/miss counters deliberately live outside the
+    // metric registry so they cannot leak into any of these.
+    let run = |cached: bool| {
+        let mut s = DemoScenario::build(config(777));
+        s.orchestrator_mut()
+            .transport_mut()
+            .set_route_cache_enabled(cached);
+        let summary = s.run();
+        let dashboard = DashboardView::capture(s.orchestrator()).render();
+        let monitoring: Vec<String> = s
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        let stats = s.orchestrator().transport().route_cache().stats();
+        (summary, dashboard, monitoring, stats)
+    };
+    let (summary_on, dash_on, mon_on, stats_on) = run(true);
+    let (summary_off, dash_off, mon_off, stats_off) = run(false);
+    assert_eq!(summary_on, summary_off, "summary moved with the cache");
+    assert_eq!(dash_on, dash_off, "dashboard moved with the cache");
+    assert_eq!(mon_on, mon_off, "monitoring JSON moved with the cache");
+    // And the comparison was real: the cached run answered queries.
+    assert!(stats_on.misses > 0, "cached run never consulted the cache");
+    assert_eq!(
+        stats_off.hits + stats_off.misses,
+        0,
+        "disabled cache must stay cold"
+    );
+}
+
+#[test]
+fn rolling_aggregates_match_scan_reference() {
+    // Every TimeSeries keeps O(1) rolling aggregates; the full-scan
+    // reference implementations stay in the tree as oracles. After a real
+    // scenario, both views must agree bit-for-bit on every series in every
+    // domain registry and every per-slice timeline.
+    let mut s = DemoScenario::build(config(888));
+    s.run();
+    let orch = s.orchestrator();
+    let mut checked = 0usize;
+    let mut check = |name: &str, series: &ovnes_sim::TimeSeries| {
+        assert_eq!(
+            series.mean().map(f64::to_bits),
+            series.scan_mean().map(f64::to_bits),
+            "{name} mean"
+        );
+        assert_eq!(
+            series.max().map(f64::to_bits),
+            series.scan_max().map(f64::to_bits),
+            "{name} max"
+        );
+        assert_eq!(
+            series.min().map(f64::to_bits),
+            series.scan_min().map(f64::to_bits),
+            "{name} min"
+        );
+        assert_eq!(
+            series.time_weighted_mean().map(f64::to_bits),
+            series.scan_time_weighted_mean().map(f64::to_bits),
+            "{name} time_weighted_mean"
+        );
+        checked += 1;
+    };
+    for registry in [
+        orch.metrics(),
+        orch.ran().metrics(),
+        orch.transport().metrics(),
+        orch.cloud().metrics(),
+    ] {
+        for name in registry.names() {
+            if let Some(series) = registry.series_ref(&name) {
+                check(&name, series);
+            }
+        }
+    }
+    let ids: Vec<_> = orch.records().map(|r| r.id).collect();
+    for id in ids {
+        if let Some(timeline) = orch.timeline(id) {
+            check(&format!("{id} offered"), &timeline.offered);
+            check(&format!("{id} delivered"), &timeline.delivered);
+            check(&format!("{id} latency"), &timeline.latency);
+        }
+    }
+    assert!(checked > 10, "expected a populated scenario, saw {checked}");
+}
+
+#[test]
 fn monitoring_reports_are_reproducible_across_the_wire() {
     // The REST/JSON boundary must not introduce nondeterminism (e.g. map
     // ordering): reports from identical runs must be byte-identical JSON.

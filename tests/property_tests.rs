@@ -2,11 +2,14 @@
 //! cross-crate invariants.
 
 use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy};
-use ovnes_model::{Money, Prbs, RateMbps, SliceId};
+use ovnes_forecast::{Naive, QuantileProvisioner, ResidualWindow};
+use ovnes_model::{DcId, EnbId, Latency, LinkId, Money, Prbs, RateMbps, SliceId};
 use ovnes_orchestrator::admission::knapsack_select;
 use ovnes_ran::{schedule_epoch, SliceLoad};
 use ovnes_sim::{EventQueue, Histogram, ScheduledId, SimDuration, SimRng, SimTime};
-use ovnes_transport::{dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology};
+use ovnes_transport::{
+    dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology, TransportController,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -266,6 +269,134 @@ proptest! {
             ns.sort();
             ns.dedup();
             prop_assert_eq!(ns.len(), p.nodes.len());
+        }
+    }
+
+    // ---- forecast: streaming residual quantile -------------------------------
+
+    // The order-maintained residual window must agree bit-for-bit with the
+    // clone-and-sort reference after every single push, across arbitrary
+    // observe/evict sequences (window smaller than the stream forces
+    // evictions) and quantiles spanning [0, 1].
+    #[test]
+    fn streaming_quantile_matches_sort_oracle(
+        values in prop::collection::vec(-1e6f64..1e6, 1..120),
+        window in 1usize..40,
+        q in 0.0f64..=1.0,
+    ) {
+        let mut w = ResidualWindow::new(window);
+        for &v in &values {
+            w.push(v);
+            for &qq in &[0.0, 0.5, 0.95, 1.0, q] {
+                prop_assert_eq!(
+                    w.quantile(qq).map(f64::to_bits),
+                    w.quantile_reference(qq).map(f64::to_bits),
+                    "q={} after {} pushes (window {})", qq, w.len(), window
+                );
+            }
+        }
+        prop_assert_eq!(w.len(), values.len().min(window));
+    }
+
+    #[test]
+    fn provisioner_quantile_matches_reference(
+        values in prop::collection::vec(0.0f64..2.0, 2..100),
+        window in 2usize..50,
+        q in 0.0f64..=1.0,
+    ) {
+        let mut prov = QuantileProvisioner::new(Naive::new(), window);
+        for &v in &values {
+            prov.observe(v);
+        }
+        prop_assert_eq!(
+            prov.residual_quantile(q).map(f64::to_bits),
+            prov.residual_quantile_reference(q).map(f64::to_bits)
+        );
+    }
+
+    // ---- transport: route cache ----------------------------------------------
+
+    // A cached controller and a cache-disabled twin must stay observably
+    // identical — same operation results, same reservations, same link
+    // usage — across arbitrary interleavings of allocate / resize /
+    // release / degrade / restore / reroute. This is the "generation
+    // invalidation is never stale" property.
+    #[test]
+    fn route_cache_matches_uncached_controller(
+        ops in prop::collection::vec((0u8..6, 0u8..16, 0u8..4), 1..60)
+    ) {
+        let mut cached = TransportController::new(Topology::testbed(), 1024);
+        let mut plain = TransportController::new(Topology::testbed(), 1024);
+        plain.set_route_cache_enabled(false);
+        let (srcs, dsts, link_count) = {
+            let t = cached.topology();
+            (
+                [t.radio_site(EnbId::new(0)).unwrap(), t.radio_site(EnbId::new(1)).unwrap()],
+                [t.dc_node(DcId::new(0)).unwrap(), t.dc_node(DcId::new(1)).unwrap()],
+                t.link_count(),
+            )
+        };
+        let bws = [50.0, 120.0, 300.0, 500.0];
+        let factors = [0.1, 0.35, 0.7, 1.0];
+        let mut next_slice = 0u64;
+        let mut live: Vec<SliceId> = Vec::new();
+        for &(op, a, c) in &ops {
+            let a = a as usize;
+            let c = c as usize;
+            match op {
+                0 => {
+                    let id = SliceId::new(next_slice);
+                    next_slice += 1;
+                    let args = (srcs[a % 2], dsts[(a / 2) % 2], RateMbps::new(bws[c]));
+                    let r1 = cached.allocate(id, args.0, args.1, args.2, Latency::new(10.0));
+                    let r2 = plain.allocate(id, args.0, args.1, args.2, Latency::new(10.0));
+                    prop_assert_eq!(&r1, &r2, "allocate diverged");
+                    if r1.is_ok() {
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let id = live[a % live.len()];
+                        prop_assert_eq!(
+                            cached.resize(id, RateMbps::new(bws[c])),
+                            plain.resize(id, RateMbps::new(bws[c])),
+                            "resize diverged"
+                        );
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.remove(a % live.len());
+                        prop_assert_eq!(cached.release(id), plain.release(id), "release diverged");
+                    }
+                }
+                3 => {
+                    let l = LinkId::new((a % link_count) as u64);
+                    prop_assert_eq!(
+                        cached.degrade_link(l, factors[c]),
+                        plain.degrade_link(l, factors[c]),
+                        "degrade diverged"
+                    );
+                }
+                4 => {
+                    let l = LinkId::new((a % link_count) as u64);
+                    cached.restore_link(l);
+                    plain.restore_link(l);
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let id = live[a % live.len()];
+                        prop_assert_eq!(cached.reroute(id), plain.reroute(id), "reroute diverged");
+                        prop_assert_eq!(
+                            cached.reservation(id),
+                            plain.reservation(id),
+                            "post-reroute path diverged"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(cached.snapshot(), plain.snapshot(), "usage diverged");
         }
     }
 
