@@ -17,6 +17,9 @@
 //!   request accounting.
 //! * [`fault`] — deterministic control-plane fault injection and the retry
 //!   machinery that survives it.
+//! * [`substrate`] — deterministic *data-plane* fault schedules: link,
+//!   switch, cell, and host outages the orchestrator's recovery pipeline
+//!   reacts to.
 //!
 //! ## Fault injection in one example
 //!
@@ -54,6 +57,7 @@ pub mod codec;
 pub mod envelope;
 pub mod fault;
 pub mod messages;
+pub mod substrate;
 
 pub use bus::{BusError, MessageBus};
 pub use codec::{decode, encode, CodecError, WIRE_VERSION};
@@ -65,3 +69,4 @@ pub use messages::{
     CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
     TransportReply,
 };
+pub use substrate::{ElementSchedule, SubstrateElement, SubstrateFaultPlan};

@@ -1,0 +1,409 @@
+//! Deterministic substrate (data-plane) fault injection.
+//!
+//! [`fault`](crate::fault) perturbs the *control plane* — REST calls get
+//! dropped or delayed, but the network elements underneath stay immortal.
+//! This module is the complement: a [`SubstrateFaultPlan`] schedules
+//! outages of the physical substrate itself — transport links flapping or
+//! dying, whole switches going dark, RAN cells losing power, DC hosts
+//! crashing — so the orchestrator's recovery pipeline (detect → assess →
+//! reroute → degrade → account) can be exercised reproducibly.
+//!
+//! The design mirrors [`FaultPlan`](crate::fault::FaultPlan):
+//!
+//! * The plan carries its own seed. Schedules may be written by hand
+//!   (exact windows) or *drawn* up-front via
+//!   [`SubstrateFaultPlan::with_random_outages`]; either way the run
+//!   itself consults only fixed `[from, until)` windows and makes **no**
+//!   RNG draws, so a substrate-chaos run is byte-identical per
+//!   `(world seed, plan)` pair at any worker count.
+//! * A plan with no outage windows is *quiet*: the orchestrator skips the
+//!   entire recovery phase and the run is indistinguishable from one with
+//!   no plan installed.
+//! * Whether an element is down at an instant is a pure, drawless lookup
+//!   ([`SubstrateFaultPlan::down_at`]), exactly like
+//!   `EndpointFaults::down_at`.
+
+use ovnes_model::{DcId, EnbId, HostId, LinkId, SwitchId};
+use ovnes_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A failable element of the physical substrate.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SubstrateElement {
+    /// A transport link (fiber cut, microwave fade).
+    Link(LinkId),
+    /// A transport switch; downs every link incident to it.
+    Switch(SwitchId),
+    /// A RAN cell (eNB power loss).
+    Cell(EnbId),
+    /// A compute host inside a DC (hardware crash).
+    Host(DcId, HostId),
+}
+
+impl fmt::Display for SubstrateElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubstrateElement::Link(l) => write!(f, "{l}"),
+            SubstrateElement::Switch(s) => write!(f, "{s}"),
+            SubstrateElement::Cell(e) => write!(f, "{e}"),
+            SubstrateElement::Host(dc, h) => write!(f, "{dc}/{h}"),
+        }
+    }
+}
+
+/// The outage windows scheduled for one element.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElementSchedule {
+    /// The element the windows apply to.
+    pub element: SubstrateElement,
+    /// Outage windows `[from, until)`; the element is down while `now`
+    /// falls inside any of them.
+    pub outages: Vec<(SimTime, SimTime)>,
+}
+
+impl ElementSchedule {
+    /// True when `now` falls inside a scheduled outage window.
+    pub fn down_at(&self, now: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|&(from, until)| from <= now && now < until)
+    }
+
+    /// True when this schedule can never take the element down.
+    pub fn is_quiet(&self) -> bool {
+        self.outages.iter().all(|&(from, until)| until <= from)
+    }
+}
+
+/// A seeded, per-element outage schedule for a whole run. See module docs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubstrateFaultPlan {
+    seed: u64,
+    /// Sorted by element; one entry per element.
+    elements: Vec<ElementSchedule>,
+}
+
+impl SubstrateFaultPlan {
+    /// An empty plan (fails nothing) with its own RNG seed.
+    pub fn new(seed: u64) -> SubstrateFaultPlan {
+        SubstrateFaultPlan {
+            seed,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Builder-style: schedule an outage window `[from, until)` for
+    /// `element`. Windows accumulate; elements stay sorted.
+    pub fn with_outage(
+        mut self,
+        element: SubstrateElement,
+        from: SimTime,
+        until: SimTime,
+    ) -> SubstrateFaultPlan {
+        self.add_outage(element, from, until);
+        self
+    }
+
+    /// Builder-style: schedule `count` periodic flaps for `element`, each
+    /// `down_for` long, the first starting at `first` and subsequent ones
+    /// every `period` — a deterministic link-flap pattern.
+    pub fn with_flaps(
+        mut self,
+        element: SubstrateElement,
+        first: SimTime,
+        down_for: SimDuration,
+        period: SimDuration,
+        count: usize,
+    ) -> SubstrateFaultPlan {
+        let mut start = first;
+        for _ in 0..count {
+            self.add_outage(element, start, start + down_for);
+            start += period;
+        }
+        self
+    }
+
+    /// Draw a failure schedule for every candidate element: per-element
+    /// Poisson failures at `failures_per_hour`, each repaired after an
+    /// exponential time of mean `mean_repair` (floored at one second),
+    /// over `[0, horizon)`. Each element forks its own RNG stream from the
+    /// plan seed keyed by its display name, so adding elements never
+    /// shifts another element's draws. All randomness happens *here*, at
+    /// build time — the resulting plan is a fixed schedule.
+    pub fn with_random_outages(
+        mut self,
+        elements: &[SubstrateElement],
+        failures_per_hour: f64,
+        mean_repair: SimDuration,
+        horizon: SimDuration,
+    ) -> SubstrateFaultPlan {
+        if failures_per_hour <= 0.0 {
+            return self;
+        }
+        let mut root = SimRng::seed_from(self.seed);
+        for &element in elements {
+            let mut rng = root.fork(&element.to_string());
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(failures_per_hour) * 3600.0;
+                if t >= horizon.as_secs_f64() {
+                    break;
+                }
+                let repair = (rng.exponential(1.0 / mean_repair.as_secs_f64().max(1.0)))
+                    .max(1.0);
+                let from = SimTime::ZERO + SimDuration::from_secs_f64(t);
+                let until = SimTime::ZERO
+                    + SimDuration::from_secs_f64((t + repair).min(horizon.as_secs_f64()));
+                self.add_outage(element, from, until);
+                t += repair;
+            }
+        }
+        self
+    }
+
+    fn add_outage(&mut self, element: SubstrateElement, from: SimTime, until: SimTime) {
+        match self
+            .elements
+            .binary_search_by(|s| s.element.cmp(&element))
+        {
+            Ok(i) => self.elements[i].outages.push((from, until)),
+            Err(i) => self.elements.insert(
+                i,
+                ElementSchedule {
+                    element,
+                    outages: vec![(from, until)],
+                },
+            ),
+        }
+    }
+
+    /// The plan's own RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when no element can ever go down.
+    pub fn is_quiet(&self) -> bool {
+        self.elements.iter().all(ElementSchedule::is_quiet)
+    }
+
+    /// The schedule for `element`, if any.
+    pub fn schedule(&self, element: SubstrateElement) -> Option<&ElementSchedule> {
+        self.elements
+            .binary_search_by(|s| s.element.cmp(&element))
+            .ok()
+            .map(|i| &self.elements[i])
+    }
+
+    /// True when `element` is inside one of its outage windows at `now`.
+    /// Elements the plan never mentions are always up. Drawless.
+    pub fn down_at(&self, element: SubstrateElement, now: SimTime) -> bool {
+        self.schedule(element).is_some_and(|s| s.down_at(now))
+    }
+
+    /// The scheduled elements, sorted, with their windows.
+    pub fn elements(&self) -> impl Iterator<Item = &ElementSchedule> {
+        self.elements.iter()
+    }
+
+    /// Every element scheduled to be down at `now`, sorted. Drawless.
+    pub fn down_elements_at(&self, now: SimTime) -> Vec<SubstrateElement> {
+        self.elements
+            .iter()
+            .filter(|s| s.down_at(now))
+            .map(|s| s.element)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(n: u64) -> SubstrateElement {
+        SubstrateElement::Link(LinkId::new(n))
+    }
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let plan = SubstrateFaultPlan::new(1);
+        assert!(plan.is_quiet());
+        assert!(plan.down_elements_at(SimTime::ZERO).is_empty());
+        assert!(!plan.down_at(link(0), SimTime::ZERO));
+    }
+
+    #[test]
+    fn outage_windows_are_half_open_and_exact() {
+        let plan = SubstrateFaultPlan::new(2).with_outage(
+            link(3),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        assert!(!plan.is_quiet());
+        assert!(!plan.down_at(link(3), SimTime::from_secs(9)));
+        assert!(plan.down_at(link(3), SimTime::from_secs(10)));
+        assert!(plan.down_at(link(3), SimTime::from_secs(19)));
+        assert!(!plan.down_at(link(3), SimTime::from_secs(20)));
+        // Other elements unaffected.
+        assert!(!plan.down_at(link(4), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn degenerate_windows_are_quiet() {
+        let plan = SubstrateFaultPlan::new(3).with_outage(
+            link(0),
+            SimTime::from_secs(30),
+            SimTime::from_secs(30),
+        );
+        assert!(plan.is_quiet(), "an empty window can never fire");
+        assert!(!plan.down_at(link(0), SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn flaps_expand_to_periodic_windows() {
+        let plan = SubstrateFaultPlan::new(4).with_flaps(
+            link(1),
+            SimTime::from_secs(60),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(100),
+            3,
+        );
+        let s = plan.schedule(link(1)).unwrap();
+        assert_eq!(s.outages.len(), 3);
+        for (i, &(from, until)) in s.outages.iter().enumerate() {
+            assert_eq!(from, SimTime::from_secs(60 + 100 * i as u64));
+            assert_eq!(until, from + SimDuration::from_secs(10));
+        }
+        // Up between flaps, down during them.
+        assert!(plan.down_at(link(1), SimTime::from_secs(65)));
+        assert!(!plan.down_at(link(1), SimTime::from_secs(90)));
+        assert!(plan.down_at(link(1), SimTime::from_secs(165)));
+    }
+
+    #[test]
+    fn elements_stay_sorted_and_unique() {
+        let plan = SubstrateFaultPlan::new(5)
+            .with_outage(link(5), SimTime::ZERO, SimTime::from_secs(1))
+            .with_outage(
+                SubstrateElement::Cell(EnbId::new(0)),
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+            )
+            .with_outage(link(5), SimTime::from_secs(2), SimTime::from_secs(3))
+            .with_outage(link(2), SimTime::ZERO, SimTime::from_secs(1));
+        let elements: Vec<_> = plan.elements().map(|s| s.element).collect();
+        assert_eq!(
+            elements,
+            vec![
+                link(2),
+                link(5),
+                SubstrateElement::Cell(EnbId::new(0)),
+            ]
+        );
+        assert_eq!(plan.schedule(link(5)).unwrap().outages.len(), 2);
+    }
+
+    #[test]
+    fn random_outages_are_deterministic_per_seed() {
+        let elements = [
+            link(0),
+            link(1),
+            SubstrateElement::Cell(EnbId::new(1)),
+            SubstrateElement::Host(DcId::new(0), HostId::new(2)),
+        ];
+        let draw = |seed: u64| {
+            SubstrateFaultPlan::new(seed).with_random_outages(
+                &elements,
+                1.0,
+                SimDuration::from_mins(10),
+                SimDuration::from_hours(12),
+            )
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        let plan = draw(7);
+        assert!(!plan.is_quiet(), "12 element-hours at 1/h draws something");
+        for s in plan.elements() {
+            for &(from, until) in &s.outages {
+                assert!(from < until, "windows are non-degenerate");
+                assert!(until <= SimTime::ZERO + SimDuration::from_hours(12));
+            }
+        }
+    }
+
+    #[test]
+    fn random_outage_streams_are_per_element() {
+        // Adding an element must not shift the schedules of the others.
+        let small = [link(0)];
+        let big = [link(0), link(1)];
+        let plan_small = SubstrateFaultPlan::new(9).with_random_outages(
+            &small,
+            2.0,
+            SimDuration::from_mins(5),
+            SimDuration::from_hours(6),
+        );
+        let plan_big = SubstrateFaultPlan::new(9).with_random_outages(
+            &big,
+            2.0,
+            SimDuration::from_mins(5),
+            SimDuration::from_hours(6),
+        );
+        assert_eq!(
+            plan_small.schedule(link(0)),
+            plan_big.schedule(link(0)),
+        );
+    }
+
+    #[test]
+    fn zero_rate_draws_nothing() {
+        let plan = SubstrateFaultPlan::new(6).with_random_outages(
+            &[link(0)],
+            0.0,
+            SimDuration::from_mins(5),
+            SimDuration::from_hours(6),
+        );
+        assert!(plan.is_quiet());
+    }
+
+    #[test]
+    fn switch_and_host_elements_display_like_their_ids() {
+        assert_eq!(link(3).to_string(), "link-3");
+        assert_eq!(
+            SubstrateElement::Switch(SwitchId::new(1)).to_string(),
+            "switch-1"
+        );
+        assert_eq!(
+            SubstrateElement::Cell(EnbId::new(0)).to_string(),
+            "enb-0"
+        );
+        assert_eq!(
+            SubstrateElement::Host(DcId::new(1), HostId::new(4)).to_string(),
+            "dc-1/host-4"
+        );
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = SubstrateFaultPlan::new(11)
+            .with_outage(link(4), SimTime::from_secs(60), SimTime::from_secs(120))
+            .with_flaps(
+                SubstrateElement::Switch(SwitchId::new(0)),
+                SimTime::from_secs(10),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(50),
+                2,
+            )
+            .with_outage(
+                SubstrateElement::Host(DcId::new(0), HostId::new(1)),
+                SimTime::from_secs(600),
+                SimTime::from_secs(900),
+            );
+        let j = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<SubstrateFaultPlan>(&j).unwrap(), plan);
+        assert!(!plan.is_quiet());
+        assert!(SubstrateFaultPlan::new(1).is_quiet());
+    }
+}

@@ -24,7 +24,8 @@
 //! * [`control`] — the survivable REST boundary: health probes, monitoring
 //!   pushes, retry/backoff, and deterministic fault injection.
 //! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
-//!   request generators, plus the chaos-testing wrapper.
+//!   request generators, plus the chaos-testing and substrate-fault
+//!   wrappers.
 
 pub mod admission;
 pub mod allocator;
@@ -43,5 +44,6 @@ pub use orchestrator::{EpochReport, Orchestrator, OrchestratorConfig, SliceTimel
 pub use overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
 pub use scenario::{
     ChaosScenario, ChaosSummary, DemoScenario, RequestGenerator, RequestMix, ScenarioConfig,
+    SubstrateScenario, SubstrateSummary,
 };
 pub use sla::{SlaMonitor, SlaVerdict};

@@ -25,10 +25,14 @@ pub enum SliceState {
     Deploying,
     /// Serving traffic.
     Active,
-    /// Serving traffic, but the control plane cannot currently reach one or
-    /// more domain controllers: reconfiguration and monitoring are
-    /// suspended for the slice until connectivity returns (data plane keeps
-    /// forwarding — a control-plane outage is not a service outage).
+    /// Out of full service for one of two reasons. Either the control
+    /// plane cannot currently reach one or more domain controllers —
+    /// reconfiguration and monitoring are suspended until connectivity
+    /// returns, but the data plane keeps forwarding — or an unrepaired
+    /// *substrate* fault (dead link, cell, or host the recovery pipeline
+    /// could not route, re-attach, or re-place around) has the slice fully
+    /// out of service; every such epoch books an SLA penalty until the
+    /// element recovers or a repair lands.
     Degraded,
     /// Ran to its full duration; terminal.
     Expired,
@@ -54,8 +58,8 @@ impl SliceState {
                 | (Requested, Deploying)
                 | (Deploying, Active)
                 | (Deploying, Terminated) // deployment failed mid-flight
-                | (Active, Degraded) // control plane lost a domain
-                | (Degraded, Active) // control plane recovered
+                | (Active, Degraded) // domain unreachable or substrate fault
+                | (Degraded, Active) // control plane / substrate recovered
                 | (Active, Expired)
                 | (Active, Terminated)
                 | (Degraded, Expired)

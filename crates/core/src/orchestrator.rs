@@ -22,8 +22,11 @@ use crate::control::{ControlPlane, DOMAINS};
 use crate::lifecycle::{SliceRecord, SliceState};
 use crate::overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
 use crate::sla::{SlaMonitor, SlaVerdict};
-use ovnes_api::{decode, encode, FaultPlan, MonitoringReport, RetryPolicy, Status};
-use ovnes_cloud::{epc_template, CloudController, EpcSizing};
+use ovnes_api::{
+    decode, encode, FaultPlan, MonitoringReport, RetryPolicy, Status, SubstrateElement,
+    SubstrateFaultPlan,
+};
+use ovnes_cloud::{epc_template, CloudController, DeployedStack, EpcSizing, StackState};
 use ovnes_forecast::{TraceGenerator, TraceSpec};
 use ovnes_model::ids::IdAllocator;
 use ovnes_model::{
@@ -124,12 +127,16 @@ pub struct EpochReport {
     pub control_retries: u64,
     /// Control-plane calls that exhausted retries/deadline this epoch.
     pub control_failures: u64,
-    /// Slices marked `Degraded` this epoch (control plane lost a domain).
+    /// Slices marked `Degraded` this epoch — the control plane lost a
+    /// domain, or a substrate fault could not be repaired.
     pub degraded: Vec<SliceId>,
     /// Slices restored `Degraded → Active` this epoch.
     pub restored: Vec<SliceId>,
     /// Domains whose health probe failed this epoch, after retries.
     pub unreachable_domains: Vec<String>,
+    /// Substrate elements currently failed (always empty without a
+    /// substrate fault plan).
+    pub substrate_down: Vec<SubstrateElement>,
 }
 
 /// Per-slice measurement history, recorded every active epoch — the data
@@ -233,6 +240,16 @@ pub struct Orchestrator {
     /// Domains whose last health probe failed (edge-triggers the events
     /// and the Degraded/restored transitions).
     down_domains: BTreeSet<&'static str>,
+    /// Deterministic data-plane fault schedule. `None` (or a quiet plan)
+    /// leaves every epoch byte-identical to a plan-less run.
+    substrate_plan: Option<SubstrateFaultPlan>,
+    /// Substrate elements currently applied as failed (the recovery loop
+    /// edge-triggers against this set each epoch).
+    substrate_down: BTreeSet<SubstrateElement>,
+    /// Slices an unrepaired substrate fault is keeping out of service,
+    /// with the time the outage was first detected (feeds the
+    /// `substrate.time_to_repair` distribution).
+    substrate_degraded: BTreeMap<SliceId, SimTime>,
 }
 
 impl Orchestrator {
@@ -288,6 +305,9 @@ impl Orchestrator {
             events: EventLog::new(512),
             control: ControlPlane::new(),
             down_domains: BTreeSet::new(),
+            substrate_plan: None,
+            substrate_down: BTreeSet::new(),
+            substrate_degraded: BTreeMap::new(),
         }
     }
 
@@ -301,6 +321,29 @@ impl Orchestrator {
     /// Replace the control-plane retry policy.
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.control.set_retry_policy(retry);
+    }
+
+    /// Install a substrate (data-plane) fault plan. The plan carries its
+    /// own precomputed schedule, so the orchestrator's simulation streams
+    /// are untouched; a quiet plan is an exact no-op.
+    pub fn set_substrate_plan(&mut self, plan: SubstrateFaultPlan) {
+        self.substrate_plan = Some(plan);
+    }
+
+    /// The installed substrate fault plan, if any.
+    pub fn substrate_plan(&self) -> Option<&SubstrateFaultPlan> {
+        self.substrate_plan.as_ref()
+    }
+
+    /// Substrate elements currently failed, ascending.
+    pub fn substrate_down(&self) -> Vec<SubstrateElement> {
+        self.substrate_down.iter().copied().collect()
+    }
+
+    /// Slices currently out of service behind an unrepaired substrate
+    /// fault, ascending.
+    pub fn substrate_degraded(&self) -> Vec<SliceId> {
+        self.substrate_degraded.keys().copied().collect()
     }
 
     /// The control plane (for endpoint/retry stats in dashboards/benches).
@@ -674,10 +717,16 @@ impl Orchestrator {
         let mut degraded: Vec<SliceId> = Vec::new();
         let mut restored: Vec<SliceId> = Vec::new();
         if self.down_domains.is_empty() {
+            // Slices held down by an unrepaired substrate fault are not
+            // restored here: the recovery loop below owns them until their
+            // element recovers or a repair lands.
             let ids: Vec<SliceId> = self
                 .records
                 .values()
-                .filter(|r| r.state == SliceState::Degraded)
+                .filter(|r| {
+                    r.state == SliceState::Degraded
+                        && !self.substrate_degraded.contains_key(&r.id)
+                })
                 .map(|r| r.id)
                 .collect();
             for id in ids {
@@ -727,6 +776,15 @@ impl Orchestrator {
                     ),
                 );
             }
+        }
+
+        // 2c. Substrate self-healing: apply the fault plan's schedule, then
+        //     detect → assess → repair → degrade → account. Skipped entirely
+        //     (no state, no telemetry) without an active plan, so plan-less
+        //     and quiet-plan runs stay byte-identical.
+        let substrate_active = self.substrate_plan.as_ref().is_some_and(|p| !p.is_quiet());
+        if substrate_active {
+            self.run_substrate_recovery(now, &mut degraded, &mut restored);
         }
 
         // 3. Generate traffic and sample radio quality for active slices
@@ -816,13 +874,21 @@ impl Orchestrator {
         let mut verdicts = Vec::with_capacity(active_ids.len());
         for load in &offered_loads {
             let id = load.slice;
-            let outcome = &outcome_by_slice[&id];
+            // The radio outcome is missing when the serving cell is down:
+            // the scheduler dropped the load, so nothing crossed the air.
+            let (radio_allocated, radio_delivered, radio_unserved) =
+                match outcome_by_slice.get(&id) {
+                    Some(o) => (o.allocated, o.delivered, o.unserved),
+                    None => (Prbs::ZERO, RateMbps::ZERO, load.offered),
+                };
             // A slice whose vEPC is redeploying after a host failure serves
             // nothing, whatever the radio delivered.
             let epc_down = self.epc_down_until.get(&id).is_some_and(|&t| t > now);
+            // Same for a slice an unrepaired substrate fault holds down.
+            let substrate_out = self.substrate_degraded.contains_key(&id);
             // A faded/oversubscribed transport path caps what the radio
             // delivered: the slice's share of its bottleneck link.
-            let delivered = if epc_down {
+            let delivered = if epc_down || substrate_out {
                 RateMbps::ZERO
             } else { match self.transport.capacity_share(id) {
                 Some(share) if share < 1.0 => {
@@ -831,17 +897,24 @@ impl Orchestrator {
                         .reservation(id)
                         .expect("share implies a reservation")
                         .bandwidth;
-                    outcome.delivered.min(res_bw * share)
+                    radio_delivered.min(res_bw * share)
                 }
-                _ => outcome.delivered,
+                _ => radio_delivered,
             } };
-            let transport_unserved = outcome.unserved
-                + outcome.delivered.saturating_sub(delivered);
+            let transport_unserved = radio_unserved
+                + radio_delivered.saturating_sub(delivered);
             let latency = self.end_to_end_latency(id, load, transport_unserved);
             let record = self.records.get_mut(&id).expect("active slice has a record");
-            let verdict = self
+            let mut verdict = self
                 .sla
                 .assess(record, load.offered, delivered, latency);
+            if substrate_out {
+                // A degraded epoch is a penalty epoch even when the tenant
+                // offered no traffic: the slice itself is out of service,
+                // not merely underserved.
+                verdict.met = false;
+                verdict.cause = Some("substrate outage".into());
+            }
             self.sla.book_epoch(now, record, &verdict);
             let timeline = self.timelines.entry(id).or_insert_with(|| SliceTimeline {
                 offered: TimeSeries::with_capacity_limit(4096),
@@ -862,7 +935,7 @@ impl Orchestrator {
             if self.config.ue_fairness_tracking {
                 let channels = ue_channels.remove(&id).unwrap_or_default();
                 let pf = self.pf.entry(id).or_default();
-                let shares = pf.schedule(outcome.allocated, &channels, 0.1);
+                let shares = pf.schedule(radio_allocated, &channels, 0.1);
                 let rates: Vec<f64> = shares.iter().map(|sh| sh.rate.value()).collect();
                 self.metrics
                     .series(&format!("orchestrator.{id}.ue_fairness"))
@@ -952,7 +1025,227 @@ impl Orchestrator {
             degraded,
             restored,
             unreachable_domains,
+            substrate_down: self.substrate_down.iter().copied().collect(),
         }
+    }
+
+    /// Substrate self-healing, phase 2c of the epoch.
+    ///
+    /// Detect: diff the plan's schedule at `now` against the applied outage
+    /// set and forward the edges to the domain controllers (link/switch →
+    /// transport, cell → RAN, host → cloud), collecting the slices each
+    /// failure touches. Assess + repair: for every touched or still-degraded
+    /// slice, fix each broken leg in priority order — transport reroute via
+    /// the virtual-release machinery, cell re-attach, vEPC re-placement.
+    /// Degrade what stays broken and restore it (with a time-to-repair
+    /// sample) once repairs land or the element recovers.
+    ///
+    /// Every set here is a `BTreeSet`/`BTreeMap` iterated in ascending
+    /// element/slice order and nothing draws from an RNG, so the pipeline
+    /// is a pure function of the plan and the epoch clock — bitwise
+    /// identical at any worker count.
+    fn run_substrate_recovery(
+        &mut self,
+        now: SimTime,
+        degraded: &mut Vec<SliceId>,
+        restored: &mut Vec<SliceId>,
+    ) {
+        let plan = self.substrate_plan.as_ref().expect("phase is gated on a plan");
+        let desired: BTreeSet<SubstrateElement> =
+            plan.down_elements_at(now).into_iter().collect();
+
+        // Detect: edge-trigger failures and recoveries.
+        let newly_down: Vec<SubstrateElement> =
+            desired.difference(&self.substrate_down).copied().collect();
+        let newly_up: Vec<SubstrateElement> =
+            self.substrate_down.difference(&desired).copied().collect();
+        let mut touched: BTreeSet<SliceId> =
+            self.substrate_degraded.keys().copied().collect();
+        for element in newly_down {
+            let slices = match element {
+                SubstrateElement::Link(l) => self.transport.fail_link(l),
+                SubstrateElement::Switch(s) => self.transport.fail_switch(s),
+                SubstrateElement::Cell(e) => self.ran.fail_cell(e),
+                SubstrateElement::Host(dc, h) => self.cloud.fail_host(dc, h),
+            };
+            self.metrics.counter("substrate.element_failures").inc();
+            self.events.log(
+                now,
+                "substrate",
+                format!("{element} down; {} slice(s) impacted", slices.len()),
+            );
+            touched.extend(slices);
+        }
+        for element in newly_up {
+            match element {
+                SubstrateElement::Link(l) => {
+                    self.transport.revive_link(l);
+                }
+                SubstrateElement::Switch(s) => self.transport.revive_switch(s),
+                SubstrateElement::Cell(e) => {
+                    self.ran.revive_cell(e);
+                }
+                SubstrateElement::Host(dc, h) => self.cloud.revive_host(dc, h),
+            }
+            self.metrics.counter("substrate.element_recoveries").inc();
+            self.events
+                .log(now, "substrate", format!("{element} back in service"));
+        }
+        self.substrate_down = desired;
+
+        // Assess + repair, ascending slice id.
+        for id in touched {
+            let request = match self.records.get(&id) {
+                Some(r) if !r.state.is_terminal() => r.request.clone(),
+                _ => {
+                    // The slice ended (expired/terminated) while degraded;
+                    // its resources are already reclaimed.
+                    self.substrate_degraded.remove(&id);
+                    continue;
+                }
+            };
+            let mut impacted = false;
+            let mut healthy = true;
+
+            // Transport: a reservation crossing a dead link. Mass reroute
+            // through the virtual-release machinery; dead links are
+            // rejected during cache revalidation and fresh searches alike.
+            let path_dead = self.transport.reservation(id).is_some_and(|r| {
+                r.path.links.iter().any(|&l| !self.transport.link_is_up(l))
+            });
+            if path_dead {
+                impacted = true;
+                if self.transport.reroute(id) == Ok(true) {
+                    self.metrics.counter("substrate.reroutes").inc();
+                    self.events.log(
+                        now,
+                        "substrate",
+                        format!("{id} rerouted around a dead link"),
+                    );
+                } else {
+                    healthy = false;
+                }
+            }
+
+            // RAN: the serving cell is down. Re-attach the slice's PLMN to
+            // the best surviving cell that fits its reservation.
+            let cell_dead = self
+                .ran
+                .placement(id)
+                .is_some_and(|enb| !self.ran.cell_is_up(enb));
+            if cell_dead {
+                impacted = true;
+                match self.ran.reattach(id) {
+                    Ok(target) => {
+                        if let Some(p) = self.placements.get_mut(&id) {
+                            p.enb = target;
+                        }
+                        self.metrics.counter("substrate.reattaches").inc();
+                        self.events.log(
+                            now,
+                            "substrate",
+                            format!("{id} re-attached to surviving cell {target}"),
+                        );
+                    }
+                    Err(_) => healthy = false,
+                }
+            }
+
+            // Cloud: the vEPC lost a VM to a host crash — or an earlier
+            // re-placement deleted the corpse and then found no capacity,
+            // leaving the slice with no stack at all. Redeploy; the fresh
+            // stack's deploy time is a real service interruption booked
+            // through `epc_down_until`.
+            let stack_bad = match self.cloud.stack_for_slice(id) {
+                Some(stack) => stack.state == StackState::Degraded,
+                None => true,
+            };
+            if stack_bad {
+                impacted = true;
+                let template =
+                    epc_template(id, &request.compute_demand(), &EpcSizing::default());
+                let fresh: Option<DeployedStack> =
+                    if self.cloud.stack_for_slice(id).is_some() {
+                        self.cloud.redeploy_for_slice(id, &template).ok()
+                    } else {
+                        let kind = self
+                            .placements
+                            .get(&id)
+                            .and_then(|p| self.cloud.dc(p.dc))
+                            .map(|dc| dc.kind());
+                        let target = kind.and_then(|k| self.cloud.find_dc(k, &template));
+                        target.and_then(|dc| self.cloud.deploy(id, dc, &template).ok())
+                    };
+                match fresh {
+                    Some(stack) => {
+                        self.epc_down_until.insert(id, now + stack.deploy_time);
+                        self.metrics.counter("substrate.replacements").inc();
+                        self.events.log(
+                            now,
+                            "substrate",
+                            format!(
+                                "{id} vEPC re-placed on {}; boots in {}",
+                                stack.dc, stack.deploy_time
+                            ),
+                        );
+                    }
+                    None => healthy = false,
+                }
+            }
+
+            if healthy {
+                if let Some(since) = self.substrate_degraded.remove(&id) {
+                    let ttr = now.saturating_duration_since(since).as_secs_f64();
+                    self.metrics
+                        .series("substrate.time_to_repair")
+                        .record(now, ttr);
+                    self.metrics.counter("substrate.repaired").inc();
+                    if self.records[&id].state == SliceState::Degraded
+                        && self.down_domains.is_empty()
+                    {
+                        self.records
+                            .get_mut(&id)
+                            .expect("checked above")
+                            .transition(SliceState::Active)
+                            .expect("degraded→active");
+                        restored.push(id);
+                        self.metrics.counter("substrate.restored").inc();
+                        self.events.log(
+                            now,
+                            "substrate",
+                            format!("{id} restored: substrate fault cleared"),
+                        );
+                    }
+                } else if impacted {
+                    // Repaired within the epoch the fault was detected.
+                    self.metrics
+                        .series("substrate.time_to_repair")
+                        .record(now, 0.0);
+                    self.metrics.counter("substrate.repaired").inc();
+                }
+            } else {
+                if !self.substrate_degraded.contains_key(&id) {
+                    self.substrate_degraded.insert(id, now);
+                    self.metrics.counter("substrate.degraded").inc();
+                    self.events.log(
+                        now,
+                        "substrate",
+                        format!("{id} degraded: substrate fault not repairable"),
+                    );
+                }
+                if self.records[&id].state == SliceState::Active {
+                    self.records
+                        .get_mut(&id)
+                        .expect("checked above")
+                        .transition(SliceState::Degraded)
+                        .expect("active→degraded");
+                    degraded.push(id);
+                }
+            }
+        }
+        self.metrics
+            .gauge("substrate.elements_down")
+            .set(self.substrate_down.len() as f64);
     }
 
     /// End-to-end latency of a slice this epoch: air interface (inflated
@@ -982,6 +1275,7 @@ impl Orchestrator {
         }
         self.sim_state.remove(&id);
         self.epc_down_until.remove(&id);
+        self.substrate_degraded.remove(&id);
         self.pf.remove(&id);
         self.engine.forget(id);
         self.placements.remove(&id);

@@ -405,6 +405,13 @@ impl ChaosScenario {
         self.inner.orchestrator()
     }
 
+    /// Mutable access to the orchestrator (for layering further pre-run
+    /// configuration, e.g. a substrate fault plan on top of the control-
+    /// plane faults).
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        self.inner.orchestrator_mut()
+    }
+
     /// Run to the horizon and summarize, including control-plane fallout.
     pub fn run(&mut self) -> ChaosSummary {
         let demo = self.inner.run();
@@ -420,11 +427,81 @@ impl ChaosScenario {
     }
 }
 
+/// Aggregate result of a substrate-fault run: the demo summary plus what
+/// the self-healing pipeline did about the injected element outages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubstrateSummary {
+    /// The plain scenario summary.
+    pub demo: DemoSummary,
+    /// Substrate elements that went down over the run.
+    pub element_failures: u64,
+    /// Substrate elements that came back over the run.
+    pub element_recoveries: u64,
+    /// Slices moved onto an alternative transport path.
+    pub reroutes: u64,
+    /// Slices re-attached to a healthy cell.
+    pub reattaches: u64,
+    /// vEPC stacks re-placed on a healthy host.
+    pub replacements: u64,
+    /// Slices the pipeline could not repair (first entries into the
+    /// substrate-degraded set).
+    pub degraded: u64,
+    /// Substrate-degraded slices repaired or restored by element recovery.
+    pub repaired: u64,
+    /// Slices transitioned back to `Active` after a substrate outage.
+    pub restored: u64,
+}
+
+/// A [`DemoScenario`] run under an active [`SubstrateFaultPlan`] — the
+/// physical-failure counterpart of [`ChaosScenario`]. Deterministic per
+/// `(config.seed, plan.seed())` pair.
+pub struct SubstrateScenario {
+    inner: DemoScenario,
+}
+
+impl SubstrateScenario {
+    /// Build the demo world and install `plan` on its orchestrator.
+    pub fn build(config: ScenarioConfig, plan: ovnes_api::SubstrateFaultPlan) -> SubstrateScenario {
+        let mut inner = DemoScenario::build(config);
+        inner.orchestrator_mut().set_substrate_plan(plan);
+        SubstrateScenario { inner }
+    }
+
+    /// The orchestrator under test.
+    pub fn orchestrator(&self) -> &Orchestrator {
+        self.inner.orchestrator()
+    }
+
+    /// Mutable access to the orchestrator (for pre-run configuration such
+    /// as toggling the route cache).
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        self.inner.orchestrator_mut()
+    }
+
+    /// Run to the horizon and summarize, including repair-pipeline fallout.
+    pub fn run(&mut self) -> SubstrateSummary {
+        let demo = self.inner.run();
+        let m = self.inner.orchestrator().metrics();
+        let c = |name: &str| m.counter_value(name).unwrap_or(0);
+        SubstrateSummary {
+            demo,
+            element_failures: c("substrate.element_failures"),
+            element_recoveries: c("substrate.element_recoveries"),
+            reroutes: c("substrate.reroutes"),
+            reattaches: c("substrate.reattaches"),
+            replacements: c("substrate.replacements"),
+            degraded: c("substrate.degraded"),
+            repaired: c("substrate.repaired"),
+            restored: c("substrate.restored"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::admission::PolicyKind;
-    use ovnes_api::{EndpointFaults, FaultPlan};
+    use ovnes_api::{EndpointFaults, FaultPlan, SubstrateElement, SubstrateFaultPlan};
 
     fn quick_config(seed: u64) -> ScenarioConfig {
         ScenarioConfig {
@@ -615,6 +692,64 @@ mod tests {
             ChaosScenario::build(quick_config(4), plan).run()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn substrate_with_quiet_plan_matches_plain_run() {
+        // A substrate plan that schedules nothing must leave the run
+        // byte-identical to the unwrapped scenario.
+        let plain = DemoScenario::build(quick_config(21)).run();
+        let mut s = SubstrateScenario::build(quick_config(21), SubstrateFaultPlan::new(999));
+        let summary = s.run();
+        assert_eq!(summary.demo, plain);
+        assert_eq!(summary.element_failures, 0);
+        assert_eq!(summary.degraded, 0);
+        assert_eq!(summary.restored, 0);
+    }
+
+    #[test]
+    fn substrate_runs_are_deterministic() {
+        let run = || {
+            let elements: Vec<SubstrateElement> = (0..7)
+                .map(|l| SubstrateElement::Link(ovnes_model::LinkId::new(l)))
+                .chain((0..2).map(|e| SubstrateElement::Cell(ovnes_model::EnbId::new(e))))
+                .collect();
+            let plan = SubstrateFaultPlan::new(77).with_random_outages(
+                &elements,
+                0.5,
+                SimDuration::from_mins(10),
+                SimDuration::from_hours(3),
+            );
+            SubstrateScenario::build(quick_config(4), plan).run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn substrate_faults_surface_in_summary() {
+        // Take a cell down for half an hour mid-run: every slice attached
+        // to it is either re-attached to the surviving cell or booked as
+        // degraded — the repair pipeline must leave a visible trace.
+        let plan = SubstrateFaultPlan::new(5).with_outage(
+            SubstrateElement::Cell(EnbId::new(0)),
+            SimTime::ZERO + SimDuration::from_mins(60),
+            SimTime::ZERO + SimDuration::from_mins(90),
+        );
+        let mut s = SubstrateScenario::build(quick_config(6), plan);
+        let summary = s.run();
+        assert_eq!(summary.element_failures, 1, "{summary:?}");
+        assert_eq!(summary.element_recoveries, 1, "{summary:?}");
+        assert!(
+            summary.reattaches + summary.degraded > 0,
+            "no repair activity: {summary:?}"
+        );
+        // Whatever went substrate-degraded was repaired or restored by the
+        // time the cell came back; nothing may stay degraded to the horizon.
+        assert_eq!(
+            s.orchestrator().substrate_degraded().len(),
+            0,
+            "{summary:?}"
+        );
     }
 
     #[test]

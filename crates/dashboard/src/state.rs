@@ -27,6 +27,10 @@ impl DashboardView {
                 "CONTROL PLANE".to_string(),
                 Self::control_panel(orchestrator),
             ),
+            (
+                "SUBSTRATE".to_string(),
+                Self::substrate_panel(orchestrator),
+            ),
             ("EVENTS".to_string(), Self::events_panel(orchestrator)),
         ];
         DashboardView { sections }
@@ -275,6 +279,70 @@ impl DashboardView {
         s
     }
 
+    fn substrate_panel(o: &Orchestrator) -> String {
+        let m = o.metrics();
+        let mut s = String::new();
+        let links = o.transport().snapshot().links;
+        let links_up = links.iter().filter(|l| l.up).count();
+        let enbs = o.ran().snapshot().enbs;
+        let cells_up = enbs.iter().filter(|e| e.up).count();
+        let (hosts_alive, hosts_total) =
+            o.cloud()
+                .snapshot()
+                .dcs
+                .iter()
+                .fold((0usize, 0usize), |(alive, total), row| {
+                    let dc = o.cloud().dc(row.dc);
+                    (
+                        alive + dc.map_or(0, |d| d.alive_hosts()),
+                        total + dc.map_or(0, |d| d.hosts().len()),
+                    )
+                });
+        let _ = writeln!(
+            s,
+            "links up {links_up}/{}   cells up {cells_up}/{}   hosts alive {hosts_alive}/{hosts_total}   elements down now {}",
+            links.len(),
+            enbs.len(),
+            m.gauge_value("substrate.elements_down").unwrap_or(0.0) as u64,
+        );
+        let c = |name: &str| m.counter_value(name).unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "failures {}   recoveries {}   reroutes {}   re-attaches {}   re-placements {}",
+            c("substrate.element_failures"),
+            c("substrate.element_recoveries"),
+            c("substrate.reroutes"),
+            c("substrate.reattaches"),
+            c("substrate.replacements"),
+        );
+        let _ = writeln!(
+            s,
+            "degraded {}   repaired {}   restored {}",
+            c("substrate.degraded"),
+            c("substrate.repaired"),
+            c("substrate.restored"),
+        );
+        let degraded = o.substrate_degraded();
+        if !degraded.is_empty() {
+            let ids: Vec<String> = degraded.iter().map(|id| id.to_string()).collect();
+            let _ = writeln!(s, "degraded now: {}", ids.join(", "));
+        }
+        match o.substrate_plan() {
+            Some(plan) => {
+                let _ = writeln!(
+                    s,
+                    "substrate plan: seed {}, {} element(s) scheduled",
+                    plan.seed(),
+                    plan.elements().count()
+                );
+            }
+            None => {
+                let _ = writeln!(s, "no substrate plan installed");
+            }
+        }
+        s
+    }
+
     fn events_panel(o: &Orchestrator) -> String {
         let mut s = String::new();
         let events = o.events();
@@ -325,7 +393,7 @@ mod tests {
         let mut s = scenario();
         s.run();
         let view = DashboardView::capture(s.orchestrator());
-        assert_eq!(view.sections().len(), 7);
+        assert_eq!(view.sections().len(), 8);
         let rendered = view.render();
         for header in [
             "SLICES",
@@ -334,6 +402,7 @@ mod tests {
             "CLOUD",
             "GAIN vs PENALTY",
             "CONTROL PLANE",
+            "SUBSTRATE",
             "EVENTS",
         ] {
             assert!(rendered.contains(header), "missing {header}");
@@ -344,6 +413,11 @@ mod tests {
         // With no fault plan the control panel still reports call volume.
         assert!(rendered.contains("no fault plan installed"));
         assert!(rendered.contains("ran/health"));
+        // Without a substrate plan every element is up and the panel says so.
+        assert!(rendered.contains("no substrate plan installed"));
+        assert!(rendered.contains("links up 7/7"), "{rendered}");
+        assert!(rendered.contains("cells up 2/2"), "{rendered}");
+        assert!(rendered.contains("hosts alive 20/20"), "{rendered}");
     }
 
     #[test]
@@ -407,6 +481,31 @@ mod tests {
             .parse()
             .expect("numeric faults column");
         assert!(injected > 0, "{line}");
+    }
+
+    #[test]
+    fn substrate_panel_surfaces_injected_faults() {
+        use ovnes_api::{SubstrateElement, SubstrateFaultPlan};
+        use ovnes_model::LinkId;
+        use ovnes_sim::SimTime;
+        let mut s = scenario();
+        s.orchestrator_mut().set_substrate_plan(
+            SubstrateFaultPlan::new(31).with_outage(
+                SubstrateElement::Link(LinkId::new(0)),
+                SimTime::ZERO + SimDuration::from_mins(10),
+                SimTime::ZERO + SimDuration::from_mins(20),
+            ),
+        );
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(
+            rendered.contains("substrate plan: seed 31, 1 element(s) scheduled"),
+            "{rendered}"
+        );
+        // The outage window closed before the horizon: one failure, one
+        // recovery, everything back up.
+        assert!(rendered.contains("failures 1   recoveries 1"), "{rendered}");
+        assert!(rendered.contains("links up 7/7"), "{rendered}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::scheduler::{schedule_epoch, SliceLoad, SliceScheduleOutcome};
 use ovnes_model::{EnbId, PlmnId, Prbs, RateMbps, SliceId};
 use ovnes_sim::{MetricRegistry, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Offered traffic of one slice this epoch, as the orchestrator reports it.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +45,8 @@ pub struct EnbRow {
     pub plmns: usize,
     /// nominal / total — above 1.0 the cell is overbooked.
     pub overbooking_factor: f64,
+    /// False while the cell is failed (substrate outage).
+    pub up: bool,
 }
 
 /// The RAN domain controller. See module docs.
@@ -52,6 +54,10 @@ pub struct RanController {
     enbs: BTreeMap<EnbId, Enb>,
     /// Which eNB each slice is installed on.
     placements: BTreeMap<SliceId, EnbId>,
+    /// Cells currently failed: they schedule nothing and accept no new
+    /// PLMNs, but keep their reservations so recovery can re-attach or
+    /// restore them.
+    down_cells: BTreeSet<EnbId>,
     metrics: MetricRegistry,
 }
 
@@ -69,6 +75,7 @@ impl RanController {
         RanController {
             enbs: map,
             placements: BTreeMap::new(),
+            down_cells: BTreeSet::new(),
             metrics: MetricRegistry::new(),
         }
     }
@@ -91,12 +98,99 @@ impl RanController {
 
     /// The eNB with the most available PRBs that can still broadcast another
     /// PLMN and fit `prbs`, or `None` if the RAN cannot host the slice.
+    /// Failed cells are never candidates.
     pub fn best_fit(&self, prbs: Prbs) -> Option<EnbId> {
         self.enbs
             .values()
-            .filter(|e| e.available_prbs() >= prbs && e.plmn_count() < e.config().max_plmns)
+            .filter(|e| {
+                !self.down_cells.contains(&e.id())
+                    && e.available_prbs() >= prbs
+                    && e.plmn_count() < e.config().max_plmns
+            })
             .max_by_key(|e| (e.available_prbs(), std::cmp::Reverse(e.id())))
             .map(|e| e.id())
+    }
+
+    /// True unless `enb` is currently failed. Unknown cells are reported
+    /// as down.
+    pub fn cell_is_up(&self, enb: EnbId) -> bool {
+        self.enbs.contains_key(&enb) && !self.down_cells.contains(&enb)
+    }
+
+    /// Currently failed cells, ascending.
+    pub fn down_cells(&self) -> Vec<EnbId> {
+        self.down_cells.iter().copied().collect()
+    }
+
+    /// Slices installed on `enb`, ascending.
+    pub fn slices_on_cell(&self, enb: EnbId) -> Vec<SliceId> {
+        self.placements
+            .iter()
+            .filter(|(_, &e)| e == enb)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Take `enb` out of service and return the slices attached to it,
+    /// ascending. Reservations stay installed (the grid state survives the
+    /// outage); the scheduler simply stops serving the cell. Failing an
+    /// already-down or unknown cell is a no-op returning no slices.
+    pub fn fail_cell(&mut self, enb: EnbId) -> Vec<SliceId> {
+        if !self.enbs.contains_key(&enb) || !self.down_cells.insert(enb) {
+            return Vec::new();
+        }
+        self.metrics.counter("ran.cell_failures").inc();
+        self.slices_on_cell(enb)
+    }
+
+    /// Return `enb` to service. True if it was down.
+    pub fn revive_cell(&mut self, enb: EnbId) -> bool {
+        if !self.down_cells.remove(&enb) {
+            return false;
+        }
+        self.metrics.counter("ran.cell_recoveries").inc();
+        true
+    }
+
+    /// Move `slice` to the best-fitting live cell, releasing its current
+    /// PLMN first (the recovery pipeline's cell re-attach step). If no live
+    /// cell fits, the original installation is restored untouched and an
+    /// error is returned.
+    pub fn reattach(&mut self, slice: SliceId) -> Result<EnbId, RanError> {
+        let old = *self
+            .placements
+            .get(&slice)
+            .ok_or(RanError::NotInstalled(slice))?;
+        let res = self
+            .enbs
+            .get_mut(&old)
+            .expect("placement points at a managed eNB")
+            .release_plmn(slice)?;
+        self.placements.remove(&slice);
+        match self.best_fit(res.reserved) {
+            Some(target) => {
+                self.enbs
+                    .get_mut(&target)
+                    .expect("best_fit returns a managed eNB")
+                    .install_plmn(slice, res.plmn, res.reserved, res.nominal)
+                    .expect("best_fit guarantees the slot");
+                self.placements.insert(slice, target);
+                self.metrics.counter("ran.reattaches").inc();
+                Ok(target)
+            }
+            None => {
+                self.enbs
+                    .get_mut(&old)
+                    .expect("placement pointed at a managed eNB")
+                    .install_plmn(slice, res.plmn, res.reserved, res.nominal)
+                    .expect("the slot was just freed");
+                self.placements.insert(slice, old);
+                Err(RanError::InsufficientPrbs {
+                    requested: res.reserved,
+                    available: Prbs::ZERO,
+                })
+            }
+        }
     }
 
     /// Install `slice` as `plmn` on `enb` with the given reservation.
@@ -157,7 +251,9 @@ impl RanController {
     /// are identical at any thread count.
     ///
     /// Loads for slices not installed anywhere are ignored (the slice is
-    /// mid-teardown); callers detect this by the missing outcome.
+    /// mid-teardown); callers detect this by the missing outcome. Failed
+    /// cells schedule nothing: their loads are dropped the same way and the
+    /// cell reports zero utilization until revived.
     pub fn run_epoch(&mut self, now: SimTime, offered: &[OfferedLoad]) -> Vec<SliceScheduleOutcome> {
         // Collect: group loads per eNB (ascending id), preserving input
         // order within each cell, and snapshot each grid size.
@@ -166,6 +262,9 @@ impl RanController {
             let Some(&enb) = self.placements.get(&load.slice) else {
                 continue;
             };
+            if self.down_cells.contains(&enb) {
+                continue;
+            }
             let reserved = self.enbs[&enb]
                 .reservation(load.slice)
                 .expect("placement implies reservation")
@@ -224,6 +323,7 @@ impl RanController {
                     nominal: e.nominal_prbs(),
                     plmns: e.plmn_count(),
                     overbooking_factor: e.overbooking_factor(),
+                    up: !self.down_cells.contains(&e.id()),
                 })
                 .collect(),
         }
@@ -419,6 +519,101 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn fail_cell_lists_occupants_and_blocks_best_fit() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(3), plmn(0), Prbs::new(20), Prbs::new(20))
+            .unwrap();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(1), Prbs::new(20), Prbs::new(20))
+            .unwrap();
+        let affected = c.fail_cell(EnbId::new(0));
+        assert_eq!(affected, vec![SliceId::new(1), SliceId::new(3)], "ascending");
+        assert!(!c.cell_is_up(EnbId::new(0)));
+        assert_eq!(c.down_cells(), vec![EnbId::new(0)]);
+        // Second failure of the same cell is a no-op.
+        assert!(c.fail_cell(EnbId::new(0)).is_empty());
+        assert_eq!(c.metrics().counter_value("ran.cell_failures"), Some(1));
+        // Only the surviving cell is a placement candidate now.
+        assert_eq!(c.best_fit(Prbs::new(10)), Some(EnbId::new(1)));
+        assert!(c.revive_cell(EnbId::new(0)));
+        assert!(!c.revive_cell(EnbId::new(0)), "already up");
+        assert!(c.cell_is_up(EnbId::new(0)));
+        // Reservations survived the outage untouched.
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().reserved, Prbs::new(20));
+    }
+
+    #[test]
+    fn unknown_cells_report_down_and_fail_quietly() {
+        let mut c = controller();
+        assert!(!c.cell_is_up(EnbId::new(9)));
+        assert!(c.fail_cell(EnbId::new(9)).is_empty());
+        assert!(!c.revive_cell(EnbId::new(9)));
+    }
+
+    #[test]
+    fn reattach_moves_slice_off_a_dead_cell() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(30), Prbs::new(45))
+            .unwrap();
+        c.fail_cell(EnbId::new(0));
+        let target = c.reattach(SliceId::new(1)).unwrap();
+        assert_eq!(target, EnbId::new(1));
+        assert_eq!(c.placement(SliceId::new(1)), Some(EnbId::new(1)));
+        let res = c.reservation(SliceId::new(1)).unwrap();
+        assert_eq!(res.reserved, Prbs::new(30), "reservation carried over");
+        assert_eq!(res.nominal, Prbs::new(45), "nominal carried over");
+        assert_eq!(c.metrics().counter_value("ran.reattaches"), Some(1));
+        // The dead cell no longer holds the PLMN.
+        let snap = c.snapshot();
+        let row0 = snap.enbs.iter().find(|r| r.enb == EnbId::new(0)).unwrap();
+        assert_eq!(row0.plmns, 0);
+        assert!(!row0.up);
+    }
+
+    #[test]
+    fn reattach_restores_original_when_nothing_fits() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(60), Prbs::new(60))
+            .unwrap();
+        // The only other cell is too full to take 60 PRBs.
+        c.install(EnbId::new(1), SliceId::new(2), plmn(1), Prbs::new(50), Prbs::new(50))
+            .unwrap();
+        c.fail_cell(EnbId::new(0));
+        assert!(matches!(
+            c.reattach(SliceId::new(1)),
+            Err(RanError::InsufficientPrbs { .. })
+        ));
+        // State rolled back: still installed on the dead cell.
+        assert_eq!(c.placement(SliceId::new(1)), Some(EnbId::new(0)));
+        assert_eq!(c.reservation(SliceId::new(1)).unwrap().reserved, Prbs::new(60));
+        assert!(c.reattach(SliceId::new(9)).is_err(), "unknown slice");
+    }
+
+    #[test]
+    fn down_cells_schedule_nothing() {
+        let mut c = controller();
+        c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(50), Prbs::new(50))
+            .unwrap();
+        c.fail_cell(EnbId::new(0));
+        let outs = c.run_epoch(
+            SimTime::from_secs(60),
+            &[OfferedLoad {
+                slice: SliceId::new(1),
+                offered: RateMbps::new(10.0),
+                prb_rate: RateMbps::new(0.5),
+            }],
+        );
+        assert!(outs.is_empty(), "dead cell serves no traffic");
+        let util = c
+            .metrics()
+            .series_ref("ran.enb-0.prb_utilization")
+            .unwrap()
+            .last()
+            .unwrap()
+            .1;
+        assert_eq!(util, 0.0, "dead cell reports zero utilization");
     }
 
     #[test]

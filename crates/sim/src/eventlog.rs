@@ -34,12 +34,9 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// A log retaining the most recent `capacity` events.
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero.
+    /// A log retaining the most recent `capacity` events. A zero capacity
+    /// retains nothing but still counts events logged.
     pub fn new(capacity: usize) -> EventLog {
-        assert!(capacity > 0, "event log capacity must be positive");
         EventLog {
             entries: VecDeque::with_capacity(capacity),
             capacity,
@@ -49,7 +46,11 @@ impl EventLog {
 
     /// Append an event, evicting the oldest when full.
     pub fn log(&mut self, at: SimTime, component: &str, message: impl Into<String>) {
-        if self.entries.len() == self.capacity {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
             self.entries.pop_front();
         }
         self.entries.push_back(LogEntry {
@@ -57,7 +58,6 @@ impl EventLog {
             component: component.to_owned(),
             message: message.into(),
         });
-        self.total += 1;
     }
 
     /// Retained events, oldest first.
@@ -140,9 +140,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_capacity_rejected() {
-        EventLog::new(0);
+    fn zero_capacity_counts_but_retains_nothing() {
+        let mut log = EventLog::new(0);
+        for i in 0..4u64 {
+            log.log(t(i), "c", format!("e{i}"));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.total_logged(), 4, "evictions still count");
+        assert!(log.tail(3).is_empty());
+        assert!(log.entries().next().is_none());
+    }
+
+    #[test]
+    fn tail_longer_than_log_returns_everything() {
+        let mut log = EventLog::new(8);
+        log.log(t(0), "c", "only");
+        assert_eq!(log.tail(100).len(), 1);
+        assert_eq!(log.tail(usize::MAX).len(), 1);
+        assert!(EventLog::new(8).tail(usize::MAX).is_empty());
     }
 
     #[test]

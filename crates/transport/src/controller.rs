@@ -85,12 +85,18 @@ pub struct LinkRow {
     pub utilization: f64,
     /// Degradation factor currently applied.
     pub degradation: f64,
+    /// False while the link is failed (fiber cut / switch outage).
+    pub up: bool,
 }
 
 /// The transport domain controller. See module docs.
 pub struct TransportController {
     topo: Topology,
     usage: Vec<LinkUsage>,
+    /// Per-link count of independent down-reasons (own failure, incident
+    /// switch outage, …). A link forwards only while its count is zero —
+    /// reviving a link a dead switch also holds down must not resurrect it.
+    down_reasons: Vec<u32>,
     tables: BTreeMap<SwitchId, FlowTable>,
     reservations: BTreeMap<SliceId, PathReservation>,
     metrics: MetricRegistry,
@@ -115,9 +121,11 @@ impl TransportController {
                 _ => None,
             })
             .collect();
+        let down_reasons = vec![0; usage.len()];
         TransportController {
             topo,
             usage,
+            down_reasons,
             tables,
             reservations: BTreeMap::new(),
             metrics: MetricRegistry::new(),
@@ -160,6 +168,105 @@ impl TransportController {
         self.reservations.get(&slice)
     }
 
+    /// True while `link` is in service (not failed).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.down_reasons[link.value() as usize] == 0
+    }
+
+    /// All currently failed links, ascending.
+    pub fn down_links(&self) -> Vec<LinkId> {
+        self.topo
+            .links()
+            .iter()
+            .filter(|l| !self.link_is_up(l.id))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// The slices whose installed paths traverse `link`, ascending.
+    pub fn slices_on_link(&self, link: LinkId) -> Vec<SliceId> {
+        self.reservations
+            .values()
+            .filter(|r| r.uses_link(link))
+            .map(|r| r.slice)
+            .collect()
+    }
+
+    /// Substrate fault: `link` goes dark (fiber cut, radio hardware loss).
+    /// Taking capacity away is shrink-like for the route cache — cached
+    /// paths are rejected link-wise at revalidation time — so no
+    /// generation bump happens here. Returns the slices whose paths
+    /// traverse the link (ascending) when this call took it down; an
+    /// already-down link accrues another down-reason and returns nothing
+    /// new.
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<SliceId> {
+        let i = link.value() as usize;
+        self.down_reasons[i] += 1;
+        if self.down_reasons[i] > 1 {
+            return Vec::new();
+        }
+        self.metrics.counter("transport.link_failures").inc();
+        self.slices_on_link(link)
+    }
+
+    /// Substrate repair: drop one down-reason from `link`. When the last
+    /// reason clears the link rejoins the topology — a growth event, so
+    /// the route cache generation is bumped (a cached "no path"/detour
+    /// answer may now be beatable). Returns true when the link came back
+    /// into service.
+    pub fn revive_link(&mut self, link: LinkId) -> bool {
+        let i = link.value() as usize;
+        if self.down_reasons[i] == 0 {
+            return false;
+        }
+        self.down_reasons[i] -= 1;
+        if self.down_reasons[i] > 0 {
+            return false;
+        }
+        self.route_cache.note_growth();
+        self.metrics.counter("transport.link_recoveries").inc();
+        true
+    }
+
+    /// Substrate fault: `switch` goes dark, taking every incident link
+    /// down with it. Returns the union of slices whose paths traverse any
+    /// newly-down incident link, ascending and deduplicated.
+    pub fn fail_switch(&mut self, switch: SwitchId) -> Vec<SliceId> {
+        let mut affected = Vec::new();
+        for link in self.incident_links(switch) {
+            affected.extend(self.fail_link(link));
+        }
+        self.metrics.counter("transport.switch_failures").inc();
+        affected.sort();
+        affected.dedup();
+        affected
+    }
+
+    /// Substrate repair: `switch` returns to service, releasing its hold
+    /// on every incident link.
+    pub fn revive_switch(&mut self, switch: SwitchId) {
+        for link in self.incident_links(switch) {
+            self.revive_link(link);
+        }
+    }
+
+    /// The links incident to `switch`'s node, ascending.
+    fn incident_links(&self, switch: SwitchId) -> Vec<LinkId> {
+        let Some(node) = self
+            .topo
+            .find_node(|n| matches!(n.kind, NodeKind::Switch(s) if s == switch))
+            .map(|n| n.id)
+        else {
+            return Vec::new();
+        };
+        self.topo
+            .links()
+            .iter()
+            .filter(|l| l.a == node || l.b == node)
+            .map(|l| l.id)
+            .collect()
+    }
+
     /// Fraction of `slice`'s reserved bandwidth its path can actually carry
     /// right now: 1.0 on healthy links; on an oversubscribed link (fade or
     /// failure pushed effective capacity below reservations) every
@@ -172,6 +279,9 @@ impl TransportController {
             .links
             .iter()
             .map(|&l| {
+                if !self.link_is_up(l) {
+                    return 0.0; // a dead link carries nothing
+                }
                 let util = self.usage[l.value() as usize].utilization();
                 if util > 1.0 {
                     1.0 / util
@@ -245,7 +355,11 @@ impl TransportController {
     /// still correct, otherwise run the shared-scratch CSPF and memoize the
     /// result (including infeasibility). `usable` is the capacity predicate
     /// over the current link usage table; it must depend only on the usage
-    /// state and the constraint class encoded in `key`.
+    /// state and the constraint class encoded in `key`. A failed link is
+    /// never usable: the check is layered in here so both cache
+    /// revalidation and fresh searches reject dead hops — link-down is
+    /// shrink-like (it removes reachability), so a cached path crossing a
+    /// downed link fails revalidation and a cached `None` stays valid.
     fn cached_cspf(
         &mut self,
         key: RouteKey,
@@ -253,7 +367,9 @@ impl TransportController {
         usable: impl Fn(&[LinkUsage], LinkId) -> bool,
     ) -> Option<Path> {
         let usage = &self.usage;
-        if let Some(answer) = self.route_cache.lookup(&key, |l| usable(usage, l)) {
+        let down = &self.down_reasons;
+        let ok = |l: LinkId| down[l.value() as usize] == 0 && usable(usage, l);
+        if let Some(answer) = self.route_cache.lookup(&key, ok) {
             return answer;
         }
         let topo = &self.topo;
@@ -262,7 +378,7 @@ impl TransportController {
             topo,
             key.src,
             key.dst,
-            |l| usable(usage, l),
+            ok,
             |l| topo.link(l).delay,
             max_delay,
         );
@@ -489,6 +605,7 @@ impl TransportController {
                         reserved: u.reserved,
                         utilization: u.utilization(),
                         degradation: u.degradation,
+                        up: self.link_is_up(l.id),
                     }
                 })
                 .collect(),
@@ -805,6 +922,99 @@ mod tests {
             .unwrap();
         let stats = c.route_cache().stats();
         assert_eq!((stats.hits, stats.misses), (2, 2));
+    }
+
+    #[test]
+    fn cached_path_through_a_dead_middle_link_is_rejected() {
+        let mut c = testbed_controller();
+        let (src, _, core) = endpoints(&c);
+        // Warm the cache on the enb0 → pf → agg → core path.
+        let first = c
+            .allocate(SliceId::new(0), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .unwrap();
+        c.allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .unwrap();
+        assert_eq!(
+            (c.route_cache().stats().hits, c.route_cache().stats().misses),
+            (1, 1)
+        );
+        // The middle hop (pf → agg fiber) dies. Both slices traverse it.
+        let middle = first.reservation.path.links[1];
+        let affected = c.fail_link(middle);
+        assert_eq!(affected, vec![SliceId::new(0), SliceId::new(1)]);
+        assert!(!c.link_is_up(middle));
+        assert_eq!(c.down_links(), vec![middle]);
+        // Revalidation must reject the cached path link-wise: there is no
+        // alternative to the core, so the fresh search finds nothing — the
+        // cache never serves a route through a dead hop.
+        assert_eq!(
+            c.allocate(SliceId::new(2), src, core, RateMbps::new(50.0), Latency::new(10.0)),
+            Err(TransportError::NoFeasiblePath)
+        );
+        assert_eq!(c.route_cache().stats().misses, 2);
+        // Paths through the dead link deliver nothing.
+        assert_eq!(c.capacity_share(SliceId::new(0)), Some(0.0));
+        // Flap-up is a growth event: the cached `None` goes stale and the
+        // old path is found again.
+        assert!(c.revive_link(middle));
+        let again = c
+            .allocate(SliceId::new(3), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .unwrap();
+        assert_eq!(again.reservation.path, first.reservation.path);
+        assert_eq!(c.route_cache().stats().misses, 3);
+        assert_eq!(c.capacity_share(SliceId::new(0)), Some(1.0));
+    }
+
+    #[test]
+    fn failed_link_reroutes_onto_the_surviving_path() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        let alloc = c
+            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .unwrap();
+        let mm = alloc.reservation.path.links[0];
+        assert_eq!(c.fail_link(mm), vec![SliceId::new(1)]);
+        // The virtual-release reroute must avoid the dead mmWave link.
+        assert_eq!(c.reroute(SliceId::new(1)), Ok(true));
+        let path = &c.reservation(SliceId::new(1)).unwrap().path;
+        assert!(!path.links.contains(&mm));
+        assert_eq!(c.link_usage(mm).reserved, RateMbps::ZERO);
+        assert_eq!(c.capacity_share(SliceId::new(1)), Some(1.0));
+    }
+
+    #[test]
+    fn down_reasons_stack_across_link_and_switch_failures() {
+        let mut c = testbed_controller();
+        let (src, edge, _) = endpoints(&c);
+        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
+            .unwrap();
+        let mm = c.reservation(SliceId::new(1)).unwrap().path.links[0];
+        // The pf switch outage downs every incident link.
+        let affected = c.fail_switch(SwitchId::new(0));
+        assert_eq!(affected, vec![SliceId::new(1)]);
+        assert!(c.down_links().len() >= 5, "{:?}", c.down_links());
+        // Fail the mmWave link on its own schedule too, then revive the
+        // switch: the link must stay down until its own reason clears.
+        assert!(c.fail_link(mm).is_empty(), "already down, nothing new");
+        c.revive_switch(SwitchId::new(0));
+        assert!(!c.link_is_up(mm));
+        assert!(c.revive_link(mm));
+        assert!(c.link_is_up(mm));
+        assert!(c.down_links().is_empty());
+        // Reviving an up link is a no-op.
+        assert!(!c.revive_link(mm));
+    }
+
+    #[test]
+    fn snapshot_reports_link_health() {
+        let mut c = testbed_controller();
+        let dead = LinkId::new(4);
+        c.fail_link(dead);
+        let snap = c.snapshot();
+        for row in &snap.links {
+            assert_eq!(row.up, row.link != dead, "{row:?}");
+        }
+        assert_eq!(c.metrics().counter_value("transport.link_failures"), Some(1));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! data-plane outage), surface the fallout in its counters, and reproduce
 //! the whole run bit-for-bit under the same seeds.
 
-use ovnes_api::{EndpointFaults, FaultPlan};
+use ovnes_api::{EndpointFaults, FaultPlan, SubstrateElement, SubstrateFaultPlan};
 use ovnes_dashboard::DashboardView;
-use ovnes_orchestrator::{ChaosScenario, ChaosSummary, ScenarioConfig, SliceState};
+use ovnes_model::{DcId, EnbId, HostId, LinkId, SwitchId};
+use ovnes_orchestrator::{ChaosScenario, ChaosSummary, ScenarioConfig, SliceState, SubstrateScenario};
 use ovnes_sim::{SimDuration, SimTime};
 
 fn config(seed: u64) -> ScenarioConfig {
@@ -122,6 +123,128 @@ fn chaos_dashboard_shows_control_plane_fallout() {
     // The events feed narrates the outage and the recovery.
     // (Events roll over, so check the cumulative counters instead.)
     assert!(dashboard.contains("retries"));
+}
+
+// ---- substrate faults: physical elements die, the pipeline self-heals ----
+
+fn minutes(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_mins(n)
+}
+
+/// The substrate acceptance plan: one cell dark for half an hour, the
+/// single agg→core fiber cut (no alternative path — forced degradations),
+/// a core host crash, and a whole switch outage late in the run. Every
+/// window closes before the 4 h horizon.
+fn substrate_plan(seed: u64) -> SubstrateFaultPlan {
+    SubstrateFaultPlan::new(seed)
+        .with_outage(SubstrateElement::Cell(EnbId::new(0)), minutes(40), minutes(70))
+        .with_outage(SubstrateElement::Link(LinkId::new(6)), minutes(100), minutes(125))
+        .with_outage(
+            SubstrateElement::Host(DcId::new(1), HostId::new(0)),
+            minutes(140),
+            minutes(160),
+        )
+        .with_outage(
+            SubstrateElement::Switch(SwitchId::new(1)),
+            minutes(180),
+            minutes(200),
+        )
+}
+
+#[test]
+fn substrate_faults_survive_and_account() {
+    let mut s = SubstrateScenario::build(config(41), substrate_plan(41));
+    let summary = s.run();
+
+    // The run completed and kept serving through four element outages.
+    assert!(summary.demo.admitted > 0, "{summary:?}");
+    assert_eq!(summary.element_failures, 4, "{summary:?}");
+    assert_eq!(summary.element_recoveries, 4, "{summary:?}");
+    // The pipeline acted: repairs landed and/or degradations were booked.
+    assert!(
+        summary.reroutes + summary.reattaches + summary.replacements + summary.degraded > 0,
+        "{summary:?}"
+    );
+    // Every degradation was eventually repaired or restored; with all
+    // elements back up, nothing is left in substrate limbo.
+    assert_eq!(s.orchestrator().substrate_down().len(), 0);
+    assert_eq!(s.orchestrator().substrate_degraded().len(), 0);
+
+    // No silent reservations: every Active slice sits on live elements
+    // only, and every substrate-degraded epoch paid its penalty.
+    let o = s.orchestrator();
+    for r in o.records().filter(|r| r.state == SliceState::Active) {
+        if let Some(enb) = o.ran().placement(r.id) {
+            assert!(o.ran().cell_is_up(enb), "{} active on a dead cell", r.id);
+        }
+        if let Some(res) = o.transport().reservation(r.id) {
+            for &link in &res.path.links {
+                assert!(o.transport().link_is_up(link), "{} active on dead {link}", r.id);
+            }
+        }
+    }
+    if summary.degraded > 0 {
+        let violated: u64 = o.records().map(|r| r.epochs_violated).sum();
+        assert!(violated > 0, "degradations booked no penalty epochs");
+    }
+}
+
+#[test]
+fn substrate_runs_are_bit_for_bit_reproducible() {
+    let run = || {
+        let mut s = SubstrateScenario::build(config(42), substrate_plan(4242));
+        let summary = s.run();
+        let dashboard = DashboardView::capture(s.orchestrator()).render();
+        (summary, dashboard)
+    };
+    let (sa, da) = run();
+    let (sb, db) = run();
+    assert_eq!(sa, sb);
+    assert_eq!(da, db);
+    assert!(sa.element_failures > 0, "the plan must actually bite: {sa:?}");
+}
+
+#[test]
+fn quiet_substrate_plan_is_a_no_op_end_to_end() {
+    let plain = {
+        let mut s = ovnes_orchestrator::DemoScenario::build(config(43));
+        let summary = s.run();
+        (summary, DashboardView::capture(s.orchestrator()).render())
+    };
+    let quiet = {
+        let mut s = SubstrateScenario::build(config(43), SubstrateFaultPlan::new(5678));
+        let summary = s.run();
+        (summary.demo.clone(), DashboardView::capture(s.orchestrator()).render())
+    };
+    assert_eq!(plain.0, quiet.0);
+    // Dashboards differ only in the substrate-plan footer line.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("substrate plan") && !l.contains("no substrate plan"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&plain.1), strip(&quiet.1));
+}
+
+#[test]
+fn combined_control_and_substrate_chaos_is_survivable_and_reproducible() {
+    // Control-plane faults and substrate faults at once: the restore path
+    // must wait for domain connectivity, the repair path keeps working, and
+    // the whole thing stays deterministic.
+    let run = || {
+        let mut s = ChaosScenario::build(config(44), plan(44));
+        s.orchestrator_mut().set_substrate_plan(substrate_plan(44));
+        let summary = s.run();
+        let dashboard = DashboardView::capture(s.orchestrator()).render();
+        (summary, dashboard)
+    };
+    let (sa, da) = run();
+    let (sb, db) = run();
+    assert_eq!(sa, sb);
+    assert_eq!(da, db);
+    assert!(sa.demo.admitted > 0, "{sa:?}");
+    assert!(sa.control_retries > 0, "{sa:?}");
 }
 
 #[test]

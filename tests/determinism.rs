@@ -1,9 +1,10 @@
 //! Integration: bit-for-bit reproducibility — the property the simulation
 //! substrate exists to provide. Same seed → identical runs at every layer.
 
-use ovnes_api::{EndpointFaults, FaultPlan};
+use ovnes_api::{EndpointFaults, FaultPlan, SubstrateElement, SubstrateFaultPlan};
 use ovnes_dashboard::DashboardView;
-use ovnes_orchestrator::{ChaosScenario, DemoScenario, ScenarioConfig};
+use ovnes_model::{EnbId, LinkId};
+use ovnes_orchestrator::{ChaosScenario, DemoScenario, ScenarioConfig, SubstrateScenario};
 use ovnes_sim::{SimDuration, SimTime};
 
 fn config(seed: u64) -> ScenarioConfig {
@@ -82,6 +83,77 @@ fn same_seed_identical_under_active_fault_plan() {
     assert_eq!(fa, fb);
     // The plan actually bit: this is a chaos run, not a trivially-equal one.
     assert!(sa.control_retries > 0, "{sa:?}");
+}
+
+fn stormy_substrate_plan(seed: u64) -> SubstrateFaultPlan {
+    SubstrateFaultPlan::new(seed)
+        .with_outage(
+            SubstrateElement::Cell(EnbId::new(0)),
+            SimTime::ZERO + SimDuration::from_mins(40),
+            SimTime::ZERO + SimDuration::from_mins(70),
+        )
+        .with_flaps(
+            SubstrateElement::Link(LinkId::new(4)),
+            SimTime::ZERO + SimDuration::from_mins(90),
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(20),
+            3,
+        )
+}
+
+#[test]
+fn substrate_panel_identical_across_fresh_runs() {
+    // Same (scenario seed, substrate plan seed) → two fresh runs render a
+    // byte-identical SUBSTRATE panel (and whole dashboard): the detect →
+    // assess → repair pipeline draws no randomness of its own.
+    let capture = || {
+        let mut s = SubstrateScenario::build(config(606), stormy_substrate_plan(17));
+        let summary = s.run();
+        let view = DashboardView::capture(s.orchestrator());
+        let panel = view
+            .sections()
+            .iter()
+            .find(|(title, _)| title == "SUBSTRATE")
+            .map(|(_, body)| body.clone())
+            .expect("substrate panel present");
+        (summary, panel, view.render())
+    };
+    let (sa, pa, da) = capture();
+    let (sb, pb, db) = capture();
+    assert_eq!(pa, pb, "substrate panel moved between identical runs");
+    assert_eq!(sa, sb);
+    assert_eq!(da, db);
+    // The plan actually bit: the panel shows real failures, not a no-op.
+    assert!(sa.element_failures > 0, "{sa:?}");
+}
+
+#[test]
+fn substrate_runs_identical_across_thread_counts_and_cache() {
+    // The recovery loop runs in the sequential phase of the epoch, so the
+    // worker count and the route cache must both be invisible even while
+    // elements fail and slices are rerouted/re-attached mid-run.
+    let run = |threads: usize, cached: bool| {
+        ovnes_sim::par::set_thread_override(Some(threads));
+        let mut s = SubstrateScenario::build(config(909), stormy_substrate_plan(23));
+        s.orchestrator_mut()
+            .transport_mut()
+            .set_route_cache_enabled(cached);
+        let summary = s.run();
+        let dashboard = DashboardView::capture(s.orchestrator()).render();
+        let monitoring: Vec<String> = s
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        ovnes_sim::par::set_thread_override(None);
+        (summary, dashboard, monitoring)
+    };
+    let serial = run(1, true);
+    assert_eq!(serial, run(2, true), "2 workers diverged under faults");
+    assert_eq!(serial, run(8, true), "8 workers diverged under faults");
+    assert_eq!(serial, run(1, false), "route cache visible under faults");
+    assert!(serial.0.element_failures > 0, "{:?}", serial.0);
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests (proptest) on the core data structures and
 //! cross-crate invariants.
 
-use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy};
+use ovnes_api::{
+    FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy, SubstrateElement,
+    SubstrateFaultPlan,
+};
 use ovnes_forecast::{Naive, QuantileProvisioner, ResidualWindow};
 use ovnes_model::{DcId, EnbId, Latency, LinkId, Money, Prbs, RateMbps, SliceId};
 use ovnes_orchestrator::admission::knapsack_select;
@@ -398,6 +401,143 @@ proptest! {
             }
             prop_assert_eq!(cached.snapshot(), plain.snapshot(), "usage diverged");
         }
+    }
+
+    // ---- api: substrate fault plan --------------------------------------------
+
+    // `down_at` must agree with naive half-open window arithmetic for any
+    // set of windows, and the plan must survive a JSON round-trip intact.
+    #[test]
+    fn substrate_down_at_matches_window_arithmetic(
+        windows in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..20),
+        probes in prop::collection::vec(0u64..12_000, 1..50),
+    ) {
+        let element = SubstrateElement::Link(LinkId::new(3));
+        let mut plan = SubstrateFaultPlan::new(7);
+        for &(from, until) in &windows {
+            plan = plan.with_outage(
+                element,
+                SimTime::from_secs(from),
+                SimTime::from_secs(until),
+            );
+        }
+        for &p in &probes {
+            let now = SimTime::from_secs(p);
+            let expected = windows.iter().any(|&(from, until)| from <= p && p < until);
+            prop_assert_eq!(plan.down_at(element, now), expected, "at {}s", p);
+            // Unmentioned elements are always up.
+            prop_assert!(!plan.down_at(SubstrateElement::Link(LinkId::new(99)), now));
+        }
+        // Quietness is exactly "no window with until > from".
+        prop_assert_eq!(plan.is_quiet(), windows.iter().all(|&(f, u)| u <= f));
+        // Serde round-trip preserves the plan bit-for-bit.
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: SubstrateFaultPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    // Random outage generation is a pure function of (seed, element set):
+    // same inputs, same schedule; and every generated window is well-formed
+    // and starts inside the horizon.
+    #[test]
+    fn substrate_random_outages_are_deterministic_and_well_formed(
+        seed in any::<u64>(),
+        rate in 0.01f64..5.0,
+        n_links in 1u64..8,
+    ) {
+        let elements: Vec<SubstrateElement> =
+            (0..n_links).map(|l| SubstrateElement::Link(LinkId::new(l))).collect();
+        let horizon = SimDuration::from_hours(6);
+        let make = || SubstrateFaultPlan::new(seed).with_random_outages(
+            &elements,
+            rate,
+            SimDuration::from_mins(10),
+            horizon,
+        );
+        let a = make();
+        prop_assert_eq!(&a, &make());
+        for schedule in a.elements() {
+            for &(from, until) in &schedule.outages {
+                prop_assert!(until > from, "degenerate window");
+                prop_assert!(from < SimTime::ZERO + horizon, "outage born past the horizon");
+            }
+        }
+        // down_elements_at never reports an element the plan doesn't know.
+        let probe = SimTime::ZERO + SimDuration::from_hours(3);
+        for e in a.down_elements_at(probe) {
+            prop_assert!(a.down_at(e, probe));
+        }
+    }
+
+    // ---- transport: link fail/revive interleavings ----------------------------
+
+    // Reason-stacked link health against a trivial counter model: any
+    // interleaving of fail_link / revive_link / fail_switch / revive_switch
+    // leaves `link_is_up` exactly where the model says, and reservations
+    // are never dropped by health flapping alone.
+    #[test]
+    fn link_fail_revive_interleavings_match_counter_model(
+        ops in prop::collection::vec((0u8..4, 0u8..16), 1..80)
+    ) {
+        let mut t = TransportController::new(Topology::testbed(), 1024);
+        let (src, dst, link_count) = {
+            let topo = t.topology();
+            (
+                topo.radio_site(EnbId::new(0)).unwrap(),
+                topo.dc_node(DcId::new(1)).unwrap(),
+                topo.link_count(),
+            )
+        };
+        let slice = SliceId::new(0);
+        t.allocate(slice, src, dst, RateMbps::new(50.0), Latency::new(20.0)).unwrap();
+        let switches = [ovnes_model::SwitchId::new(0), ovnes_model::SwitchId::new(1)];
+        // Model: per-link down-reason counters, mirroring fail/revive.
+        let mut reasons = vec![0u32; link_count];
+        let incident: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3, 4, 5], vec![5, 6]];
+        for &(op, a) in &ops {
+            match op {
+                0 => {
+                    let l = a as usize % link_count;
+                    t.fail_link(LinkId::new(l as u64));
+                    reasons[l] += 1;
+                }
+                1 => {
+                    let l = a as usize % link_count;
+                    t.revive_link(LinkId::new(l as u64));
+                    reasons[l] = reasons[l].saturating_sub(1);
+                }
+                2 => {
+                    let s = a as usize % 2;
+                    t.fail_switch(switches[s]);
+                    for &l in &incident[s] {
+                        reasons[l] += 1;
+                    }
+                }
+                _ => {
+                    let s = a as usize % 2;
+                    t.revive_switch(switches[s]);
+                    for &l in &incident[s] {
+                        reasons[l] = reasons[l].saturating_sub(1);
+                    }
+                }
+            }
+            for (l, &r) in reasons.iter().enumerate() {
+                prop_assert_eq!(
+                    t.link_is_up(LinkId::new(l as u64)),
+                    r == 0,
+                    "link {} health diverged from model ({} reasons)", l, r
+                );
+            }
+        }
+        // Health flapping alone never drops a reservation.
+        prop_assert!(t.reservation(slice).is_some());
+        // Full recovery: clear every remaining reason; all links come back.
+        for (l, r) in reasons.iter().enumerate() {
+            for _ in 0..*r {
+                t.revive_link(LinkId::new(l as u64));
+            }
+        }
+        prop_assert!(t.down_links().is_empty());
     }
 
     // ---- api: retry policy ---------------------------------------------------

@@ -5,9 +5,9 @@
 //! equals the sum of admitted prices.
 
 use ovnes_model::revenue::RevenueKind;
-use ovnes_model::Money;
-use ovnes_orchestrator::{DemoScenario, ScenarioConfig, SliceState};
-use ovnes_sim::SimDuration;
+use ovnes_model::{Latency, Money, RateMbps, SliceClass, SliceId, SliceRequest, TenantId};
+use ovnes_orchestrator::{DemoScenario, ScenarioConfig, SlaMonitor, SliceRecord, SliceState};
+use ovnes_sim::{SimDuration, SimTime};
 
 fn run(seed: u64) -> DemoScenario {
     let mut s = DemoScenario::build(ScenarioConfig {
@@ -84,6 +84,127 @@ fn rejected_slices_never_touch_the_ledger() {
         );
         assert_eq!(record.epochs_active, 0);
     }
+}
+
+// ---- book_early_termination boundary cases -----------------------------
+
+/// A record holding a slice priced at 100 with a 5-per-epoch penalty.
+fn priced_record() -> SliceRecord {
+    let req = SliceRequest::builder(TenantId::new(9), SliceClass::Embb)
+        .throughput(RateMbps::new(50.0))
+        .duration(SimDuration::from_mins(30))
+        .price(Money::from_units(100))
+        .penalty(Money::from_units(5))
+        .build()
+        .unwrap();
+    SliceRecord::new(SliceId::new(3), req, SimTime::ZERO)
+}
+
+fn refund_for(monitor: &SlaMonitor, id: SliceId) -> Money {
+    monitor
+        .ledger()
+        .records()
+        .iter()
+        .filter(|r| r.slice == id && r.kind == RevenueKind::EarlyTerminationRefund)
+        .map(|r| r.amount)
+        .sum()
+}
+
+#[test]
+fn termination_on_the_admission_epoch_refunds_everything() {
+    // Terminated before it ever activated (same epoch as admission): the
+    // caller passes unused_fraction = 1.0 and the tenant gets the full
+    // price back — net for the slice is exactly zero.
+    let mut monitor = SlaMonitor::default();
+    let mut record = priced_record();
+    record.transition(SliceState::Deploying).unwrap();
+    monitor.book_admission(SimTime::ZERO, &record);
+    monitor.book_early_termination(SimTime::ZERO, &record, 1.0);
+
+    assert_eq!(refund_for(&monitor, record.id), -record.request.price);
+    assert_eq!(monitor.ledger().net_for_slice(record.id), Money::ZERO);
+    // Gross income is unaffected by the refund: income and refunds are
+    // separate ledger lines, not a netted adjustment.
+    assert_eq!(monitor.ledger().gross_income(), record.request.price);
+}
+
+#[test]
+fn zero_elapsed_termination_refunds_the_full_price() {
+    // Terminated at exactly `active_at`: zero elapsed duration, so the
+    // unused fraction the orchestrator computes is (1 − 0/total) = 1.0.
+    let mut monitor = SlaMonitor::default();
+    let mut record = priced_record();
+    record.transition(SliceState::Deploying).unwrap();
+    monitor.book_admission(SimTime::ZERO, &record);
+    let activated = SimTime::from_secs(90);
+    record.activate(activated).unwrap();
+
+    let start = record.active_at.unwrap();
+    let total = (record.expires_at.unwrap() - start).as_secs_f64();
+    let used = activated.saturating_duration_since(start).as_secs_f64();
+    let unused = (1.0 - used / total).clamp(0.0, 1.0);
+    assert_eq!(unused, 1.0);
+
+    monitor.book_early_termination(activated, &record, unused);
+    assert_eq!(refund_for(&monitor, record.id), -record.request.price);
+    assert_eq!(monitor.ledger().net_for_slice(record.id), Money::ZERO);
+}
+
+#[test]
+fn refund_fraction_is_clamped_to_the_unit_interval() {
+    // A caller bug (clock skew, negative elapsed time) must never refund
+    // more than the price or charge the tenant via a negative refund.
+    let mut over = SlaMonitor::default();
+    let record = priced_record();
+    over.book_early_termination(SimTime::ZERO, &record, 1.7);
+    assert_eq!(refund_for(&over, record.id), -record.request.price);
+
+    let mut under = SlaMonitor::default();
+    under.book_early_termination(SimTime::ZERO, &record, -0.5);
+    assert_eq!(refund_for(&under, record.id), Money::ZERO);
+}
+
+#[test]
+fn terminating_an_already_degraded_slice_balances_the_books() {
+    // A slice that spent epochs Degraded (each booking its penalty) can
+    // still be terminated — (Degraded, Terminated) is a legal transition —
+    // and the refund stacks on top of the penalties without disturbing
+    // either conservation law.
+    let mut monitor = SlaMonitor::default();
+    let mut record = priced_record();
+    record.transition(SliceState::Deploying).unwrap();
+    monitor.book_admission(SimTime::ZERO, &record);
+    record.activate(SimTime::from_secs(60)).unwrap();
+
+    // Three degraded epochs: nothing delivered, every verdict violated.
+    for epoch in 1..=3u64 {
+        let now = SimTime::from_secs(60 + epoch * 60);
+        let verdict = monitor.assess(
+            &record,
+            RateMbps::new(40.0),
+            RateMbps::ZERO,
+            Latency::new(10.0),
+        );
+        assert!(!verdict.met);
+        monitor.book_epoch(now, &mut record, &verdict);
+    }
+    record.transition(SliceState::Degraded).unwrap();
+    assert_eq!(record.epochs_violated, 3);
+
+    // Operator tears it down halfway through its life.
+    monitor.book_early_termination(SimTime::from_secs(300), &record, 0.5);
+    record.transition(SliceState::Terminated).unwrap();
+
+    let price = record.request.price;
+    let penalties = record.request.penalty.scale(record.epochs_violated as f64);
+    assert_eq!(monitor.ledger().total_penalties(), penalties);
+    assert_eq!(monitor.ledger().penalty_count() as u64, record.epochs_violated);
+    assert_eq!(refund_for(&monitor, record.id), -price.scale(0.5));
+    assert_eq!(
+        monitor.ledger().net_for_slice(record.id),
+        price - penalties - price.scale(0.5)
+    );
+    assert_eq!(record.state, SliceState::Terminated);
 }
 
 #[test]
