@@ -17,6 +17,71 @@ use ovnes_ran::{CellConfig, Enb, RanController};
 use ovnes_sim::{SimDuration, SimRng};
 use ovnes_transport::{LinkKind, NodeKind, Topology, TransportController};
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    //! A counting global allocator, for making "this path allocates
+    //! nothing" a testable property (E15's allocs/epoch column and the
+    //! `alloc_count` integration test).
+    //!
+    //! The counter is thread-local, so concurrent test threads (libtest
+    //! runs tests in parallel) never perturb each other's counts; what a
+    //! worker thread allocates is deliberately *not* charged to the caller.
+    //! Zero-allocation claims are therefore asserted at one worker, where
+    //! the whole epoch runs on the calling thread.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // const-init keeps the TLS access itself allocation-free.
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// [`System`], with every `alloc`/`alloc_zeroed`/`realloc` on the
+    /// current thread counted. `dealloc` is free — releasing capacity is
+    /// not an allocation.
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // try_with: TLS may be gone during thread teardown; counting
+            // must never turn an allocation into a panic.
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Allocations the current thread has made so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Run `f`, returning how many allocations the current thread made
+    /// during it alongside `f`'s result.
+    pub fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        let before = allocations();
+        let result = f();
+        (allocations() - before, result)
+    }
+}
+
 /// The standard host profile of the core DC.
 pub fn core_host() -> HostCapacity {
     HostCapacity {

@@ -1,0 +1,108 @@
+//! Zero-allocation guarantees of the UE-plane epoch, asserted under the
+//! counting global allocator (`--features alloc-count`; without it this
+//! file compiles to an empty test binary).
+//!
+//! "Steady state" means: scratch buffers warmed by one prior epoch, and a
+//! roster the same size as the epoch before. The counter is thread-local,
+//! so every claim is asserted at one worker, where the whole epoch runs on
+//! the calling thread.
+
+#![cfg(feature = "alloc-count")]
+
+use ovnes_bench::alloc_count;
+use ovnes_model::{EnbId, PlmnId, Prbs, RateMbps, SliceId, UeId};
+use ovnes_ran::controller::OfferedLoad;
+use ovnes_ran::{
+    schedule_epoch_into, CellConfig, Cqi, Enb, PfScratch, PfState, RanController, SliceLoad,
+    SliceScratch, UeChannel,
+};
+use ovnes_sim::SimTime;
+
+fn channels(n: u64) -> Vec<UeChannel> {
+    (0..n)
+        .map(|i| {
+            let cqi = Cqi::new(1 + (i % 15) as u8);
+            UeChannel {
+                ue: UeId::new(i),
+                cqi,
+                prb_rate: RateMbps::new(0.5 + (i % 7) as f64 * 0.1),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pf_schedule_into_steady_state_allocates_nothing() {
+    let channels = channels(64);
+    let mut pf = PfState::new();
+    let mut scratch = PfScratch::new();
+    let mut out = Vec::new();
+    // Warm-up epoch: slab insertions and scratch growth happen here.
+    pf.schedule_into(Prbs::new(100), &channels, 0.1, &mut scratch, &mut out);
+    let (allocs, ()) = alloc_count::count(|| {
+        for _ in 0..10 {
+            pf.schedule_into(Prbs::new(100), &channels, 0.1, &mut scratch, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state PF epochs allocated");
+}
+
+#[test]
+fn slice_schedule_epoch_into_steady_state_allocates_nothing() {
+    let loads: Vec<SliceLoad> = (0..12)
+        .map(|i| SliceLoad {
+            slice: SliceId::new(i),
+            reserved: Prbs::new(8),
+            offered: RateMbps::new(2.0 + (i % 9) as f64),
+            prb_rate: RateMbps::new(0.5),
+        })
+        .collect();
+    let mut scratch = SliceScratch::new();
+    let mut out = Vec::new();
+    schedule_epoch_into(Prbs::new(100), &loads, &mut scratch, &mut out);
+    let (allocs, ()) = alloc_count::count(|| {
+        for _ in 0..10 {
+            schedule_epoch_into(Prbs::new(100), &loads, &mut scratch, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state slice schedules allocated");
+}
+
+#[test]
+fn ran_controller_epoch_steady_state_allocates_nothing() {
+    // One worker: the whole epoch runs on this thread, so the thread-local
+    // counter sees every allocation the epoch would make.
+    ovnes_sim::par::set_thread_override(Some(1));
+    let cell = CellConfig::default_20mhz();
+    let mut ran = RanController::new(vec![
+        Enb::new(EnbId::new(0), cell),
+        Enb::new(EnbId::new(1), cell),
+    ]);
+    for (i, enb) in [(0u64, 0u64), (1, 0), (2, 1), (3, 1)] {
+        ran.install(
+            EnbId::new(enb),
+            SliceId::new(i),
+            PlmnId::test_slice_plmn(i),
+            Prbs::new(20),
+            Prbs::new(40),
+        )
+        .expect("capacity fits");
+    }
+    let offered: Vec<OfferedLoad> = (0..4)
+        .map(|i| OfferedLoad {
+            slice: SliceId::new(i),
+            offered: RateMbps::new(5.0 + i as f64 * 3.0),
+            prb_rate: RateMbps::new(0.5),
+        })
+        .collect();
+    let mut out = Vec::new();
+    // Warm-up: batch buffers grow, telemetry series pre-exist from new().
+    ran.run_epoch_into(SimTime::from_secs(0), &offered, &mut out);
+    let (allocs, ()) = alloc_count::count(|| {
+        for e in 1..=10u64 {
+            ran.run_epoch_into(SimTime::from_secs(e * 60), &offered, &mut out);
+        }
+    });
+    ovnes_sim::par::set_thread_override(None);
+    assert_eq!(allocs, 0, "steady-state RAN epochs allocated");
+}

@@ -34,8 +34,8 @@ use ovnes_model::{
 };
 use ovnes_ran::controller::OfferedLoad;
 use ovnes_ran::{
-    jain_index, slice_average_cqi, CellConfig, ChannelModel, MobilityModel, PfState,
-    RanController, Ue, UeChannel,
+    jain_index, CellConfig, ChannelModel, MobilityModel, PfScratch, PfState, RanController,
+    SliceScheduleOutcome, Ue, UeChannel, UePopulation, UeShare,
 };
 use ovnes_sim::{EventLog, MetricRegistry, SimDuration, SimRng, SimTime, TimeSeries};
 use ovnes_transport::{Sky, TransportController, WeatherProcess};
@@ -166,7 +166,12 @@ pub struct Rejection {
 /// to a worker as a single disjoint `&mut` borrow.
 struct SliceSimState {
     traffic: TraceGenerator,
-    ues: Vec<Ue>,
+    ues: UePopulation,
+    /// This epoch's per-UE channel draws for the PF fairness split, written
+    /// by the parallel compute phase and read by the serial apply (empty
+    /// unless fairness tracking is on). Persistent so steady-state epochs
+    /// reuse its capacity instead of allocating a fresh vector per slice.
+    channels: Vec<UeChannel>,
     /// Every draw the epoch hot path makes for this slice (mobility, CQI,
     /// fairness channels) comes from this stream. It is forked at admission
     /// under a label keyed by the slice's id, so what a slice draws is a
@@ -175,15 +180,27 @@ struct SliceSimState {
 }
 
 /// What the parallel compute phase produces per active slice; applied
-/// serially afterwards in id order.
+/// serially afterwards in id order. (The fairness channel samples stay in
+/// the slice's [`SliceSimState::channels`] buffer rather than moving
+/// through here.)
 struct SliceEpochSample {
     slice: SliceId,
     demand_fraction: f64,
     offered: RateMbps,
     prb_rate: RateMbps,
-    /// Per-UE channel draws for the PF fairness split (empty unless
-    /// fairness tracking is on).
-    channels: Vec<UeChannel>,
+}
+
+/// Reusable buffers for the epoch hot path, threaded through every
+/// [`Orchestrator::run_epoch`] so the steady state re-spends capacity
+/// grown in earlier epochs instead of allocating: the RAN schedule
+/// outcomes, the PF grant-loop scratch, and the share/rate vectors the
+/// fairness telemetry reduces over.
+#[derive(Default)]
+struct EpochScratch {
+    outcomes: Vec<SliceScheduleOutcome>,
+    shares: Vec<UeShare>,
+    rates: Vec<f64>,
+    pf: PfScratch,
 }
 
 /// The end-to-end orchestrator. See module docs.
@@ -216,6 +233,8 @@ pub struct Orchestrator {
     /// therefore iterated) in slice-id order — the order the parallel epoch
     /// phase shards and reduces in.
     sim_state: BTreeMap<SliceId, SliceSimState>,
+    /// Epoch hot-path buffers, reused across epochs (see [`EpochScratch`]).
+    epoch_scratch: EpochScratch,
     channel: ChannelModel,
     rng: SimRng,
     ids: IdAllocator,
@@ -289,6 +308,7 @@ impl Orchestrator {
             timelines: BTreeMap::new(),
             pf: BTreeMap::new(),
             sim_state: BTreeMap::new(),
+            epoch_scratch: EpochScratch::default(),
             channel,
             rng,
             ids: IdAllocator::new(),
@@ -518,17 +538,17 @@ impl Orchestrator {
                 let trace_rng = self.rng.fork(&format!("traffic-{id}"));
                 let radio_rng = self.rng.fork(&format!("radio-{id}"));
                 let (lo, hi) = self.config.ue_distance_range;
-                let ues = (0..self.config.ues_per_slice)
-                    .map(|_| {
-                        let ue_id: UeId = self.ue_ids.next();
-                        Ue::new(ue_id, plmn, self.rng.uniform_range(lo, hi))
-                    })
-                    .collect();
+                let mut ues = UePopulation::new(plmn);
+                for _ in 0..self.config.ues_per_slice {
+                    let ue_id: UeId = self.ue_ids.next();
+                    ues.push(Ue::new(ue_id, plmn, self.rng.uniform_range(lo, hi)));
+                }
                 self.sim_state.insert(
                     id,
                     SliceSimState {
                         traffic: TraceGenerator::new(spec, trace_rng),
                         ues,
+                        channels: Vec::new(),
                         rng: radio_rng,
                     },
                 );
@@ -684,9 +704,7 @@ impl Orchestrator {
             self.ready_at.remove(id);
             let record = self.records.get_mut(id).expect("deploying slice has a record");
             record.activate(now).expect("deploying→active");
-            for ue in &mut self.sim_state.get_mut(id).expect("slice has UEs").ues {
-                ue.attach();
-            }
+            self.sim_state.get_mut(id).expect("slice has UEs").ues.attach_all();
             self.metrics.counter("orchestrator.activated").inc();
             self.events
                 .log(now, "orchestrator", format!("{id} active: UEs attached"));
@@ -806,6 +824,9 @@ impl Orchestrator {
         let active: BTreeSet<SliceId> = active_ids.iter().copied().collect();
         let mobility = self.config.mobility;
         let cell = self.cell;
+        // Per-PRB rates precomputed once per epoch; lookups are
+        // bit-identical to computing `cell.prb_rate(cqi)` per UE.
+        let rate_table = cell.rate_table();
         let channel = &self.channel;
         let records = &self.records;
         let fairness = self.config.ue_fairness_tracking;
@@ -817,47 +838,38 @@ impl Orchestrator {
             .collect();
         let samples = ovnes_sim::par::par_map(shards, move |(id, state)| {
             // UEs drift before this epoch's channel sampling.
-            for ue in &mut state.ues {
-                mobility.step(ue, &mut state.rng);
-            }
+            state.ues.step_all(&mobility, &mut state.rng);
             let demand_fraction = state.traffic.next_demand();
             let committed = records[&id].request.sla.throughput;
-            let prb_rate = slice_average_cqi(&state.ues, channel, &mut state.rng)
+            let prb_rate = state
+                .ues
+                .average_cqi(channel, &mut state.rng)
                 .map(|cqi| cell.prb_rate(cqi))
                 .unwrap_or(RateMbps::ZERO);
             // Per-UE channel draws for the PF fairness split; sampled here
-            // (from this slice's stream) so the serial apply phase below
-            // needs no RNG at all.
-            let channels: Vec<UeChannel> = if fairness {
-                state
-                    .ues
-                    .iter()
-                    .map(|ue| {
-                        let cqi = channel.sample_cqi(ue.distance_m, &mut state.rng);
-                        UeChannel {
-                            ue: ue.id,
-                            cqi,
-                            prb_rate: cqi.map(|c| cell.prb_rate(c)).unwrap_or(RateMbps::ZERO),
-                        }
-                    })
-                    .collect()
+            // (from this slice's stream, into the slice's persistent
+            // buffer) so the serial apply phase below needs no RNG at all.
+            if fairness {
+                state.ues.sample_channels_into(
+                    channel,
+                    &rate_table,
+                    &mut state.rng,
+                    &mut state.channels,
+                );
             } else {
-                Vec::new()
-            };
+                state.channels.clear();
+            }
             SliceEpochSample {
                 slice: id,
                 demand_fraction,
                 offered: committed * demand_fraction,
                 prb_rate,
-                channels,
             }
         });
         let mut offered_loads = Vec::with_capacity(samples.len());
         let mut fractions: BTreeMap<SliceId, f64> = BTreeMap::new();
-        let mut ue_channels: BTreeMap<SliceId, Vec<UeChannel>> = BTreeMap::new();
         for sample in samples {
             fractions.insert(sample.slice, sample.demand_fraction);
-            ue_channels.insert(sample.slice, sample.channels);
             offered_loads.push(OfferedLoad {
                 slice: sample.slice,
                 offered: sample.offered,
@@ -865,10 +877,11 @@ impl Orchestrator {
             });
         }
 
-        // 4. Schedule the RAN.
-        let outcomes = self.ran.run_epoch(now, &offered_loads);
-        let outcome_by_slice: BTreeMap<SliceId, _> =
-            outcomes.into_iter().map(|o| (o.slice, o)).collect();
+        // 4. Schedule the RAN (into the reused outcome buffer).
+        let outcomes = &mut self.epoch_scratch.outcomes;
+        self.ran.run_epoch_into(now, &offered_loads, outcomes);
+        let outcome_by_slice: BTreeMap<SliceId, SliceScheduleOutcome> =
+            outcomes.iter().map(|o| (o.slice, o.clone())).collect();
 
         // 5. Measure, judge, book, and feed the forecaster.
         let mut verdicts = Vec::with_capacity(active_ids.len());
@@ -933,13 +946,28 @@ impl Orchestrator {
             // were sampled in the parallel phase from this slice's stream;
             // PF state mutation stays here in the serial apply.
             if self.config.ue_fairness_tracking {
-                let channels = ue_channels.remove(&id).unwrap_or_default();
+                let channels: &[UeChannel] = self
+                    .sim_state
+                    .get(&id)
+                    .map(|s| s.channels.as_slice())
+                    .unwrap_or(&[]);
                 let pf = self.pf.entry(id).or_default();
-                let shares = pf.schedule(radio_allocated, &channels, 0.1);
-                let rates: Vec<f64> = shares.iter().map(|sh| sh.rate.value()).collect();
-                self.metrics
-                    .series(&format!("orchestrator.{id}.ue_fairness"))
-                    .record(now, jain_index(&rates));
+                let scratch = &mut self.epoch_scratch;
+                pf.schedule_into(
+                    radio_allocated,
+                    channels,
+                    0.1,
+                    &mut scratch.pf,
+                    &mut scratch.shares,
+                );
+                scratch.rates.clear();
+                scratch.rates.extend(scratch.shares.iter().map(|sh| sh.rate.value()));
+                let jain = jain_index(&scratch.rates);
+                let name = format!("orchestrator.{id}.ue_fairness");
+                match self.metrics.series_mut(&name) {
+                    Some(series) => series.record(now, jain),
+                    None => self.metrics.series(&name).record(now, jain),
+                }
             }
         }
 
@@ -1262,6 +1290,35 @@ impl Orchestrator {
         let transport = self.transport.path_delay(id).unwrap_or(Latency::ZERO);
         let epc = self.allocator.config().epc_latency_budget;
         ran_latency + transport + epc
+    }
+
+    /// Detach one UE from a slice: it leaves the population (no further
+    /// mobility/channel draws) and its proportional-fair average is evicted
+    /// immediately, so fairness state no longer outlives the device.
+    /// Returns `false` when the slice has no sim state or the UE is not a
+    /// member.
+    pub fn detach_ue(&mut self, slice: SliceId, ue: UeId) -> bool {
+        let Some(state) = self.sim_state.get_mut(&slice) else {
+            return false;
+        };
+        if state.ues.remove(ue).is_none() {
+            return false;
+        }
+        if let Some(pf) = self.pf.get_mut(&slice) {
+            pf.evict(ue);
+        }
+        true
+    }
+
+    /// Number of UEs currently in a slice's population (0 when unknown).
+    pub fn ue_count(&self, slice: SliceId) -> usize {
+        self.sim_state.get(&slice).map(|s| s.ues.len()).unwrap_or(0)
+    }
+
+    /// Number of UEs the proportional-fair tracker holds state for (0 when
+    /// the slice is unknown or fairness tracking never ran for it).
+    pub fn pf_tracked(&self, slice: SliceId) -> usize {
+        self.pf.get(&slice).map(|pf| pf.tracked()).unwrap_or(0)
     }
 
     fn teardown(&mut self, id: SliceId, end_state: SliceState) {
@@ -1824,6 +1881,38 @@ mod tests {
         }
         // With 4 UEs at moderate distances, PF keeps fairness meaningful.
         assert!(series.mean().unwrap() > 0.4, "{}", series.mean().unwrap());
+    }
+
+    #[test]
+    fn detaching_a_ue_evicts_its_fairness_state() {
+        // Regression for the PfState leak: fairness state used to outlive
+        // the device, so churned fleets grew the map monotonically.
+        let config = OrchestratorConfig {
+            ue_fairness_tracking: true,
+            ..OrchestratorConfig::default()
+        };
+        let mut o = orchestrator(config);
+        let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
+        for e in 1..=3 {
+            o.run_epoch(minute(e));
+        }
+        let fleet = o.ue_count(id);
+        assert_eq!(fleet, 4, "default ues_per_slice");
+        assert_eq!(o.pf_tracked(id), fleet, "PF tracks the whole fleet");
+        let victim = o.sim_state.get(&id).unwrap().ues.ids()[0];
+        assert!(o.detach_ue(id, victim));
+        assert!(!o.detach_ue(id, victim), "already detached");
+        assert_eq!(o.ue_count(id), fleet - 1);
+        assert_eq!(o.pf_tracked(id), fleet - 1, "evicted on detach");
+        // Further epochs never resurrect the departed UE's state.
+        for e in 4..=6 {
+            o.run_epoch(minute(e));
+        }
+        assert_eq!(o.pf_tracked(id), fleet - 1);
+        // Unknown slice / unknown UE are clean no-ops.
+        assert!(!o.detach_ue(SliceId::new(9999), victim));
+        assert_eq!(o.ue_count(SliceId::new(9999)), 0);
+        assert_eq!(o.pf_tracked(SliceId::new(9999)), 0);
     }
 
     #[test]

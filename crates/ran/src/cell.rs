@@ -64,6 +64,35 @@ impl CellConfig {
     pub fn capacity_at(&self, cqi: Cqi) -> RateMbps {
         self.prb_rate(cqi) * self.total_prbs().value() as f64
     }
+
+    /// Precompute [`prb_rate`](Self::prb_rate) for every CQI. The per-UE
+    /// channel-sampling sweep looks a rate up per UE per epoch; at 100k UEs
+    /// the MCS table walk and MIMO multiply are worth paying once here
+    /// instead. Entries are the exact `prb_rate` values, so table lookups
+    /// are bit-identical to computing on the fly.
+    pub fn rate_table(&self) -> PrbRateTable {
+        let mut rates = [RateMbps::ZERO; 16];
+        for idx in 1..=15u8 {
+            let cqi = Cqi::new(idx).expect("1..=15 is a valid CQI");
+            rates[idx as usize] = self.prb_rate(cqi);
+        }
+        PrbRateTable { rates }
+    }
+}
+
+/// Per-PRB rate for each CQI index under one cell profile (see
+/// [`CellConfig::rate_table`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrbRateTable {
+    /// Indexed by CQI index; slot 0 is unused (CQI 0 = outage).
+    rates: [RateMbps; 16],
+}
+
+impl PrbRateTable {
+    /// The per-PRB rate at `cqi`.
+    pub fn rate(&self, cqi: Cqi) -> RateMbps {
+        self.rates[cqi.index() as usize]
+    }
 }
 
 /// A PLMN installed on an eNB on behalf of a slice.
@@ -302,6 +331,24 @@ mod tests {
         // 20 MHz 2x2 at CQI 15 ≈ 146 Mbps — the familiar LTE cat-4 figure.
         let cap = mimo.capacity_at(cqi).value();
         assert!((cap - 146.6).abs() < 1.0, "got {cap}");
+    }
+
+    #[test]
+    fn rate_table_matches_prb_rate_bit_for_bit() {
+        for cfg in [
+            CellConfig::default_20mhz(),
+            CellConfig { mimo_layers: 1, bandwidth_mhz: 5.0, max_plmns: 6 },
+        ] {
+            let table = cfg.rate_table();
+            for idx in 1..=15u8 {
+                let cqi = Cqi::new(idx).unwrap();
+                assert_eq!(
+                    table.rate(cqi).value().to_bits(),
+                    cfg.prb_rate(cqi).value().to_bits(),
+                    "CQI {idx}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! upstream through its [`MetricRegistry`].
 
 use crate::cell::{Enb, PlmnReservation, RanError};
-use crate::scheduler::{schedule_epoch, SliceLoad, SliceScheduleOutcome};
+use crate::scheduler::{schedule_epoch_into, SliceLoad, SliceScheduleOutcome, SliceScratch};
 use ovnes_model::{EnbId, PlmnId, Prbs, RateMbps, SliceId};
 use ovnes_sim::{MetricRegistry, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Samples preallocated per utilization series so steady-state epochs
+/// record telemetry without growing the buffer (≈ 11 hours of 1-minute
+/// epochs; longer runs merely fall back to amortized growth).
+const UTIL_SERIES_PREALLOC: usize = 4096;
 
 /// Offered traffic of one slice this epoch, as the orchestrator reports it.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +54,23 @@ pub struct EnbRow {
     pub up: bool,
 }
 
+/// Persistent per-cell working state of the epoch pipeline: the cell's
+/// collected loads, its scheduling scratch, and its outcomes, reused every
+/// epoch so the pipeline allocates nothing in steady state. One batch per
+/// managed eNB, kept sorted by id (the collect phase binary-searches, the
+/// apply phase iterates in ascending-id order).
+struct CellBatch {
+    enb: EnbId,
+    /// The cell's grid size (immutable per eNB).
+    total: Prbs,
+    /// Cached telemetry key: `format!` per epoch is an allocation.
+    metric_name: String,
+    loads: Vec<SliceLoad>,
+    outs: Vec<SliceScheduleOutcome>,
+    sched: SliceScratch,
+    util: f64,
+}
+
 /// The RAN domain controller. See module docs.
 pub struct RanController {
     enbs: BTreeMap<EnbId, Enb>,
@@ -59,6 +81,8 @@ pub struct RanController {
     /// restore them.
     down_cells: BTreeSet<EnbId>,
     metrics: MetricRegistry,
+    /// Epoch-pipeline scratch, one entry per eNB in ascending-id order.
+    batches: Vec<CellBatch>,
 }
 
 impl RanController {
@@ -72,11 +96,31 @@ impl RanController {
             let prev = map.insert(enb.id(), enb);
             assert!(prev.is_none(), "duplicate eNB id");
         }
+        let mut metrics = MetricRegistry::new();
+        let batches = map
+            .values()
+            .map(|enb| {
+                let metric_name = format!("ran.{}.prb_utilization", enb.id());
+                // Pre-create the series (with room for a long run) so the
+                // epoch's record path is a pure lookup.
+                metrics.series(&metric_name).reserve(UTIL_SERIES_PREALLOC);
+                CellBatch {
+                    enb: enb.id(),
+                    total: enb.total_prbs(),
+                    metric_name,
+                    loads: Vec::new(),
+                    outs: Vec::new(),
+                    sched: SliceScratch::new(),
+                    util: 0.0,
+                }
+            })
+            .collect();
         RanController {
             enbs: map,
             placements: BTreeMap::new(),
             down_cells: BTreeSet::new(),
-            metrics: MetricRegistry::new(),
+            metrics,
+            batches,
         }
     }
 
@@ -255,9 +299,27 @@ impl RanController {
     /// cells schedule nothing: their loads are dropped the same way and the
     /// cell reports zero utilization until revived.
     pub fn run_epoch(&mut self, now: SimTime, offered: &[OfferedLoad]) -> Vec<SliceScheduleOutcome> {
-        // Collect: group loads per eNB (ascending id), preserving input
-        // order within each cell, and snapshot each grid size.
-        let mut per_enb: BTreeMap<EnbId, Vec<SliceLoad>> = BTreeMap::new();
+        let mut out = Vec::new();
+        self.run_epoch_into(now, offered, &mut out);
+        out
+    }
+
+    /// [`run_epoch`](Self::run_epoch) into a caller-owned buffer (cleared
+    /// first). With a reused buffer, a steady-state epoch allocates
+    /// nothing: loads are collected into persistent per-cell batches,
+    /// each cell schedules through its own retained scratch, and telemetry
+    /// records into pre-created series under cached names.
+    pub fn run_epoch_into(
+        &mut self,
+        now: SimTime,
+        offered: &[OfferedLoad],
+        out: &mut Vec<SliceScheduleOutcome>,
+    ) {
+        // Collect: group loads per eNB batch (sorted by id), preserving
+        // input order within each cell.
+        for b in &mut self.batches {
+            b.loads.clear();
+        }
         for load in offered {
             let Some(&enb) = self.placements.get(&load.slice) else {
                 continue;
@@ -269,45 +331,39 @@ impl RanController {
                 .reservation(load.slice)
                 .expect("placement implies reservation")
                 .reserved;
-            per_enb.entry(enb).or_default().push(SliceLoad {
+            let bi = self
+                .batches
+                .binary_search_by_key(&enb, |b| b.enb)
+                .expect("one batch per managed eNB");
+            self.batches[bi].loads.push(SliceLoad {
                 slice: load.slice,
                 reserved,
                 offered: load.offered,
                 prb_rate: load.prb_rate,
             });
         }
-        let cells: Vec<(EnbId, Prbs, Vec<SliceLoad>)> = per_enb
-            .into_iter()
-            .map(|(enb_id, loads)| (enb_id, self.enbs[&enb_id].total_prbs(), loads))
-            .collect();
 
-        // Par-compute: one shard per busy cell.
-        let scheduled = ovnes_sim::par::par_map(cells, |(enb_id, total, loads)| {
-            let outs = schedule_epoch(total, &loads);
-            let used: u32 = outs.iter().map(|o| o.allocated.value()).sum();
-            let util = used as f64 / total.value() as f64;
-            (enb_id, util, outs)
+        // Par-compute: one shard per cell. Idle (and down) cells have no
+        // loads, schedule trivially, and report zero utilization.
+        ovnes_sim::par::par_for_each_mut(&mut self.batches, |b| {
+            schedule_epoch_into(b.total, &b.loads, &mut b.sched, &mut b.outs);
+            let used: u32 = b.outs.iter().map(|o| o.allocated.value()).sum();
+            b.util = used as f64 / b.total.value() as f64;
         });
 
-        // Ordered apply: telemetry and outcome concatenation in cell order.
-        let mut outcomes = Vec::new();
-        let mut busy = Vec::with_capacity(scheduled.len());
-        for (enb_id, util, outs) in scheduled {
-            self.metrics
-                .series(&format!("ran.{enb_id}.prb_utilization"))
-                .record(now, util);
-            busy.push(enb_id);
-            outcomes.extend(outs);
-        }
-        // Idle cells still report zero utilization.
-        for &enb_id in self.enbs.keys() {
-            if !busy.contains(&enb_id) {
-                self.metrics
-                    .series(&format!("ran.{enb_id}.prb_utilization"))
-                    .record(now, 0.0);
+        // Ordered apply: telemetry and outcome concatenation in ascending
+        // cell-id order (same per-series values and same outcome order as
+        // the busy-cells-then-idle-cells apply this replaced).
+        out.clear();
+        for b in &self.batches {
+            match self.metrics.series_mut(&b.metric_name) {
+                Some(series) => series.record(now, b.util),
+                // Unreachable today (series are pre-created in `new`), but
+                // degrade to the allocating path rather than panic.
+                None => self.metrics.series(&b.metric_name).record(now, b.util),
             }
+            out.extend_from_slice(&b.outs);
         }
-        outcomes
     }
 
     /// Current domain snapshot for the orchestrator/dashboard.
@@ -519,6 +575,53 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn run_epoch_into_reuses_buffers_without_changing_outcomes() {
+        // The same controller state stepped with a reused outcome buffer
+        // must match a twin stepped through the allocating wrapper, epoch
+        // by epoch, including under load churn and a mid-run cell failure.
+        let build = || {
+            let mut c = controller();
+            c.install(EnbId::new(0), SliceId::new(1), plmn(0), Prbs::new(50), Prbs::new(50))
+                .unwrap();
+            c.install(EnbId::new(1), SliceId::new(2), plmn(1), Prbs::new(40), Prbs::new(60))
+                .unwrap();
+            c
+        };
+        let mut reused = build();
+        let mut fresh = build();
+        let mut out = Vec::new();
+        for epoch in 0..6u64 {
+            if epoch == 3 {
+                reused.fail_cell(EnbId::new(1));
+                fresh.fail_cell(EnbId::new(1));
+            }
+            let loads = vec![
+                OfferedLoad {
+                    slice: SliceId::new(1),
+                    offered: RateMbps::new(5.0 + epoch as f64 * 7.0),
+                    prb_rate: RateMbps::new(0.5),
+                },
+                OfferedLoad {
+                    slice: SliceId::new(2),
+                    offered: RateMbps::new(30.0),
+                    prb_rate: RateMbps::new(0.4),
+                },
+            ];
+            let now = SimTime::from_secs(60 * (epoch + 1));
+            reused.run_epoch_into(now, &loads, &mut out);
+            assert_eq!(out, fresh.run_epoch(now, &loads), "epoch {epoch}");
+        }
+        for enb in [0u64, 1] {
+            let name = format!("ran.enb-{enb}.prb_utilization");
+            assert_eq!(
+                reused.metrics().series_ref(&name),
+                fresh.metrics().series_ref(&name),
+                "telemetry diverged on {name}"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //!   guaranteed, idle reserved PRBs are lent to saturated slices
 //!   (the statistical multiplexing of ref \[1\]).
 //! * [`ue_scheduler`] — proportional-fair division of a slice's PRBs among
-//!   its UEs.
+//!   its UEs: a heap-based O(PRBs log UEs) grant loop over dense per-slice
+//!   UE slabs, bit-identical to the retained per-PRB reference oracle.
 //! * [`controller`] — the RAN domain controller the E2E orchestrator talks
 //!   to: PLMN install/release, capacity queries, utilization telemetry.
 //!
@@ -58,9 +59,11 @@ pub mod scheduler;
 pub mod ue;
 pub mod ue_scheduler;
 
-pub use cell::{CellConfig, Enb, PlmnReservation, RanError};
+pub use cell::{CellConfig, Enb, PlmnReservation, PrbRateTable, RanError};
 pub use controller::{RanController, RanSnapshot};
 pub use cqi::{prb_rate_mbps, snr_to_cqi, Cqi, CQI_TABLE};
-pub use scheduler::{schedule_epoch, SliceLoad, SliceScheduleOutcome};
-pub use ue::{slice_average_cqi, ChannelModel, MobilityModel, Ue};
-pub use ue_scheduler::{jain_index, PfState, UeChannel, UeShare};
+pub use scheduler::{
+    schedule_epoch, schedule_epoch_into, SliceLoad, SliceScheduleOutcome, SliceScratch,
+};
+pub use ue::{slice_average_cqi, ChannelModel, MobilityModel, Ue, UePopulation};
+pub use ue_scheduler::{jain_index, PfScratch, PfState, UeChannel, UeShare};

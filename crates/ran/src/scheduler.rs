@@ -43,54 +43,88 @@ pub struct SliceScheduleOutcome {
     pub borrowed: Prbs,
 }
 
+/// Reusable working memory for [`schedule_epoch_into`]: the per-slice
+/// `needed`/`allocated` columns and the lending loop's unmet list. Holding
+/// one scratch per cell across epochs makes scheduling allocation-free in
+/// steady state; buffers grow lazily to the cell's slice count.
+#[derive(Debug, Default)]
+pub struct SliceScratch {
+    needed: Vec<Prbs>,
+    allocated: Vec<Prbs>,
+    unmet: Vec<(usize, u32)>,
+}
+
+impl SliceScratch {
+    /// Empty scratch; buffers grow lazily on first use.
+    pub fn new() -> SliceScratch {
+        Self::default()
+    }
+}
+
 /// Schedule one epoch: allocate `total_prbs` among `loads`.
 ///
 /// Deterministic: iteration follows the order of `loads`; remainder PRBs go
 /// to the earliest unsatisfied slices. Slices in radio outage
 /// (`prb_rate == 0`) receive nothing and their whole offered load is
 /// unserved.
+///
+/// Convenience wrapper over [`schedule_epoch_into`] with one-shot buffers;
+/// epoch hot paths should hold a [`SliceScratch`] and call that instead.
 pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceScheduleOutcome> {
+    let mut out = Vec::new();
+    schedule_epoch_into(total_prbs, loads, &mut SliceScratch::new(), &mut out);
+    out
+}
+
+/// [`schedule_epoch`] into caller-owned buffers: `scratch` holds the
+/// working columns and `out` receives the outcomes (cleared first).
+pub fn schedule_epoch_into(
+    total_prbs: Prbs,
+    loads: &[SliceLoad],
+    scratch: &mut SliceScratch,
+    out: &mut Vec<SliceScheduleOutcome>,
+) {
     // PRBs each slice needs to carry its offered load at its link quality
     // (epsilon-tolerant rounding; an outage slice needs nothing it can use,
     // so guard `prb_rate == 0` before `for_rate` would saturate).
-    let needed: Vec<Prbs> = loads
-        .iter()
-        .map(|l| {
-            if l.prb_rate.is_zero() {
-                Prbs::ZERO
-            } else {
-                Prbs::for_rate(l.offered, l.prb_rate)
-            }
-        })
-        .collect();
+    let needed = &mut scratch.needed;
+    needed.clear();
+    needed.extend(loads.iter().map(|l| {
+        if l.prb_rate.is_zero() {
+            Prbs::ZERO
+        } else {
+            Prbs::for_rate(l.offered, l.prb_rate)
+        }
+    }));
 
     // Phase 1: everyone gets min(needed, reserved) — the guarantee.
-    let mut allocated: Vec<Prbs> = loads
-        .iter()
-        .zip(&needed)
-        .map(|(l, &n)| n.min(l.reserved))
-        .collect();
+    let allocated = &mut scratch.allocated;
+    allocated.clear();
+    allocated.extend(
+        loads
+            .iter()
+            .zip(needed.iter())
+            .map(|(l, &n)| n.min(l.reserved)),
+    );
 
     // Phase 2: lend the idle grid to unmet slices, proportionally to unmet
     // need, remainders in input order.
     let used: Prbs = allocated.iter().copied().sum();
     let mut leftover = total_prbs.saturating_sub(used).value();
     loop {
-        let unmet: Vec<(usize, u32)> = loads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, _)| {
-                let gap = needed[i].saturating_sub(allocated[i]).value();
-                (gap > 0).then_some((i, gap))
-            })
-            .collect();
+        let unmet = &mut scratch.unmet;
+        unmet.clear();
+        unmet.extend((0..loads.len()).filter_map(|i| {
+            let gap = needed[i].saturating_sub(allocated[i]).value();
+            (gap > 0).then_some((i, gap))
+        }));
         if leftover == 0 || unmet.is_empty() {
             break;
         }
         let total_gap: u64 = unmet.iter().map(|&(_, g)| g as u64).sum();
         if total_gap <= leftover as u64 {
             // Everyone's gap fits: satisfy all.
-            for (i, gap) in unmet {
+            for &(i, gap) in unmet.iter() {
                 allocated[i] += Prbs::new(gap);
             }
             break;
@@ -98,7 +132,7 @@ pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceSchedul
         // Proportional floor share; guarantee progress via remainder pass.
         let mut granted_any = false;
         let mut remaining = leftover;
-        for &(i, gap) in &unmet {
+        for &(i, gap) in unmet.iter() {
             let share = ((leftover as u64 * gap as u64) / total_gap) as u32;
             let grant = share.min(gap).min(remaining);
             if grant > 0 {
@@ -109,7 +143,7 @@ pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceSchedul
         }
         // Remainder: one PRB at a time in input order.
         if remaining > 0 {
-            for &(i, _) in &unmet {
+            for &(i, _) in unmet.iter() {
                 if remaining == 0 {
                     break;
                 }
@@ -126,24 +160,20 @@ pub fn schedule_epoch(total_prbs: Prbs, loads: &[SliceLoad]) -> Vec<SliceSchedul
         }
     }
 
-    loads
-        .iter()
-        .zip(&needed)
-        .zip(&allocated)
-        .map(|((l, &_need), &alloc)| {
-            let delivered = RateMbps::new(
-                (alloc.value() as f64 * l.prb_rate.value()).min(l.offered.value()),
-            );
-            SliceScheduleOutcome {
-                slice: l.slice,
-                allocated: alloc,
-                delivered,
-                unserved: l.offered.saturating_sub(delivered),
-                lent: l.reserved.saturating_sub(alloc),
-                borrowed: alloc.saturating_sub(l.reserved),
-            }
-        })
-        .collect()
+    out.clear();
+    out.reserve(loads.len());
+    out.extend(loads.iter().zip(allocated.iter()).map(|(l, &alloc)| {
+        let delivered =
+            RateMbps::new((alloc.value() as f64 * l.prb_rate.value()).min(l.offered.value()));
+        SliceScheduleOutcome {
+            slice: l.slice,
+            allocated: alloc,
+            delivered,
+            unserved: l.offered.saturating_sub(delivered),
+            lent: l.reserved.saturating_sub(alloc),
+            borrowed: alloc.saturating_sub(l.reserved),
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -290,5 +320,24 @@ mod tests {
         let a = schedule_epoch(Prbs::new(100), &loads);
         let b = schedule_epoch(Prbs::new(100), &loads);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        // One scratch threaded through cells of different sizes and
+        // contention patterns must not change any outcome.
+        let mut scratch = SliceScratch::new();
+        let mut out = Vec::new();
+        let cases: Vec<Vec<SliceLoad>> = vec![
+            (0..7).map(|i| load(i, 10, 13.0 * (i as f64 + 1.0), 0.4)).collect(),
+            vec![load(1, 80, 0.0, 0.5), load(2, 20, 25.0, 0.5)],
+            vec![],
+            vec![load(1, 50, 10.0, 0.0), load(2, 20, 30.0, 0.5)],
+            (1..=3).map(|i| load(i, 33, 25.0, 0.5)).collect(),
+        ];
+        for loads in &cases {
+            schedule_epoch_into(Prbs::new(100), loads, &mut scratch, &mut out);
+            assert_eq!(out, schedule_epoch(Prbs::new(100), loads));
+        }
     }
 }

@@ -6,8 +6,10 @@
 //! with lognormal shadowing — that yields the time-varying SNR/CQI the PRB
 //! scheduler converts into throughput.
 
+use crate::cell::PrbRateTable;
 use crate::cqi::{snr_to_cqi, Cqi};
-use ovnes_model::{PlmnId, UeId};
+use crate::ue_scheduler::UeChannel;
+use ovnes_model::{PlmnId, RateMbps, UeId};
 use ovnes_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +142,150 @@ impl MobilityModel {
         }
         let delta = rng.normal(0.0, self.step_std_m);
         ue.distance_m = (ue.distance_m + delta).clamp(self.min_distance_m, self.max_distance_m);
+    }
+}
+
+/// A slice's UE fleet in struct-of-arrays layout: parallel arrays of id,
+/// distance and attach flag instead of a `Vec<Ue>` of structs.
+///
+/// The epoch hot path walks every UE three times (mobility step, average
+/// CQI, fairness channel sample) and touches only the distance column —
+/// dense `f64` arrays keep those sweeps sequential in memory at 100k UEs
+/// where an array-of-structs walk would drag ids and flags through cache
+/// for nothing. Draw order is the invariant: every method consumes the
+/// slice's RNG stream exactly as the per-[`Ue`] loops it replaced did
+/// (mobility draws per UE — none when the model is stationary — then one
+/// CQI sample per UE per sweep), so populations are bit-compatible with
+/// the old representation under one seed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UePopulation {
+    plmn: PlmnId,
+    ids: Vec<UeId>,
+    distance_m: Vec<f64>,
+    attached: Vec<bool>,
+}
+
+impl UePopulation {
+    /// An empty fleet associated with `plmn`.
+    pub fn new(plmn: PlmnId) -> UePopulation {
+        UePopulation {
+            plmn,
+            ids: Vec::new(),
+            distance_m: Vec::new(),
+            attached: Vec::new(),
+        }
+    }
+
+    /// Add a UE (columns stay parallel; ids arrive in mint order, so the
+    /// id column is ascending).
+    pub fn push(&mut self, ue: Ue) {
+        debug_assert_eq!(ue.plmn, self.plmn, "UE belongs to another slice");
+        self.ids.push(ue.id);
+        self.distance_m.push(ue.distance_m);
+        self.attached.push(ue.attached);
+    }
+
+    /// Number of UEs in the fleet.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The slice's PLMN.
+    pub fn plmn(&self) -> PlmnId {
+        self.plmn
+    }
+
+    /// UE ids, in insertion (= mint) order.
+    pub fn ids(&self) -> &[UeId] {
+        &self.ids
+    }
+
+    /// Reassemble the `i`-th UE as a struct (tests, monitoring).
+    pub fn get(&self, i: usize) -> Ue {
+        Ue {
+            id: self.ids[i],
+            plmn: self.plmn,
+            distance_m: self.distance_m[i],
+            attached: self.attached[i],
+        }
+    }
+
+    /// Mark every UE attached (the slice's vEPC accepted the fleet).
+    pub fn attach_all(&mut self) {
+        self.attached.fill(true);
+    }
+
+    /// Remove `ue` from the fleet (detach / departure). Returns the removed
+    /// UE, or `None` if it was not a member. Column order is preserved, so
+    /// the survivors' draw order next epoch is unchanged.
+    pub fn remove(&mut self, ue: UeId) -> Option<Ue> {
+        let i = self.ids.iter().position(|&id| id == ue)?;
+        Some(Ue {
+            id: self.ids.remove(i),
+            plmn: self.plmn,
+            distance_m: self.distance_m.remove(i),
+            attached: self.attached.remove(i),
+        })
+    }
+
+    /// Advance every UE by one mobility epoch. Stationary models draw
+    /// nothing, exactly like [`MobilityModel::step`] per UE.
+    pub fn step_all(&mut self, model: &MobilityModel, rng: &mut SimRng) {
+        if model.step_std_m == 0.0 {
+            return;
+        }
+        for d in &mut self.distance_m {
+            let delta = rng.normal(0.0, model.step_std_m);
+            *d = (*d + delta).clamp(model.min_distance_m, model.max_distance_m);
+        }
+    }
+
+    /// Average CQI over the fleet this epoch (see [`slice_average_cqi`]:
+    /// same draws, same rounding).
+    pub fn average_cqi(&self, channel: &ChannelModel, rng: &mut SimRng) -> Option<Cqi> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut sum = 0u32;
+        let mut n = 0u32;
+        for &d in &self.distance_m {
+            if let Some(cqi) = channel.sample_cqi(d, rng) {
+                sum += cqi.index() as u32;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        Cqi::new((sum as f64 / n as f64).round() as u8)
+    }
+
+    /// Sample one [`UeChannel`] per UE into `out` (cleared first): one CQI
+    /// draw per UE in fleet order, per-PRB rates looked up in the cell's
+    /// precomputed `rates` table. Allocation-free once `out` has grown to
+    /// the fleet size.
+    pub fn sample_channels_into(
+        &self,
+        channel: &ChannelModel,
+        rates: &PrbRateTable,
+        rng: &mut SimRng,
+        out: &mut Vec<UeChannel>,
+    ) {
+        out.clear();
+        out.reserve(self.len());
+        for (i, &d) in self.distance_m.iter().enumerate() {
+            let cqi = channel.sample_cqi(d, rng);
+            out.push(UeChannel {
+                ue: self.ids[i],
+                cqi,
+                prb_rate: cqi.map(|c| rates.rate(c)).unwrap_or(RateMbps::ZERO),
+            });
+        }
     }
 }
 
@@ -307,6 +453,95 @@ mod tests {
         assert!(
             spread(MobilityModel::vehicular(), 7) > 3.0 * spread(MobilityModel::pedestrian(), 7)
         );
+    }
+
+    #[test]
+    fn population_matches_per_ue_loops_bit_for_bit() {
+        // The SoA fleet must consume the RNG stream exactly like the
+        // per-Ue loops it replaced: identical distances, identical average
+        // CQI, identical channel samples, under one seed.
+        let c = ch();
+        let plmn = PlmnId::test_slice_plmn(0);
+        let m = MobilityModel::pedestrian();
+        let rates = crate::cell::CellConfig::default_20mhz().rate_table();
+        let mut ues: Vec<Ue> = (0..9)
+            .map(|i| Ue::new(UeId::new(i), plmn, 30.0 + 35.0 * i as f64))
+            .collect();
+        let mut pop = UePopulation::new(plmn);
+        for ue in &ues {
+            pop.push(ue.clone());
+        }
+        let mut rng_a = SimRng::seed_from(42);
+        let mut rng_b = SimRng::seed_from(42);
+        let mut channels = Vec::new();
+        for _ in 0..25 {
+            // Old representation: loop per UE.
+            for ue in &mut ues {
+                m.step(ue, &mut rng_a);
+            }
+            let avg_a = slice_average_cqi(&ues, &c, &mut rng_a);
+            let expect: Vec<UeChannel> = ues
+                .iter()
+                .map(|ue| {
+                    let cqi = c.sample_cqi(ue.distance_m, &mut rng_a);
+                    UeChannel {
+                        ue: ue.id,
+                        cqi,
+                        prb_rate: cqi.map(|q| rates.rate(q)).unwrap_or(RateMbps::ZERO),
+                    }
+                })
+                .collect();
+            // New representation: columnar sweeps.
+            pop.step_all(&m, &mut rng_b);
+            let avg_b = pop.average_cqi(&c, &mut rng_b);
+            pop.sample_channels_into(&c, &rates, &mut rng_b, &mut channels);
+            assert_eq!(avg_a, avg_b);
+            assert_eq!(channels, expect);
+            for (i, ue) in ues.iter().enumerate() {
+                assert_eq!(ue.distance_m.to_bits(), pop.get(i).distance_m.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn population_stationary_draws_nothing() {
+        // A stationary fleet must not consume the stream (parity with
+        // MobilityModel::step's early return).
+        let plmn = PlmnId::test_slice_plmn(0);
+        let mut pop = UePopulation::new(plmn);
+        pop.push(Ue::new(UeId::new(1), plmn, 100.0));
+        let mut rng = SimRng::seed_from(9);
+        let mut probe = SimRng::seed_from(9);
+        pop.step_all(&MobilityModel::stationary(), &mut rng);
+        assert_eq!(rng.normal(0.0, 1.0), probe.normal(0.0, 1.0));
+    }
+
+    #[test]
+    fn population_lifecycle_and_removal() {
+        let plmn = PlmnId::test_slice_plmn(0);
+        let mut pop = UePopulation::new(plmn);
+        for i in 0..3 {
+            pop.push(Ue::new(UeId::new(i), plmn, 50.0 + i as f64));
+        }
+        assert_eq!(pop.len(), 3);
+        assert!(!pop.get(0).attached);
+        pop.attach_all();
+        assert!(pop.get(2).attached);
+        let gone = pop.remove(UeId::new(1)).expect("member");
+        assert_eq!(gone.id, UeId::new(1));
+        assert_eq!(gone.distance_m, 51.0);
+        assert!(pop.remove(UeId::new(1)).is_none(), "already removed");
+        assert_eq!(pop.ids(), &[UeId::new(0), UeId::new(2)]);
+        assert_eq!(pop.get(1).distance_m, 52.0, "columns stay parallel");
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn empty_population_has_no_average() {
+        let c = ch();
+        let mut rng = SimRng::seed_from(4);
+        let pop = UePopulation::new(PlmnId::test_slice_plmn(0));
+        assert_eq!(pop.average_cqi(&c, &mut rng), None);
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl TimeSeries {
         }
     }
 
+    /// Like [`with_capacity_limit`](Self::with_capacity_limit) but with the
+    /// whole window preallocated up front, so `record` never reallocates.
+    /// For series written by allocation-free hot paths; most series should
+    /// keep the lazy default rather than commit the window eagerly.
+    pub fn preallocated(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            // `record` pushes before evicting, so the buffer briefly holds
+            // capacity + 1 points.
+            points: Vec::with_capacity(capacity + 1),
+            capacity: Some(capacity),
+            agg: Cell::new(None),
+        }
+    }
+
+    /// Preallocate room for `additional` more samples without changing the
+    /// window policy (an unbounded series stays unbounded). Hot paths that
+    /// record into a pre-created series reserve their expected run length
+    /// up front so steady-state `record` calls never reallocate.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
+    }
+
     /// Append a sample. Samples must arrive in non-decreasing time order.
     ///
     /// # Panics
@@ -476,6 +499,14 @@ impl MetricRegistry {
         self.series.entry(name.to_owned()).or_default()
     }
 
+    /// Mutable view of the series `name` if it already exists. Unlike
+    /// [`series`](Self::series) this never inserts — and therefore never
+    /// clones `name` into an owned key — so epoch hot paths that
+    /// pre-created their series can record without allocating.
+    pub fn series_mut(&mut self, name: &str) -> Option<&mut TimeSeries> {
+        self.series.get_mut(name)
+    }
+
     /// Insert (or replace) a histogram under `name`, returning it.
     pub fn histogram_with(&mut self, name: &str, make: impl FnOnce() -> Histogram) -> &mut Histogram {
         self.histograms.entry(name.to_owned()).or_insert_with(make)
@@ -563,6 +594,32 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn preallocated_series_behaves_like_capacity_limited() {
+        let mut a = TimeSeries::preallocated(3);
+        let mut b = TimeSeries::with_capacity_limit(3);
+        let cap = a.points.capacity();
+        for i in 0..10u64 {
+            let at = SimTime::ZERO + SimDuration::from_mins(i);
+            a.record(at, i as f64);
+            b.record(at, i as f64);
+        }
+        assert_eq!(a, b, "same window, same samples");
+        assert_eq!(a.points.capacity(), cap, "never grew past the preallocation");
+    }
+
+    #[test]
+    fn series_mut_finds_without_inserting() {
+        let mut reg = MetricRegistry::new();
+        assert!(reg.series_mut("absent").is_none());
+        assert!(reg.series_ref("absent").is_none(), "lookup did not insert");
+        reg.series("present").record(SimTime::ZERO, 1.0);
+        reg.series_mut("present")
+            .expect("created above")
+            .record(SimTime::ZERO + SimDuration::from_mins(1), 2.0);
+        assert_eq!(reg.series_ref("present").unwrap().len(), 2);
     }
 
     #[test]

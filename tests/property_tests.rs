@@ -6,9 +6,9 @@ use ovnes_api::{
     SubstrateFaultPlan,
 };
 use ovnes_forecast::{Naive, QuantileProvisioner, ResidualWindow};
-use ovnes_model::{DcId, EnbId, Latency, LinkId, Money, Prbs, RateMbps, SliceId};
+use ovnes_model::{DcId, EnbId, Latency, LinkId, Money, Prbs, RateMbps, SliceId, UeId};
 use ovnes_orchestrator::admission::knapsack_select;
-use ovnes_ran::{schedule_epoch, SliceLoad};
+use ovnes_ran::{schedule_epoch, Cqi, PfScratch, PfState, SliceLoad, UeChannel};
 use ovnes_sim::{EventQueue, Histogram, ScheduledId, SimDuration, SimRng, SimTime};
 use ovnes_transport::{
     dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology, TransportController,
@@ -186,6 +186,69 @@ proptest! {
                 out.lent.value(),
                 load.reserved.value().saturating_sub(out.allocated.value())
             );
+        }
+    }
+
+    // ---- ran: proportional-fair UE scheduler ---------------------------------
+
+    // The heap-based grant loop must be bitwise-indistinguishable from the
+    // per-PRB argmax reference it replaced — same grants, same order, same
+    // float averages — across random rosters (outages, zero-rate UEs,
+    // discrete rate classes that force metric ties) and across epochs with
+    // a shrinking roster (which exercises slab eviction).
+    #[test]
+    fn heap_pf_is_bitwise_identical_to_reference(
+        prbs in 0u32..60,
+        alpha in 0.01f64..0.9,
+        specs in prop::collection::vec((0u8..16, 0u8..5), 0..40),
+        epochs in 1usize..6,
+        shrink in 0usize..10,
+    ) {
+        // Unique ids by construction; cqi 0 → None (outage); rate class 0
+        // → zero prb_rate (unschedulable); few classes → frequent ties.
+        let roster: Vec<UeChannel> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cqi, class))| UeChannel {
+                ue: UeId::new(i as u64),
+                cqi: Cqi::new(cqi),
+                prb_rate: RateMbps::new(class as f64 * 0.35),
+            })
+            .collect();
+        let mut heap = PfState::new();
+        let mut oracle = PfState::new();
+        let mut scratch = PfScratch::new();
+        let mut got: Vec<ovnes_ran::UeShare> = Vec::new();
+        for e in 0..epochs {
+            // Last epoch runs on a truncated roster so eviction of the
+            // departed tail must keep both states aligned.
+            let live = if e + 1 == epochs {
+                roster.len() - shrink.min(roster.len())
+            } else {
+                roster.len()
+            };
+            let channels = &roster[..live];
+            heap.schedule_into(Prbs::new(prbs), channels, alpha, &mut scratch, &mut got);
+            let want = oracle.schedule_reference(Prbs::new(prbs), channels, alpha);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.ue, w.ue);
+                prop_assert_eq!(g.prbs, w.prbs);
+                prop_assert_eq!(g.rate.value().to_bits(), w.rate.value().to_bits());
+            }
+            prop_assert_eq!(heap.tracked(), oracle.tracked());
+            for c in channels {
+                prop_assert_eq!(
+                    heap.average(c.ue).to_bits(),
+                    oracle.average(c.ue).to_bits(),
+                    "average diverged for {:?}",
+                    c.ue
+                );
+            }
+            // Grant conservation: every PRB is granted iff anyone can take it.
+            let any = channels.iter().any(|c| c.cqi.is_some() && !c.prb_rate.is_zero());
+            let total: u32 = got.iter().map(|s| s.prbs.value()).sum();
+            prop_assert_eq!(total, if any { prbs } else { 0 });
         }
     }
 
