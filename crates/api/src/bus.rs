@@ -87,6 +87,34 @@ impl MessageBus {
     pub fn served(&self, endpoint: &str) -> u64 {
         self.requests_served.get(endpoint).copied().unwrap_or(0)
     }
+
+    /// The bus's serializable accounting (correlation-id counter and
+    /// per-endpoint served counts). Handlers are closures and deliberately
+    /// not part of this: a restored world re-registers them, and the repo's
+    /// handlers are all self-contained, so re-registration is exact.
+    pub fn export_state(&self) -> BusState {
+        BusState {
+            next_id: self.next_id,
+            requests_served: self.requests_served.clone(),
+        }
+    }
+
+    /// Overwrite the accounting captured by [`MessageBus::export_state`].
+    /// Registered handlers are untouched.
+    pub fn restore_state(&mut self, state: &BusState) {
+        self.next_id = state.next_id;
+        self.requests_served = state.requests_served.clone();
+    }
+}
+
+/// Serializable accounting of a [`MessageBus`] (everything except the
+/// handler closures — see [`MessageBus::export_state`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BusState {
+    /// Next correlation id to assign.
+    pub next_id: u64,
+    /// Requests served per endpoint.
+    pub requests_served: BTreeMap<String, u64>,
 }
 
 #[cfg(test)]
@@ -149,9 +177,7 @@ mod tests {
             slice: SliceId::new(3),
             reserved: Prbs::new(17),
         };
-        let resp = bus
-            .call("ran/command", encode(&cmd).unwrap())
-            .unwrap();
+        let resp = bus.call("ran/command", encode(&cmd).unwrap()).unwrap();
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(decode::<RanReply>(&resp.body).unwrap(), RanReply::Done);
         assert_eq!(log.borrow().as_slice(), &[cmd]);

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn garbage_is_a_json_error() {
-        assert!(matches!(decode::<Ping>(b"not json"), Err(CodecError::Json(_))));
+        assert!(matches!(
+            decode::<Ping>(b"not json"),
+            Err(CodecError::Json(_))
+        ));
     }
 
     #[test]

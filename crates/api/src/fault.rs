@@ -138,7 +138,9 @@ impl EndpointFaults {
 
     /// True when `now` falls inside a scheduled outage window.
     pub fn down_at(&self, now: SimTime) -> bool {
-        self.outages.iter().any(|&(from, until)| from <= now && now < until)
+        self.outages
+            .iter()
+            .any(|&(from, until)| from <= now && now < until)
     }
 }
 
@@ -215,6 +217,10 @@ impl EndpointStats {
 }
 
 /// Applies one [`FaultPlan`] to calls over a [`MessageBus`]. See module docs.
+///
+/// Serializable in full (plan, RNG position, stats): restoring a serialized
+/// injector resumes the exact fault schedule the original would have run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SimRng,
@@ -263,7 +269,12 @@ impl FaultInjector {
                 .map(|r| (r, SimDuration::ZERO))
                 .map_err(bus_failure);
         }
-        let faults = self.plan.endpoints.get(endpoint).expect("checked above").clone();
+        let faults = self
+            .plan
+            .endpoints
+            .get(endpoint)
+            .expect("checked above")
+            .clone();
         let stats = self.stats.entry(endpoint.to_owned()).or_default();
         stats.attempts += 1;
         if faults.down_at(now) {
@@ -386,9 +397,8 @@ mod tests {
     fn quiet_plan_is_a_passthrough() {
         let mut plain = echo_bus();
         let mut wrapped = echo_bus();
-        let mut inj = FaultInjector::new(
-            FaultPlan::new(1).with_endpoint("echo", EndpointFaults::none()),
-        );
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(1).with_endpoint("echo", EndpointFaults::none()));
         for i in 0..20u8 {
             let body = vec![i, i + 1];
             let a = plain.call("echo", body.clone()).unwrap();
@@ -410,7 +420,9 @@ mod tests {
         );
         let mut inj = FaultInjector::new(plan);
         let mut bus = echo_bus();
-        assert!(inj.call(&mut bus, SimTime::from_secs(9), "echo", vec![]).is_ok());
+        assert!(inj
+            .call(&mut bus, SimTime::from_secs(9), "echo", vec![])
+            .is_ok());
         assert_eq!(
             inj.call(&mut bus, SimTime::from_secs(10), "echo", vec![]),
             Err(CallFailure::Down)
@@ -419,7 +431,9 @@ mod tests {
             inj.call(&mut bus, SimTime::from_secs(19), "echo", vec![]),
             Err(CallFailure::Down)
         );
-        assert!(inj.call(&mut bus, SimTime::from_secs(20), "echo", vec![]).is_ok());
+        assert!(inj
+            .call(&mut bus, SimTime::from_secs(20), "echo", vec![])
+            .is_ok());
         assert_eq!(inj.stats()["echo"].outage_rejections, 2);
         // Down requests never reached the handler.
         assert_eq!(bus.served("echo"), 2);
@@ -479,8 +493,8 @@ mod tests {
 
     #[test]
     fn corruption_mangles_the_payload() {
-        let plan = FaultPlan::new(4)
-            .with_endpoint("echo", EndpointFaults::none().with_corrupt(1.0));
+        let plan =
+            FaultPlan::new(4).with_endpoint("echo", EndpointFaults::none().with_corrupt(1.0));
         let mut inj = FaultInjector::new(plan);
         let mut bus = echo_bus();
         let (resp, _) = inj
@@ -497,8 +511,8 @@ mod tests {
     #[test]
     fn delay_reports_injected_latency() {
         let d = SimDuration::from_millis(250);
-        let plan = FaultPlan::new(5)
-            .with_endpoint("echo", EndpointFaults::none().with_delay(1.0, d));
+        let plan =
+            FaultPlan::new(5).with_endpoint("echo", EndpointFaults::none().with_delay(1.0, d));
         let mut inj = FaultInjector::new(plan);
         let mut bus = echo_bus();
         let (_, lat) = inj.call(&mut bus, SimTime::ZERO, "echo", vec![]).unwrap();

@@ -57,9 +57,10 @@ pub mod codec;
 pub mod envelope;
 pub mod fault;
 pub mod messages;
+pub mod snapshot;
 pub mod substrate;
 
-pub use bus::{BusError, MessageBus};
+pub use bus::{BusError, BusState, MessageBus};
 pub use codec::{decode, encode, CodecError, WIRE_VERSION};
 pub use envelope::{Request, Response, Status};
 pub use fault::{
@@ -68,5 +69,9 @@ pub use fault::{
 pub use messages::{
     CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
     TransportReply,
+};
+pub use snapshot::{
+    replay_bisect, sha256_hex, Divergence, SectionRef, SnapshotError, SnapshotManifest,
+    SnapshotStore,
 };
 pub use substrate::{ElementSchedule, SubstrateElement, SubstrateFaultPlan};

@@ -29,9 +29,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A failable element of the physical substrate.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SubstrateElement {
     /// A transport link (fiber cut, microwave fade).
     Link(LinkId),
@@ -152,8 +150,7 @@ impl SubstrateFaultPlan {
                 if t >= horizon.as_secs_f64() {
                     break;
                 }
-                let repair = (rng.exponential(1.0 / mean_repair.as_secs_f64().max(1.0)))
-                    .max(1.0);
+                let repair = (rng.exponential(1.0 / mean_repair.as_secs_f64().max(1.0))).max(1.0);
                 let from = SimTime::ZERO + SimDuration::from_secs_f64(t);
                 let until = SimTime::ZERO
                     + SimDuration::from_secs_f64((t + repair).min(horizon.as_secs_f64()));
@@ -165,10 +162,7 @@ impl SubstrateFaultPlan {
     }
 
     fn add_outage(&mut self, element: SubstrateElement, from: SimTime, until: SimTime) {
-        match self
-            .elements
-            .binary_search_by(|s| s.element.cmp(&element))
-        {
+        match self.elements.binary_search_by(|s| s.element.cmp(&element)) {
             Ok(i) => self.elements[i].outages.push((from, until)),
             Err(i) => self.elements.insert(
                 i,
@@ -297,11 +291,7 @@ mod tests {
         let elements: Vec<_> = plan.elements().map(|s| s.element).collect();
         assert_eq!(
             elements,
-            vec![
-                link(2),
-                link(5),
-                SubstrateElement::Cell(EnbId::new(0)),
-            ]
+            vec![link(2), link(5), SubstrateElement::Cell(EnbId::new(0)),]
         );
         assert_eq!(plan.schedule(link(5)).unwrap().outages.len(), 2);
     }
@@ -351,10 +341,7 @@ mod tests {
             SimDuration::from_mins(5),
             SimDuration::from_hours(6),
         );
-        assert_eq!(
-            plan_small.schedule(link(0)),
-            plan_big.schedule(link(0)),
-        );
+        assert_eq!(plan_small.schedule(link(0)), plan_big.schedule(link(0)),);
     }
 
     #[test]
@@ -375,10 +362,7 @@ mod tests {
             SubstrateElement::Switch(SwitchId::new(1)).to_string(),
             "switch-1"
         );
-        assert_eq!(
-            SubstrateElement::Cell(EnbId::new(0)).to_string(),
-            "enb-0"
-        );
+        assert_eq!(SubstrateElement::Cell(EnbId::new(0)).to_string(), "enb-0");
         assert_eq!(
             SubstrateElement::Host(DcId::new(1), HostId::new(4)).to_string(),
             "dc-1/host-4"
@@ -402,7 +386,10 @@ mod tests {
                 SimTime::from_secs(900),
             );
         let j = serde_json::to_string(&plan).unwrap();
-        assert_eq!(serde_json::from_str::<SubstrateFaultPlan>(&j).unwrap(), plan);
+        assert_eq!(
+            serde_json::from_str::<SubstrateFaultPlan>(&j).unwrap(),
+            plan
+        );
         assert!(!plan.is_quiet());
         assert!(SubstrateFaultPlan::new(1).is_quiet());
     }

@@ -74,7 +74,10 @@ impl fmt::Display for CloudError {
             CloudError::Template(e) => write!(f, "invalid template: {e}"),
             CloudError::UnknownDc(d) => write!(f, "unknown data center {d}"),
             CloudError::PlacementFailed { resource } => {
-                write!(f, "could not place resource {resource:?}; stack rolled back")
+                write!(
+                    f,
+                    "could not place resource {resource:?}; stack rolled back"
+                )
             }
             CloudError::UnknownStack(s) => write!(f, "unknown stack {s}"),
             CloudError::AlreadyDeployed(s) => write!(f, "slice {s} already has a stack"),
@@ -363,9 +366,7 @@ impl CloudController {
 
     /// The stack serving `slice`, if any.
     pub fn stack_for_slice(&self, slice: SliceId) -> Option<&DeployedStack> {
-        self.by_slice
-            .get(&slice)
-            .and_then(|id| self.stacks.get(id))
+        self.by_slice.get(&slice).and_then(|id| self.stacks.get(id))
     }
 
     /// Utilization of the DC hosting `slice`'s stack (drives attach latency).
@@ -405,10 +406,52 @@ impl CloudController {
         }
     }
 
+    /// The domain's complete serializable state. Nothing is excluded: the
+    /// cloud controller holds no scratch buffers or closures.
+    pub fn export_state(&self) -> CloudControllerState {
+        CloudControllerState {
+            dcs: self.dcs.clone(),
+            stacks: self.stacks.clone(),
+            by_slice: self.by_slice.clone(),
+            vm_ids: self.vm_ids.clone(),
+            stack_ids: self.stack_ids.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// A controller rebuilt from [`CloudController::export_state`].
+    pub fn from_state(state: &CloudControllerState) -> CloudController {
+        CloudController {
+            dcs: state.dcs.clone(),
+            stacks: state.stacks.clone(),
+            by_slice: state.by_slice.clone(),
+            vm_ids: state.vm_ids.clone(),
+            stack_ids: state.stack_ids.clone(),
+            metrics: state.metrics.clone(),
+        }
+    }
+
     /// The controller's telemetry registry.
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
     }
+}
+
+/// Serializable state of a [`CloudController`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CloudControllerState {
+    /// Managed data centers (hosts, placements, failure marks).
+    pub dcs: BTreeMap<DcId, DataCenter>,
+    /// Deployed stacks by id.
+    pub stacks: BTreeMap<StackId, DeployedStack>,
+    /// Stack lookup by owning slice.
+    pub by_slice: BTreeMap<SliceId, StackId>,
+    /// VM id allocator position.
+    pub vm_ids: IdAllocator,
+    /// Stack id allocator position.
+    pub stack_ids: IdAllocator,
+    /// Telemetry registry of the domain.
+    pub metrics: MetricRegistry,
 }
 
 #[cfg(test)]
@@ -457,7 +500,9 @@ mod tests {
     #[test]
     fn deploy_places_all_vms() {
         let mut c = controller();
-        let stack = c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        let stack = c
+            .deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         assert_eq!(stack.state, StackState::CreateComplete);
         assert_eq!(stack.vms.len(), 4);
         assert!(stack.deploy_time >= SimDuration::from_secs(10));
@@ -480,7 +525,8 @@ mod tests {
     #[test]
     fn double_deploy_rejected() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         assert_eq!(
             c.deploy(SliceId::new(1), DcId::new(0), &template(1)),
             Err(CloudError::AlreadyDeployed(SliceId::new(1)))
@@ -518,7 +564,8 @@ mod tests {
     #[test]
     fn delete_frees_resources() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(0), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(0), &template(1))
+            .unwrap();
         assert!(c.dc(DcId::new(0)).unwrap().utilization() > 0.0);
         let deleted = c.delete_for_slice(SliceId::new(1)).unwrap();
         assert_eq!(deleted.state, StackState::Deleted);
@@ -548,14 +595,16 @@ mod tests {
     fn slice_dc_utilization_tracks_stack() {
         let mut c = controller();
         assert_eq!(c.slice_dc_utilization(SliceId::new(1)), None);
-        c.deploy(SliceId::new(1), DcId::new(0), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(0), &template(1))
+            .unwrap();
         assert!(c.slice_dc_utilization(SliceId::new(1)).unwrap() > 0.0);
     }
 
     #[test]
     fn epoch_telemetry_recorded() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(0), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(0), &template(1))
+            .unwrap();
         c.record_epoch(SimTime::from_secs(5));
         let s = c.metrics().series_ref("cloud.dc-0.utilization").unwrap();
         assert_eq!(s.len(), 1);
@@ -565,7 +614,8 @@ mod tests {
     #[test]
     fn scale_shrinks_user_plane_only() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         let before = c.dc(DcId::new(1)).unwrap().used();
         let changed = c.scale_for_slice(SliceId::new(1), 0.4).unwrap();
         assert_eq!(changed, 2, "sgw + pgw scaled");
@@ -585,7 +635,8 @@ mod tests {
     #[test]
     fn scale_back_up_restores_deploy_sizing() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(0), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(0), &template(1))
+            .unwrap();
         let base = c.dc(DcId::new(0)).unwrap().used();
         c.scale_for_slice(SliceId::new(1), 0.3).unwrap();
         c.scale_for_slice(SliceId::new(1), 1.0).unwrap();
@@ -595,10 +646,15 @@ mod tests {
     #[test]
     fn scale_floors_at_minimum_and_is_idempotent() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         c.scale_for_slice(SliceId::new(1), 0.0).unwrap();
         let stack = c.stack_for_slice(SliceId::new(1)).unwrap();
-        for vm in stack.vms.iter().filter(|v| v.name == "sgw" || v.name == "pgw") {
+        for vm in stack
+            .vms
+            .iter()
+            .filter(|v| v.name == "sgw" || v.name == "pgw")
+        {
             assert!(vm.current.vcpus >= ovnes_model::VCpus::new(1));
             assert!(vm.current.mem >= ovnes_model::MemMb::new(256));
             assert_eq!(vm.current.disk, vm.demand.disk, "storage never shrinks");
@@ -616,8 +672,10 @@ mod tests {
     #[test]
     fn fail_host_degrades_affected_stacks() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
-        c.deploy(SliceId::new(2), DcId::new(1), &template(2)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
+        c.deploy(SliceId::new(2), DcId::new(1), &template(2))
+            .unwrap();
         // Find a host carrying slice 1's VMs.
         let host = c.stack_for_slice(SliceId::new(1)).unwrap().vms[0].host;
         let affected = c.fail_host(DcId::new(1), host);
@@ -646,7 +704,8 @@ mod tests {
     #[test]
     fn redeploy_recovers_a_degraded_slice() {
         let mut c = controller();
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         let host = c.stack_for_slice(SliceId::new(1)).unwrap().vms[0].host;
         let old_stack_id = c.stack_for_slice(SliceId::new(1)).unwrap().id;
         c.fail_host(DcId::new(1), host);
@@ -665,10 +724,23 @@ mod tests {
     fn redeploy_falls_back_to_same_kind_dc() {
         // Two core DCs; kill every host of the first after deploying there.
         let mut c = CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 1, cap(32, 65536, 500), PlacementStrategy::WorstFit),
-            DataCenter::homogeneous(DcId::new(2), DcKind::Core, 1, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(
+                DcId::new(1),
+                DcKind::Core,
+                1,
+                cap(32, 65536, 500),
+                PlacementStrategy::WorstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(2),
+                DcKind::Core,
+                1,
+                cap(32, 65536, 500),
+                PlacementStrategy::WorstFit,
+            ),
         ]);
-        c.deploy(SliceId::new(1), DcId::new(1), &template(1)).unwrap();
+        c.deploy(SliceId::new(1), DcId::new(1), &template(1))
+            .unwrap();
         c.fail_host(DcId::new(1), HostId::new(0));
         // DC 1's only host is dead: nothing can be placed there anymore.
         assert_eq!(c.dc(DcId::new(1)).unwrap().alive_hosts(), 0);
@@ -693,8 +765,20 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_dc_ids_rejected() {
         CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 1, cap(1, 1024, 10), PlacementStrategy::FirstFit),
-            DataCenter::homogeneous(DcId::new(0), DcKind::Core, 1, cap(1, 1024, 10), PlacementStrategy::FirstFit),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Edge,
+                1,
+                cap(1, 1024, 10),
+                PlacementStrategy::FirstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Core,
+                1,
+                cap(1, 1024, 10),
+                PlacementStrategy::FirstFit,
+            ),
         ]);
     }
 }

@@ -210,27 +210,51 @@ mod tests {
     #[test]
     fn first_fit_picks_lowest_id() {
         let mut d = dc(PlacementStrategy::FirstFit);
-        assert_eq!(d.place(VmId::new(1), cap(2, 1024, 10)), Some(HostId::new(0)));
-        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(0)));
+        assert_eq!(
+            d.place(VmId::new(1), cap(2, 1024, 10)),
+            Some(HostId::new(0))
+        );
+        assert_eq!(
+            d.place(VmId::new(2), cap(2, 1024, 10)),
+            Some(HostId::new(0))
+        );
     }
 
     #[test]
     fn best_fit_consolidates() {
         let mut d = dc(PlacementStrategy::BestFit);
         d.place(VmId::new(1), cap(4, 1024, 10)).unwrap(); // host 0 at 50% CPU
-        // Next small VM should land on the already-loaded host 0.
-        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(0)));
+                                                          // Next small VM should land on the already-loaded host 0.
+        assert_eq!(
+            d.place(VmId::new(2), cap(2, 1024, 10)),
+            Some(HostId::new(0))
+        );
         // A VM too big for host 0's remainder goes elsewhere.
-        assert_eq!(d.place(VmId::new(3), cap(6, 1024, 10)), Some(HostId::new(1)));
+        assert_eq!(
+            d.place(VmId::new(3), cap(6, 1024, 10)),
+            Some(HostId::new(1))
+        );
     }
 
     #[test]
     fn worst_fit_spreads() {
         let mut d = dc(PlacementStrategy::WorstFit);
-        assert_eq!(d.place(VmId::new(1), cap(2, 1024, 10)), Some(HostId::new(0)));
-        assert_eq!(d.place(VmId::new(2), cap(2, 1024, 10)), Some(HostId::new(1)));
-        assert_eq!(d.place(VmId::new(3), cap(2, 1024, 10)), Some(HostId::new(2)));
-        assert_eq!(d.place(VmId::new(4), cap(2, 1024, 10)), Some(HostId::new(0)));
+        assert_eq!(
+            d.place(VmId::new(1), cap(2, 1024, 10)),
+            Some(HostId::new(0))
+        );
+        assert_eq!(
+            d.place(VmId::new(2), cap(2, 1024, 10)),
+            Some(HostId::new(1))
+        );
+        assert_eq!(
+            d.place(VmId::new(3), cap(2, 1024, 10)),
+            Some(HostId::new(2))
+        );
+        assert_eq!(
+            d.place(VmId::new(4), cap(2, 1024, 10)),
+            Some(HostId::new(0))
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ mod tests {
         let busy = attach_latency(0.85);
         assert!(busy.value() > 150.0 && busy.value() < 750.0);
         assert!((attach_latency(1.0).value() - 750.0).abs() < 1e-9);
-        assert!((attach_latency(5.0).value() - 750.0).abs() < 1e-9, "clamped");
+        assert!(
+            (attach_latency(5.0).value() - 750.0).abs() < 1e-9,
+            "clamped"
+        );
     }
 
     #[test]

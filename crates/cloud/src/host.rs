@@ -221,7 +221,10 @@ mod tests {
         let total = cap(10, 1000, 100);
         let used = cap(2, 900, 10);
         assert!((total.dominant_utilization(&used) - 0.9).abs() < 1e-12);
-        assert_eq!(HostCapacity::ZERO.dominant_utilization(&HostCapacity::ZERO), 0.0);
+        assert_eq!(
+            HostCapacity::ZERO.dominant_utilization(&HostCapacity::ZERO),
+            0.0
+        );
     }
 
     #[test]
@@ -241,7 +244,10 @@ mod tests {
     fn host_rejects_overcommit() {
         let mut h = Host::new(HostId::new(0), cap(4, 4096, 40));
         assert!(h.allocate(VmId::new(1), cap(3, 1024, 10)));
-        assert!(!h.allocate(VmId::new(2), cap(2, 1024, 10)), "CPU would overflow");
+        assert!(
+            !h.allocate(VmId::new(2), cap(2, 1024, 10)),
+            "CPU would overflow"
+        );
         assert_eq!(h.vm_count(), 1);
     }
 
@@ -269,7 +275,11 @@ mod tests {
         h.allocate(VmId::new(2), cap(3, 1024, 10));
         // VM 1 can grow to at most 5 vCPUs (8 - 3 used by VM 2).
         assert!(!h.resize_vm(VmId::new(1), cap(6, 4096, 40)));
-        assert_eq!(h.allocation(VmId::new(1)), Some(cap(4, 4096, 40)), "unchanged");
+        assert_eq!(
+            h.allocation(VmId::new(1)),
+            Some(cap(4, 4096, 40)),
+            "unchanged"
+        );
         assert!(h.resize_vm(VmId::new(1), cap(5, 4096, 40)));
         assert!(!h.resize_vm(VmId::new(9), cap(1, 256, 2)));
     }

@@ -53,8 +53,10 @@ pub mod epc;
 pub mod host;
 pub mod stack;
 
-pub use controller::{CloudController, CloudError, CloudSnapshot, DeployedStack};
+pub use controller::{
+    CloudController, CloudControllerState, CloudError, CloudSnapshot, DeployedStack,
+};
 pub use datacenter::{DataCenter, DcKind, PlacementStrategy};
-pub use epc::{epc_template, attach_latency, EpcSizing};
+pub use epc::{attach_latency, epc_template, EpcSizing};
 pub use host::{Host, HostCapacity};
 pub use stack::{StackState, StackTemplate, VmSpec};

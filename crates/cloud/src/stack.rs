@@ -65,8 +65,14 @@ impl fmt::Display for TemplateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TemplateError::Empty => f.write_str("template has no resources"),
-            TemplateError::DanglingDependency { resource, dependency } => {
-                write!(f, "resource {resource} depends on unknown index {dependency}")
+            TemplateError::DanglingDependency {
+                resource,
+                dependency,
+            } => {
+                write!(
+                    f,
+                    "resource {resource} depends on unknown index {dependency}"
+                )
             }
             TemplateError::Cycle => f.write_str("dependency cycle"),
             TemplateError::DuplicateName(n) => write!(f, "duplicate resource name {n:?}"),

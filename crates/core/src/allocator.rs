@@ -275,10 +275,10 @@ impl MultiDomainAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ovnes_cloud::{DataCenter, PlacementStrategy};
     use ovnes_cloud::host::HostCapacity;
-    use ovnes_model::{MemMb, SliceClass, TenantId, VCpus};
+    use ovnes_cloud::{DataCenter, PlacementStrategy};
     use ovnes_model::DiskGb;
+    use ovnes_model::{MemMb, SliceClass, TenantId, VCpus};
     use ovnes_ran::{CellConfig, Enb};
     use ovnes_transport::Topology;
 
@@ -297,8 +297,20 @@ mod tests {
         ]);
         let transport = TransportController::new(Topology::testbed(), 1024);
         let cloud = CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
-            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Edge,
+                2,
+                cap(16, 32768, 200),
+                PlacementStrategy::WorstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(1),
+                DcKind::Core,
+                8,
+                cap(32, 65536, 500),
+                PlacementStrategy::WorstFit,
+            ),
         ]);
         (ran, transport, cloud)
     }
@@ -373,8 +385,20 @@ mod tests {
         let (mut ran, mut transport, _) = world();
         // An edge DC too small for any vEPC; big core.
         let mut cloud = CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 1, cap(1, 512, 5), PlacementStrategy::FirstFit),
-            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Edge,
+                1,
+                cap(1, 512, 5),
+                PlacementStrategy::FirstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(1),
+                DcKind::Core,
+                8,
+                cap(32, 65536, 500),
+                PlacementStrategy::WorstFit,
+            ),
         ]);
         let a = alloc();
         let req = urllc();
@@ -399,8 +423,20 @@ mod tests {
     fn embb_spills_to_edge_when_core_full() {
         let (mut ran, mut transport, _) = world();
         let mut cloud = CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
-            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 1, cap(1, 512, 5), PlacementStrategy::FirstFit),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Edge,
+                2,
+                cap(16, 32768, 200),
+                PlacementStrategy::WorstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(1),
+                DcKind::Core,
+                1,
+                cap(1, 512, 5),
+                PlacementStrategy::FirstFit,
+            ),
         ]);
         let a = alloc();
         let req = embb(10.0);

@@ -14,8 +14,9 @@
 //! on the first attempt, makes no RNG draw, and is byte-identical to
 //! calling the bus directly — chaos machinery costs nothing when idle.
 
-use ovnes_api::{FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy, Status};
+use ovnes_api::{BusState, FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy, Status};
 use ovnes_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The domains the orchestrator supervises, in probe order.
@@ -23,7 +24,7 @@ pub const DOMAINS: [&str; 3] = ["ran", "transport", "cloud"];
 
 /// Per-epoch control-plane call accounting, drained by the orchestrator at
 /// the end of each epoch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ControlEpochStats {
     /// Logical calls issued (each may span several attempts).
     pub calls: u64,
@@ -178,6 +179,49 @@ impl ControlPlane {
         self.epoch.failures += 1;
         None
     }
+
+    /// The control plane's complete serializable state. The bus's handler
+    /// closures are excluded: [`ControlPlane::new`] re-registers the same
+    /// self-contained `health`/`monitoring` handlers, so restoration is
+    /// exact (see [`MessageBus::export_state`]).
+    pub fn export_state(&self) -> ControlPlaneState {
+        ControlPlaneState {
+            bus: self.bus.export_state(),
+            injector: self.injector.clone(),
+            retry: self.retry,
+            jitter_rng: self.jitter_rng.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// A control plane rebuilt from [`ControlPlane::export_state`]: fresh
+    /// handlers, restored accounting, fault injector mid-schedule, and the
+    /// jitter stream at its exact position.
+    pub fn from_state(state: &ControlPlaneState) -> ControlPlane {
+        let mut cp = ControlPlane::new();
+        cp.bus.restore_state(&state.bus);
+        cp.injector = state.injector.clone();
+        cp.retry = state.retry;
+        cp.jitter_rng = state.jitter_rng.clone();
+        cp.epoch = state.epoch;
+        cp
+    }
+}
+
+/// Serializable state of a [`ControlPlane`] (everything except the bus's
+/// handler closures — see [`ControlPlane::export_state`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneState {
+    /// Bus accounting (correlation ids, served counts).
+    pub bus: BusState,
+    /// Fault injector with its plan, RNG position, and stats, if installed.
+    pub injector: Option<FaultInjector>,
+    /// Retry policy in force.
+    pub retry: RetryPolicy,
+    /// Backoff-jitter stream position, if a plan is installed.
+    pub jitter_rng: Option<SimRng>,
+    /// Call accounting of the epoch in progress.
+    pub epoch: ControlEpochStats,
 }
 
 impl Default for ControlPlane {
@@ -198,7 +242,14 @@ mod tests {
             assert!(cp.probe(SimTime::ZERO, domain));
         }
         let stats = cp.take_epoch_stats();
-        assert_eq!(stats, ControlEpochStats { calls: 3, retries: 0, failures: 0 });
+        assert_eq!(
+            stats,
+            ControlEpochStats {
+                calls: 3,
+                retries: 0,
+                failures: 0
+            }
+        );
         // Drained: the next read starts from zero.
         assert_eq!(cp.take_epoch_stats(), ControlEpochStats::default());
     }
@@ -217,8 +268,7 @@ mod tests {
         let mut cp = ControlPlane::new();
         cp.set_fault_plan(FaultPlan::new(3).with_endpoint(
             "cloud/health",
-            EndpointFaults::none()
-                .with_outage(SimTime::from_secs(60), SimTime::from_secs(120)),
+            EndpointFaults::none().with_outage(SimTime::from_secs(60), SimTime::from_secs(120)),
         ));
         assert!(cp.probe(SimTime::from_secs(90), "ran"));
         assert!(cp.probe(SimTime::from_secs(90), "transport"));
@@ -231,10 +281,9 @@ mod tests {
         // 50% drops: with 4 attempts a probe fails only 1/16 of the time,
         // so across 40 probes we expect successes *and* nonzero retries.
         let mut cp = ControlPlane::new();
-        cp.set_fault_plan(FaultPlan::new(5).with_endpoint(
-            "ran/health",
-            EndpointFaults::none().with_drop(0.5),
-        ));
+        cp.set_fault_plan(
+            FaultPlan::new(5).with_endpoint("ran/health", EndpointFaults::none().with_drop(0.5)),
+        );
         let mut ok = 0;
         for i in 0..40u64 {
             if cp.probe(SimTime::from_secs(i), "ran") {
@@ -249,10 +298,10 @@ mod tests {
     #[test]
     fn corrupt_responses_are_rejected_by_the_acceptor() {
         let mut cp = ControlPlane::new();
-        cp.set_fault_plan(FaultPlan::new(6).with_endpoint(
-            "ran/monitoring",
-            EndpointFaults::none().with_corrupt(1.0),
-        ));
+        cp.set_fault_plan(
+            FaultPlan::new(6)
+                .with_endpoint("ran/monitoring", EndpointFaults::none().with_corrupt(1.0)),
+        );
         let body = ovnes_api::encode(&42u32).unwrap();
         // Every response is corrupted, so the decode check rejects all
         // attempts and the call fails.
@@ -281,6 +330,39 @@ mod tests {
             let e = format!("{domain}/health");
             assert_eq!(clean.served(&e), planned.served(&e));
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_chaos_mid_schedule() {
+        let plan = || {
+            FaultPlan::new(9).with_endpoint(
+                "transport/health",
+                EndpointFaults::none().with_drop(0.4).with_error(0.2),
+            )
+        };
+        // Uninterrupted reference.
+        let mut reference = ControlPlane::new();
+        reference.set_fault_plan(plan());
+        let full: Vec<bool> = (0..100u64)
+            .map(|i| reference.probe(SimTime::from_secs(i), "transport"))
+            .collect();
+
+        // Same run, snapshotted at epoch 40 and resumed from the state.
+        let mut first = ControlPlane::new();
+        first.set_fault_plan(plan());
+        let mut resumed_outcomes: Vec<bool> = (0..40u64)
+            .map(|i| first.probe(SimTime::from_secs(i), "transport"))
+            .collect();
+        let state = first.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ControlPlaneState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut resumed = ControlPlane::from_state(&back);
+        resumed_outcomes
+            .extend((40..100u64).map(|i| resumed.probe(SimTime::from_secs(i), "transport")));
+
+        assert_eq!(resumed_outcomes, full);
+        assert_eq!(resumed.export_state(), reference.export_state());
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
 //!   request generators, plus the chaos-testing and substrate-fault
 //!   wrappers.
+//! * [`snapshot`] — whole-world checkpoint/restore over a content-addressed
+//!   store, with manifest-chain bisection for divergence hunting.
 
 pub mod admission;
 pub mod allocator;
@@ -35,15 +37,22 @@ pub mod orchestrator;
 pub mod overbooking;
 pub mod scenario;
 pub mod sla;
+pub mod snapshot;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
 pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
-pub use control::{ControlEpochStats, ControlPlane, DOMAINS};
+pub use control::{ControlEpochStats, ControlPlane, ControlPlaneState, DOMAINS};
 pub use lifecycle::{SliceRecord, SliceState};
-pub use orchestrator::{EpochReport, Orchestrator, OrchestratorConfig, SliceTimeline};
-pub use overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
-pub use scenario::{
-    ChaosScenario, ChaosSummary, DemoScenario, RequestGenerator, RequestMix, ScenarioConfig,
-    SubstrateScenario, SubstrateSummary,
+pub use orchestrator::{
+    EpochReport, Orchestrator, OrchestratorConfig, OrchestratorState, SliceSimSnapshot,
+    SliceTimeline,
 };
-pub use sla::{SlaMonitor, SlaVerdict};
+pub use overbooking::{
+    GainReport, OverbookingConfig, OverbookingEngine, OverbookingEngineState, SliceTrackerState,
+};
+pub use scenario::{
+    ChaosScenario, ChaosSummary, DemoScenario, DemoSummary, RequestGenerator, RequestMix,
+    RunCursor, ScenarioConfig, ScenarioState, SubstrateScenario, SubstrateSummary,
+};
+pub use sla::{SlaMonitor, SlaMonitorState, SlaVerdict};
+pub use snapshot::{replay_bisect, WorldSnapshot};

@@ -141,7 +141,7 @@ pub struct EpochReport {
 
 /// Per-slice measurement history, recorded every active epoch — the data
 /// behind the dashboard's per-slice charts and the CSV exports.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SliceTimeline {
     /// Offered traffic per epoch (Mbps).
     pub offered: TimeSeries,
@@ -385,7 +385,9 @@ impl Orchestrator {
         let decision = self.policy.decide(&request, &view);
         let reserved = match decision {
             AdmissionDecision::Reject { reason } => {
-                record.transition(SliceState::Rejected).expect("requested→rejected");
+                record
+                    .transition(SliceState::Rejected)
+                    .expect("requested→rejected");
                 self.records.insert(id, record);
                 self.metrics.counter("orchestrator.rejected_policy").inc();
                 return Err(Rejection { slice: id, reason });
@@ -435,11 +437,15 @@ impl Orchestrator {
             .iter()
             .map(|r| {
                 let fraction = if self.config.overbooking_enabled {
-                    view.class_demand.get(r.class).unwrap_or(1.0).clamp(0.3, 1.0)
+                    view.class_demand
+                        .get(r.class)
+                        .unwrap_or(1.0)
+                        .clamp(0.3, 1.0)
                 } else {
                     1.0
                 };
-                view.prbs_needed(r.sla.throughput * fraction).max(Prbs::new(1))
+                view.prbs_needed(r.sla.throughput * fraction)
+                    .max(Prbs::new(1))
             })
             .collect();
         // Budget: every unreserved PRB in the RAN (the knapsack is a radio
@@ -469,7 +475,9 @@ impl Orchestrator {
                 }
             } else {
                 let mut record = record;
-                record.transition(SliceState::Rejected).expect("requested→rejected");
+                record
+                    .transition(SliceState::Rejected)
+                    .expect("requested→rejected");
                 self.records.insert(id, record);
                 self.metrics.counter("orchestrator.rejected_policy").inc();
                 rejected += 1;
@@ -489,9 +497,13 @@ impl Orchestrator {
         reserved: Prbs,
     ) -> Result<SliceId, Rejection> {
         let Some(plmn) = self.allocate_plmn() else {
-            record.transition(SliceState::Rejected).expect("requested→rejected");
+            record
+                .transition(SliceState::Rejected)
+                .expect("requested→rejected");
             self.records.insert(id, record);
-            self.metrics.counter("orchestrator.rejected_resources").inc();
+            self.metrics
+                .counter("orchestrator.rejected_resources")
+                .inc();
             return Err(Rejection {
                 slice: id,
                 reason: "PLMN pool exhausted".into(),
@@ -508,7 +520,9 @@ impl Orchestrator {
             &mut self.cloud,
         ) {
             Ok(placement) => {
-                record.transition(SliceState::Deploying).expect("requested→deploying");
+                record
+                    .transition(SliceState::Deploying)
+                    .expect("requested→deploying");
                 record.plmn = Some(plmn);
                 self.ready_at.insert(id, now + placement.deploy_time);
                 self.sla.book_admission(now, &record);
@@ -559,11 +573,15 @@ impl Orchestrator {
             }
             Err(e) => {
                 self.free_plmns.push(plmn);
-                record.transition(SliceState::Rejected).expect("requested→rejected");
+                record
+                    .transition(SliceState::Rejected)
+                    .expect("requested→rejected");
                 self.events
                     .log(now, "orchestrator", format!("{id} rejected: {e}"));
                 self.records.insert(id, record);
-                self.metrics.counter("orchestrator.rejected_resources").inc();
+                self.metrics
+                    .counter("orchestrator.rejected_resources")
+                    .inc();
                 Err(Rejection {
                     slice: id,
                     reason: e.to_string(),
@@ -636,8 +654,11 @@ impl Orchestrator {
             let was_down = self.down_domains.contains(domain);
             if up && was_down {
                 self.down_domains.remove(domain);
-                self.events
-                    .log(now, "control", format!("{domain} controller reachable again"));
+                self.events.log(
+                    now,
+                    "control",
+                    format!("{domain} controller reachable again"),
+                );
             } else if !up && !was_down {
                 self.down_domains.insert(domain);
                 self.events.log(
@@ -664,8 +685,7 @@ impl Orchestrator {
             let sky = self.weather.step(&mut self.weather_rng);
             if sky != self.last_sky {
                 self.last_sky = sky;
-                self.events
-                    .log(now, "weather", format!("sky now {sky}"));
+                self.events.log(now, "weather", format!("sky now {sky}"));
                 let factor = sky.mmwave_factor();
                 let links = WeatherProcess::sensitive_links(self.transport.topology());
                 let mut affected = Vec::new();
@@ -702,9 +722,16 @@ impl Orchestrator {
             .collect();
         for id in &activated {
             self.ready_at.remove(id);
-            let record = self.records.get_mut(id).expect("deploying slice has a record");
+            let record = self
+                .records
+                .get_mut(id)
+                .expect("deploying slice has a record");
             record.activate(now).expect("deploying→active");
-            self.sim_state.get_mut(id).expect("slice has UEs").ues.attach_all();
+            self.sim_state
+                .get_mut(id)
+                .expect("slice has UEs")
+                .ues
+                .attach_all();
             self.metrics.counter("orchestrator.activated").inc();
             self.events
                 .log(now, "orchestrator", format!("{id} active: UEs attached"));
@@ -723,8 +750,11 @@ impl Orchestrator {
             .collect();
         for id in &expired {
             self.teardown(*id, SliceState::Expired);
-            self.events
-                .log(now, "orchestrator", format!("{id} expired, resources reclaimed"));
+            self.events.log(
+                now,
+                "orchestrator",
+                format!("{id} expired, resources reclaimed"),
+            );
         }
 
         // 2b. Degrade/restore on control-plane reachability. Every slice
@@ -742,8 +772,7 @@ impl Orchestrator {
                 .records
                 .values()
                 .filter(|r| {
-                    r.state == SliceState::Degraded
-                        && !self.substrate_degraded.contains_key(&r.id)
+                    r.state == SliceState::Degraded && !self.substrate_degraded.contains_key(&r.id)
                 })
                 .map(|r| r.id)
                 .collect();
@@ -889,11 +918,11 @@ impl Orchestrator {
             let id = load.slice;
             // The radio outcome is missing when the serving cell is down:
             // the scheduler dropped the load, so nothing crossed the air.
-            let (radio_allocated, radio_delivered, radio_unserved) =
-                match outcome_by_slice.get(&id) {
-                    Some(o) => (o.allocated, o.delivered, o.unserved),
-                    None => (Prbs::ZERO, RateMbps::ZERO, load.offered),
-                };
+            let (radio_allocated, radio_delivered, radio_unserved) = match outcome_by_slice.get(&id)
+            {
+                Some(o) => (o.allocated, o.delivered, o.unserved),
+                None => (Prbs::ZERO, RateMbps::ZERO, load.offered),
+            };
             // A slice whose vEPC is redeploying after a host failure serves
             // nothing, whatever the radio delivered.
             let epc_down = self.epc_down_until.get(&id).is_some_and(|&t| t > now);
@@ -903,24 +932,26 @@ impl Orchestrator {
             // delivered: the slice's share of its bottleneck link.
             let delivered = if epc_down || substrate_out {
                 RateMbps::ZERO
-            } else { match self.transport.capacity_share(id) {
-                Some(share) if share < 1.0 => {
-                    let res_bw = self
-                        .transport
-                        .reservation(id)
-                        .expect("share implies a reservation")
-                        .bandwidth;
-                    radio_delivered.min(res_bw * share)
+            } else {
+                match self.transport.capacity_share(id) {
+                    Some(share) if share < 1.0 => {
+                        let res_bw = self
+                            .transport
+                            .reservation(id)
+                            .expect("share implies a reservation")
+                            .bandwidth;
+                        radio_delivered.min(res_bw * share)
+                    }
+                    _ => radio_delivered,
                 }
-                _ => radio_delivered,
-            } };
-            let transport_unserved = radio_unserved
-                + radio_delivered.saturating_sub(delivered);
+            };
+            let transport_unserved = radio_unserved + radio_delivered.saturating_sub(delivered);
             let latency = self.end_to_end_latency(id, load, transport_unserved);
-            let record = self.records.get_mut(&id).expect("active slice has a record");
-            let mut verdict = self
-                .sla
-                .assess(record, load.offered, delivered, latency);
+            let record = self
+                .records
+                .get_mut(&id)
+                .expect("active slice has a record");
+            let mut verdict = self.sla.assess(record, load.offered, delivered, latency);
             if substrate_out {
                 // A degraded epoch is a penalty epoch even when the tenant
                 // offered no traffic: the slice itself is out of service,
@@ -961,7 +992,9 @@ impl Orchestrator {
                     &mut scratch.shares,
                 );
                 scratch.rates.clear();
-                scratch.rates.extend(scratch.shares.iter().map(|sh| sh.rate.value()));
+                scratch
+                    .rates
+                    .extend(scratch.shares.iter().map(|sh| sh.rate.value()));
                 let jain = jain_index(&scratch.rates);
                 let name = format!("orchestrator.{id}.ue_fairness");
                 match self.metrics.series_mut(&name) {
@@ -1031,7 +1064,9 @@ impl Orchestrator {
         let cstats = self.control.take_epoch_stats();
         self.metrics.counter("control.calls").add(cstats.calls);
         self.metrics.counter("control.retries").add(cstats.retries);
-        self.metrics.counter("control.failures").add(cstats.failures);
+        self.metrics
+            .counter("control.failures")
+            .add(cstats.failures);
         self.metrics
             .gauge("control.unreachable_domains")
             .set(unreachable_domains.len() as f64);
@@ -1078,17 +1113,18 @@ impl Orchestrator {
         degraded: &mut Vec<SliceId>,
         restored: &mut Vec<SliceId>,
     ) {
-        let plan = self.substrate_plan.as_ref().expect("phase is gated on a plan");
-        let desired: BTreeSet<SubstrateElement> =
-            plan.down_elements_at(now).into_iter().collect();
+        let plan = self
+            .substrate_plan
+            .as_ref()
+            .expect("phase is gated on a plan");
+        let desired: BTreeSet<SubstrateElement> = plan.down_elements_at(now).into_iter().collect();
 
         // Detect: edge-trigger failures and recoveries.
         let newly_down: Vec<SubstrateElement> =
             desired.difference(&self.substrate_down).copied().collect();
         let newly_up: Vec<SubstrateElement> =
             self.substrate_down.difference(&desired).copied().collect();
-        let mut touched: BTreeSet<SliceId> =
-            self.substrate_degraded.keys().copied().collect();
+        let mut touched: BTreeSet<SliceId> = self.substrate_degraded.keys().copied().collect();
         for element in newly_down {
             let slices = match element {
                 SubstrateElement::Link(l) => self.transport.fail_link(l),
@@ -1138,9 +1174,10 @@ impl Orchestrator {
             // Transport: a reservation crossing a dead link. Mass reroute
             // through the virtual-release machinery; dead links are
             // rejected during cache revalidation and fresh searches alike.
-            let path_dead = self.transport.reservation(id).is_some_and(|r| {
-                r.path.links.iter().any(|&l| !self.transport.link_is_up(l))
-            });
+            let path_dead = self
+                .transport
+                .reservation(id)
+                .is_some_and(|r| r.path.links.iter().any(|&l| !self.transport.link_is_up(l)));
             if path_dead {
                 impacted = true;
                 if self.transport.reroute(id) == Ok(true) {
@@ -1190,20 +1227,18 @@ impl Orchestrator {
             };
             if stack_bad {
                 impacted = true;
-                let template =
-                    epc_template(id, &request.compute_demand(), &EpcSizing::default());
-                let fresh: Option<DeployedStack> =
-                    if self.cloud.stack_for_slice(id).is_some() {
-                        self.cloud.redeploy_for_slice(id, &template).ok()
-                    } else {
-                        let kind = self
-                            .placements
-                            .get(&id)
-                            .and_then(|p| self.cloud.dc(p.dc))
-                            .map(|dc| dc.kind());
-                        let target = kind.and_then(|k| self.cloud.find_dc(k, &template));
-                        target.and_then(|dc| self.cloud.deploy(id, dc, &template).ok())
-                    };
+                let template = epc_template(id, &request.compute_demand(), &EpcSizing::default());
+                let fresh: Option<DeployedStack> = if self.cloud.stack_for_slice(id).is_some() {
+                    self.cloud.redeploy_for_slice(id, &template).ok()
+                } else {
+                    let kind = self
+                        .placements
+                        .get(&id)
+                        .and_then(|p| self.cloud.dc(p.dc))
+                        .map(|dc| dc.kind());
+                    let target = kind.and_then(|k| self.cloud.find_dc(k, &template));
+                    target.and_then(|dc| self.cloud.deploy(id, dc, &template).ok())
+                };
                 match fresh {
                     Some(stack) => {
                         self.epc_down_until.insert(id, now + stack.deploy_time);
@@ -1280,8 +1315,7 @@ impl Orchestrator {
     /// when the slice's demand outran its allocation) + transport path
     /// (load-dependent) + EPC processing.
     fn end_to_end_latency(&self, id: SliceId, load: &OfferedLoad, unserved: RateMbps) -> Latency {
-        let congested = !load.offered.is_zero()
-            && unserved.value() > load.offered.value() * 0.05;
+        let congested = !load.offered.is_zero() && unserved.value() > load.offered.value() * 0.05;
         let ran_latency = if congested {
             Latency::new(6.0) // HARQ + scheduling queue under saturation
         } else {
@@ -1388,7 +1422,8 @@ impl Orchestrator {
                 r.status == Status::Ok && decode::<MonitoringReport>(&r.body).is_ok()
             });
             if let Some(response) = accepted {
-                reports.push(decode::<MonitoringReport>(&response.body).expect("checked decodable"));
+                reports
+                    .push(decode::<MonitoringReport>(&response.body).expect("checked decodable"));
             }
         }
         reports
@@ -1553,6 +1588,233 @@ impl Orchestrator {
     pub fn revive_host(&mut self, dc: ovnes_model::DcId, host: ovnes_model::HostId) {
         self.cloud.revive_host(dc, host);
     }
+
+    // ---- checkpoint / restore ----------------------------------------------
+
+    /// The orchestrator's complete serializable state: every domain
+    /// controller, the overbooking engine (forecasters mid-warm-up), the
+    /// SLA ledger, per-slice traffic/UE/RNG streams, the control plane with
+    /// any chaos plan mid-schedule, and all accounting.
+    ///
+    /// Deliberately excluded (see `DESIGN.md` decision 10): the epoch
+    /// scratch buffers and per-slice channel sample buffers (pure
+    /// workspace, rewritten before every read), the admission policy object
+    /// (a pure function of `config.policy`), and memoized route-cache
+    /// entries (provably answer-preserving to drop).
+    pub fn export_state(&self) -> OrchestratorState {
+        OrchestratorState {
+            config: self.config.clone(),
+            cell: self.cell,
+            ran: self.ran.export_state(),
+            transport: self.transport.export_state(),
+            cloud: self.cloud.export_state(),
+            engine: self.engine.export_state(),
+            sla: self.sla.export_state(),
+            records: self.records.clone(),
+            placements: self.placements.clone(),
+            pending: self.pending.clone(),
+            ready_at: self.ready_at.clone(),
+            epc_down_until: self.epc_down_until.clone(),
+            timelines: self.timelines.clone(),
+            pf: self.pf.clone(),
+            sim_state: self
+                .sim_state
+                .iter()
+                .map(|(&id, s)| {
+                    (
+                        id,
+                        SliceSimSnapshot {
+                            traffic: s.traffic.clone(),
+                            ues: s.ues.clone(),
+                            rng: s.rng.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            channel: self.channel.clone(),
+            rng: self.rng.clone(),
+            ids: self.ids.clone(),
+            ue_ids: self.ue_ids.clone(),
+            free_plmns: self.free_plmns.clone(),
+            next_plmn: self.next_plmn,
+            metrics: self.metrics.clone(),
+            epoch_count: self.epoch_count,
+            last_epoch_at: self.last_epoch_at,
+            last_monitoring: self.last_monitoring.clone(),
+            weather: self.weather.clone(),
+            weather_rng: self.weather_rng.clone(),
+            last_sky: self.last_sky,
+            events: self.events.clone(),
+            control: self.control.export_state(),
+            down_domains: self.down_domains.iter().map(|d| (*d).to_owned()).collect(),
+            substrate_plan: self.substrate_plan.clone(),
+            substrate_down: self.substrate_down.clone(),
+            substrate_degraded: self.substrate_degraded.clone(),
+        }
+    }
+
+    /// An orchestrator rebuilt from [`Orchestrator::export_state`]. From
+    /// the captured instant onward it behaves bit-for-bit like the original
+    /// would have: every RNG stream resumes at its exact position, every
+    /// forecaster at its exact warm-up, every chaos schedule mid-outage.
+    ///
+    /// # Panics
+    /// Panics if a recorded down-domain names no known domain — that only
+    /// happens on a corrupt snapshot.
+    pub fn from_state(state: &OrchestratorState) -> Orchestrator {
+        Orchestrator {
+            config: state.config.clone(),
+            ran: RanController::from_state(&state.ran),
+            transport: TransportController::from_state(&state.transport),
+            cloud: CloudController::from_state(&state.cloud),
+            cell: state.cell,
+            allocator: MultiDomainAllocator::new(state.config.allocator.clone()),
+            policy: state.config.policy.build(),
+            engine: OverbookingEngine::from_state(&state.engine),
+            sla: SlaMonitor::from_state(&state.sla),
+            records: state.records.clone(),
+            placements: state.placements.clone(),
+            pending: state.pending.clone(),
+            ready_at: state.ready_at.clone(),
+            epc_down_until: state.epc_down_until.clone(),
+            timelines: state.timelines.clone(),
+            pf: state.pf.clone(),
+            sim_state: state
+                .sim_state
+                .iter()
+                .map(|(&id, s)| {
+                    (
+                        id,
+                        SliceSimState {
+                            traffic: s.traffic.clone(),
+                            ues: s.ues.clone(),
+                            channels: Vec::new(),
+                            rng: s.rng.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            epoch_scratch: EpochScratch::default(),
+            channel: state.channel.clone(),
+            rng: state.rng.clone(),
+            ids: state.ids.clone(),
+            ue_ids: state.ue_ids.clone(),
+            free_plmns: state.free_plmns.clone(),
+            next_plmn: state.next_plmn,
+            metrics: state.metrics.clone(),
+            epoch_count: state.epoch_count,
+            last_epoch_at: state.last_epoch_at,
+            last_monitoring: state.last_monitoring.clone(),
+            weather: state.weather.clone(),
+            weather_rng: state.weather_rng.clone(),
+            last_sky: state.last_sky,
+            events: state.events.clone(),
+            control: ControlPlane::from_state(&state.control),
+            down_domains: state
+                .down_domains
+                .iter()
+                .map(|d| {
+                    DOMAINS
+                        .iter()
+                        .copied()
+                        .find(|k| *k == d.as_str())
+                        .unwrap_or_else(|| panic!("unknown domain {d:?} in snapshot"))
+                })
+                .collect(),
+            substrate_plan: state.substrate_plan.clone(),
+            substrate_down: state.substrate_down.clone(),
+            substrate_degraded: state.substrate_degraded.clone(),
+        }
+    }
+}
+
+/// Serializable state of one slice's simulation loop: the traffic process,
+/// the UE population, and the slice's private radio RNG stream at its exact
+/// position. The per-epoch channel sample buffer is scratch and excluded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceSimSnapshot {
+    /// The slice's traffic trace process.
+    pub traffic: TraceGenerator,
+    /// The slice's UE population (positions, attachment, CQI state).
+    pub ues: UePopulation,
+    /// The slice's private radio RNG stream.
+    pub rng: SimRng,
+}
+
+/// Serializable state of an [`Orchestrator`] — see
+/// [`Orchestrator::export_state`] for the capture/exclusion contract.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorState {
+    /// Orchestrator tunables (also rebuilds the admission policy and the
+    /// allocator, both pure functions of the config).
+    pub config: OrchestratorConfig,
+    /// Shared cell profile.
+    pub cell: CellConfig,
+    /// RAN domain state.
+    pub ran: ovnes_ran::RanControllerState,
+    /// Transport domain state.
+    pub transport: ovnes_transport::TransportControllerState,
+    /// Cloud domain state.
+    pub cloud: ovnes_cloud::CloudControllerState,
+    /// Overbooking engine (forecasters, residuals, class stats).
+    pub engine: crate::overbooking::OverbookingEngineState,
+    /// SLA monitor (revenue ledger, tolerance).
+    pub sla: crate::sla::SlaMonitorState,
+    /// Every slice record, in every lifecycle state.
+    pub records: BTreeMap<SliceId, SliceRecord>,
+    /// Multi-domain placements of live slices.
+    pub placements: BTreeMap<SliceId, Placement>,
+    /// Requests awaiting the next batch-broker decision.
+    pub pending: Vec<SliceRequest>,
+    /// Deployment completion times of deploying slices.
+    pub ready_at: BTreeMap<SliceId, SimTime>,
+    /// vEPC redeployment outages in progress.
+    pub epc_down_until: BTreeMap<SliceId, SimTime>,
+    /// Per-slice measurement history.
+    pub timelines: BTreeMap<SliceId, SliceTimeline>,
+    /// Proportional-fair state per slice.
+    pub pf: BTreeMap<SliceId, PfState>,
+    /// Per-slice traffic/UE/RNG simulation state.
+    pub sim_state: BTreeMap<SliceId, SliceSimSnapshot>,
+    /// Radio channel model.
+    pub channel: ChannelModel,
+    /// The orchestrator's root RNG stream position.
+    pub rng: SimRng,
+    /// Slice id allocator position.
+    pub ids: IdAllocator,
+    /// UE id allocator position.
+    pub ue_ids: IdAllocator,
+    /// Recycled PLMNs, in pop order.
+    pub free_plmns: Vec<PlmnId>,
+    /// Next fresh PLMN index.
+    pub next_plmn: u64,
+    /// Orchestrator-level telemetry.
+    pub metrics: MetricRegistry,
+    /// Monitoring epochs run so far.
+    pub epoch_count: u64,
+    /// When the last epoch closed.
+    pub last_epoch_at: Option<SimTime>,
+    /// Most recent per-domain monitoring reports.
+    pub last_monitoring: Vec<MonitoringReport>,
+    /// Markov weather process state.
+    pub weather: WeatherProcess,
+    /// Weather RNG stream position.
+    pub weather_rng: SimRng,
+    /// Sky condition at capture.
+    pub last_sky: Sky,
+    /// Dashboard event feed (ring buffer, capacity included).
+    pub events: EventLog,
+    /// Control plane state (bus accounting, fault injector, jitter stream).
+    pub control: crate::control::ControlPlaneState,
+    /// Domains whose last health probe failed, by name.
+    pub down_domains: Vec<String>,
+    /// Substrate fault schedule, if installed.
+    pub substrate_plan: Option<SubstrateFaultPlan>,
+    /// Substrate elements currently applied as failed.
+    pub substrate_down: BTreeSet<SubstrateElement>,
+    /// Slices degraded behind unrepaired substrate faults, with detection
+    /// times.
+    pub substrate_degraded: BTreeMap<SliceId, SimTime>,
 }
 
 #[cfg(test)]
@@ -1580,8 +1842,20 @@ mod tests {
         ]);
         let transport = TransportController::new(Topology::testbed(), 1024);
         let cloud = CloudController::new(vec![
-            DataCenter::homogeneous(DcId::new(0), DcKind::Edge, 2, cap(16, 32768, 200), PlacementStrategy::WorstFit),
-            DataCenter::homogeneous(DcId::new(1), DcKind::Core, 8, cap(32, 65536, 500), PlacementStrategy::WorstFit),
+            DataCenter::homogeneous(
+                DcId::new(0),
+                DcKind::Edge,
+                2,
+                cap(16, 32768, 200),
+                PlacementStrategy::WorstFit,
+            ),
+            DataCenter::homogeneous(
+                DcId::new(1),
+                DcKind::Core,
+                8,
+                cap(32, 65536, 500),
+                PlacementStrategy::WorstFit,
+            ),
         ]);
         Orchestrator::new(config, ran, transport, cloud, cell, SimRng::seed_from(7))
     }
@@ -1666,7 +1940,10 @@ mod tests {
             }
             assert_eq!(report.verdicts.len(), report.active);
         }
-        assert!(saw_gain, "overbooking reconfiguration should shrink reservations");
+        assert!(
+            saw_gain,
+            "overbooking reconfiguration should shrink reservations"
+        );
     }
 
     #[test]
@@ -1751,7 +2028,7 @@ mod tests {
         let mut o = orchestrator(OrchestratorConfig::default());
         let id = o.submit(SimTime::ZERO, embb(25.0)).unwrap();
         o.run_epoch(minute(1)); // activates
-        // Terminate at half the 30-min lifetime (active at minute 1).
+                                // Terminate at half the 30-min lifetime (active at minute 1).
         assert!(o.terminate(minute(16), id));
         assert_eq!(o.record(id).unwrap().state, SliceState::Terminated);
         assert_eq!(o.transport().snapshot().paths, 0);
@@ -2075,14 +2352,8 @@ mod tests {
         assert_eq!(r8.restored, vec![id]);
         assert_eq!(o.record(id).unwrap().state, SliceState::Active);
         assert_eq!(o.monitoring().len(), 3);
-        assert_eq!(
-            o.metrics().counter_value("orchestrator.degraded"),
-            Some(1)
-        );
-        assert_eq!(
-            o.metrics().counter_value("orchestrator.restored"),
-            Some(1)
-        );
+        assert_eq!(o.metrics().counter_value("orchestrator.degraded"), Some(1));
+        assert_eq!(o.metrics().counter_value("orchestrator.restored"), Some(1));
     }
 
     #[test]
@@ -2111,10 +2382,7 @@ mod tests {
             o.set_fault_plan(
                 FaultPlan::new(17)
                     .with_endpoint("ran/health", EndpointFaults::none().with_drop(0.3))
-                    .with_endpoint(
-                        "cloud/monitoring",
-                        EndpointFaults::none().with_error(0.2),
-                    ),
+                    .with_endpoint("cloud/monitoring", EndpointFaults::none().with_error(0.2)),
             );
             o.submit(SimTime::ZERO, embb(25.0)).unwrap();
             let mut digest = Vec::new();

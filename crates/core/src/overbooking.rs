@@ -10,7 +10,7 @@
 //! re-configured (overbooked) to accommodate new slice requests."*
 
 use crate::admission::ClassDemand;
-use ovnes_forecast::{Forecaster, ForecasterKind, QuantileProvisioner};
+use ovnes_forecast::{Forecaster, ForecasterKind, ProvisionerState, QuantileProvisioner};
 use ovnes_model::{Prbs, RateMbps, SliceClass, SliceId, SliceRequest};
 use ovnes_ran::RanController;
 use ovnes_transport::TransportController;
@@ -155,10 +155,7 @@ impl OverbookingEngine {
         let provisioned = t
             .provisioner
             .provision(self.config.quantile, self.config.min_residuals)?;
-        Some(
-            (provisioned + self.config.safety_margin)
-                .clamp(self.config.min_fraction, 1.0),
-        )
+        Some((provisioned + self.config.safety_margin).clamp(self.config.min_fraction, 1.0))
     }
 
     /// Per-class mean demand fractions for the admission engine.
@@ -218,6 +215,73 @@ impl OverbookingEngine {
         applied
     }
 
+    /// The engine's complete serializable state. Forecasters travel as
+    /// [`ovnes_forecast::ForecasterState`] (inside each tracker's
+    /// provisioner state) and per-class stats are keyed by the class label,
+    /// mapped back to the `'static` keys on restore.
+    pub fn export_state(&self) -> OverbookingEngineState {
+        OverbookingEngineState {
+            config: self.config.clone(),
+            trackers: self
+                .trackers
+                .iter()
+                .map(|(slice, t)| {
+                    (
+                        *slice,
+                        SliceTrackerState {
+                            class: t.class,
+                            provisioner: t.provisioner.export_state(),
+                            mean_fraction: t.mean_fraction,
+                            observations: t.observations,
+                        },
+                    )
+                })
+                .collect(),
+            class_stats: self
+                .class_stats
+                .iter()
+                .map(|(label, s)| (label.to_string(), (s.sum, s.count)))
+                .collect(),
+        }
+    }
+
+    /// An engine rebuilt from [`OverbookingEngine::export_state`].
+    ///
+    /// # Panics
+    /// Panics if a class-stats key names no [`SliceClass`] — that only
+    /// happens on a corrupt snapshot.
+    pub fn from_state(state: &OverbookingEngineState) -> OverbookingEngine {
+        OverbookingEngine {
+            config: state.config.clone(),
+            trackers: state
+                .trackers
+                .iter()
+                .map(|(slice, t)| {
+                    (
+                        *slice,
+                        SliceTracker {
+                            class: t.class,
+                            provisioner: QuantileProvisioner::from_state(&t.provisioner),
+                            mean_fraction: t.mean_fraction,
+                            observations: t.observations,
+                        },
+                    )
+                })
+                .collect(),
+            class_stats: state
+                .class_stats
+                .iter()
+                .map(|(label, &(sum, count))| {
+                    let class = SliceClass::ALL
+                        .iter()
+                        .find(|c| c.label() == label)
+                        .unwrap_or_else(|| panic!("unknown slice class {label:?} in snapshot"));
+                    (class.label(), ClassStats { sum, count })
+                })
+                .collect(),
+        }
+    }
+
     /// Multiplexing-gain report from the RAN's current snapshot.
     pub fn gain_report(ran: &RanController) -> GainReport {
         let snap = ran.snapshot();
@@ -236,6 +300,31 @@ impl OverbookingEngine {
             },
         }
     }
+}
+
+/// Serializable state of one slice's tracker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliceTrackerState {
+    /// The slice's service class.
+    pub class: SliceClass,
+    /// Forecaster + residual window + pending forecast.
+    pub provisioner: ProvisionerState,
+    /// Running mean of observed demand fraction.
+    pub mean_fraction: f64,
+    /// Number of observations folded into the mean.
+    pub observations: u64,
+}
+
+/// Serializable state of an [`OverbookingEngine`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverbookingEngineState {
+    /// Engine tunables.
+    pub config: OverbookingConfig,
+    /// Per-slice trackers.
+    pub trackers: BTreeMap<SliceId, SliceTrackerState>,
+    /// Per-class `(sum, count)` of observed demand fractions, keyed by
+    /// class label.
+    pub class_stats: BTreeMap<String, (f64, u64)>,
 }
 
 #[cfg(test)]
@@ -308,7 +397,9 @@ mod tests {
     #[test]
     fn higher_quantile_provisions_more() {
         // Alternating demand: quantile choice matters.
-        let pattern: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.3 } else { 0.7 }).collect();
+        let pattern: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 0.3 } else { 0.7 })
+            .collect();
         let s = SliceId::new(1);
         let mut lo = engine(0.2);
         lo.track(s, SliceClass::Embb);
@@ -351,12 +442,27 @@ mod tests {
         let (mut ran, mut transport) = world();
         let s = SliceId::new(1);
         let req = request(40.0); // nominal 80 PRBs at 0.5
-        ran.install(EnbId::new(0), s, PlmnId::test_slice_plmn(0), Prbs::new(80), Prbs::new(80))
-            .unwrap();
+        ran.install(
+            EnbId::new(0),
+            s,
+            PlmnId::test_slice_plmn(0),
+            Prbs::new(80),
+            Prbs::new(80),
+        )
+        .unwrap();
         let topo_src = transport.topology().radio_site(EnbId::new(0)).unwrap();
-        let topo_dst = transport.topology().dc_node(ovnes_model::DcId::new(1)).unwrap();
+        let topo_dst = transport
+            .topology()
+            .dc_node(ovnes_model::DcId::new(1))
+            .unwrap();
         transport
-            .allocate(s, topo_src, topo_dst, RateMbps::new(40.0), ovnes_model::Latency::new(48.0))
+            .allocate(
+                s,
+                topo_src,
+                topo_dst,
+                RateMbps::new(40.0),
+                ovnes_model::Latency::new(48.0),
+            )
             .unwrap();
 
         let mut e = engine(0.9);
@@ -387,8 +493,14 @@ mod tests {
     fn reconfigure_skips_cold_slices() {
         let (mut ran, mut transport) = world();
         let s = SliceId::new(1);
-        ran.install(EnbId::new(0), s, PlmnId::test_slice_plmn(0), Prbs::new(80), Prbs::new(80))
-            .unwrap();
+        ran.install(
+            EnbId::new(0),
+            s,
+            PlmnId::test_slice_plmn(0),
+            Prbs::new(80),
+            Prbs::new(80),
+        )
+        .unwrap();
         let mut e = engine(0.9);
         e.track(s, SliceClass::Embb);
         let applied = e.reconfigure(
@@ -408,6 +520,33 @@ mod tests {
         assert_eq!(g.nominal_prbs, Prbs::ZERO);
         assert_eq!(g.overbooking_factor, 0.0);
         assert_eq!(g.savings_fraction, 0.0);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_targets_and_class_demand() {
+        let mut e = engine(0.9);
+        let s = SliceId::new(1);
+        e.track(s, SliceClass::Embb);
+        let pattern: Vec<f64> = (0..40).map(|i| 0.3 + 0.02 * (i % 7) as f64).collect();
+        warm(&mut e, s, &pattern);
+
+        let state = e.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: OverbookingEngineState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+
+        let mut restored = OverbookingEngine::from_state(&back);
+        assert_eq!(restored.tracked(), 1);
+        assert_eq!(restored.target_fraction(s), e.target_fraction(s));
+        assert_eq!(
+            restored.class_demand().get(SliceClass::Embb),
+            e.class_demand().get(SliceClass::Embb)
+        );
+        // Identical future evolution: same observation, same next target.
+        e.observe(s, 0.41);
+        restored.observe(s, 0.41);
+        assert_eq!(restored.target_fraction(s), e.target_fraction(s));
+        assert_eq!(restored.export_state(), e.export_state());
     }
 
     #[test]

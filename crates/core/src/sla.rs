@@ -77,13 +77,8 @@ impl SlaMonitor {
         let lat_ok = idle || latency.value() <= sla.max_latency.value();
         let cause = match (tp_ok, lat_ok) {
             (true, true) => None,
-            (false, true) => Some(format!(
-                "throughput {delivered} < entitled {entitled}"
-            )),
-            (true, false) => Some(format!(
-                "latency {latency} > bound {}",
-                sla.max_latency
-            )),
+            (false, true) => Some(format!("throughput {delivered} < entitled {entitled}")),
+            (true, false) => Some(format!("latency {latency} > bound {}", sla.max_latency)),
             (false, false) => Some(format!(
                 "throughput {delivered} < {entitled} and latency {latency} > {}",
                 sla.max_latency
@@ -153,6 +148,31 @@ impl SlaMonitor {
     pub fn net(&self) -> Money {
         self.ledger.net()
     }
+
+    /// The monitor's complete serializable state.
+    pub fn export_state(&self) -> SlaMonitorState {
+        SlaMonitorState {
+            ledger: self.ledger.clone(),
+            tolerance: self.tolerance,
+        }
+    }
+
+    /// A monitor rebuilt from [`SlaMonitor::export_state`].
+    pub fn from_state(state: &SlaMonitorState) -> SlaMonitor {
+        SlaMonitor {
+            ledger: state.ledger.clone(),
+            tolerance: state.tolerance,
+        }
+    }
+}
+
+/// Serializable state of an [`SlaMonitor`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlaMonitorState {
+    /// Booked revenue records.
+    pub ledger: RevenueLedger,
+    /// Fractional shortfall tolerance.
+    pub tolerance: f64,
 }
 
 #[cfg(test)]

@@ -50,8 +50,8 @@ pub mod traces;
 
 pub use eval::{backtest, Accuracy};
 pub use models::{
-    Ar, Ensemble, Ewma, Forecaster, ForecasterKind, Holt, HoltWinters, MovingAverage, Naive,
-    SeasonalNaive,
+    Ar, Ensemble, Ewma, Forecaster, ForecasterKind, ForecasterState, Holt, HoltWinters,
+    MovingAverage, Naive, SeasonalNaive,
 };
-pub use provision::{QuantileProvisioner, ResidualWindow};
+pub use provision::{ProvisionerState, QuantileProvisioner, ResidualWindow};
 pub use traces::{TraceGenerator, TraceSpec};

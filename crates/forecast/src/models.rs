@@ -6,6 +6,8 @@
 //! it has seen enough data to be meaningful (its *warm-up*), which the
 //! overbooking engine treats as "fall back to peak provisioning".
 
+use serde::{Deserialize, Serialize};
+
 /// Online one-step(-or-more)-ahead forecaster.
 pub trait Forecaster {
     /// Feed the demand observed in the latest monitoring epoch.
@@ -20,6 +22,10 @@ pub trait Forecaster {
 
     /// Number of observations consumed so far.
     fn observations(&self) -> usize;
+
+    /// Serializable copy of the model's full learned state, for
+    /// checkpointing. [`ForecasterState::build`] reverses it.
+    fn export_state(&self) -> ForecasterState;
 }
 
 impl Forecaster for Box<dyn Forecaster> {
@@ -34,6 +40,60 @@ impl Forecaster for Box<dyn Forecaster> {
     }
     fn observations(&self) -> usize {
         self.as_ref().observations()
+    }
+    fn export_state(&self) -> ForecasterState {
+        self.as_ref().export_state()
+    }
+}
+
+/// Serializable snapshot of any [`Forecaster`]'s learned state.
+///
+/// This is the checkpoint answer to `Box<dyn Forecaster>` being a trait
+/// object: each concrete model is itself a plain serde struct, so its state
+/// *is* the model, and an ensemble is the recursive list of its members'
+/// states. [`ForecasterState::build`] reconstructs a boxed model that
+/// continues bit-for-bit where the exported one stopped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ForecasterState {
+    /// Persistence baseline.
+    Naive(Naive),
+    /// Sliding arithmetic mean.
+    MovingAverage(MovingAverage),
+    /// Simple exponential smoothing.
+    Ewma(Ewma),
+    /// Double exponential smoothing.
+    Holt(Holt),
+    /// Triple exponential smoothing.
+    HoltWinters(HoltWinters),
+    /// Seasonal persistence.
+    SeasonalNaive(SeasonalNaive),
+    /// Sliding-window autoregression.
+    Ar(Ar),
+    /// Equal-weight averaging over member states.
+    Ensemble {
+        /// Exported state of each member, in member order.
+        members: Vec<ForecasterState>,
+        /// Observations consumed by the ensemble itself.
+        n: usize,
+    },
+}
+
+impl ForecasterState {
+    /// Reconstruct a live model from this state.
+    pub fn build(&self) -> Box<dyn Forecaster> {
+        match self {
+            ForecasterState::Naive(m) => Box::new(m.clone()),
+            ForecasterState::MovingAverage(m) => Box::new(m.clone()),
+            ForecasterState::Ewma(m) => Box::new(m.clone()),
+            ForecasterState::Holt(m) => Box::new(m.clone()),
+            ForecasterState::HoltWinters(m) => Box::new(m.clone()),
+            ForecasterState::SeasonalNaive(m) => Box::new(m.clone()),
+            ForecasterState::Ar(m) => Box::new(m.clone()),
+            ForecasterState::Ensemble { members, n } => Box::new(Ensemble {
+                members: members.iter().map(ForecasterState::build).collect(),
+                n: *n,
+            }),
+        }
     }
 }
 
@@ -129,10 +189,16 @@ impl Forecaster for Ensemble {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Ensemble {
+            members: self.members.iter().map(|m| m.export_state()).collect(),
+            n: self.n,
+        }
+    }
 }
 
 /// Predicts the last observed value (persistence baseline).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Naive {
     last: Option<f64>,
     n: usize,
@@ -159,10 +225,13 @@ impl Forecaster for Naive {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Naive(self.clone())
+    }
 }
 
 /// Arithmetic mean of the last `window` observations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MovingAverage {
     window: usize,
     buf: Vec<f64>,
@@ -208,10 +277,13 @@ impl Forecaster for MovingAverage {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::MovingAverage(self.clone())
+    }
 }
 
 /// Exponentially weighted moving average (simple exponential smoothing).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ewma {
     alpha: f64,
     level: Option<f64>,
@@ -250,10 +322,13 @@ impl Forecaster for Ewma {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Ewma(self.clone())
+    }
 }
 
 /// Holt's linear method (double exponential smoothing): level + trend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Holt {
     alpha: f64,
     beta: f64,
@@ -309,11 +384,14 @@ impl Forecaster for Holt {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Holt(self.clone())
+    }
 }
 
 /// Holt–Winters triple exponential smoothing with additive seasonality —
 /// the model of choice for diurnal mobile traffic (ref \[4\] of the paper).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HoltWinters {
     alpha: f64,
     beta: f64,
@@ -409,12 +487,15 @@ impl Forecaster for HoltWinters {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::HoltWinters(self.clone())
+    }
 }
 
 /// Seasonal persistence: predict the value observed one full season ago.
 /// The strongest *simple* baseline for seasonal traffic and the sanity bar
 /// any trained model must clear.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SeasonalNaive {
     period: usize,
     /// Ring buffer of the last `period` observations.
@@ -461,11 +542,14 @@ impl Forecaster for SeasonalNaive {
     fn observations(&self) -> usize {
         self.n
     }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::SeasonalNaive(self.clone())
+    }
 }
 
 /// Autoregressive model AR(p), refit over a sliding window with the
 /// Levinson–Durbin recursion on sample autocovariances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ar {
     order: usize,
     window: usize,
@@ -569,6 +653,9 @@ impl Forecaster for Ar {
 
     fn observations(&self) -> usize {
         self.n
+    }
+    fn export_state(&self) -> ForecasterState {
+        ForecasterState::Ar(self.clone())
     }
 }
 
@@ -812,6 +899,57 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_ensemble_rejected() {
         Ensemble::new(vec![]);
+    }
+
+    #[test]
+    fn export_state_round_trips_every_kind() {
+        // A model rebuilt from its exported state must continue the exact
+        // prediction sequence of the original — including mid-warm-up
+        // states and the ensemble's recursive members.
+        for kind in [
+            ForecasterKind::Naive,
+            ForecasterKind::SeasonalNaive,
+            ForecasterKind::Ewma,
+            ForecasterKind::Holt,
+            ForecasterKind::HoltWinters,
+            ForecasterKind::Ar,
+            ForecasterKind::Ensemble,
+        ] {
+            for warm in [0usize, 3, 25, 60] {
+                let mut original = kind.build(12);
+                for t in 0..warm {
+                    original.observe((t % 12) as f64 + 0.25 * t as f64);
+                }
+                let state = original.export_state();
+                let json = serde_json::to_string(&state).unwrap();
+                let back: ForecasterState = serde_json::from_str(&json).unwrap();
+                assert_eq!(back, state, "{kind:?} state must survive JSON");
+                let mut rebuilt = back.build();
+                assert_eq!(rebuilt.observations(), original.observations());
+                for t in 0..24 {
+                    let v = 1.5 * (t % 12) as f64;
+                    original.observe(v);
+                    rebuilt.observe(v);
+                    assert_eq!(
+                        original.predict(1).map(f64::to_bits),
+                        rebuilt.predict(1).map(f64::to_bits),
+                        "{kind:?} diverged after restore at step {t} (warm {warm})"
+                    );
+                }
+            }
+        }
+        // MovingAverage is not reachable via ForecasterKind; cover it directly.
+        let mut ma = MovingAverage::new(4);
+        for v in [1.0, 2.0, 9.0, 4.0, 5.0, 6.5] {
+            ma.observe(v);
+        }
+        let mut rebuilt = ma.export_state().build();
+        rebuilt.observe(7.0);
+        ma.observe(7.0);
+        assert_eq!(
+            ma.predict(1).map(f64::to_bits),
+            rebuilt.predict(1).map(f64::to_bits)
+        );
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! q-quantile of the residuals. Larger q → safer, smaller multiplexing gain;
 //! smaller q → more gain, more SLA-violation risk. Experiments E2/E3 sweep q.
 
-use crate::models::Forecaster;
+use crate::models::{Forecaster, ForecasterState};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// An order-maintained sliding window of residuals.
@@ -20,7 +21,7 @@ use std::collections::VecDeque;
 /// Results are bit-identical to cloning and sorting the window from scratch,
 /// which survives as [`quantile_reference`](ResidualWindow::quantile_reference),
 /// the oracle the property tests and the E13 microbench compare against.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResidualWindow {
     capacity: usize,
     /// Arrival order, oldest first.
@@ -190,6 +191,39 @@ impl<F: Forecaster> QuantileProvisioner<F> {
     pub fn model_name(&self) -> &'static str {
         self.model.name()
     }
+
+    /// Serializable copy of the provisioner's full state (model, residual
+    /// window, pending prediction), for checkpointing.
+    pub fn export_state(&self) -> ProvisionerState {
+        ProvisionerState {
+            model: self.model.export_state(),
+            residuals: self.residuals.clone(),
+            pending: self.pending,
+        }
+    }
+}
+
+impl QuantileProvisioner<Box<dyn Forecaster>> {
+    /// Rebuild a provisioner from an exported state. The result continues
+    /// bit-for-bit where [`QuantileProvisioner::export_state`] was taken.
+    pub fn from_state(state: &ProvisionerState) -> Self {
+        QuantileProvisioner {
+            model: state.model.build(),
+            residuals: state.residuals.clone(),
+            pending: state.pending,
+        }
+    }
+}
+
+/// Serializable snapshot of a [`QuantileProvisioner`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionerState {
+    /// Exported state of the wrapped forecaster.
+    pub model: ForecasterState,
+    /// The residual window, verbatim.
+    pub residuals: ResidualWindow,
+    /// The prediction issued for the upcoming observation, if any.
+    pub pending: Option<f64>,
 }
 
 #[cfg(test)]

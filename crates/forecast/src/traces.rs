@@ -102,7 +102,7 @@ impl TraceSpec {
 }
 
 /// Stateful, seeded demand process over monitoring epochs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceGenerator {
     spec: TraceSpec,
     rng: SimRng,

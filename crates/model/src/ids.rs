@@ -11,9 +11,7 @@ use std::fmt;
 macro_rules! id_type {
     ($name:ident, $prefix:literal, $doc:literal) => {
         #[doc = $doc]
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
         pub struct $name(u64);
 
         impl $name {
@@ -48,20 +46,40 @@ macro_rules! id_type {
     };
 }
 
-id_type!(SliceId, "slice-", "A network slice instance, minted by the E2E orchestrator at admission.");
-id_type!(TenantId, "tenant-", "A tenant (vertical industry customer) requesting slices.");
-id_type!(EnbId, "enb-", "An eNodeB (radio access point) in the RAN domain.");
+id_type!(
+    SliceId,
+    "slice-",
+    "A network slice instance, minted by the E2E orchestrator at admission."
+);
+id_type!(
+    TenantId,
+    "tenant-",
+    "A tenant (vertical industry customer) requesting slices."
+);
+id_type!(
+    EnbId,
+    "enb-",
+    "An eNodeB (radio access point) in the RAN domain."
+);
 id_type!(UeId, "ue-", "A user equipment attached to a PLMN/slice.");
 id_type!(NodeId, "node-", "A vertex of the transport topology graph.");
 id_type!(LinkId, "link-", "An edge of the transport topology graph.");
-id_type!(SwitchId, "switch-", "An OpenFlow-programmable switch in the transport network.");
+id_type!(
+    SwitchId,
+    "switch-",
+    "An OpenFlow-programmable switch in the transport network."
+);
 id_type!(DcId, "dc-", "A data center (edge or core).");
 id_type!(HostId, "host-", "A compute host inside a data center.");
 id_type!(VmId, "vm-", "A virtual machine (VNF component) instance.");
-id_type!(StackId, "stack-", "A Heat-style orchestration stack (group of VMs with lifecycle).");
+id_type!(
+    StackId,
+    "stack-",
+    "A Heat-style orchestration stack (group of VMs with lifecycle)."
+);
 
 /// Deterministic id allocator: hands out 0, 1, 2, … of any id type.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IdAllocator {
     next: u64,
 }

@@ -15,9 +15,7 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 
 /// Exact currency amount in integer cents. Signed, because the net of gains
 /// and penalties can go negative under reckless overbooking.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Money(i64);
 
 impl Money {
@@ -136,7 +134,7 @@ pub enum RevenueKind {
 
 /// Append-only record of gains and penalties — the data behind the demo
 /// dashboard's "gain vs. penalty" display.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RevenueLedger {
     records: Vec<RevenueRecord>,
 }

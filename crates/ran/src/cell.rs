@@ -150,7 +150,7 @@ impl std::error::Error for RanError {}
 
 /// An eNodeB with MOCN sharing: one cell, several PLMNs, per-PLMN PRB
 /// reservations.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Enb {
     id: EnbId,
     config: CellConfig,

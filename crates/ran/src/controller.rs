@@ -385,10 +385,50 @@ impl RanController {
         }
     }
 
-    /// The controller's telemetry registry.
+    /// Serializable copy of the domain's complete durable state, for
+    /// checkpointing. Cell batches (the epoch pipeline's per-cell scratch)
+    /// are deliberately absent: they carry no information between epochs
+    /// and [`RanController::from_state`] rebuilds them from the eNB set.
+    pub fn export_state(&self) -> RanControllerState {
+        RanControllerState {
+            enbs: self.enbs.values().cloned().collect(),
+            placements: self.placements.clone(),
+            down_cells: self.down_cells.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Rebuild a controller from an exported state. The restored controller
+    /// is observationally identical to the one exported: same reservations,
+    /// same placements, same failed cells, same telemetry history.
+    pub fn from_state(state: RanControllerState) -> RanController {
+        let mut restored = RanController::new(state.enbs);
+        restored.placements = state.placements;
+        restored.down_cells = state.down_cells;
+        // The restored registry already holds every utilization series;
+        // overwriting the fresh one keeps history and series preallocation.
+        restored.metrics = state.metrics;
+        restored
+    }
+
+    /// Telemetry registry of the domain.
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
     }
+}
+
+/// Serializable checkpoint of a [`RanController`]
+/// (see [`RanController::export_state`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RanControllerState {
+    /// Every managed eNB with its reservations, ascending by id.
+    pub enbs: Vec<Enb>,
+    /// Which eNB each slice is installed on.
+    pub placements: BTreeMap<SliceId, EnbId>,
+    /// Cells currently failed.
+    pub down_cells: BTreeSet<EnbId>,
+    /// The domain's telemetry history.
+    pub metrics: MetricRegistry,
 }
 
 #[cfg(test)]

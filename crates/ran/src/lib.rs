@@ -60,7 +60,7 @@ pub mod ue;
 pub mod ue_scheduler;
 
 pub use cell::{CellConfig, Enb, PlmnReservation, PrbRateTable, RanError};
-pub use controller::{RanController, RanSnapshot};
+pub use controller::{RanController, RanControllerState, RanSnapshot};
 pub use cqi::{prb_rate_mbps, snr_to_cqi, Cqi, CQI_TABLE};
 pub use scheduler::{
     schedule_epoch, schedule_epoch_into, SliceLoad, SliceScheduleOutcome, SliceScratch,

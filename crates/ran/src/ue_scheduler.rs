@@ -121,7 +121,7 @@ impl PfScratch {
 
 /// Persistent proportional-fair state: exponentially averaged per-UE
 /// throughput, stored as a dense slab (`ids` ascending, `avg` parallel).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PfState {
     /// Tracked UEs, ascending.
     ids: Vec<UeId>,
@@ -187,12 +187,7 @@ impl PfState {
     /// Convenience wrapper over [`schedule_into`](Self::schedule_into) with
     /// one-shot buffers; epoch hot paths should hold a [`PfScratch`] and
     /// call `schedule_into` instead.
-    pub fn schedule(
-        &mut self,
-        prbs: Prbs,
-        channels: &[UeChannel],
-        alpha: f64,
-    ) -> Vec<UeShare> {
+    pub fn schedule(&mut self, prbs: Prbs, channels: &[UeChannel], alpha: f64) -> Vec<UeShare> {
         let mut out = Vec::new();
         self.schedule_into(prbs, channels, alpha, &mut PfScratch::new(), &mut out);
         out
@@ -285,8 +280,9 @@ impl PfState {
                     if c.cqi.is_none() || c.prb_rate.is_zero() {
                         continue;
                     }
-                    let metric =
-                        |ci: usize| channels[ci].prb_rate.value() / (self.avg[scratch.slot[ci]] + 1e-6);
+                    let metric = |ci: usize| {
+                        channels[ci].prb_rate.value() / (self.avg[scratch.slot[ci]] + 1e-6)
+                    };
                     let better = match best {
                         None => true,
                         Some(b) => metric(ci)

@@ -11,6 +11,7 @@
 //! terminated early or its duration is renegotiated.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -161,6 +162,62 @@ impl<E> EventQueue<E> {
     pub fn watermark(&self) -> SimTime {
         self.watermark
     }
+
+    /// Live pending entries as `(at, seq, &payload)`, sorted by sequence
+    /// number. Cancelled entries are omitted: they are semantically deleted,
+    /// only their lazy heap slots remain.
+    fn live_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut entries: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|h| !self.cancelled.contains(&h.seq))
+            .map(|h| (h.at, h.seq, &h.payload))
+            .collect();
+        entries.sort_by_key(|&(_, seq, _)| seq);
+        entries
+    }
+}
+
+impl<E: PartialEq> PartialEq for EventQueue<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.next_seq == other.next_seq
+            && self.watermark == other.watermark
+            && self.live_entries() == other.live_entries()
+    }
+}
+
+/// Serialized form of an [`EventQueue`]: live entries plus the counters that
+/// keep tie-breaking and the no-scheduling-into-the-past check intact.
+#[derive(Serialize, Deserialize)]
+struct QueueState<E> {
+    next_seq: u64,
+    watermark: SimTime,
+    entries: Vec<(SimTime, u64, E)>,
+}
+
+impl<E: Serialize> Serialize for EventQueue<E> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let state = QueueState {
+            next_seq: self.next_seq,
+            watermark: self.watermark,
+            entries: self.live_entries(),
+        };
+        state.serialize(serializer)
+    }
+}
+
+impl<'de, E: Deserialize<'de>> Deserialize<'de> for EventQueue<E> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let state = QueueState::<E>::deserialize(deserializer)?;
+        let mut queue = EventQueue::new();
+        for (at, seq, payload) in state.entries {
+            queue.live.insert(seq);
+            queue.heap.push(HeapEntry { at, seq, payload });
+        }
+        queue.next_seq = state.next_seq;
+        queue.watermark = state.watermark;
+        Ok(queue)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +306,34 @@ mod tests {
         q.pop();
         q.schedule(t(5), 2); // same instant as "now" is legal
         assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_order_watermark_and_guard() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), "fires-first");
+        let dead = q.schedule(t(2), "cancelled");
+        q.schedule(t(2), "tie-a");
+        q.schedule(t(2), "tie-b");
+        q.cancel(dead);
+        q.pop(); // watermark now t(1)
+
+        let json = serde_json::to_string(&q).unwrap();
+        let mut back: EventQueue<&str> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+
+        // Tie-break order survives, the cancelled entry is gone for good...
+        let fired: Vec<&str> = std::iter::from_fn(|| back.pop()).map(|e| e.payload).collect();
+        assert_eq!(fired, vec!["tie-a", "tie-b"]);
+        // ...the sequence counter does not restart (fresh ids stay unique)...
+        let id = back.schedule(t(9), "later");
+        assert!(!q.cancel(id), "restored ids must not collide with spent ones");
+        // ...and the watermark still rejects scheduling into the past.
+        let past = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut fresh: EventQueue<&str> = serde_json::from_str(&json).unwrap();
+            fresh.schedule(SimTime::ZERO, "too-early");
+        }));
+        assert!(past.is_err(), "restored watermark must still guard the past");
     }
 
     #[test]

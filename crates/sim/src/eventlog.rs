@@ -25,7 +25,7 @@ impl fmt::Display for LogEntry {
 }
 
 /// Ring buffer of the most recent `capacity` events.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EventLog {
     entries: VecDeque<LogEntry>,
     capacity: usize,

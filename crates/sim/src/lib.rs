@@ -46,5 +46,5 @@ pub use engine::{Clock, Engine, Process, StepOutcome};
 pub use event::{EventEntry, EventQueue, ScheduledId};
 pub use eventlog::{EventLog, LogEntry};
 pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, TimeSeries};
-pub use rng::SimRng;
+pub use rng::{RngState, SimRng, StreamRegistry};
 pub use time::{SimDuration, SimTime};

@@ -400,11 +400,7 @@ impl Histogram {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        match self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-        {
+        match self.bounds.iter().position(|&b| value <= b) {
             Some(i) => self.counts[i] += 1,
             None => self.overflow += 1,
         }
@@ -446,9 +442,17 @@ impl Histogram {
             if next >= target && c > 0 {
                 // The bucket's value range, tightened by the observed
                 // extremes so interpolation never leaves [min, max].
-                let lo = if lower.is_finite() { lower.max(self.min) } else { self.min };
+                let lo = if lower.is_finite() {
+                    lower.max(self.min)
+                } else {
+                    self.min
+                };
                 let hi = self.bounds[i].min(self.max);
-                let frac = if c > 0 { ((target - cum) / c as f64).clamp(0.0, 1.0) } else { 0.0 };
+                let frac = if c > 0 {
+                    ((target - cum) / c as f64).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 return Some(lo + (hi - lo).max(0.0) * frac);
             }
             cum = next;
@@ -460,7 +464,11 @@ impl Histogram {
     /// Bucket view: `(upper_bound, count)` pairs plus the overflow count.
     pub fn buckets(&self) -> (Vec<(f64, u64)>, u64) {
         (
-            self.bounds.iter().copied().zip(self.counts.iter().copied()).collect(),
+            self.bounds
+                .iter()
+                .copied()
+                .zip(self.counts.iter().copied())
+                .collect(),
             self.overflow,
         )
     }
@@ -470,7 +478,7 @@ impl Histogram {
 ///
 /// Keys are dotted paths (`"ran.enb0.prb_used"`). BTreeMap keeps iteration
 /// order deterministic for snapshotting and rendering.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricRegistry {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
@@ -508,7 +516,11 @@ impl MetricRegistry {
     }
 
     /// Insert (or replace) a histogram under `name`, returning it.
-    pub fn histogram_with(&mut self, name: &str, make: impl FnOnce() -> Histogram) -> &mut Histogram {
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        make: impl FnOnce() -> Histogram,
+    ) -> &mut Histogram {
         self.histograms.entry(name.to_owned()).or_insert_with(make)
     }
 
@@ -607,7 +619,11 @@ mod tests {
             b.record(at, i as f64);
         }
         assert_eq!(a, b, "same window, same samples");
-        assert_eq!(a.points.capacity(), cap, "never grew past the preallocation");
+        assert_eq!(
+            a.points.capacity(),
+            cap,
+            "never grew past the preallocation"
+        );
     }
 
     #[test]
@@ -688,7 +704,18 @@ mod tests {
     fn rolling_aggregates_match_scans_bitwise() {
         let mut unbounded = TimeSeries::new();
         let mut bounded = TimeSeries::with_capacity_limit(7);
-        let values = [0.3, -1.5, 2.25, 2.25, 0.0, 9.75, -4.125, 0.5, 1.0 / 3.0, 7.7];
+        let values = [
+            0.3,
+            -1.5,
+            2.25,
+            2.25,
+            0.0,
+            9.75,
+            -4.125,
+            0.5,
+            1.0 / 3.0,
+            7.7,
+        ];
         for (i, &v) in values.iter().cycle().take(40).enumerate() {
             // Repeat some timestamps so zero-dt windows are covered.
             let at = SimTime::from_secs((i / 2) as u64);

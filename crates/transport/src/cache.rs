@@ -31,6 +31,7 @@
 
 use crate::routing::Path;
 use ovnes_model::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identity of a path query: endpoints plus the constraint class.
@@ -221,6 +222,49 @@ impl RouteCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The cache's serializable state. Memoized entries are deliberately
+    /// *not* captured: by the module-level monotonicity argument a cached
+    /// controller and a cold one return identical answers, so a restored
+    /// world that starts cold replays the exact same decisions (it only
+    /// pays a few extra CSPF runs while re-warming). Counters and the
+    /// growth generation travel along as diagnostics.
+    pub fn export_state(&self) -> RouteCacheState {
+        RouteCacheState {
+            enabled: self.enabled,
+            max_entries: self.max_entries,
+            grow_gen: self.grow_gen,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// A cache rebuilt from [`RouteCache::export_state`]: same
+    /// configuration and counters, cold entry map.
+    pub fn from_state(state: &RouteCacheState) -> Self {
+        let mut cache = RouteCache::new(state.max_entries);
+        cache.enabled = state.enabled;
+        cache.grow_gen = state.grow_gen;
+        cache.hits = state.hits;
+        cache.misses = state.misses;
+        cache
+    }
+}
+
+/// Serializable state of a [`RouteCache`] (everything except the memoized
+/// entries — see [`RouteCache::export_state`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCacheState {
+    /// Whether lookups may answer from the cache.
+    pub enabled: bool,
+    /// Entry budget.
+    pub max_entries: usize,
+    /// Growth generation at capture time.
+    pub grow_gen: u64,
+    /// Lifetime hit count.
+    pub hits: u64,
+    /// Lifetime miss count.
+    pub misses: u64,
 }
 
 #[cfg(test)]
@@ -293,6 +337,26 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(&key(0, 2), |_| true), Some(None));
         assert_eq!(cache.lookup(&key(0, 3), |_| true), Some(None));
+    }
+
+    #[test]
+    fn state_round_trips_config_and_counters_but_starts_cold() {
+        let mut cache = RouteCache::new(8);
+        cache.insert(key(0, 1), Some(path(&[3])));
+        cache.lookup(&key(0, 1), |_| true); // hit
+        cache.lookup(&key(0, 2), |_| true); // miss
+        cache.note_growth();
+
+        let state = cache.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RouteCacheState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+
+        let restored = RouteCache::from_state(&back);
+        assert!(restored.enabled());
+        assert!(restored.is_empty());
+        assert_eq!(restored.stats(), cache.stats());
+        assert_eq!(restored.export_state(), state);
     }
 
     #[test]

@@ -421,7 +421,9 @@ impl TransportController {
                             .expect("switch has a table")
                             .remove_slice(slice);
                     }
-                    self.metrics.counter("transport.flow_table_rejections").inc();
+                    self.metrics
+                        .counter("transport.flow_table_rejections")
+                        .inc();
                     return Err(e.into());
                 }
             }
@@ -566,10 +568,7 @@ impl TransportController {
                 }
                 // The old path's links just gained headroom.
                 self.route_cache.note_growth();
-                self.reservations
-                    .get_mut(&slice)
-                    .expect("present")
-                    .path = path;
+                self.reservations.get_mut(&slice).expect("present").path = path;
                 self.metrics.counter("transport.reroutes").inc();
                 Ok(true)
             }
@@ -622,6 +621,59 @@ impl TransportController {
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
     }
+
+    /// The domain's complete serializable state. Routing scratch buffers
+    /// are excluded (pure workspace, rebuilt empty on restore) and the
+    /// route cache contributes only its configuration and counters — see
+    /// [`RouteCache::export_state`] for why dropping the memoized entries
+    /// cannot change any routing answer.
+    pub fn export_state(&self) -> TransportControllerState {
+        TransportControllerState {
+            topo: self.topo.clone(),
+            usage: self.usage.clone(),
+            down_reasons: self.down_reasons.clone(),
+            tables: self.tables.clone(),
+            reservations: self.reservations.clone(),
+            metrics: self.metrics.clone(),
+            route_cache: self.route_cache.export_state(),
+        }
+    }
+
+    /// A controller rebuilt from [`TransportController::export_state`]:
+    /// identical decisions and telemetry from the captured point onward.
+    pub fn from_state(state: &TransportControllerState) -> TransportController {
+        TransportController {
+            topo: state.topo.clone(),
+            usage: state.usage.clone(),
+            down_reasons: state.down_reasons.clone(),
+            tables: state.tables.clone(),
+            reservations: state.reservations.clone(),
+            metrics: state.metrics.clone(),
+            scratch: RoutingScratch::new(),
+            route_cache: RouteCache::from_state(&state.route_cache),
+        }
+    }
+}
+
+/// Serializable state of a [`TransportController`] (everything except
+/// routing scratch and memoized cache entries — see
+/// [`TransportController::export_state`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransportControllerState {
+    /// The substrate topology.
+    pub topo: Topology,
+    /// Per-link reservation/degradation accounting, indexed by link id.
+    pub usage: Vec<LinkUsage>,
+    /// Per-link count of independent down-reasons.
+    pub down_reasons: Vec<u32>,
+    /// Per-switch flow tables.
+    pub tables: BTreeMap<SwitchId, FlowTable>,
+    /// Installed path reservations by slice.
+    pub reservations: BTreeMap<SliceId, PathReservation>,
+    /// Telemetry registry of the domain.
+    pub metrics: MetricRegistry,
+    /// Route cache configuration and counters.
+    pub route_cache: crate::cache::RouteCacheState,
 }
 
 #[cfg(test)]
@@ -647,7 +699,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(100.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         // mmWave (0.5) + fiber (0.2) beats µwave (1.0) + fiber.
         assert_eq!(alloc.delay_at_allocation, Latency::new(0.7));
@@ -662,8 +720,14 @@ mod tests {
     fn allocate_installs_flow_rules_on_interior_switches() {
         let mut c = testbed_controller();
         let (src, _, core) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            core,
+            RateMbps::new(50.0),
+            Latency::new(10.0),
+        )
+        .unwrap();
         // Path crosses pf5240 (sw 0) and core-agg (sw 1): one rule each.
         assert_eq!(c.flow_table(SwitchId::new(0)).unwrap().len(), 1);
         assert_eq!(c.flow_table(SwitchId::new(1)).unwrap().len(), 1);
@@ -675,7 +739,13 @@ mod tests {
         let (src, edge, _) = endpoints(&c);
         // 5 Gbps exceeds even mmWave.
         assert_eq!(
-            c.allocate(SliceId::new(1), src, edge, RateMbps::new(5000.0), Latency::new(50.0)),
+            c.allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(5000.0),
+                Latency::new(50.0)
+            ),
             Err(TransportError::NoFeasiblePath)
         );
     }
@@ -685,7 +755,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, _, core) = endpoints(&c);
         assert_eq!(
-            c.allocate(SliceId::new(1), src, core, RateMbps::new(10.0), Latency::new(0.1)),
+            c.allocate(
+                SliceId::new(1),
+                src,
+                core,
+                RateMbps::new(10.0),
+                Latency::new(0.1)
+            ),
             Err(TransportError::NoFeasiblePath)
         );
     }
@@ -694,10 +770,22 @@ mod tests {
     fn double_allocation_rejected() {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(10.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         assert_eq!(
-            c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0)),
+            c.allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(10.0),
+                Latency::new(5.0)
+            ),
             Err(TransportError::AlreadyAllocated(SliceId::new(1)))
         );
     }
@@ -707,7 +795,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, _, core) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                core,
+                RateMbps::new(50.0),
+                Latency::new(10.0),
+            )
             .unwrap();
         c.release(SliceId::new(1)).unwrap();
         for &l in &alloc.reservation.path.links {
@@ -725,11 +819,23 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         // Fill the mmWave uplink (1000 Mbps).
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(950.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(950.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         // Next slice cannot fit on mmWave; must take µwave (delay 1.0 + 0.2).
         let alloc = c
-            .allocate(SliceId::new(2), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(2),
+                src,
+                edge,
+                RateMbps::new(100.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         assert_eq!(alloc.delay_at_allocation, Latency::new(1.2));
     }
@@ -739,7 +845,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(100.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         c.resize(SliceId::new(1), RateMbps::new(300.0)).unwrap();
         let l0 = alloc.reservation.path.links[0];
@@ -759,7 +871,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(300.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(300.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         let mm = alloc.reservation.path.links[0];
         // Rain fade: mmWave down to 20% → 200 Mbps < 300 reserved.
@@ -780,13 +898,22 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(500.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         let mm = alloc.reservation.path.links[0];
         // µwave is only 400 Mbps: a 500 Mbps slice cannot move.
         c.degrade_link(mm, 0.1);
         assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
-        assert_eq!(c.reservation(SliceId::new(1)).unwrap().path, alloc.reservation.path);
+        assert_eq!(
+            c.reservation(SliceId::new(1)).unwrap().path,
+            alloc.reservation.path
+        );
         assert!(c.reroute(SliceId::new(9)).is_err());
     }
 
@@ -794,12 +921,24 @@ mod tests {
     fn path_delay_reflects_load() {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let light = c.path_delay(SliceId::new(1)).unwrap();
         // Load the mmWave link to 95% with another slice.
-        c.allocate(SliceId::new(2), src, edge, RateMbps::new(850.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(2),
+            src,
+            edge,
+            RateMbps::new(850.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let heavy = c.path_delay(SliceId::new(1)).unwrap();
         assert!(heavy.value() > light.value(), "{heavy} vs {light}");
         assert_eq!(c.path_delay(SliceId::new(9)), None);
@@ -812,21 +951,32 @@ mod tests {
         // Path src→core needs 2 interior rules (pf + agg); table cap 1 per
         // switch is fine (one rule per switch). Fill pf's table first.
         let (_, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(10.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let t1 = c.topology().radio_site(EnbId::new(1)).unwrap();
         let err = c
-            .allocate(SliceId::new(2), t1, core, RateMbps::new(10.0), Latency::new(10.0))
+            .allocate(
+                SliceId::new(2),
+                t1,
+                core,
+                RateMbps::new(10.0),
+                Latency::new(10.0),
+            )
             .unwrap_err();
-        assert!(matches!(err, TransportError::FlowTable(SwitchError::TableFull { .. })));
+        assert!(matches!(
+            err,
+            TransportError::FlowTable(SwitchError::TableFull { .. })
+        ));
         // Rollback: no orphan rules for slice 2, no bandwidth leaked.
         assert_eq!(c.flow_table(SwitchId::new(1)).unwrap().len(), 0);
         let snap = c.snapshot();
-        let leaked: f64 = snap
-            .links
-            .iter()
-            .map(|r| r.reserved.value())
-            .sum::<f64>();
+        let leaked: f64 = snap.links.iter().map(|r| r.reserved.value()).sum::<f64>();
         assert_eq!(leaked, 20.0, "only slice 1's two links carry reservations");
     }
 
@@ -834,12 +984,22 @@ mod tests {
     fn snapshot_and_epoch_telemetry() {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(500.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         c.record_epoch(SimTime::from_secs(1));
         let snap = c.snapshot();
         assert_eq!(snap.paths, 1);
-        let mm_row = snap.links.iter().find(|r| r.reserved.value() > 0.0).unwrap();
+        let mm_row = snap
+            .links
+            .iter()
+            .find(|r| r.reserved.value() > 0.0)
+            .unwrap();
         assert!((mm_row.utilization - 0.5).abs() < 1e-9);
         assert_eq!(c.metrics().counter_value("transport.allocations"), Some(1));
         assert!(c
@@ -853,8 +1013,14 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         for i in 0..3 {
-            c.allocate(SliceId::new(i), src, edge, RateMbps::new(10.0), Latency::new(5.0))
-                .unwrap();
+            c.allocate(
+                SliceId::new(i),
+                src,
+                edge,
+                RateMbps::new(10.0),
+                Latency::new(5.0),
+            )
+            .unwrap();
         }
         assert_eq!(c.metrics().counter_value("transport.allocations"), Some(3));
         assert_eq!(c.snapshot().paths, 3);
@@ -867,11 +1033,23 @@ mod tests {
         // Five same-class slices: one cold CSPF, four cache hits, all on
         // the mmWave path (1000 Mbps absorbs 5 × 200).
         let first = c
-            .allocate(SliceId::new(0), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(0),
+                src,
+                edge,
+                RateMbps::new(200.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         for i in 1..5 {
             let a = c
-                .allocate(SliceId::new(i), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+                .allocate(
+                    SliceId::new(i),
+                    src,
+                    edge,
+                    RateMbps::new(200.0),
+                    Latency::new(5.0),
+                )
                 .unwrap();
             assert_eq!(a.reservation.path, first.reservation.path);
         }
@@ -880,7 +1058,13 @@ mod tests {
         // mmWave is now full: revalidation fails, a fresh CSPF falls back
         // to µwave — the cache never serves an infeasible path.
         let sixth = c
-            .allocate(SliceId::new(5), src, edge, RateMbps::new(200.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(5),
+                src,
+                edge,
+                RateMbps::new(200.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         assert_ne!(sixth.reservation.path, first.reservation.path);
         assert_eq!(c.route_cache().stats().misses, 2);
@@ -890,11 +1074,23 @@ mod tests {
     fn release_invalidates_cached_routes() {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(0), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(0),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         c.release(SliceId::new(0)).unwrap();
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let stats = c.route_cache().stats();
         assert_eq!((stats.hits, stats.misses), (0, 2));
     }
@@ -904,22 +1100,46 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(0), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(0),
+                src,
+                edge,
+                RateMbps::new(100.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         let mm = alloc.reservation.path.links[0];
         // Deeper fade = shrink: cached path revalidates and still hits.
         c.degrade_link(mm, 0.5);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         // Re-applying the same factor (every-epoch weather) stays a hit.
         c.degrade_link(mm, 0.5);
-        c.allocate(SliceId::new(2), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(2),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         assert_eq!(c.route_cache().stats().hits, 2);
         // Recovery is growth: the next query recomputes.
         c.restore_link(mm);
-        c.allocate(SliceId::new(3), src, edge, RateMbps::new(100.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(3),
+            src,
+            edge,
+            RateMbps::new(100.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let stats = c.route_cache().stats();
         assert_eq!((stats.hits, stats.misses), (2, 2));
     }
@@ -930,10 +1150,22 @@ mod tests {
         let (src, _, core) = endpoints(&c);
         // Warm the cache on the enb0 → pf → agg → core path.
         let first = c
-            .allocate(SliceId::new(0), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .allocate(
+                SliceId::new(0),
+                src,
+                core,
+                RateMbps::new(50.0),
+                Latency::new(10.0),
+            )
             .unwrap();
-        c.allocate(SliceId::new(1), src, core, RateMbps::new(50.0), Latency::new(10.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            core,
+            RateMbps::new(50.0),
+            Latency::new(10.0),
+        )
+        .unwrap();
         assert_eq!(
             (c.route_cache().stats().hits, c.route_cache().stats().misses),
             (1, 1)
@@ -948,7 +1180,13 @@ mod tests {
         // alternative to the core, so the fresh search finds nothing — the
         // cache never serves a route through a dead hop.
         assert_eq!(
-            c.allocate(SliceId::new(2), src, core, RateMbps::new(50.0), Latency::new(10.0)),
+            c.allocate(
+                SliceId::new(2),
+                src,
+                core,
+                RateMbps::new(50.0),
+                Latency::new(10.0)
+            ),
             Err(TransportError::NoFeasiblePath)
         );
         assert_eq!(c.route_cache().stats().misses, 2);
@@ -958,7 +1196,13 @@ mod tests {
         // old path is found again.
         assert!(c.revive_link(middle));
         let again = c
-            .allocate(SliceId::new(3), src, core, RateMbps::new(50.0), Latency::new(10.0))
+            .allocate(
+                SliceId::new(3),
+                src,
+                core,
+                RateMbps::new(50.0),
+                Latency::new(10.0),
+            )
             .unwrap();
         assert_eq!(again.reservation.path, first.reservation.path);
         assert_eq!(c.route_cache().stats().misses, 3);
@@ -970,7 +1214,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(100.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(100.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         let mm = alloc.reservation.path.links[0];
         assert_eq!(c.fail_link(mm), vec![SliceId::new(1)]);
@@ -986,8 +1236,14 @@ mod tests {
     fn down_reasons_stack_across_link_and_switch_failures() {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
-        c.allocate(SliceId::new(1), src, edge, RateMbps::new(10.0), Latency::new(5.0))
-            .unwrap();
+        c.allocate(
+            SliceId::new(1),
+            src,
+            edge,
+            RateMbps::new(10.0),
+            Latency::new(5.0),
+        )
+        .unwrap();
         let mm = c.reservation(SliceId::new(1)).unwrap().path.links[0];
         // The pf switch outage downs every incident link.
         let affected = c.fail_switch(SwitchId::new(0));
@@ -1014,7 +1270,10 @@ mod tests {
         for row in &snap.links {
             assert_eq!(row.up, row.link != dead, "{row:?}");
         }
-        assert_eq!(c.metrics().counter_value("transport.link_failures"), Some(1));
+        assert_eq!(
+            c.metrics().counter_value("transport.link_failures"),
+            Some(1)
+        );
     }
 
     #[test]
@@ -1022,7 +1281,13 @@ mod tests {
         let mut c = testbed_controller();
         let (src, edge, _) = endpoints(&c);
         let alloc = c
-            .allocate(SliceId::new(1), src, edge, RateMbps::new(500.0), Latency::new(5.0))
+            .allocate(
+                SliceId::new(1),
+                src,
+                edge,
+                RateMbps::new(500.0),
+                Latency::new(5.0),
+            )
             .unwrap();
         let mm = alloc.reservation.path.links[0];
         // µwave (400 Mbps) cannot take 500: every reroute stays put, and
@@ -1033,6 +1298,9 @@ mod tests {
         assert_eq!(c.reroute(SliceId::new(1)), Ok(false));
         let stats = c.route_cache().stats();
         assert_eq!((stats.hits, stats.misses), (2, 2));
-        assert_eq!(c.reservation(SliceId::new(1)).unwrap().path, alloc.reservation.path);
+        assert_eq!(
+            c.reservation(SliceId::new(1)).unwrap().path,
+            alloc.reservation.path
+        );
     }
 }

@@ -39,7 +39,13 @@ pub fn ring(n: usize, capacity: RateMbps, delay: Latency) -> Topology {
     let mut b = Topology::builder();
     let nodes = add_switches(&mut b, n);
     for i in 0..n {
-        b.add_link(nodes[i], nodes[(i + 1) % n], LinkKind::Wired, capacity, delay);
+        b.add_link(
+            nodes[i],
+            nodes[(i + 1) % n],
+            LinkKind::Wired,
+            capacity,
+            delay,
+        );
     }
     b.build()
 }
@@ -64,7 +70,12 @@ pub fn star(n: usize, capacity: RateMbps, delay: Latency) -> Topology {
 ///
 /// # Panics
 /// Panics if `n < 3`.
-pub fn random_mesh(n: usize, extra_chords: usize, capacity: RateMbps, rng: &mut SimRng) -> Topology {
+pub fn random_mesh(
+    n: usize,
+    extra_chords: usize,
+    capacity: RateMbps,
+    rng: &mut SimRng,
+) -> Topology {
     assert!(n >= 3, "a mesh needs at least three nodes");
     let mut b = Topology::builder();
     let nodes = add_switches(&mut b, n);
@@ -119,8 +130,14 @@ mod tests {
         assert_eq!(t.node_count(), 5);
         assert_eq!(t.link_count(), 4);
         // End to end = 4 hops.
-        let p = dijkstra(&t, t.nodes()[0].id, t.nodes()[4].id, |_| true, |l| t.link(l).delay)
-            .unwrap();
+        let p = dijkstra(
+            &t,
+            t.nodes()[0].id,
+            t.nodes()[4].id,
+            |_| true,
+            |l| t.link(l).delay,
+        )
+        .unwrap();
         assert_eq!(p.hops(), 4);
         let _ = CAP;
     }
@@ -130,14 +147,24 @@ mod tests {
         let t = ring(6, cap(), d());
         assert_eq!(t.link_count(), 6);
         // Opposite nodes are 3 hops apart either way.
-        let p = dijkstra(&t, t.nodes()[0].id, t.nodes()[3].id, |_| true, |l| t.link(l).delay)
-            .unwrap();
+        let p = dijkstra(
+            &t,
+            t.nodes()[0].id,
+            t.nodes()[3].id,
+            |_| true,
+            |l| t.link(l).delay,
+        )
+        .unwrap();
         assert_eq!(p.hops(), 3);
         // Killing one direction still leaves a route (the other way around).
         let banned = p.links[0];
-        let q = dijkstra(&t, t.nodes()[0].id, t.nodes()[3].id, |l| l != banned, |l| {
-            t.link(l).delay
-        })
+        let q = dijkstra(
+            &t,
+            t.nodes()[0].id,
+            t.nodes()[3].id,
+            |l| l != banned,
+            |l| t.link(l).delay,
+        )
         .unwrap();
         assert_eq!(q.hops(), 3);
     }
@@ -148,8 +175,14 @@ mod tests {
         assert_eq!(t.link_count(), 4);
         assert_eq!(t.neighbors(t.nodes()[0].id).len(), 4, "hub degree");
         // Leaf to leaf always crosses the hub: 2 hops.
-        let p = dijkstra(&t, t.nodes()[1].id, t.nodes()[4].id, |_| true, |l| t.link(l).delay)
-            .unwrap();
+        let p = dijkstra(
+            &t,
+            t.nodes()[1].id,
+            t.nodes()[4].id,
+            |_| true,
+            |l| t.link(l).delay,
+        )
+        .unwrap();
         assert_eq!(p.hops(), 2);
     }
 
@@ -165,7 +198,14 @@ mod tests {
         // Connectivity: everything reachable from node 0.
         for target in t.nodes() {
             assert!(
-                dijkstra(&t, t.nodes()[0].id, target.id, |_| true, |l| t.link(l).delay).is_some(),
+                dijkstra(
+                    &t,
+                    t.nodes()[0].id,
+                    target.id,
+                    |_| true,
+                    |l| t.link(l).delay
+                )
+                .is_some(),
                 "unreachable {:?}",
                 target.id
             );

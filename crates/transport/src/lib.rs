@@ -53,8 +53,12 @@ pub mod switch;
 pub mod topology;
 pub mod weather;
 
-pub use cache::{RouteCache, RouteCacheStats, RouteKey};
-pub use controller::{PathAllocation, TransportController, TransportError, TransportSnapshot};
+pub use cache::{RouteCache, RouteCacheState, RouteCacheStats, RouteKey};
+pub use controller::{
+    PathAllocation, TransportController, TransportControllerState, TransportError,
+    TransportSnapshot,
+};
+pub use generators::{line, random_mesh, ring, star};
 pub use reservation::{effective_delay, LinkUsage, PathReservation};
 pub use routing::{
     cspf, cspf_with, dijkstra, dijkstra_with, k_shortest_paths, k_shortest_paths_with, Path,
@@ -62,5 +66,4 @@ pub use routing::{
 };
 pub use switch::{FlowAction, FlowMatch, FlowRule, FlowTable, SwitchError};
 pub use topology::{Link, LinkKind, Node, NodeKind, Topology, TopologyBuilder};
-pub use generators::{line, random_mesh, ring, star};
 pub use weather::{Sky, WeatherProcess};

@@ -185,8 +185,7 @@ pub fn dijkstra_with(
     let mut nodes = vec![dst];
     let mut cur = dst;
     while cur != src {
-        let (link, parent) =
-            scratch.prev[cur.value() as usize].expect("reachable implies parent");
+        let (link, parent) = scratch.prev[cur.value() as usize].expect("reachable implies parent");
         links.push(link);
         nodes.push(parent);
         cur = parent;
@@ -209,7 +208,15 @@ pub fn cspf(
     delay_of: impl Fn(LinkId) -> Latency + Copy,
     max_delay: Latency,
 ) -> Option<Path> {
-    cspf_with(&mut RoutingScratch::new(), topo, src, dst, has_capacity, delay_of, max_delay)
+    cspf_with(
+        &mut RoutingScratch::new(),
+        topo,
+        src,
+        dst,
+        has_capacity,
+        delay_of,
+        max_delay,
+    )
 }
 
 /// [`cspf`] reusing the caller's [`RoutingScratch`] (allocation-free).
@@ -238,7 +245,15 @@ pub fn k_shortest_paths(
     usable: impl Fn(LinkId) -> bool + Copy,
     delay_of: impl Fn(LinkId) -> Latency + Copy,
 ) -> Vec<Path> {
-    k_shortest_paths_with(&mut RoutingScratch::new(), topo, src, dst, k, usable, delay_of)
+    k_shortest_paths_with(
+        &mut RoutingScratch::new(),
+        topo,
+        src,
+        dst,
+        k,
+        usable,
+        delay_of,
+    )
 }
 
 /// [`k_shortest_paths`] reusing the caller's [`RoutingScratch`] for every
@@ -405,7 +420,14 @@ mod tests {
         assert_eq!(p.total_delay(base_delay(&topo)), Latency::new(4.0));
         // Same pruning with a 3 ms bound: infeasible.
         assert_eq!(
-            cspf(&topo, s, t, |l| l != LinkId::new(1), base_delay(&topo), Latency::new(3.0)),
+            cspf(
+                &topo,
+                s,
+                t,
+                |l| l != LinkId::new(1),
+                base_delay(&topo),
+                Latency::new(3.0)
+            ),
             None
         );
     }
@@ -437,8 +459,20 @@ mod tests {
         let mut b = Topology::builder();
         let a = b.add_node(NodeKind::Switch(SwitchId::new(0)), "a");
         let c = b.add_node(NodeKind::Switch(SwitchId::new(1)), "c");
-        b.add_link(a, c, LinkKind::MmWave, RateMbps::new(1000.0), Latency::new(0.5));
-        b.add_link(a, c, LinkKind::MicroWave, RateMbps::new(400.0), Latency::new(1.0));
+        b.add_link(
+            a,
+            c,
+            LinkKind::MmWave,
+            RateMbps::new(1000.0),
+            Latency::new(0.5),
+        );
+        b.add_link(
+            a,
+            c,
+            LinkKind::MicroWave,
+            RateMbps::new(400.0),
+            Latency::new(1.0),
+        );
         let topo = b.build();
         let paths = k_shortest_paths(&topo, a, c, 3, |_| true, base_delay(&topo));
         assert_eq!(paths.len(), 2);
@@ -454,8 +488,10 @@ mod tests {
         let paths = k_shortest_paths(&topo, src, dst, 4, |_| true, base_delay(&topo));
         // mmWave or µwave first hop, then pf → agg → core: exactly 2 paths.
         assert_eq!(paths.len(), 2);
-        assert!(paths[0].total_delay(base_delay(&topo)).value()
-            <= paths[1].total_delay(base_delay(&topo)).value());
+        assert!(
+            paths[0].total_delay(base_delay(&topo)).value()
+                <= paths[1].total_delay(base_delay(&topo)).value()
+        );
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl fmt::Display for SwitchError {
 impl std::error::Error for SwitchError {}
 
 /// A bounded, priority-matched flow table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlowTable {
     capacity: usize,
     rules: Vec<FlowRule>,
@@ -143,13 +143,7 @@ impl FlowTable {
             .iter()
             .enumerate()
             .filter(|(_, r)| r.matches.matches(slice, in_link))
-            .max_by_key(|(i, r)| {
-                (
-                    r.priority,
-                    r.matches.specificity(),
-                    std::cmp::Reverse(*i),
-                )
-            })
+            .max_by_key(|(i, r)| (r.priority, r.matches.specificity(), std::cmp::Reverse(*i)))
             .map(|(_, r)| r.action)
     }
 
@@ -237,7 +231,10 @@ mod tests {
             action: FlowAction::Drop,
         })
         .unwrap();
-        assert_eq!(t.lookup(SliceId::new(42), LinkId::new(7)), Some(FlowAction::Drop));
+        assert_eq!(
+            t.lookup(SliceId::new(42), LinkId::new(7)),
+            Some(FlowAction::Drop)
+        );
     }
 
     #[test]

@@ -163,12 +163,14 @@ impl Topology {
 
     /// The node hosting eNB `enb`, if present.
     pub fn radio_site(&self, enb: EnbId) -> Option<NodeId> {
-        self.find_node(|n| n.kind == NodeKind::RadioSite(enb)).map(|n| n.id)
+        self.find_node(|n| n.kind == NodeKind::RadioSite(enb))
+            .map(|n| n.id)
     }
 
     /// The node hosting data center `dc`, if present.
     pub fn dc_node(&self, dc: DcId) -> Option<NodeId> {
-        self.find_node(|n| n.kind == NodeKind::DataCenter(dc)).map(|n| n.id)
+        self.find_node(|n| n.kind == NodeKind::DataCenter(dc))
+            .map(|n| n.id)
     }
 
     /// The demo testbed of Fig. 2: two radio sites connected over wireless
@@ -198,7 +200,13 @@ impl Topology {
         b.add_default_link(pf, edge, LinkKind::Wired);
         b.add_default_link(pf, agg, LinkKind::Wired);
         // The core DC sits behind aggregation with metro-distance delay.
-        b.add_link(agg, core, LinkKind::Wired, LinkKind::Wired.default_capacity(), Latency::new(4.0));
+        b.add_link(
+            agg,
+            core,
+            LinkKind::Wired,
+            LinkKind::Wired.default_capacity(),
+            Latency::new(4.0),
+        );
         b.build()
     }
 }
@@ -235,8 +243,14 @@ impl TopologyBuilder {
         delay: Latency,
     ) -> LinkId {
         assert!(a != b, "self-loops are not allowed");
-        assert!((a.value() as usize) < self.nodes.len(), "unknown endpoint {a}");
-        assert!((b.value() as usize) < self.nodes.len(), "unknown endpoint {b}");
+        assert!(
+            (a.value() as usize) < self.nodes.len(),
+            "unknown endpoint {a}"
+        );
+        assert!(
+            (b.value() as usize) < self.nodes.len(),
+            "unknown endpoint {b}"
+        );
         let id = LinkId::new(self.links.len() as u64);
         self.links.push(Link {
             id,
@@ -348,8 +362,11 @@ mod tests {
         for enb in [0u64, 1] {
             let site = t.radio_site(EnbId::new(enb)).unwrap();
             assert_eq!(t.neighbors(site).len(), 2, "mmWave + µwave");
-            let kinds: Vec<LinkKind> =
-                t.neighbors(site).iter().map(|&(l, _)| t.link(l).kind).collect();
+            let kinds: Vec<LinkKind> = t
+                .neighbors(site)
+                .iter()
+                .map(|&(l, _)| t.link(l).kind)
+                .collect();
             assert!(kinds.contains(&LinkKind::MmWave));
             assert!(kinds.contains(&LinkKind::MicroWave));
         }

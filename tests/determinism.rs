@@ -4,8 +4,23 @@
 use ovnes_api::{EndpointFaults, FaultPlan, SubstrateElement, SubstrateFaultPlan};
 use ovnes_dashboard::DashboardView;
 use ovnes_model::{EnbId, LinkId};
-use ovnes_orchestrator::{ChaosScenario, DemoScenario, ScenarioConfig, SubstrateScenario};
-use ovnes_sim::{SimDuration, SimTime};
+use ovnes_orchestrator::{
+    ChaosScenario, DemoScenario, ScenarioConfig, SubstrateScenario, WorldSnapshot,
+};
+use ovnes_sim::{SimDuration, SimRng, SimTime};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ovnes-determinism-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn config(seed: u64) -> ScenarioConfig {
     ScenarioConfig {
@@ -272,6 +287,145 @@ fn rolling_aggregates_match_scan_reference() {
         }
     }
     assert!(checked > 10, "expected a populated scenario, saw {checked}");
+}
+
+#[test]
+fn restored_world_matches_uninterrupted_under_combined_chaos() {
+    // The acceptance contract under the worst conditions: control-plane
+    // faults AND substrate outages active, snapshot taken at an epoch drawn
+    // from a seed (so reruns stay reproducible but the cut point is not
+    // hand-picked), the live world dropped, and the restored world must
+    // still finish with the identical summary, dashboard, and monitoring
+    // JSON.
+    let plan = || {
+        FaultPlan::new(4242)
+            .with_endpoint("ran/health", EndpointFaults::none().with_drop(0.25))
+            .with_endpoint("transport/health", EndpointFaults::none().with_error(0.15))
+    };
+    let build = || {
+        let mut s = ChaosScenario::build(config(321), plan());
+        s.orchestrator_mut()
+            .set_substrate_plan(stormy_substrate_plan(17));
+        s
+    };
+    let (reference, ref_dash, ref_monitoring) = {
+        let mut s = build();
+        let summary = s.run();
+        let dash = DashboardView::capture(s.orchestrator()).render();
+        let monitoring: Vec<String> = s
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        (summary, dash, monitoring)
+    };
+
+    let mut epoch_rng = SimRng::seed_from(0xE16);
+    let cut = 1 + (epoch_rng.uniform_range(0.0, 1.0) * 40.0) as usize;
+    let mut live = build();
+    for _ in 0..cut {
+        assert!(live.step_epoch());
+    }
+    let world = WorldSnapshot::open(scratch("combined-chaos")).unwrap();
+    world.snapshot(&live.export_state()).unwrap();
+    drop(live); // only the on-disk snapshot survives the "kill"
+
+    let (epoch, state) = world.restore_latest().unwrap().unwrap();
+    assert_eq!(epoch as usize, cut);
+    let mut resumed = ChaosScenario::from_state(&state);
+    let summary = resumed.run();
+    assert_eq!(summary, reference, "summary diverged after restore");
+    assert_eq!(
+        DashboardView::capture(resumed.orchestrator()).render(),
+        ref_dash,
+        "dashboard diverged after restore"
+    );
+    let monitoring: Vec<String> = resumed
+        .orchestrator()
+        .monitoring()
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    assert_eq!(
+        monitoring, ref_monitoring,
+        "monitoring diverged after restore"
+    );
+    // Both fault families actually bit.
+    assert!(reference.control_retries > 0, "{reference:?}");
+}
+
+#[test]
+fn restored_substrate_run_matches_final_substrate_summary() {
+    // Satellite of the same contract for the physical-fault wrapper: the
+    // SubstrateSummary (repair-pipeline counters included) of a restored
+    // run equals the uninterrupted one.
+    let reference = {
+        let mut s = SubstrateScenario::build(config(606), stormy_substrate_plan(17));
+        s.run()
+    };
+    let mut live = SubstrateScenario::build(config(606), stormy_substrate_plan(17));
+    for _ in 0..33 {
+        assert!(live.step_epoch());
+    }
+    let world = WorldSnapshot::open(scratch("substrate")).unwrap();
+    world.snapshot(&live.export_state()).unwrap();
+    drop(live);
+    let (_, state) = world.restore_latest().unwrap().unwrap();
+    let mut resumed = SubstrateScenario::from_state(&state);
+    let summary = resumed.run();
+    assert_eq!(summary, reference);
+    assert!(summary.element_failures > 0, "{summary:?}");
+}
+
+#[test]
+fn restored_world_is_worker_count_invariant() {
+    // restore(snapshot(a)).run(..b) must equal run(a..b) whatever the
+    // worker count: resume the same snapshot under 1, 2, and 8 workers and
+    // compare against the uninterrupted serial run.
+    let (reference, ref_monitoring) = {
+        ovnes_sim::par::set_thread_override(Some(1));
+        let mut s = DemoScenario::build(config(2024));
+        let summary = s.run();
+        let monitoring: Vec<String> = s
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        ovnes_sim::par::set_thread_override(None);
+        (summary, monitoring)
+    };
+
+    let mut live = DemoScenario::build(config(2024));
+    for _ in 0..19 {
+        assert!(live.step_epoch());
+    }
+    let world = WorldSnapshot::open(scratch("workers")).unwrap();
+    world.snapshot(&live.export_state()).unwrap();
+    drop(live);
+
+    for threads in [1usize, 2, 8] {
+        ovnes_sim::par::set_thread_override(Some(threads));
+        let (_, state) = world.restore_latest().unwrap().unwrap();
+        let mut resumed = DemoScenario::from_state(&state);
+        let summary = resumed.run();
+        let monitoring: Vec<String> = resumed
+            .orchestrator()
+            .monitoring()
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        ovnes_sim::par::set_thread_override(None);
+        assert_eq!(
+            summary, reference,
+            "{threads} workers diverged after restore"
+        );
+        assert_eq!(
+            monitoring, ref_monitoring,
+            "{threads}-worker monitoring diverged after restore"
+        );
+    }
 }
 
 #[test]
