@@ -18,6 +18,9 @@ pub enum BusError {
     NoSuchEndpoint(String),
     /// The envelope failed to (de)serialize.
     Envelope(serde_json::Error),
+    /// The underlying socket transport failed (connect refused, reset,
+    /// truncated stream). Never produced by the in-process bus.
+    Transport(String),
 }
 
 impl fmt::Display for BusError {
@@ -25,6 +28,7 @@ impl fmt::Display for BusError {
         match self {
             BusError::NoSuchEndpoint(e) => write!(f, "no handler at {e:?}"),
             BusError::Envelope(e) => write!(f, "envelope: {e}"),
+            BusError::Transport(e) => write!(f, "transport: {e}"),
         }
     }
 }
@@ -57,13 +61,28 @@ impl MessageBus {
         self.handlers.contains_key(endpoint)
     }
 
+    /// The registered endpoints, ascending (the bus's "routing table" —
+    /// what a socket transport mirrors as its route map).
+    pub fn endpoints(&self) -> impl Iterator<Item = &str> {
+        self.handlers.keys().map(String::as_str)
+    }
+
     /// Issue a request: wrap `body` in an envelope, serialize it across the
     /// "wire", dispatch, and return the deserialized response.
+    ///
+    /// A correlation id is consumed only when the request actually reaches a
+    /// handler: a call that fails before dispatch (unknown endpoint, request
+    /// envelope failure) leaves the id counter — and therefore every later
+    /// call's id — untouched, so failed calls are invisible in
+    /// [`MessageBus::export_state`]. `requests_served` is bumped *at
+    /// dispatch*: a handler that ran is a request the endpoint served, even
+    /// if its response envelope later fails to (de)serialize.
     pub fn call(&mut self, endpoint: &str, body: Vec<u8>) -> Result<Response, BusError> {
-        let id = self.next_id;
-        self.next_id += 1;
+        if !self.handlers.contains_key(endpoint) {
+            return Err(BusError::NoSuchEndpoint(endpoint.to_owned()));
+        }
         let request = Request {
-            id,
+            id: self.next_id,
             endpoint: endpoint.to_owned(),
             body,
         };
@@ -71,15 +90,13 @@ impl MessageBus {
         let wire = serde_json::to_vec(&request).map_err(BusError::Envelope)?;
         let delivered: Request = serde_json::from_slice(&wire).map_err(BusError::Envelope)?;
 
-        let handler = self
-            .handlers
-            .get_mut(endpoint)
-            .ok_or_else(|| BusError::NoSuchEndpoint(endpoint.to_owned()))?;
+        let handler = self.handlers.get_mut(endpoint).expect("checked above");
+        self.next_id += 1;
+        *self.requests_served.entry(endpoint.to_owned()).or_insert(0) += 1;
         let response = handler(delivered);
 
         let wire_back = serde_json::to_vec(&response).map_err(BusError::Envelope)?;
         let response: Response = serde_json::from_slice(&wire_back).map_err(BusError::Envelope)?;
-        *self.requests_served.entry(endpoint.to_owned()).or_insert(0) += 1;
         Ok(response)
     }
 
@@ -206,6 +223,60 @@ mod tests {
         assert_eq!(bus.served("a"), 2);
         assert_eq!(bus.served("b"), 1);
         assert_eq!(bus.served("c"), 0);
+    }
+
+    #[test]
+    fn failed_dispatch_leaves_state_unchanged() {
+        // Regression: `call` used to increment `next_id` before checking the
+        // endpoint existed, so a NoSuchEndpoint error leaked a correlation
+        // id and shifted every later id.
+        let mut bus = MessageBus::new();
+        bus.register("real", |req| Response::ok(req.id, vec![]));
+        bus.call("real", vec![]).unwrap();
+        let before = bus.export_state();
+
+        assert!(matches!(
+            bus.call("missing", vec![]),
+            Err(BusError::NoSuchEndpoint(_))
+        ));
+        assert_eq!(
+            bus.export_state(),
+            before,
+            "a failed call must not consume a correlation id or count as served"
+        );
+
+        // The very next successful call gets the id the failed call would
+        // have leaked.
+        let resp = bus.call("real", vec![]).unwrap();
+        assert_eq!(resp.id, 1);
+        assert_eq!(bus.export_state().next_id, 2);
+    }
+
+    #[test]
+    fn served_counts_every_dispatched_request() {
+        // Regression: `requests_served` used to be bumped only after the
+        // response survived re-serialization, so a handler that ran but
+        // whose envelope round-trip failed was never counted. Serving is
+        // counted at dispatch: the invariant is served == handler
+        // invocations, across every status and around failed calls.
+        let invocations = Rc::new(RefCell::new(0u64));
+        let mut bus = MessageBus::new();
+        let n = invocations.clone();
+        bus.register("mixed", move |req| {
+            *n.borrow_mut() += 1;
+            match req.body.first() {
+                Some(0) => Response::ok(req.id, vec![]),
+                Some(1) => Response::rejected(req.id, b"no capacity".to_vec()),
+                _ => Response::error(req.id, "boom"),
+            }
+        });
+        for byte in [0u8, 1, 2, 0, 1] {
+            bus.call("mixed", vec![byte]).unwrap();
+        }
+        // Failed dispatches never reach the handler and never count.
+        let _ = bus.call("absent", vec![]);
+        assert_eq!(bus.served("mixed"), *invocations.borrow());
+        assert_eq!(bus.served("mixed"), 5);
     }
 
     #[test]

@@ -58,18 +58,21 @@ pub fn encode<T: Serialize>(payload: &T) -> Result<Vec<u8>, CodecError> {
 }
 
 /// Decode versioned JSON bytes back into a payload.
+///
+/// Single-pass: the frame is parsed once with the payload captured as a
+/// raw, unvalidated slice of the input, the version is checked, and only
+/// then is the payload's schema committed to. The ordering guarantee of
+/// the old two-parse probe is preserved — a version mismatch is reported
+/// before any payload *schema* error can surface (syntactically broken
+/// JSON still fails the outer parse, exactly as it always did).
 pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
-    // Check the version before committing to the payload schema.
-    #[derive(Deserialize)]
-    struct VersionOnly {
-        version: u32,
+    let frame: Frame<&serde_json::value::RawValue> = serde_json::from_slice(bytes)?;
+    if frame.version != WIRE_VERSION {
+        return Err(CodecError::VersionMismatch {
+            found: frame.version,
+        });
     }
-    let v: VersionOnly = serde_json::from_slice(bytes)?;
-    if v.version != WIRE_VERSION {
-        return Err(CodecError::VersionMismatch { found: v.version });
-    }
-    let frame: Frame<T> = serde_json::from_slice(bytes)?;
-    Ok(frame.payload)
+    Ok(serde_json::from_str(frame.payload.get())?)
 }
 
 #[cfg(test)]
@@ -116,6 +119,33 @@ mod tests {
             different: bool,
         }
         assert!(matches!(decode::<Other>(&bytes), Err(CodecError::Json(_))));
+    }
+
+    #[test]
+    fn version_mismatch_wins_over_payload_schema_error() {
+        // The single-pass decode must preserve the two-parse probe's
+        // ordering guarantee: an old/new peer is reported as a version
+        // mismatch even when its payload also fails our schema.
+        let bytes = br#"{"version": 2, "payload": {"unknown_field": [1, 2]}}"#;
+        match decode::<Ping>(bytes) {
+            Err(CodecError::VersionMismatch { found: 2 }) => {}
+            other => panic!("expected version mismatch first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntactically_broken_payload_is_a_json_error_regardless_of_version() {
+        // Syntax errors fail the outer parse before the version check can
+        // run — identical to the old behavior, where the probe parse also
+        // had to scan the full document.
+        let bytes = br#"{"version": 999, "payload": {"seq": }}"#;
+        assert!(matches!(decode::<Ping>(bytes), Err(CodecError::Json(_))));
+    }
+
+    #[test]
+    fn good_version_bad_schema_reports_the_payload_error() {
+        let bytes = br#"{"version": 1, "payload": {"not_ping": true}}"#;
+        assert!(matches!(decode::<Ping>(bytes), Err(CodecError::Json(_))));
     }
 
     #[test]

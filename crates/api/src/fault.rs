@@ -3,18 +3,21 @@
 //! The physical demo's orchestrator speaks REST to the RAN, transport, and
 //! cloud controllers — calls that in practice get dropped, delayed,
 //! corrupted, or answered 5xx by a flapping controller. This module makes
-//! those failure modes injectable on the in-process [`MessageBus`] without
-//! giving up bit-for-bit reproducibility:
+//! those failure modes injectable on any [`Transport`] — the in-process
+//! [`MessageBus`](crate::bus::MessageBus) or the socket RPC plane —
+//! without giving up bit-for-bit reproducibility:
 //!
 //! * [`FaultPlan`] — a declarative, serializable description of what goes
 //!   wrong per endpoint: drop/transient-error/delay/corruption
 //!   probabilities plus scheduled outage windows. The plan carries its own
 //!   RNG seed, so fault realizations never perturb the simulation's other
 //!   random streams.
-//! * [`FaultInjector`] — wraps [`MessageBus::call`] and applies one plan.
+//! * [`FaultInjector`] — wraps [`Transport::call`] and applies one plan.
 //!   An endpoint the plan doesn't mention (or mentions with all-zero
 //!   probabilities) is passed through untouched — the zero-fault path makes
-//!   **no** RNG draws and is byte-identical to the unwrapped bus.
+//!   **no** RNG draws and is byte-identical to the unwrapped bus. On a
+//!   socket transport, decided drops and outages are additionally
+//!   *realized* as physical connection teardowns (see [`crate::rpc`]).
 //! * [`RetryPolicy`] — the client-side survival kit: bounded attempts,
 //!   exponential backoff with deterministic jitter, and a per-call
 //!   deadline.
@@ -24,8 +27,9 @@
 //! conditional on its probability being positive, which is what keeps the
 //! quiet path draw-free.
 
-use crate::bus::{BusError, MessageBus};
+use crate::bus::BusError;
 use crate::envelope::Response;
+use crate::transport::Transport;
 use ovnes_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -252,9 +256,17 @@ impl FaultInjector {
     /// plan. On success, returns the response plus the injected latency
     /// (zero unless a delay fired). Endpoints the plan leaves quiet pass
     /// through without any RNG draw.
-    pub fn call(
+    ///
+    /// Generic over the [`Transport`]: fault *decisions* (every RNG draw,
+    /// in a fixed order) happen here, identically on any transport, which
+    /// is what keeps chaos runs byte-identical in-process vs. over
+    /// sockets. A transport may additionally *realize* a decided
+    /// drop/outage physically via its `realize_*` hooks — a connection
+    /// reset or teardown on the socket plane, a no-op on the in-process
+    /// oracle — without perturbing accounting or the draw sequence.
+    pub fn call<T: Transport>(
         &mut self,
-        bus: &mut MessageBus,
+        bus: &mut T,
         now: SimTime,
         endpoint: &str,
         body: Vec<u8>,
@@ -279,10 +291,12 @@ impl FaultInjector {
         stats.attempts += 1;
         if faults.down_at(now) {
             stats.outage_rejections += 1;
+            bus.realize_outage(endpoint);
             return Err(CallFailure::Down);
         }
         if faults.drop_prob > 0.0 && self.rng.chance(faults.drop_prob) {
             stats.drops += 1;
+            bus.realize_drop(endpoint);
             return Err(CallFailure::Dropped);
         }
         if faults.error_prob > 0.0 && self.rng.chance(faults.error_prob) {
@@ -385,6 +399,7 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bus::MessageBus;
     use crate::envelope::Status;
 
     fn echo_bus() -> MessageBus {

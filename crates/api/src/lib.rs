@@ -15,8 +15,16 @@
 //!   report controllers push upstream.
 //! * [`bus`] — the in-process message bus with per-endpoint handlers and
 //!   request accounting.
+//! * [`rpc`] — the same boundary made *physical*: length-prefixed framed
+//!   TCP servers for the controllers ([`rpc::RpcServer`]) and the
+//!   [`rpc::SocketBus`] client with pipelining and push-telemetry
+//!   subscriptions.
+//! * [`transport`] — the [`transport::Transport`] trait both buses
+//!   implement, pinning the accounting contract that keeps run summaries
+//!   byte-identical in-process vs. over sockets.
 //! * [`fault`] — deterministic control-plane fault injection and the retry
-//!   machinery that survives it.
+//!   machinery that survives it, generic over the transport so decided
+//!   drops/outages become real connection teardowns on the socket plane.
 //! * [`substrate`] — deterministic *data-plane* fault schedules: link,
 //!   switch, cell, and host outages the orchestrator's recovery pipeline
 //!   reacts to.
@@ -57,14 +65,20 @@ pub mod codec;
 pub mod envelope;
 pub mod fault;
 pub mod messages;
+pub mod rpc;
 pub mod snapshot;
 pub mod substrate;
+pub mod transport;
 
 pub use bus::{BusError, BusState, MessageBus};
 pub use codec::{decode, encode, CodecError, WIRE_VERSION};
 pub use envelope::{Request, Response, Status};
 pub use fault::{
     CallFailure, EndpointFaults, EndpointStats, FaultInjector, FaultPlan, RetryPolicy,
+};
+pub use rpc::{
+    health_handler, monitoring_echo_handler, read_frame, register_control_endpoints, write_frame,
+    Router, RpcServer, ServerStats, SocketBus, WireFrame, MAX_FRAME_BYTES,
 };
 pub use messages::{
     CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
@@ -75,3 +89,4 @@ pub use snapshot::{
     SnapshotStore,
 };
 pub use substrate::{ElementSchedule, SubstrateElement, SubstrateFaultPlan};
+pub use transport::{ControlTransport, Transport};

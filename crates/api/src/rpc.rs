@@ -1,0 +1,913 @@
+//! The socket RPC plane: framed TCP between orchestrator and controllers.
+//!
+//! The paper's testbed runs the RAN, transport, and cloud controllers as
+//! separate processes the orchestrator reaches over REST. This module is
+//! that boundary made real with `std::net` only (threads + TCP — the
+//! container has no crate registry, so no async runtime, and none is
+//! needed at control-plane rates):
+//!
+//! * **Framing** — every message is a 4-byte big-endian length prefix
+//!   followed by a JSON-serialized [`WireFrame`]. Length-prefixed framing
+//!   makes message boundaries explicit on a byte stream, lets a reader
+//!   reject oversized frames before allocating ([`MAX_FRAME_BYTES`]), and
+//!   keeps the payload format identical to the in-process bus (the same
+//!   [`Request`]/[`Response`] envelopes, the same [`crate::codec`] bodies).
+//! * **[`Router`] / [`RpcServer`]** — a server task: an accept loop plus a
+//!   thread per connection, dispatching [`WireFrame::Request`] frames to
+//!   registered handlers behind a mutex (controllers are stateful; calls
+//!   serialize at the controller exactly as they would at a single-threaded
+//!   REST worker).
+//! * **[`SocketBus`]** — the client. Same call surface and accounting
+//!   contract as [`MessageBus`](crate::bus::MessageBus) (see
+//!   [`crate::transport`]), plus [`SocketBus::call_pipelined`]: many
+//!   in-flight correlation ids on one connection, responses demultiplexed
+//!   by id — the round-trip amortization `exp_e17_rpc_plane` measures.
+//! * **Push telemetry** — a connection may [`WireFrame::Subscribe`] to a
+//!   topic; after every successful dispatch to a `*/monitoring` endpoint
+//!   the server pushes the report body to subscribers as
+//!   [`WireFrame::Push`], so dashboards receive deltas instead of polling.
+//! * **Chaos realization** — [`WireFrame::ChaosReset`] is a test directive
+//!   (toxiproxy-style): the server drops the connection on the floor
+//!   without replying, so a fault the [`FaultInjector`] *decided* becomes a
+//!   connection the client *observes* dying — a real socket teardown, not a
+//!   simulated error value. See [`SocketBus::realize_drop`].
+//!
+//! [`FaultInjector`]: crate::fault::FaultInjector
+
+use crate::bus::{BusError, BusState};
+use crate::envelope::{Request, Response, Status};
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Hard cap on a single frame's payload size. Large enough for any
+/// monitoring report the repo produces, small enough that a corrupt or
+/// hostile length prefix cannot trigger a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Everything that can travel on an RPC connection, in both directions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireFrame {
+    /// Client → server: dispatch this request.
+    Request(Request),
+    /// Server → client: the answer to a request, matched by correlation id.
+    Response(Response),
+    /// Client → server: push future `Push` frames for `topic` on this
+    /// connection. Acked with an empty-body OK [`Response`] echoing `id`.
+    Subscribe {
+        /// Correlation id for the ack.
+        id: u64,
+        /// Topic, by convention the monitoring endpoint path.
+        topic: String,
+    },
+    /// Server → client: unsolicited telemetry for a subscribed topic.
+    Push {
+        /// The topic this body was published under.
+        topic: String,
+        /// The monitoring report bytes, exactly as posted.
+        body: Vec<u8>,
+    },
+    /// Client → server chaos directive: close this connection immediately
+    /// without replying. Lets a deterministic fault plan realize a decided
+    /// drop as a physical teardown the client then observes.
+    ChaosReset,
+}
+
+/// Write `payload` as one length-prefixed frame.
+pub fn write_frame_bytes(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame's payload. Errors with `UnexpectedEof`
+/// on a truncated frame and `InvalidData` on an oversized length prefix.
+pub fn read_frame_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Serialize and write one [`WireFrame`].
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    let bytes = serde_json::to_vec(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame_bytes(w, &bytes)
+}
+
+/// Read and deserialize one [`WireFrame`]. A frame whose payload is not
+/// valid `WireFrame` JSON errors with `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<WireFrame> {
+    let bytes = read_frame_bytes(r)?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The canonical `{domain}/health` handler: empty-body OK. A plain `fn`
+/// so the in-process bus and every socket server register the *same*
+/// behavior and responses stay byte-identical across transports.
+pub fn health_handler(req: Request) -> Response {
+    Response::ok(req.id, Vec::new())
+}
+
+/// The canonical `{domain}/monitoring` handler: acknowledge by echoing the
+/// posted report. Same sharing rationale as [`health_handler`].
+pub fn monitoring_echo_handler(req: Request) -> Response {
+    Response::ok(req.id, req.body)
+}
+
+/// Register the control-plane surface (`{domain}/health`,
+/// `{domain}/monitoring`) on `router` using the canonical handlers.
+pub fn register_control_endpoints(router: &mut Router, domain: &str) {
+    router.register(&format!("{domain}/health"), health_handler);
+    router.register(&format!("{domain}/monitoring"), monitoring_echo_handler);
+}
+
+type Handler = Box<dyn FnMut(Request) -> Response + Send>;
+
+/// Endpoint → handler table a server dispatches against. The socket-side
+/// twin of the in-process bus's registry; handlers must be `Send` because
+/// they run on connection threads.
+#[derive(Default)]
+pub struct Router {
+    handlers: BTreeMap<String, Handler>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register (or replace) the handler at `endpoint`.
+    pub fn register(
+        &mut self,
+        endpoint: &str,
+        handler: impl FnMut(Request) -> Response + Send + 'static,
+    ) {
+        self.handlers.insert(endpoint.to_owned(), Box::new(handler));
+    }
+
+    /// True if `endpoint` has a handler.
+    pub fn has_endpoint(&self, endpoint: &str) -> bool {
+        self.handlers.contains_key(endpoint)
+    }
+
+    /// The registered endpoints, ascending.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.handlers.keys().cloned().collect()
+    }
+
+    /// Dispatch `req` to its endpoint's handler. An unknown endpoint gets
+    /// an error-status response (the server-side 404 — the *client* route
+    /// table is what preserves the no-id-consumed contract for endpoints
+    /// that do not exist anywhere).
+    pub fn dispatch(&mut self, req: Request) -> Response {
+        match self.handlers.get_mut(&req.endpoint) {
+            Some(h) => h(req),
+            None => Response::error(req.id, &format!("no handler at {:?}", req.endpoint)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    subscriptions: AtomicU64,
+    pushes: AtomicU64,
+    chaos_resets: AtomicU64,
+}
+
+/// A snapshot of one server's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames dispatched.
+    pub requests: u64,
+    /// Subscriptions registered.
+    pub subscriptions: u64,
+    /// Telemetry frames pushed.
+    pub pushes: u64,
+    /// Connections torn down by a [`WireFrame::ChaosReset`] directive.
+    pub chaos_resets: u64,
+}
+
+struct Subscriber {
+    topic: String,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+type Subscribers = Arc<Mutex<Vec<Subscriber>>>;
+
+/// A running RPC server task: accept loop + one thread per connection,
+/// dispatching into a [`Router`]. Dropping the handle shuts the server
+/// down (idempotently; [`RpcServer::shutdown`] does it explicitly).
+pub struct RpcServer {
+    addr: SocketAddr,
+    endpoints: Vec<String>,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Bind a loopback listener on an OS-assigned port and serve `router`.
+    pub fn spawn(router: Router) -> io::Result<RpcServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let endpoints = router.endpoints();
+        let stats = Arc::new(StatsInner::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
+        let router = Arc::new(Mutex::new(router));
+
+        let accept_stats = stats.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                let router = router.clone();
+                let subscribers = subscribers.clone();
+                let stats = accept_stats.clone();
+                std::thread::spawn(move || serve_connection(stream, router, subscribers, stats));
+            }
+        });
+
+        Ok(RpcServer {
+            addr,
+            endpoints,
+            stats,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The endpoints the router serves (the client's route table).
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Lifetime counters so tests can assert the physical story (accepted
+    /// connections, chaos teardowns, pushes) actually happened.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            subscriptions: self.stats.subscriptions.load(Ordering::Relaxed),
+            pushes: self.stats.pushes.load(Ordering::Relaxed),
+            chaos_resets: self.stats.chaos_resets.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting connections and join the accept loop. Existing
+    /// connection threads exit as their peers hang up.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    router: Arc<Mutex<Router>>,
+    subscribers: Subscribers,
+    stats: Arc<StatsInner>,
+) {
+    stream.set_nodelay(true).ok();
+    let Ok(mut reader) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => break, // peer hung up or sent garbage: drop the conn
+        };
+        match frame {
+            WireFrame::Request(req) => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let endpoint = req.endpoint.clone();
+                let report = req.body.clone();
+                let response = {
+                    let mut router = match router.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    router.dispatch(req)
+                };
+                let delivered = response.status == Status::Ok;
+                {
+                    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                    if write_frame(&mut *w, &WireFrame::Response(response)).is_err() {
+                        break;
+                    }
+                }
+                // Monitoring posts fan out to subscribers after the ack, so
+                // a push is only ever observed for an accepted report.
+                if delivered && endpoint.ends_with("/monitoring") {
+                    publish(&subscribers, &stats, &endpoint, &report);
+                }
+            }
+            WireFrame::Subscribe { id, topic } => {
+                stats.subscriptions.fetch_add(1, Ordering::Relaxed);
+                subscribers
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(Subscriber {
+                        topic,
+                        writer: writer.clone(),
+                    });
+                let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+                let ack = WireFrame::Response(Response::ok(id, Vec::new()));
+                if write_frame(&mut *w, &ack).is_err() {
+                    break;
+                }
+            }
+            WireFrame::ChaosReset => {
+                stats.chaos_resets.fetch_add(1, Ordering::Relaxed);
+                // Close without replying: both halves drop when this
+                // function returns, and the client's pending read sees a
+                // real teardown.
+                break;
+            }
+            // Server-bound connections never carry these; a peer that sends
+            // them is confused, and the safe reaction is to hang up.
+            WireFrame::Response(_) | WireFrame::Push { .. } => break,
+        }
+    }
+}
+
+fn publish(subscribers: &Subscribers, stats: &StatsInner, topic: &str, body: &[u8]) {
+    let mut subs = subscribers.lock().unwrap_or_else(|p| p.into_inner());
+    subs.retain(|sub| {
+        if sub.topic != topic {
+            return true;
+        }
+        let frame = WireFrame::Push {
+            topic: topic.to_owned(),
+            body: body.to_vec(),
+        };
+        let mut w = sub.writer.lock().unwrap_or_else(|p| p.into_inner());
+        match write_frame(&mut *w, &frame) {
+            Ok(()) => {
+                stats.pushes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            // A dead subscriber is pruned on its first failed push.
+            Err(_) => false,
+        }
+    });
+}
+
+/// The socket client: the same call surface and accounting contract as the
+/// in-process bus (see [`crate::transport`]), carried over framed TCP.
+///
+/// Connections are opened lazily per server address and cached; an I/O
+/// error tears the cached connection down so the next call reconnects —
+/// which is exactly how the injected outage/drop faults become visible as
+/// refused connects and mid-call resets.
+#[derive(Default)]
+pub struct SocketBus {
+    routes: BTreeMap<String, SocketAddr>,
+    conns: BTreeMap<SocketAddr, TcpStream>,
+    next_id: u64,
+    requests_served: BTreeMap<String, u64>,
+    pushed: Vec<(String, Vec<u8>)>,
+}
+
+impl SocketBus {
+    /// An empty client with no routes.
+    pub fn new() -> SocketBus {
+        SocketBus::default()
+    }
+
+    /// Route `endpoint` to the server at `addr`.
+    pub fn route(&mut self, endpoint: &str, addr: SocketAddr) {
+        self.routes.insert(endpoint.to_owned(), addr);
+    }
+
+    /// Route every endpoint `server` exposes to its address.
+    pub fn attach(&mut self, server: &RpcServer) {
+        for endpoint in server.endpoints() {
+            self.route(endpoint, server.addr());
+        }
+    }
+
+    /// True if `endpoint` has a route.
+    pub fn has_endpoint(&self, endpoint: &str) -> bool {
+        self.routes.contains_key(endpoint)
+    }
+
+    /// The routed endpoints, ascending.
+    pub fn endpoints(&self) -> impl Iterator<Item = &str> {
+        self.routes.keys().map(String::as_str)
+    }
+
+    fn ensure_conn(&mut self, addr: SocketAddr) -> Result<(), BusError> {
+        if let Entry::Vacant(slot) = self.conns.entry(addr) {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| BusError::Transport(format!("connect {addr}: {e}")))?;
+            stream.set_nodelay(true).ok();
+            slot.insert(stream);
+        }
+        Ok(())
+    }
+
+    /// Issue a request and wait for its response. Mirrors the in-process
+    /// accounting exactly: an unrouted endpoint consumes nothing, and the
+    /// correlation id / served count commit only once the response is in
+    /// hand (a transport failure mid-call leaves `export_state` unchanged,
+    /// so a retried call reuses the id — harmless, because the dead
+    /// connection's responses can no longer be received).
+    pub fn call(&mut self, endpoint: &str, body: Vec<u8>) -> Result<Response, BusError> {
+        let addr = *self
+            .routes
+            .get(endpoint)
+            .ok_or_else(|| BusError::NoSuchEndpoint(endpoint.to_owned()))?;
+        self.ensure_conn(addr)?;
+        let id = self.next_id;
+        let frame = WireFrame::Request(Request {
+            id,
+            endpoint: endpoint.to_owned(),
+            body,
+        });
+        let stream = self.conns.get_mut(&addr).expect("ensured above");
+        match exchange(stream, &mut self.pushed, &frame, id) {
+            Ok(response) => {
+                self.next_id += 1;
+                *self
+                    .requests_served
+                    .entry(endpoint.to_owned())
+                    .or_insert(0) += 1;
+                Ok(response)
+            }
+            Err(e) => {
+                self.conns.remove(&addr);
+                Err(BusError::Transport(format!("{endpoint}: {e}")))
+            }
+        }
+    }
+
+    /// Issue many requests with all of them in flight before the first
+    /// response is read — per-connection pipelining. Requests are written
+    /// in order (ids ascend in call order); responses are demultiplexed by
+    /// correlation id per connection. One failed slot does not fail the
+    /// batch.
+    ///
+    /// Accounting: a pipelined request's id commits at *send* (it reached
+    /// a server and will dispatch), and its served count at response
+    /// receipt — use [`SocketBus::call`] where oracle-exact accounting
+    /// matters; pipelining is the throughput path.
+    pub fn call_pipelined(
+        &mut self,
+        calls: Vec<(String, Vec<u8>)>,
+    ) -> Vec<Result<Response, BusError>> {
+        struct Pending {
+            slot: usize,
+            endpoint: String,
+        }
+        let mut results: Vec<Option<Result<Response, BusError>>> =
+            calls.iter().map(|_| None).collect();
+        let mut per_addr: BTreeMap<SocketAddr, BTreeMap<u64, Pending>> = BTreeMap::new();
+
+        // Send phase: every routable request goes out before any read.
+        for (slot, (endpoint, body)) in calls.into_iter().enumerate() {
+            let Some(&addr) = self.routes.get(&endpoint) else {
+                results[slot] = Some(Err(BusError::NoSuchEndpoint(endpoint)));
+                continue;
+            };
+            if let Err(e) = self.ensure_conn(addr) {
+                results[slot] = Some(Err(e));
+                continue;
+            }
+            let id = self.next_id;
+            let frame = WireFrame::Request(Request {
+                id,
+                endpoint: endpoint.clone(),
+                body,
+            });
+            let stream = self.conns.get_mut(&addr).expect("ensured above");
+            match write_frame(stream, &frame) {
+                Ok(()) => {
+                    self.next_id += 1;
+                    per_addr
+                        .entry(addr)
+                        .or_default()
+                        .insert(id, Pending { slot, endpoint });
+                }
+                Err(e) => {
+                    self.conns.remove(&addr);
+                    results[slot] = Some(Err(BusError::Transport(format!("{endpoint}: {e}"))));
+                }
+            }
+        }
+
+        // Receive phase: drain each connection, matching responses by id.
+        let conns = &mut self.conns;
+        let pushed = &mut self.pushed;
+        let served = &mut self.requests_served;
+        for (addr, mut pending) in per_addr {
+            while !pending.is_empty() {
+                let Some(stream) = conns.get_mut(&addr) else {
+                    break;
+                };
+                match read_frame(stream) {
+                    Ok(WireFrame::Push { topic, body }) => pushed.push((topic, body)),
+                    Ok(WireFrame::Response(response)) => {
+                        let Some(p) = pending.remove(&response.id) else {
+                            // A response nobody asked for: the stream is
+                            // desynchronized; abandon the connection.
+                            conns.remove(&addr);
+                            break;
+                        };
+                        *served.entry(p.endpoint).or_insert(0) += 1;
+                        results[p.slot] = Some(Ok(response));
+                    }
+                    Ok(_) | Err(_) => {
+                        conns.remove(&addr);
+                        break;
+                    }
+                }
+            }
+            for (_, p) in pending {
+                results[p.slot] = Some(Err(BusError::Transport(format!(
+                    "{}: connection lost before response",
+                    p.endpoint
+                ))));
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is filled in send or receive phase"))
+            .collect()
+    }
+
+    /// Subscribe this client's connection to `topic` (a monitoring
+    /// endpoint). Pushed frames accumulate as calls drain the connection;
+    /// collect them with [`SocketBus::take_pushed`].
+    pub fn subscribe(&mut self, topic: &str) -> Result<(), BusError> {
+        let addr = *self
+            .routes
+            .get(topic)
+            .ok_or_else(|| BusError::NoSuchEndpoint(topic.to_owned()))?;
+        self.ensure_conn(addr)?;
+        let id = self.next_id;
+        let frame = WireFrame::Subscribe {
+            id,
+            topic: topic.to_owned(),
+        };
+        let stream = self.conns.get_mut(&addr).expect("ensured above");
+        match exchange(stream, &mut self.pushed, &frame, id) {
+            Ok(_ack) => {
+                self.next_id += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.conns.remove(&addr);
+                Err(BusError::Transport(format!("subscribe {topic}: {e}")))
+            }
+        }
+    }
+
+    /// Drain the telemetry frames pushed on this client's connections
+    /// since the last call.
+    pub fn take_pushed(&mut self) -> Vec<(String, Vec<u8>)> {
+        std::mem::take(&mut self.pushed)
+    }
+
+    /// Requests served (responses received) at `endpoint`.
+    pub fn served(&self, endpoint: &str) -> u64 {
+        self.requests_served.get(endpoint).copied().unwrap_or(0)
+    }
+
+    /// The client-side accounting, shape-identical to the in-process
+    /// bus's ([`BusState`]) so summaries can compare across transports.
+    pub fn export_state(&self) -> BusState {
+        BusState {
+            next_id: self.next_id,
+            requests_served: self.requests_served.clone(),
+        }
+    }
+
+    /// Overwrite the accounting captured by [`SocketBus::export_state`].
+    /// Routes and live connections are untouched.
+    pub fn restore_state(&mut self, state: &BusState) {
+        self.next_id = state.next_id;
+        self.requests_served = state.requests_served.clone();
+    }
+
+    /// Physically realize a decided request drop: send the server the
+    /// [`WireFrame::ChaosReset`] directive and *witness* the teardown (the
+    /// read below returns EOF/reset once the server closes without
+    /// replying). No id is consumed and nothing is counted as served —
+    /// the dropped request never dispatched, matching the in-process
+    /// oracle where a drop is pure absence.
+    pub fn realize_drop(&mut self, endpoint: &str) {
+        let Some(&addr) = self.routes.get(endpoint) else {
+            return;
+        };
+        if self.ensure_conn(addr).is_err() {
+            return; // connect refused: the drop is already physical
+        }
+        let stream = self.conns.get_mut(&addr).expect("ensured above");
+        let _ = write_frame(stream, &WireFrame::ChaosReset);
+        let mut sink = [0u8; 64];
+        let _ = stream.read(&mut sink); // blocks until the server hangs up
+        self.conns.remove(&addr);
+    }
+
+    /// Physically realize a decided outage: shut down and forget the
+    /// cached connection, so the next attempt has to reconnect from
+    /// scratch (and, against a stopped server, gets a refused connect).
+    pub fn realize_outage(&mut self, endpoint: &str) {
+        let Some(&addr) = self.routes.get(endpoint) else {
+            return;
+        };
+        if let Some(stream) = self.conns.remove(&addr) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Write `frame`, then read until the response correlated with `want_id`
+/// arrives, buffering any telemetry pushes that interleave.
+fn exchange(
+    stream: &mut TcpStream,
+    pushed: &mut Vec<(String, Vec<u8>)>,
+    frame: &WireFrame,
+    want_id: u64,
+) -> io::Result<Response> {
+    write_frame(stream, frame)?;
+    loop {
+        match read_frame(stream)? {
+            WireFrame::Push { topic, body } => pushed.push((topic, body)),
+            WireFrame::Response(response) if response.id == want_id => return Ok(response),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected frame awaiting response {want_id}: {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> RpcServer {
+        let mut router = Router::new();
+        router.register("echo", |req: Request| Response::ok(req.id, req.body));
+        register_control_endpoints(&mut router, "ran");
+        RpcServer::spawn(router).expect("bind loopback")
+    }
+
+    #[test]
+    fn frame_bytes_round_trip() {
+        let mut buf = Vec::new();
+        write_frame_bytes(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &5u32.to_be_bytes());
+        let mut r = &buf[..];
+        assert_eq!(read_frame_bytes(&mut r).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame_bytes(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        let err = read_frame_bytes(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = &buf[..];
+        let err = read_frame_bytes(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn call_round_trips_over_a_real_socket() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        let resp = bus.call("echo", b"over tcp".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"over tcp");
+        assert_eq!(resp.id, 0);
+        assert_eq!(bus.served("echo"), 1);
+        assert!(server.stats().connections >= 1);
+    }
+
+    #[test]
+    fn unrouted_endpoint_consumes_no_id() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap();
+        let before = bus.export_state();
+        assert!(matches!(
+            bus.call("missing", vec![]),
+            Err(BusError::NoSuchEndpoint(_))
+        ));
+        assert_eq!(bus.export_state(), before);
+        assert_eq!(bus.call("echo", vec![]).unwrap().id, 1);
+    }
+
+    #[test]
+    fn pipelined_responses_come_back_in_request_order() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        let calls: Vec<(String, Vec<u8>)> =
+            (0..32u8).map(|i| ("echo".to_owned(), vec![i])).collect();
+        let results = bus.call_pipelined(calls);
+        assert_eq!(results.len(), 32);
+        for (i, r) in results.into_iter().enumerate() {
+            let resp = r.unwrap();
+            assert_eq!(resp.body, vec![i as u8]);
+            assert_eq!(resp.id, i as u64);
+        }
+        assert_eq!(bus.served("echo"), 32);
+    }
+
+    #[test]
+    fn pipelined_batch_isolates_a_bad_slot() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        let results = bus.call_pipelined(vec![
+            ("echo".to_owned(), b"a".to_vec()),
+            ("nowhere".to_owned(), vec![]),
+            ("echo".to_owned(), b"b".to_vec()),
+        ]);
+        assert_eq!(results[0].as_ref().unwrap().body, b"a");
+        assert!(matches!(results[1], Err(BusError::NoSuchEndpoint(_))));
+        assert_eq!(results[2].as_ref().unwrap().body, b"b");
+    }
+
+    #[test]
+    fn subscription_receives_monitoring_pushes() {
+        let server = echo_server();
+        let mut subscriber = SocketBus::new();
+        subscriber.attach(&server);
+        subscriber.subscribe("ran/monitoring").unwrap();
+
+        let mut poster = SocketBus::new();
+        poster.attach(&server);
+        poster.call("ran/monitoring", b"report-1".to_vec()).unwrap();
+
+        // The push lands on the subscriber's connection; a call drains it.
+        let resp = subscriber.call("ran/health", vec![]).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let pushed = subscriber.take_pushed();
+        assert_eq!(
+            pushed,
+            vec![("ran/monitoring".to_owned(), b"report-1".to_vec())]
+        );
+        assert_eq!(server.stats().pushes, 1);
+        assert_eq!(server.stats().subscriptions, 1);
+    }
+
+    #[test]
+    fn chaos_reset_is_a_real_teardown_and_leaves_accounting_alone() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap();
+        let before = bus.export_state();
+        let conns_before = server.stats().connections;
+
+        bus.realize_drop("echo");
+        assert_eq!(server.stats().chaos_resets, 1);
+        assert_eq!(bus.export_state(), before, "drops dispatch nothing");
+
+        // The connection really died: the next call transparently
+        // reconnects (a new accepted connection on the server side).
+        let resp = bus.call("echo", b"after".to_vec()).unwrap();
+        assert_eq!(resp.body, b"after");
+        assert!(server.stats().connections > conns_before);
+    }
+
+    #[test]
+    fn outage_realization_forces_reconnect_and_refused_connect_when_down() {
+        let mut server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap();
+
+        bus.realize_outage("echo");
+        // Server still up: next call reconnects fine.
+        bus.call("echo", vec![]).unwrap();
+
+        // Server gone: the reconnect is *refused* — the outage is physical.
+        let addr = server.addr();
+        server.shutdown();
+        drop(server);
+        bus.realize_outage("echo");
+        match bus.call("echo", vec![]) {
+            Err(BusError::Transport(msg)) => {
+                assert!(msg.contains(&addr.port().to_string()) || msg.contains("echo"))
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_handlers_match_in_process_registrations() {
+        use crate::bus::MessageBus;
+        let mut bus = MessageBus::new();
+        bus.register("ran/health", health_handler);
+        bus.register("ran/monitoring", monitoring_echo_handler);
+        let server = echo_server();
+        let mut sock = SocketBus::new();
+        sock.attach(&server);
+
+        let a = bus.call("ran/health", vec![]).unwrap();
+        let b = sock.call("ran/health", vec![]).unwrap();
+        assert_eq!(a, b);
+        let a = bus.call("ran/monitoring", b"m".to_vec()).unwrap();
+        let b = sock.call("ran/monitoring", b"m".to_vec()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(bus.export_state(), sock.export_state());
+    }
+
+    #[test]
+    fn wire_frame_serde_round_trips() {
+        let frames = vec![
+            WireFrame::Request(Request {
+                id: 1,
+                endpoint: "e".into(),
+                body: vec![1, 2],
+            }),
+            WireFrame::Response(Response::ok(1, vec![3])),
+            WireFrame::Subscribe {
+                id: 2,
+                topic: "t".into(),
+            },
+            WireFrame::Push {
+                topic: "t".into(),
+                body: vec![4],
+            },
+            WireFrame::ChaosReset,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+}

@@ -16,6 +16,8 @@
 //!   its attach-latency model.
 //! * [`controller`] — the cloud domain controller: deploy/scale/delete
 //!   slice stacks, utilization telemetry.
+//! * [`rpc`] — the controller as a *server task* behind framed TCP (the
+//!   testbed's OpenStack-controller process boundary).
 
 //! ## Example: deploy a slice's vEPC into the core DC
 //!
@@ -51,6 +53,7 @@ pub mod controller;
 pub mod datacenter;
 pub mod epc;
 pub mod host;
+pub mod rpc;
 pub mod stack;
 
 pub use controller::{

@@ -1,0 +1,184 @@
+//! The cloud controller as a server task (see `ovnes_api::rpc`): the
+//! control surface with the canonical shared handlers, plus
+//! `cloud/command` materializing [`CloudCommand::DeployEpc`] into a sized
+//! vEPC Heat template deployed on a real [`CloudController`] behind the
+//! socket.
+
+use crate::{epc_template, CloudController, EpcSizing};
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
+use ovnes_api::{decode, encode, CloudCommand, CloudReply, MonitoringReport, Response};
+use ovnes_model::SliceClass;
+use ovnes_sim::SimTime;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// The endpoint prefix this domain serves under.
+pub const DOMAIN: &str = "cloud";
+
+/// The control-plane surface (`cloud/health`, `cloud/monitoring`) with the
+/// canonical shared handlers.
+pub fn control_router() -> Router {
+    let mut router = Router::new();
+    register_control_endpoints(&mut router, DOMAIN);
+    router
+}
+
+/// Serve [`control_router`] on a loopback server task.
+pub fn serve_control() -> io::Result<RpcServer> {
+    RpcServer::spawn(control_router())
+}
+
+/// A full domain router: the control surface plus `cloud/command` driving
+/// `controller` and `cloud/monitoring` reporting its live metrics.
+pub fn command_router(controller: CloudController) -> Router {
+    let controller = Arc::new(Mutex::new(controller));
+    let mut router = control_router();
+
+    let cloud = controller.clone();
+    router.register("cloud/command", move |req| {
+        let cmd: CloudCommand = match decode(&req.body) {
+            Ok(c) => c,
+            Err(e) => return Response::error(req.id, &e.to_string()),
+        };
+        let mut cloud = cloud.lock().unwrap_or_else(|p| p.into_inner());
+        let result = match cmd {
+            CloudCommand::DeployEpc {
+                slice,
+                dc,
+                throughput,
+                class,
+            } => {
+                let Some(class) = SliceClass::ALL.into_iter().find(|c| c.label() == class)
+                else {
+                    return Response::rejected(
+                        req.id,
+                        format!("unknown slice class {class:?}").into_bytes(),
+                    );
+                };
+                let demand = class.compute_demand(throughput);
+                let template = epc_template(slice, &demand, &EpcSizing::default());
+                cloud
+                    .deploy(slice, dc, &template)
+                    .map(|stack| CloudReply::Deployed {
+                        deploy_time_us: stack.deploy_time.as_micros(),
+                        vms: stack.vms.len(),
+                    })
+            }
+            CloudCommand::Delete { slice } => {
+                cloud.delete_for_slice(slice).map(|_| CloudReply::Done)
+            }
+        };
+        match result {
+            Ok(reply) => Response::ok(req.id, encode(&reply).expect("encodable")),
+            Err(e) => Response::rejected(req.id, e.to_string().into_bytes()),
+        }
+    });
+
+    let cloud = controller;
+    router.register("cloud/monitoring", move |req| {
+        let scalars = cloud
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .metrics()
+            .scalar_snapshot();
+        let report = MonitoringReport {
+            domain: DOMAIN.into(),
+            at: SimTime::ZERO,
+            scalars,
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
+    router
+}
+
+/// Serve [`command_router`] on a loopback server task, taking ownership of
+/// the controller.
+pub fn serve(controller: CloudController) -> io::Result<RpcServer> {
+    RpcServer::spawn(command_router(controller))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostCapacity;
+    use crate::{DataCenter, DcKind, PlacementStrategy};
+    use ovnes_api::{SocketBus, Status};
+    use ovnes_model::{DcId, DiskGb, MemMb, RateMbps, SliceId, VCpus};
+
+    fn core_dc_controller() -> CloudController {
+        let host = HostCapacity {
+            vcpus: VCpus::new(32),
+            mem: MemMb::new(65_536),
+            disk: DiskGb::new(500),
+        };
+        CloudController::new(vec![DataCenter::homogeneous(
+            DcId::new(1),
+            DcKind::Core,
+            4,
+            host,
+            PlacementStrategy::WorstFit,
+        )])
+    }
+
+    #[test]
+    fn deploy_and_delete_over_the_socket() {
+        let server = serve(core_dc_controller()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let resp = bus
+            .call(
+                "cloud/command",
+                encode(&CloudCommand::DeployEpc {
+                    slice: SliceId::new(1),
+                    dc: DcId::new(1),
+                    throughput: RateMbps::new(50.0),
+                    class: "embb".into(),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        match decode::<CloudReply>(&resp.body).unwrap() {
+            CloudReply::Deployed {
+                deploy_time_us,
+                vms,
+            } => {
+                assert_eq!(vms, 4, "hss, mme, sgw, pgw");
+                assert!(deploy_time_us > 0);
+            }
+            other => panic!("expected Deployed, got {other:?}"),
+        }
+
+        let resp = bus
+            .call(
+                "cloud/command",
+                encode(&CloudCommand::Delete {
+                    slice: SliceId::new(1),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let server = serve(core_dc_controller()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        let resp = bus
+            .call(
+                "cloud/command",
+                encode(&CloudCommand::DeployEpc {
+                    slice: SliceId::new(2),
+                    dc: DcId::new(1),
+                    throughput: RateMbps::new(10.0),
+                    class: "quantum".into(),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Rejected);
+    }
+}

@@ -3,18 +3,29 @@
 //!
 //! In the testbed, the orchestrator's health probes, commands, and
 //! monitoring pulls are HTTP calls that can be dropped, delayed, or
-//! answered 5xx. [`ControlPlane`] reproduces that boundary in-process: a
-//! [`MessageBus`] hosts one `health` and one `monitoring` endpoint per
-//! domain, an optional [`FaultInjector`] perturbs calls per a seeded
-//! [`FaultPlan`], and a [`RetryPolicy`] drives bounded retries with
-//! exponential, deterministically-jittered backoff under a per-call
-//! deadline.
+//! answered 5xx. [`ControlPlane`] reproduces that boundary over a
+//! [`ControlTransport`]: by default an in-process [`MessageBus`] hosting
+//! one `health` and one `monitoring` endpoint per domain (the
+//! deterministic oracle), or — after [`ControlPlane::install_socket`] — a
+//! [`SocketBus`] reaching real controller server tasks over framed TCP.
+//! Either way, an optional [`FaultInjector`] perturbs calls per a seeded
+//! [`FaultPlan`] (realizing decided drops/outages as physical connection
+//! teardowns on the socket plane), and a [`RetryPolicy`] drives bounded
+//! retries with exponential, deterministically-jittered backoff under a
+//! per-call deadline.
 //!
 //! With no fault plan installed (or with a quiet plan) every call succeeds
 //! on the first attempt, makes no RNG draw, and is byte-identical to
 //! calling the bus directly — chaos machinery costs nothing when idle.
+//! The two transports register the *same* canonical handler functions
+//! (`ovnes_api::rpc::health_handler` / `monitoring_echo_handler`), so run
+//! summaries are byte-identical in-process vs. over RPC.
 
-use ovnes_api::{BusState, FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy, Status};
+use ovnes_api::rpc::{health_handler, monitoring_echo_handler};
+use ovnes_api::{
+    BusState, ControlTransport, FaultInjector, FaultPlan, MessageBus, Response, RetryPolicy,
+    SocketBus, Status, Transport,
+};
 use ovnes_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -37,7 +48,7 @@ pub struct ControlEpochStats {
 /// The survivable REST boundary between orchestrator and controllers. See
 /// module docs.
 pub struct ControlPlane {
-    bus: MessageBus,
+    transport: ControlTransport,
     injector: Option<FaultInjector>,
     retry: RetryPolicy,
     /// Jitter stream, created with the fault plan so that a plan-free
@@ -53,22 +64,34 @@ impl ControlPlane {
         let mut bus = MessageBus::new();
         for domain in DOMAINS {
             // Health: a live controller answers 200 with an empty body.
-            bus.register(&format!("{domain}/health"), |req| {
-                Response::ok(req.id, Vec::new())
-            });
             // Monitoring: the controller acknowledges a pushed report by
             // echoing it (so the payload demonstrably survived the wire).
-            bus.register(&format!("{domain}/monitoring"), |req| {
-                Response::ok(req.id, req.body)
-            });
+            // Both are the canonical shared handler fns, so a socket
+            // server registering the same fns answers byte-identically.
+            bus.register(&format!("{domain}/health"), health_handler);
+            bus.register(&format!("{domain}/monitoring"), monitoring_echo_handler);
         }
         ControlPlane {
-            bus,
+            transport: ControlTransport::InProcess(bus),
             injector: None,
             retry: RetryPolicy::default(),
             jitter_rng: None,
             epoch: ControlEpochStats::default(),
         }
+    }
+
+    /// Swap the transport to `socket`, carrying the current accounting
+    /// over so correlation ids and served counts continue seamlessly.
+    /// From here on, every probe and monitoring push crosses a real TCP
+    /// connection to whatever server tasks the socket bus routes to.
+    pub fn install_socket(&mut self, mut socket: SocketBus) {
+        socket.restore_state(&self.transport.export_state());
+        self.transport = ControlTransport::Socket(socket);
+    }
+
+    /// True when calls travel over sockets rather than in-process.
+    pub fn is_socket(&self) -> bool {
+        self.transport.is_socket()
     }
 
     /// Install a fault plan. The injector and the retry jitter stream are
@@ -108,7 +131,7 @@ impl ControlPlane {
 
     /// Requests served by `endpoint` (successful dispatches only).
     pub fn served(&self, endpoint: &str) -> u64 {
-        self.bus.served(endpoint)
+        self.transport.served(endpoint)
     }
 
     /// Drain this epoch's call accounting.
@@ -143,9 +166,9 @@ impl ControlPlane {
                 self.epoch.retries += 1;
             }
             let outcome = match self.injector.as_mut() {
-                Some(inj) => inj.call(&mut self.bus, now + elapsed, endpoint, body.clone()),
+                Some(inj) => inj.call(&mut self.transport, now + elapsed, endpoint, body.clone()),
                 None => self
-                    .bus
+                    .transport
                     .call(endpoint, body.clone())
                     .map(|r| (r, SimDuration::ZERO))
                     .map_err(|e| ovnes_api::CallFailure::Bus(e.to_string())),
@@ -186,7 +209,7 @@ impl ControlPlane {
     /// exact (see [`MessageBus::export_state`]).
     pub fn export_state(&self) -> ControlPlaneState {
         ControlPlaneState {
-            bus: self.bus.export_state(),
+            bus: self.transport.export_state(),
             injector: self.injector.clone(),
             retry: self.retry,
             jitter_rng: self.jitter_rng.clone(),
@@ -196,16 +219,39 @@ impl ControlPlane {
 
     /// A control plane rebuilt from [`ControlPlane::export_state`]: fresh
     /// handlers, restored accounting, fault injector mid-schedule, and the
-    /// jitter stream at its exact position.
+    /// jitter stream at its exact position. Always rebuilds on the
+    /// in-process transport — sockets are live resources, not state; a
+    /// restored world that wants them calls [`ControlPlane::install_socket`]
+    /// again (the carried-over accounting makes the swap seamless).
     pub fn from_state(state: &ControlPlaneState) -> ControlPlane {
         let mut cp = ControlPlane::new();
-        cp.bus.restore_state(&state.bus);
+        cp.transport.restore_state(&state.bus);
         cp.injector = state.injector.clone();
         cp.retry = state.retry;
         cp.jitter_rng = state.jitter_rng.clone();
         cp.epoch = state.epoch;
         cp
     }
+}
+
+/// Spawn the three domain controllers' control surfaces as separate
+/// server tasks — one loopback TCP server per domain, each serving the
+/// canonical `health`/`monitoring` handlers — and a [`SocketBus`] routed
+/// to all of them. This is the multi-process control plane: hand the bus
+/// to [`ControlPlane::install_socket`] (or a scenario's
+/// `use_socket_control`) and keep the servers alive for the duration of
+/// the run.
+pub fn spawn_domain_control_servers() -> std::io::Result<(Vec<ovnes_api::RpcServer>, SocketBus)> {
+    let servers = vec![
+        ovnes_ran::rpc::serve_control()?,
+        ovnes_transport::rpc::serve_control()?,
+        ovnes_cloud::rpc::serve_control()?,
+    ];
+    let mut socket = SocketBus::new();
+    for server in &servers {
+        socket.attach(server);
+    }
+    Ok((servers, socket))
 }
 
 /// Serializable state of a [`ControlPlane`] (everything except the bus's
@@ -363,6 +409,39 @@ mod tests {
 
         assert_eq!(resumed_outcomes, full);
         assert_eq!(resumed.export_state(), reference.export_state());
+    }
+
+    #[test]
+    fn socket_transport_is_byte_identical_to_in_process() {
+        use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
+
+        let mut router = Router::new();
+        for domain in DOMAINS {
+            register_control_endpoints(&mut router, domain);
+        }
+        let server = RpcServer::spawn(router).unwrap();
+        let mut socket = SocketBus::new();
+        socket.attach(&server);
+
+        let mut oracle = ControlPlane::new();
+        let mut rpc = ControlPlane::new();
+        rpc.install_socket(socket);
+        assert!(rpc.is_socket() && !oracle.is_socket());
+
+        for i in 0..5u64 {
+            for domain in DOMAINS {
+                assert_eq!(
+                    oracle.probe(SimTime::from_secs(i), domain),
+                    rpc.probe(SimTime::from_secs(i), domain)
+                );
+            }
+            let body = ovnes_api::encode(&i).unwrap();
+            let a = oracle.call_checked(SimTime::from_secs(i), "ran/monitoring", body.clone(), |_| true);
+            let b = rpc.call_checked(SimTime::from_secs(i), "ran/monitoring", body, |_| true);
+            assert_eq!(a, b);
+        }
+        assert_eq!(oracle.export_state(), rpc.export_state());
+        assert_eq!(oracle.take_epoch_stats(), rpc.take_epoch_stats());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! * [`orchestrator`] — the event-driven composition of all of the above
 //!   over the three domain controllers.
 //! * [`control`] — the survivable REST boundary: health probes, monitoring
-//!   pushes, retry/backoff, and deterministic fault injection.
+//!   pushes, retry/backoff, and deterministic fault injection — carried
+//!   in-process (the deterministic oracle) or over framed TCP to per-domain
+//!   controller server tasks (`spawn_domain_control_servers`).
 //! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
 //!   request generators, plus the chaos-testing and substrate-fault
 //!   wrappers.
@@ -41,7 +43,9 @@ pub mod snapshot;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
 pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
-pub use control::{ControlEpochStats, ControlPlane, ControlPlaneState, DOMAINS};
+pub use control::{
+    spawn_domain_control_servers, ControlEpochStats, ControlPlane, ControlPlaneState, DOMAINS,
+};
 pub use lifecycle::{SliceRecord, SliceState};
 pub use orchestrator::{
     EpochReport, Orchestrator, OrchestratorConfig, OrchestratorState, SliceSimSnapshot,

@@ -343,6 +343,15 @@ impl Orchestrator {
         self.control.set_retry_policy(retry);
     }
 
+    /// Swap the control plane onto a socket transport: probes and
+    /// monitoring pushes now cross real TCP connections to controller
+    /// server tasks (see [`ControlPlane::install_socket`]). Accounting
+    /// carries over, so a run that swaps at build time stays
+    /// byte-identical to the in-process oracle.
+    pub fn set_control_socket(&mut self, socket: ovnes_api::SocketBus) {
+        self.control.install_socket(socket);
+    }
+
     /// Install a substrate (data-plane) fault plan. The plan carries its
     /// own precomputed schedule, so the orchestrator's simulation streams
     /// are untouched; a quiet plan is an exact no-op.

@@ -349,6 +349,15 @@ impl DemoScenario {
         &mut self.orchestrator
     }
 
+    /// Run the control plane over `socket` instead of in-process: every
+    /// health probe and monitoring push crosses framed TCP to controller
+    /// server tasks. The scenario's simulation draws are untouched, so a
+    /// run's summary is byte-identical to the in-process oracle's — the
+    /// determinism the `rpc_plane` suite asserts.
+    pub fn use_socket_control(&mut self, socket: ovnes_api::SocketBus) {
+        self.orchestrator.set_control_socket(socket);
+    }
+
     /// The instantaneous arrival rate at `now` (constant or diurnal).
     fn arrival_rate_at(&self, now: SimTime) -> f64 {
         if !self.config.diurnal_arrivals {
@@ -547,6 +556,13 @@ impl ChaosScenario {
         self.inner.orchestrator_mut()
     }
 
+    /// Run the chaos control plane over sockets (see
+    /// [`DemoScenario::use_socket_control`]): decided drops and outages are
+    /// then *realized* as physical connection teardowns on the wire.
+    pub fn use_socket_control(&mut self, socket: ovnes_api::SocketBus) {
+        self.inner.use_socket_control(socket);
+    }
+
     /// Advance by one monitoring epoch; `false` once the horizon is reached.
     pub fn step_epoch(&mut self) -> bool {
         self.inner.step_epoch()
@@ -634,6 +650,12 @@ impl SubstrateScenario {
     /// as toggling the route cache).
     pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
         self.inner.orchestrator_mut()
+    }
+
+    /// Run the control plane over sockets (see
+    /// [`DemoScenario::use_socket_control`]).
+    pub fn use_socket_control(&mut self, socket: ovnes_api::SocketBus) {
+        self.inner.use_socket_control(socket);
     }
 
     /// Advance by one monitoring epoch; `false` once the horizon is reached.

@@ -10,14 +10,18 @@
 //! * [`table`] — aligned text tables.
 //! * [`spark`] — unicode sparklines for epoch series.
 //! * [`state`] — the dashboard view-model assembled from the orchestrator.
+//! * [`feed`] — push-telemetry subscription to socket controller servers:
+//!   the dashboard receives monitoring deltas instead of polling.
 //! * [`export`] — CSV and JSON export.
 
 pub mod export;
+pub mod feed;
 pub mod spark;
 pub mod state;
 pub mod table;
 
 pub use export::{to_csv, to_json_pretty};
+pub use feed::{FeedState, TelemetryFeed};
 pub use spark::{sparkline, sparkline_points};
 pub use state::DashboardView;
 pub use table::Table;

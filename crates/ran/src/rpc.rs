@@ -1,0 +1,209 @@
+//! The RAN controller as a server task: the domain's REST surface behind a
+//! real socket (see `ovnes_api::rpc`).
+//!
+//! Two surfaces, matching the two ways the orchestrator talks to a domain:
+//!
+//! * [`control_router`] — just `ran/health` + `ran/monitoring` with the
+//!   canonical shared handlers, byte-identical to the in-process control
+//!   plane's registrations. This is what the deterministic scenario runs
+//!   against over RPC.
+//! * [`command_router`] — a full stateful domain server: `ran/command`
+//!   decodes [`RanCommand`]s and drives a real [`RanController`] (install /
+//!   resize / release), and `ran/monitoring` publishes the controller's
+//!   live metric snapshot instead of echoing.
+
+use crate::RanController;
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
+use ovnes_api::{decode, encode, MonitoringReport, RanCommand, RanReply, Response};
+use ovnes_sim::SimTime;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// The endpoint prefix this domain serves under.
+pub const DOMAIN: &str = "ran";
+
+/// The control-plane surface (`ran/health`, `ran/monitoring`) with the
+/// canonical shared handlers.
+pub fn control_router() -> Router {
+    let mut router = Router::new();
+    register_control_endpoints(&mut router, DOMAIN);
+    router
+}
+
+/// Serve [`control_router`] on a loopback server task.
+pub fn serve_control() -> io::Result<RpcServer> {
+    RpcServer::spawn(control_router())
+}
+
+/// A full domain router: the control surface plus `ran/command` driving
+/// `controller` and `ran/monitoring` reporting its live metrics.
+pub fn command_router(controller: RanController) -> Router {
+    let controller = Arc::new(Mutex::new(controller));
+    let mut router = control_router();
+
+    let ran = controller.clone();
+    router.register("ran/command", move |req| {
+        let cmd: RanCommand = match decode(&req.body) {
+            Ok(c) => c,
+            Err(e) => return Response::error(req.id, &e.to_string()),
+        };
+        let mut ran = ran.lock().unwrap_or_else(|p| p.into_inner());
+        let result = match cmd {
+            RanCommand::InstallPlmn {
+                enb,
+                slice,
+                plmn,
+                reserved,
+                nominal,
+            } => ran
+                .install(enb, slice, plmn, reserved, nominal)
+                .map(|()| RanReply::Done),
+            RanCommand::Resize { slice, reserved } => {
+                ran.resize(slice, reserved).map(|()| RanReply::Done)
+            }
+            RanCommand::Release { slice } => ran.release(slice).map(|r| RanReply::Released {
+                freed: r.reserved,
+            }),
+        };
+        match result {
+            Ok(reply) => Response::ok(req.id, encode(&reply).expect("encodable")),
+            Err(e) => Response::rejected(req.id, e.to_string().into_bytes()),
+        }
+    });
+
+    let ran = controller;
+    router.register("ran/monitoring", move |req| {
+        let scalars = ran
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .metrics()
+            .scalar_snapshot();
+        let report = MonitoringReport {
+            domain: DOMAIN.into(),
+            at: SimTime::ZERO,
+            scalars,
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
+    router
+}
+
+/// Serve [`command_router`] on a loopback server task, taking ownership of
+/// the controller (it now lives behind the socket, as in the testbed).
+pub fn serve(controller: RanController) -> io::Result<RpcServer> {
+    RpcServer::spawn(command_router(controller))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellConfig, Enb};
+    use ovnes_api::{SocketBus, Status};
+    use ovnes_model::{EnbId, PlmnId, Prbs, SliceId};
+
+    fn testbed_ran() -> RanController {
+        RanController::new(vec![
+            Enb::new(EnbId::new(0), CellConfig::default_20mhz()),
+            Enb::new(EnbId::new(1), CellConfig::default_20mhz()),
+        ])
+    }
+
+    #[test]
+    fn install_resize_release_over_the_socket() {
+        let server = serve(testbed_ran()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let call = |bus: &mut SocketBus, cmd: &RanCommand| {
+            bus.call("ran/command", encode(cmd).unwrap()).unwrap()
+        };
+
+        // Install fills 60 of 100 PRBs; a second 60-PRB slice is rejected.
+        let resp = call(
+            &mut bus,
+            &RanCommand::InstallPlmn {
+                enb: EnbId::new(0),
+                slice: SliceId::new(1),
+                plmn: PlmnId::test_slice_plmn(0),
+                reserved: Prbs::new(60),
+                nominal: Prbs::new(60),
+            },
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(decode::<RanReply>(&resp.body).unwrap(), RanReply::Done);
+
+        let resp = call(
+            &mut bus,
+            &RanCommand::InstallPlmn {
+                enb: EnbId::new(0),
+                slice: SliceId::new(2),
+                plmn: PlmnId::test_slice_plmn(1),
+                reserved: Prbs::new(60),
+                nominal: Prbs::new(60),
+            },
+        );
+        assert_eq!(resp.status, Status::Rejected);
+
+        // Overbooking reconfiguration makes room; the retry fits.
+        let resp = call(
+            &mut bus,
+            &RanCommand::Resize {
+                slice: SliceId::new(1),
+                reserved: Prbs::new(35),
+            },
+        );
+        assert_eq!(resp.status, Status::Ok);
+        let resp = call(
+            &mut bus,
+            &RanCommand::InstallPlmn {
+                enb: EnbId::new(0),
+                slice: SliceId::new(2),
+                plmn: PlmnId::test_slice_plmn(1),
+                reserved: Prbs::new(60),
+                nominal: Prbs::new(60),
+            },
+        );
+        assert_eq!(resp.status, Status::Ok);
+
+        let resp = call(&mut bus, &RanCommand::Release { slice: SliceId::new(1) });
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(
+            decode::<RanReply>(&resp.body).unwrap(),
+            RanReply::Released {
+                freed: Prbs::new(35)
+            }
+        );
+    }
+
+    #[test]
+    fn monitoring_reports_live_controller_metrics() {
+        let server = serve(testbed_ran()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call(
+            "ran/command",
+            encode(&RanCommand::InstallPlmn {
+                enb: EnbId::new(0),
+                slice: SliceId::new(1),
+                plmn: PlmnId::test_slice_plmn(0),
+                reserved: Prbs::new(10),
+                nominal: Prbs::new(10),
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let resp = bus.call("ran/monitoring", Vec::new()).unwrap();
+        let report: MonitoringReport = decode(&resp.body).unwrap();
+        assert_eq!(report.domain, "ran");
+        assert!(!report.scalars.is_empty());
+    }
+
+    #[test]
+    fn undecodable_command_is_an_error_status() {
+        let server = serve(testbed_ran()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        let resp = bus.call("ran/command", b"garbage".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::Error);
+    }
+}

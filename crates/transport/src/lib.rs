@@ -19,6 +19,8 @@
 //! * [`controller`] — the transport domain controller: allocate/release
 //!   slice paths, install flow rules, degrade/restore links (mmWave rain
 //!   fade), reroute affected slices, publish telemetry.
+//! * [`rpc`] — the controller as a *server task* behind framed TCP (the
+//!   testbed's OpenFlow-controller process boundary).
 
 //! ## Example: allocate a constrained slice path on the Fig. 2 testbed
 //!
@@ -49,6 +51,7 @@ pub mod controller;
 pub mod generators;
 pub mod reservation;
 pub mod routing;
+pub mod rpc;
 pub mod switch;
 pub mod topology;
 pub mod weather;

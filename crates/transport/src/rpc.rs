@@ -1,0 +1,161 @@
+//! The transport controller as a server task (see `ovnes_api::rpc` and the
+//! RAN twin in `ovnes_ran`): the control surface with the canonical shared
+//! handlers, plus `transport/command` driving a real [`TransportController`]
+//! behind the socket.
+
+use crate::TransportController;
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
+use ovnes_api::{decode, encode, MonitoringReport, Response, TransportCommand, TransportReply};
+use ovnes_sim::SimTime;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// The endpoint prefix this domain serves under.
+pub const DOMAIN: &str = "transport";
+
+/// The control-plane surface (`transport/health`, `transport/monitoring`)
+/// with the canonical shared handlers.
+pub fn control_router() -> Router {
+    let mut router = Router::new();
+    register_control_endpoints(&mut router, DOMAIN);
+    router
+}
+
+/// Serve [`control_router`] on a loopback server task.
+pub fn serve_control() -> io::Result<RpcServer> {
+    RpcServer::spawn(control_router())
+}
+
+/// A full domain router: the control surface plus `transport/command`
+/// driving `controller` and `transport/monitoring` reporting its live
+/// metrics.
+pub fn command_router(controller: TransportController) -> Router {
+    let controller = Arc::new(Mutex::new(controller));
+    let mut router = control_router();
+
+    let tn = controller.clone();
+    router.register("transport/command", move |req| {
+        let cmd: TransportCommand = match decode(&req.body) {
+            Ok(c) => c,
+            Err(e) => return Response::error(req.id, &e.to_string()),
+        };
+        let mut tn = tn.lock().unwrap_or_else(|p| p.into_inner());
+        let result = match cmd {
+            TransportCommand::AllocatePath {
+                slice,
+                src,
+                dst,
+                bandwidth,
+                max_delay,
+            } => tn
+                .allocate(slice, src, dst, bandwidth, max_delay)
+                .map(|a| TransportReply::PathAllocated {
+                    hops: a.reservation.path.hops(),
+                    delay: a.delay_at_allocation,
+                }),
+            TransportCommand::Resize { slice, bandwidth } => {
+                tn.resize(slice, bandwidth).map(|()| TransportReply::Done)
+            }
+            TransportCommand::Release { slice } => {
+                tn.release(slice).map(|_| TransportReply::Done)
+            }
+        };
+        match result {
+            Ok(reply) => Response::ok(req.id, encode(&reply).expect("encodable")),
+            Err(e) => Response::rejected(req.id, e.to_string().into_bytes()),
+        }
+    });
+
+    let tn = controller;
+    router.register("transport/monitoring", move |req| {
+        let scalars = tn
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .metrics()
+            .scalar_snapshot();
+        let report = MonitoringReport {
+            domain: DOMAIN.into(),
+            at: SimTime::ZERO,
+            scalars,
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
+    router
+}
+
+/// Serve [`command_router`] on a loopback server task, taking ownership of
+/// the controller.
+pub fn serve(controller: TransportController) -> io::Result<RpcServer> {
+    RpcServer::spawn(command_router(controller))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use ovnes_api::{SocketBus, Status};
+    use ovnes_model::{DcId, EnbId, Latency, RateMbps, SliceId};
+
+    #[test]
+    fn allocate_resize_release_over_the_socket() {
+        let controller = TransportController::new(Topology::testbed(), 1024);
+        let src = controller.topology().radio_site(EnbId::new(0)).unwrap();
+        let dst = controller.topology().dc_node(DcId::new(0)).unwrap();
+        let server = serve(controller).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let resp = bus
+            .call(
+                "transport/command",
+                encode(&TransportCommand::AllocatePath {
+                    slice: SliceId::new(1),
+                    src,
+                    dst,
+                    bandwidth: RateMbps::new(100.0),
+                    max_delay: Latency::new(3.0),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        match decode::<TransportReply>(&resp.body).unwrap() {
+            TransportReply::PathAllocated { hops, delay } => {
+                assert!(hops >= 1);
+                assert!(delay.value() <= 3.0);
+            }
+            other => panic!("expected PathAllocated, got {other:?}"),
+        }
+
+        // A second allocation for the same slice is a domain rejection.
+        let resp = bus
+            .call(
+                "transport/command",
+                encode(&TransportCommand::AllocatePath {
+                    slice: SliceId::new(1),
+                    src,
+                    dst,
+                    bandwidth: RateMbps::new(1.0),
+                    max_delay: Latency::new(10.0),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Rejected);
+
+        for cmd in [
+            TransportCommand::Resize {
+                slice: SliceId::new(1),
+                bandwidth: RateMbps::new(50.0),
+            },
+            TransportCommand::Release {
+                slice: SliceId::new(1),
+            },
+        ] {
+            let resp = bus
+                .call("transport/command", encode(&cmd).unwrap())
+                .unwrap();
+            assert_eq!(resp.status, Status::Ok, "{cmd:?}");
+        }
+    }
+}
