@@ -21,6 +21,12 @@ pub enum BusError {
     /// The underlying socket transport failed (connect refused, reset,
     /// truncated stream). Never produced by the in-process bus.
     Transport(String),
+    /// A wall-clock deadline expired before the transport produced a
+    /// response (connect or read timeout against a hung server). Distinct
+    /// from [`BusError::Transport`] so callers can tell "the server is
+    /// gone" from "the server is stalled". Never produced by the
+    /// in-process bus.
+    Deadline(String),
 }
 
 impl fmt::Display for BusError {
@@ -29,6 +35,7 @@ impl fmt::Display for BusError {
             BusError::NoSuchEndpoint(e) => write!(f, "no handler at {e:?}"),
             BusError::Envelope(e) => write!(f, "envelope: {e}"),
             BusError::Transport(e) => write!(f, "transport: {e}"),
+            BusError::Deadline(e) => write!(f, "deadline: {e}"),
         }
     }
 }

@@ -327,6 +327,158 @@ fn bus_failure(e: BusError) -> CallFailure {
     CallFailure::Bus(e.to_string())
 }
 
+/// A process-level fault against one domain controller server, physically
+/// realized by the supervisor (`ovnes_core::supervise`): the difference
+/// from [`EndpointFaults`] is that these kill, hang, or replace the server
+/// *process*, not individual calls.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessFault {
+    /// Kill the server — connections die, the port is released — and
+    /// restart a fresh incarnation from its exported state on a new port.
+    Crash,
+    /// Crash with a request in flight: the incarnation term is fenced
+    /// first, a doomed request still reaches the old server, and its
+    /// stale-term response must be generated and rejected before the
+    /// teardown — the zombie-connection hazard, made provable.
+    CrashMidRequest,
+    /// The process hangs (dispatch stalls, connections stay open) for a
+    /// bounded wall-clock hold, then resumes. No state is lost, but every
+    /// call in the window runs into its read deadline.
+    Hang {
+        /// Wall-clock hold in milliseconds.
+        hold_ms: u64,
+    },
+}
+
+/// One scheduled process fault: which domain's controller, at which epoch
+/// boundary (before the epoch with that index runs), and what happens.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// The domain whose controller is hit (`"ran"`, `"transport"`, …).
+    pub domain: String,
+    /// Epoch index (completed-epoch count) at which the fault fires.
+    pub epoch: u64,
+    /// What happens to the process.
+    pub fault: ProcessFault,
+}
+
+/// A seeded, serializable schedule of process-level faults — the
+/// [`FaultPlan`] family extended from call-level to process-level chaos.
+/// Like its sibling, the plan is pure data: the supervisor realizes it,
+/// and the same seed always produces the same storm.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    seed: u64,
+    events: Vec<CrashEvent>,
+}
+
+impl CrashPlan {
+    /// An empty plan (no process ever faults) with its own RNG seed.
+    pub fn new(seed: u64) -> CrashPlan {
+        CrashPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder-style: schedule `fault` against `domain` at `epoch`.
+    pub fn with_fault(mut self, domain: &str, epoch: u64, fault: ProcessFault) -> CrashPlan {
+        self.events.push(CrashEvent {
+            domain: domain.to_owned(),
+            epoch,
+            fault,
+        });
+        self.events
+            .sort_by(|a, b| (a.epoch, a.domain.as_str()).cmp(&(b.epoch, b.domain.as_str())));
+        self
+    }
+
+    /// Schedule a clean kill-and-restart of `domain` at `epoch`.
+    pub fn with_crash(self, domain: &str, epoch: u64) -> CrashPlan {
+        self.with_fault(domain, epoch, ProcessFault::Crash)
+    }
+
+    /// Schedule a crash of `domain` at `epoch` landing mid-request.
+    pub fn with_crash_mid_request(self, domain: &str, epoch: u64) -> CrashPlan {
+        self.with_fault(domain, epoch, ProcessFault::CrashMidRequest)
+    }
+
+    /// Schedule a `hold_ms`-millisecond hang of `domain` at `epoch`.
+    pub fn with_hang(self, domain: &str, epoch: u64, hold_ms: u64) -> CrashPlan {
+        self.with_fault(domain, epoch, ProcessFault::Hang { hold_ms })
+    }
+
+    /// Seed a crash storm: `crashes_per_domain` kill-and-restarts of every
+    /// domain at epochs drawn uniformly from `[first_epoch, last_epoch]`,
+    /// with the first domain's earliest crash landing mid-request. Drawn
+    /// from the plan's own seed, so the storm is as reproducible as a
+    /// clean run.
+    ///
+    /// # Panics
+    /// Panics if the epoch range cannot hold `crashes_per_domain` distinct
+    /// epochs.
+    pub fn with_random_storm(
+        mut self,
+        domains: &[&str],
+        crashes_per_domain: usize,
+        first_epoch: u64,
+        last_epoch: u64,
+    ) -> CrashPlan {
+        assert!(last_epoch >= first_epoch, "empty storm window");
+        let span = (last_epoch - first_epoch + 1) as usize;
+        assert!(
+            span >= crashes_per_domain,
+            "storm window of {span} epochs cannot hold {crashes_per_domain} distinct crashes"
+        );
+        let mut rng = SimRng::seed_from(self.seed ^ 0xC4A5_4057_04A1_1E5);
+        for (d, domain) in domains.iter().enumerate() {
+            let mut epochs: Vec<u64> = Vec::new();
+            while epochs.len() < crashes_per_domain {
+                let e = first_epoch + rng.uniform_usize(0, span) as u64;
+                if !epochs.contains(&e) {
+                    epochs.push(e);
+                }
+            }
+            epochs.sort_unstable();
+            for (k, &epoch) in epochs.iter().enumerate() {
+                let fault = if d == 0 && k == 0 {
+                    ProcessFault::CrashMidRequest
+                } else {
+                    ProcessFault::Crash
+                };
+                self.events.push(CrashEvent {
+                    domain: (*domain).to_owned(),
+                    epoch,
+                    fault,
+                });
+            }
+        }
+        self.events
+            .sort_by(|a, b| (a.epoch, a.domain.as_str()).cmp(&(b.epoch, b.domain.as_str())));
+        self
+    }
+
+    /// The plan's own RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Every scheduled event, ascending by (epoch, domain).
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+
+    /// The events due at `epoch`, in schedule order.
+    pub fn events_at(&self, epoch: u64) -> impl Iterator<Item = &CrashEvent> {
+        self.events.iter().filter(move |e| e.epoch == epoch)
+    }
+
+    /// True when no process ever faults.
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// Client-side retry policy for control-plane calls: bounded attempts,
 /// exponential backoff with optional deterministic jitter, and a per-call
 /// deadline the cumulative elapsed time (injected latencies + backoffs)
@@ -574,6 +726,61 @@ mod tests {
         assert_eq!(waits.len(), 2);
         let total: u64 = waits.iter().map(|w| w.as_micros()).sum();
         assert!(total <= p.deadline.as_micros());
+    }
+
+    #[test]
+    fn crash_plan_storm_is_deterministic_and_covers_every_domain() {
+        let storm = |seed: u64| {
+            CrashPlan::new(seed).with_random_storm(&["ran", "transport", "cloud"], 2, 3, 20)
+        };
+        assert_eq!(storm(42), storm(42), "same seed, same storm");
+        assert_ne!(storm(42), storm(43));
+
+        let plan = storm(42);
+        assert_eq!(plan.events().len(), 6);
+        for domain in ["ran", "transport", "cloud"] {
+            let kills = plan.events().iter().filter(|e| e.domain == domain).count();
+            assert!(kills >= 2, "{domain} must be killed at least twice");
+        }
+        let mid = plan
+            .events()
+            .iter()
+            .filter(|e| e.fault == ProcessFault::CrashMidRequest)
+            .count();
+        assert_eq!(mid, 1, "exactly one crash lands mid-request");
+        for e in plan.events() {
+            assert!((3..=20).contains(&e.epoch));
+        }
+        // Sorted by (epoch, domain) so realization order is canonical.
+        let keys: Vec<_> = plan
+            .events()
+            .iter()
+            .map(|e| (e.epoch, e.domain.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn crash_plan_builders_and_epoch_lookup() {
+        let plan = CrashPlan::new(7)
+            .with_crash("cloud", 9)
+            .with_hang("ran", 4, 250)
+            .with_crash_mid_request("transport", 4);
+        assert!(!plan.is_quiet());
+        assert!(CrashPlan::new(7).is_quiet());
+        assert_eq!(plan.events_at(3).count(), 0);
+        let at4: Vec<_> = plan.events_at(4).collect();
+        assert_eq!(at4.len(), 2);
+        // Canonical order within an epoch is by domain.
+        assert_eq!(at4[0].domain, "ran");
+        assert_eq!(at4[0].fault, ProcessFault::Hang { hold_ms: 250 });
+        assert_eq!(at4[1].domain, "transport");
+        assert_eq!(plan.events_at(9).next().unwrap().fault, ProcessFault::Crash);
+
+        let j = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<CrashPlan>(&j).unwrap(), plan);
     }
 
     #[test]

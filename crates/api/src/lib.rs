@@ -74,15 +74,17 @@ pub use bus::{BusError, BusState, MessageBus};
 pub use codec::{decode, encode, CodecError, WIRE_VERSION};
 pub use envelope::{Request, Response, Status};
 pub use fault::{
-    CallFailure, EndpointFaults, EndpointStats, FaultInjector, FaultPlan, RetryPolicy,
+    CallFailure, CrashEvent, CrashPlan, EndpointFaults, EndpointStats, FaultInjector, FaultPlan,
+    ProcessFault, RetryPolicy,
 };
 pub use rpc::{
     health_handler, monitoring_echo_handler, read_frame, register_control_endpoints, write_frame,
-    Router, RpcServer, ServerStats, SocketBus, WireFrame, MAX_FRAME_BYTES,
+    BusDeadlines, ResumeHandle, Router, RpcServer, ServerStats, SocketBus, WireFrame,
+    MAX_FRAME_BYTES,
 };
 pub use messages::{
-    CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, TransportCommand,
-    TransportReply,
+    CloudCommand, CloudReply, MonitoringReport, RanCommand, RanReply, ResyncReport,
+    TransportCommand, TransportReply,
 };
 pub use snapshot::{
     replay_bisect, sha256_hex, Divergence, SectionRef, SnapshotError, SnapshotManifest,

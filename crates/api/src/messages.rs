@@ -133,6 +133,21 @@ pub enum CloudReply {
     Done,
 }
 
+/// Reply to a `{domain}/resync` request: the controller's complete
+/// serialized state, tagged with the serving incarnation's fencing term.
+/// This is the supervision layer's state-transfer payload — a restarted
+/// incarnation is seeded from exactly these bytes, so resync is the PR 6
+/// snapshot machinery spoken over the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResyncReport {
+    /// Reporting domain (`"ran"`, `"transport"`, `"cloud"`).
+    pub domain: String,
+    /// Fencing term of the incarnation that produced this state.
+    pub term: u64,
+    /// The controller's `export_state`, encoded with the wire codec.
+    pub state: Vec<u8>,
+}
+
 /// The periodic monitoring payload each controller pushes upstream: a flat
 /// map of scalar metrics, exactly what the demo's dashboard consumes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -31,19 +31,32 @@
 //!   without replying, so a fault the [`FaultInjector`] *decided* becomes a
 //!   connection the client *observes* dying — a real socket teardown, not a
 //!   simulated error value. See [`SocketBus::realize_drop`].
+//! * **Incarnation terms** — every `Response` frame is stamped with the
+//!   serving incarnation's monotonically increasing fencing term
+//!   ([`RpcServer::spawn_incarnation`]). The client tracks a per-domain
+//!   minimum acceptable term ([`SocketBus::fence`]) and rejects anything
+//!   older, so a zombie connection into a crashed-and-replaced server can
+//!   never be believed.
+//! * **Survivable clients** — connects and reads run under wall-clock
+//!   deadlines ([`BusDeadlines`], surfaced as
+//!   [`BusError::Deadline`](crate::bus::BusError::Deadline)), and redials
+//!   of a dead address back off on a seeded [`RetryPolicy`] schedule
+//!   instead of storming the socket.
 //!
 //! [`FaultInjector`]: crate::fault::FaultInjector
 
 use crate::bus::{BusError, BusState};
 use crate::envelope::{Request, Response, Status};
+use crate::fault::RetryPolicy;
+use ovnes_sim::SimRng;
 use serde::{Deserialize, Serialize};
-use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Hard cap on a single frame's payload size. Large enough for any
 /// monitoring report the repo produces, small enough that a corrupt or
@@ -55,8 +68,19 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 pub enum WireFrame {
     /// Client → server: dispatch this request.
     Request(Request),
-    /// Server → client: the answer to a request, matched by correlation id.
-    Response(Response),
+    /// Server → client: the answer to a request, matched by correlation id
+    /// and stamped with the serving incarnation's fencing term.
+    Response {
+        /// The server incarnation's fencing term (see
+        /// [`RpcServer::spawn_incarnation`]). Responses whose term is below
+        /// the client's fenced minimum for the domain are stale and must
+        /// not be believed.
+        term: u64,
+        /// The response envelope, byte-identical to what the in-process
+        /// bus would return (terms live on the wire frame, not in the
+        /// envelope, precisely to preserve that identity).
+        response: Response,
+    },
     /// Client → server: push future `Push` frames for `topic` on this
     /// connection. Acked with an empty-body OK [`Response`] echoing `id`.
     Subscribe {
@@ -199,6 +223,21 @@ struct StatsInner {
     chaos_resets: AtomicU64,
 }
 
+impl StatsInner {
+    /// Counters resumed from a prior incarnation's snapshot — the lifetime
+    /// accounting is the control server's only state, so carrying it across
+    /// a crash/restart is what makes the restart observably seamless.
+    fn seeded(carry: ServerStats) -> StatsInner {
+        StatsInner {
+            connections: AtomicU64::new(carry.connections),
+            requests: AtomicU64::new(carry.requests),
+            subscriptions: AtomicU64::new(carry.subscriptions),
+            pushes: AtomicU64::new(carry.pushes),
+            chaos_resets: AtomicU64::new(carry.chaos_resets),
+        }
+    }
+}
+
 /// A snapshot of one server's lifetime counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerStats {
@@ -221,30 +260,55 @@ struct Subscriber {
 
 type Subscribers = Arc<Mutex<Vec<Subscriber>>>;
 
+/// The pause gate connection threads park on before dispatching while the
+/// server realizes a hung-process fault.
+type PauseGate = Arc<(Mutex<bool>, Condvar)>;
+
 /// A running RPC server task: accept loop + one thread per connection,
 /// dispatching into a [`Router`]. Dropping the handle shuts the server
 /// down (idempotently; [`RpcServer::shutdown`] does it explicitly).
 pub struct RpcServer {
     addr: SocketAddr,
+    term: u64,
     endpoints: Vec<String>,
     stats: Arc<StatsInner>,
     shutdown: Arc<AtomicBool>,
+    pause: PauseGate,
     accept: Option<JoinHandle<()>>,
+    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl RpcServer {
-    /// Bind a loopback listener on an OS-assigned port and serve `router`.
+    /// Bind a loopback listener on an OS-assigned port and serve `router`
+    /// as the first incarnation (term 1, fresh counters).
     pub fn spawn(router: Router) -> io::Result<RpcServer> {
+        RpcServer::spawn_incarnation(router, 1, ServerStats::default())
+    }
+
+    /// Serve `router` as incarnation `term` on a fresh OS-assigned port,
+    /// resuming `carry`'s lifetime counters. This is how a supervisor
+    /// restarts a crashed server: the counters are the server's exported
+    /// state, and the (strictly higher) term stamps every response so the
+    /// client's fence rejects anything still in flight from the dead
+    /// incarnation.
+    pub fn spawn_incarnation(router: Router, term: u64, carry: ServerStats) -> io::Result<RpcServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let endpoints = router.endpoints();
-        let stats = Arc::new(StatsInner::default());
+        let stats = Arc::new(StatsInner::seeded(carry));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pause: PauseGate = Arc::new((Mutex::new(false), Condvar::new()));
         let subscribers: Subscribers = Arc::new(Mutex::new(Vec::new()));
         let router = Arc::new(Mutex::new(router));
+        let conn_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_stats = stats.clone();
         let accept_shutdown = shutdown.clone();
+        let accept_pause = pause.clone();
+        let accept_streams = conn_streams.clone();
+        let accept_threads = conn_threads.clone();
         let accept = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -252,25 +316,50 @@ impl RpcServer {
                 }
                 let Ok(stream) = stream else { continue };
                 accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                // Keep a handle to every accepted socket so shutdown can
+                // force each connection thread off its blocking read.
+                if let Ok(handle) = stream.try_clone() {
+                    accept_streams
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(handle);
+                }
                 let router = router.clone();
                 let subscribers = subscribers.clone();
                 let stats = accept_stats.clone();
-                std::thread::spawn(move || serve_connection(stream, router, subscribers, stats));
+                let shutdown = accept_shutdown.clone();
+                let pause = accept_pause.clone();
+                let thread = std::thread::spawn(move || {
+                    serve_connection(stream, term, router, subscribers, stats, shutdown, pause)
+                });
+                accept_threads
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(thread);
             }
         });
 
         Ok(RpcServer {
             addr,
+            term,
             endpoints,
             stats,
             shutdown,
+            pause,
             accept: Some(accept),
+            conn_streams,
+            conn_threads,
         })
     }
 
     /// The bound address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The fencing term stamped into every response this incarnation writes.
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// The endpoints the router serves (the client's route table).
@@ -290,16 +379,59 @@ impl RpcServer {
         }
     }
 
-    /// Stop accepting connections and join the accept loop. Existing
-    /// connection threads exit as their peers hang up.
+    /// Realize a hung-process fault: connection threads park before their
+    /// next dispatch until [`RpcServer::resume`]. Connections stay open
+    /// and requests are still read off the wire — nothing answers, which
+    /// is exactly the failure mode client read deadlines exist for.
+    pub fn pause(&self) {
+        let (flag, _) = &*self.pause;
+        *flag.lock().unwrap_or_else(|p| p.into_inner()) = true;
+    }
+
+    /// End a hung-process fault started by [`RpcServer::pause`].
+    pub fn resume(&self) {
+        let (flag, cvar) = &*self.pause;
+        *flag.lock().unwrap_or_else(|p| p.into_inner()) = false;
+        cvar.notify_all();
+    }
+
+    /// A handle that ends a pause from another thread — the supervisor's
+    /// timed-resume path for hung-process faults, which must not borrow the
+    /// server while the hold elapses.
+    pub fn resume_handle(&self) -> ResumeHandle {
+        ResumeHandle {
+            pause: self.pause.clone(),
+        }
+    }
+
+    /// Stop the server completely: no thread of this incarnation can
+    /// answer after this returns. Joins the accept loop, then force-closes
+    /// every per-connection socket and joins its thread — connection
+    /// threads used to be detached here, which left them serving an
+    /// already-"shut-down" server and made zombie responses a live hazard.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Wake any dispatcher parked on the pause gate so it can observe
+        // the shutdown flag and exit.
+        self.resume();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        let streams: Vec<TcpStream> = std::mem::take(
+            &mut *self.conn_streams.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        for stream in &streams {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self.conn_threads.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        for handle in threads {
+            let _ = handle.join();
         }
     }
 }
@@ -310,11 +442,29 @@ impl Drop for RpcServer {
     }
 }
 
+/// Ends an [`RpcServer::pause`] from any thread, without holding a borrow
+/// of the server itself (see [`RpcServer::resume_handle`]).
+pub struct ResumeHandle {
+    pause: PauseGate,
+}
+
+impl ResumeHandle {
+    /// Lift the pause: parked dispatchers wake and resume serving.
+    pub fn resume(&self) {
+        let (flag, cvar) = &*self.pause;
+        *flag.lock().unwrap_or_else(|p| p.into_inner()) = false;
+        cvar.notify_all();
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
+    term: u64,
     router: Arc<Mutex<Router>>,
     subscribers: Subscribers,
     stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    pause: PauseGate,
 ) {
     stream.set_nodelay(true).ok();
     let Ok(mut reader) = stream.try_clone() else {
@@ -328,20 +478,42 @@ fn serve_connection(
         };
         match frame {
             WireFrame::Request(req) => {
+                // Hung-server realization: the request is off the wire,
+                // but nothing dispatches until the pause lifts (shutdown
+                // always gets through).
+                {
+                    let (flag, cvar) = &*pause;
+                    let mut paused = flag.lock().unwrap_or_else(|p| p.into_inner());
+                    while *paused && !shutdown.load(Ordering::SeqCst) {
+                        let (guard, _) = cvar
+                            .wait_timeout(paused, Duration::from_millis(25))
+                            .unwrap_or_else(|p| p.into_inner());
+                        paused = guard;
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
                 stats.requests.fetch_add(1, Ordering::Relaxed);
                 let endpoint = req.endpoint.clone();
                 let report = req.body.clone();
-                let response = {
+                let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut router = match router.lock() {
                         Ok(g) => g,
                         Err(poisoned) => poisoned.into_inner(),
                     };
                     router.dispatch(req)
+                }));
+                let response = match dispatched {
+                    Ok(r) => r,
+                    // A panicking handler kills its connection (no reply —
+                    // the peer sees a mid-batch teardown), not the server.
+                    Err(_) => break,
                 };
                 let delivered = response.status == Status::Ok;
                 {
                     let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
-                    if write_frame(&mut *w, &WireFrame::Response(response)).is_err() {
+                    if write_frame(&mut *w, &WireFrame::Response { term, response }).is_err() {
                         break;
                     }
                 }
@@ -361,7 +533,10 @@ fn serve_connection(
                         writer: writer.clone(),
                     });
                 let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
-                let ack = WireFrame::Response(Response::ok(id, Vec::new()));
+                let ack = WireFrame::Response {
+                    term,
+                    response: Response::ok(id, Vec::new()),
+                };
                 if write_frame(&mut *w, &ack).is_err() {
                     break;
                 }
@@ -375,7 +550,7 @@ fn serve_connection(
             }
             // Server-bound connections never carry these; a peer that sends
             // them is confused, and the safe reaction is to hang up.
-            WireFrame::Response(_) | WireFrame::Push { .. } => break,
+            WireFrame::Response { .. } | WireFrame::Push { .. } => break,
         }
     }
 }
@@ -402,13 +577,62 @@ fn publish(subscribers: &Subscribers, stats: &StatsInner, topic: &str, body: &[u
     });
 }
 
+/// Wall-clock deadlines bounding the socket client's blocking operations.
+///
+/// A hung server (process alive, dispatch stalled) used to stall the whole
+/// control plane on a read that never returned. With deadlines, a connect
+/// or read that exceeds its bound surfaces as
+/// [`BusError::Deadline`](crate::bus::BusError::Deadline) — a bounded,
+/// accounted delay instead of a forever-stall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusDeadlines {
+    /// Deadline on establishing a connection.
+    pub connect: Duration,
+    /// Deadline on waiting for a response frame.
+    pub read: Duration,
+}
+
+impl Default for BusDeadlines {
+    fn default() -> Self {
+        BusDeadlines {
+            connect: Duration::from_secs(1),
+            read: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-address redial state: how many dials have failed in a row and the
+/// instant before which further dials are suppressed.
+struct ConnectFailure {
+    attempts: u32,
+    retry_at: Instant,
+}
+
+/// The endpoint's domain prefix (`"ran/health"` → `"ran"`), the key
+/// incarnation terms are fenced under — one controller process per domain.
+fn domain_of(endpoint: &str) -> &str {
+    endpoint.split('/').next().unwrap_or(endpoint)
+}
+
+/// True for the error kinds a `connect_timeout`/`set_read_timeout` expiry
+/// produces (platform-dependently one or the other).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// The socket client: the same call surface and accounting contract as the
 /// in-process bus (see [`crate::transport`]), carried over framed TCP.
 ///
 /// Connections are opened lazily per server address and cached; an I/O
 /// error tears the cached connection down so the next call reconnects —
 /// which is exactly how the injected outage/drop faults become visible as
-/// refused connects and mid-call resets.
+/// refused connects and mid-call resets. Connects and reads run under
+/// [`BusDeadlines`]; redials of an address whose dial just failed back off
+/// on a seeded [`RetryPolicy`] schedule; responses are term-fenced per
+/// domain (see [`SocketBus::fence`]).
 #[derive(Default)]
 pub struct SocketBus {
     routes: BTreeMap<String, SocketAddr>,
@@ -416,6 +640,13 @@ pub struct SocketBus {
     next_id: u64,
     requests_served: BTreeMap<String, u64>,
     pushed: Vec<(String, Vec<u8>)>,
+    deadlines: BusDeadlines,
+    reconnect_policy: RetryPolicy,
+    reconnect_rng: Option<SimRng>,
+    backoff: BTreeMap<SocketAddr, ConnectFailure>,
+    connect_attempts: u64,
+    min_terms: BTreeMap<String, u64>,
+    stale_rejections: u64,
 }
 
 impl SocketBus {
@@ -446,14 +677,108 @@ impl SocketBus {
         self.routes.keys().map(String::as_str)
     }
 
-    fn ensure_conn(&mut self, addr: SocketAddr) -> Result<(), BusError> {
-        if let Entry::Vacant(slot) = self.conns.entry(addr) {
-            let stream = TcpStream::connect(addr)
-                .map_err(|e| BusError::Transport(format!("connect {addr}: {e}")))?;
-            stream.set_nodelay(true).ok();
-            slot.insert(stream);
+    /// Replace the wall-clock connect/read deadlines. Applies to
+    /// connections opened after the call.
+    pub fn set_deadlines(&mut self, deadlines: BusDeadlines) {
+        self.deadlines = deadlines;
+    }
+
+    /// The wall-clock deadlines in force.
+    pub fn deadlines(&self) -> BusDeadlines {
+        self.deadlines
+    }
+
+    /// Replace the redial backoff policy and seed its jitter stream. After
+    /// a failed dial, further dials of that address fail fast until the
+    /// (jittered, exponentially growing) cooldown expires — a dead server
+    /// costs one refused connect per backoff window, not one per call.
+    pub fn set_reconnect_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.reconnect_policy = policy;
+        self.reconnect_rng = Some(SimRng::seed_from(seed));
+    }
+
+    /// Dials attempted (successful or not) over this bus's lifetime. Lets
+    /// tests pin that redials of a dead address are rate-limited.
+    pub fn connect_attempts(&self) -> u64 {
+        self.connect_attempts
+    }
+
+    /// Raise `domain`'s minimum acceptable incarnation term. A response
+    /// stamped with an older term is rejected as stale: the call errors,
+    /// the connection is abandoned, and nothing is accounted — a zombie
+    /// connection into a dead incarnation can never be believed.
+    pub fn fence(&mut self, domain: &str, term: u64) {
+        let min = self.min_terms.entry(domain.to_owned()).or_insert(0);
+        if term > *min {
+            *min = term;
         }
-        Ok(())
+    }
+
+    /// The minimum incarnation term currently accepted for `domain` (0
+    /// until fenced explicitly or ratcheted up by an observed response).
+    pub fn fenced_term(&self, domain: &str) -> u64 {
+        self.min_terms.get(domain).copied().unwrap_or(0)
+    }
+
+    /// Responses rejected because their incarnation term was stale.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejections
+    }
+
+    fn ensure_conn(&mut self, addr: SocketAddr) -> Result<(), BusError> {
+        if self.conns.contains_key(&addr) {
+            return Ok(());
+        }
+        if let Some(fail) = self.backoff.get(&addr) {
+            if Instant::now() < fail.retry_at {
+                return Err(BusError::Transport(format!(
+                    "connect {addr}: backing off after {} failed dial(s)",
+                    fail.attempts
+                )));
+            }
+        }
+        self.connect_attempts += 1;
+        match TcpStream::connect_timeout(&addr, self.deadlines.connect) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(self.deadlines.read)).ok();
+                self.backoff.remove(&addr);
+                self.conns.insert(addr, stream);
+                Ok(())
+            }
+            Err(e) => {
+                let attempts = self.backoff.get(&addr).map_or(0, |f| f.attempts) + 1;
+                let wait = match self.reconnect_rng.as_mut() {
+                    Some(rng) => self.reconnect_policy.jittered_backoff(attempts, rng),
+                    None => self.reconnect_policy.backoff(attempts),
+                };
+                self.backoff.insert(
+                    addr,
+                    ConnectFailure {
+                        attempts,
+                        retry_at: Instant::now() + Duration::from_secs_f64(wait.as_secs_f64()),
+                    },
+                );
+                if is_timeout(&e) {
+                    Err(BusError::Deadline(format!("connect {addr}: {e}")))
+                } else {
+                    Err(BusError::Transport(format!("connect {addr}: {e}")))
+                }
+            }
+        }
+    }
+
+    /// Ratchet the observed incarnation term for `endpoint`'s domain: once
+    /// a newer incarnation has answered, older terms are stale even
+    /// without an explicit fence.
+    fn note_term(&mut self, endpoint: &str, term: u64) {
+        let min = self
+            .min_terms
+            .entry(domain_of(endpoint).to_owned())
+            .or_insert(0);
+        if term > *min {
+            *min = term;
+        }
     }
 
     /// Issue a request and wait for its response. Mirrors the in-process
@@ -476,7 +801,18 @@ impl SocketBus {
         });
         let stream = self.conns.get_mut(&addr).expect("ensured above");
         match exchange(stream, &mut self.pushed, &frame, id) {
-            Ok(response) => {
+            Ok((term, response)) => {
+                let min = self.fenced_term(domain_of(endpoint));
+                if term < min {
+                    // A zombie answer from a fenced-off incarnation: do not
+                    // believe it, do not account it, abandon the conn.
+                    self.stale_rejections += 1;
+                    self.conns.remove(&addr);
+                    return Err(BusError::Transport(format!(
+                        "{endpoint}: stale incarnation term {term} (fenced at {min})"
+                    )));
+                }
+                self.note_term(endpoint, term);
                 self.next_id += 1;
                 *self
                     .requests_served
@@ -486,7 +822,11 @@ impl SocketBus {
             }
             Err(e) => {
                 self.conns.remove(&addr);
-                Err(BusError::Transport(format!("{endpoint}: {e}")))
+                if is_timeout(&e) {
+                    Err(BusError::Deadline(format!("{endpoint}: {e}")))
+                } else {
+                    Err(BusError::Transport(format!("{endpoint}: {e}")))
+                }
             }
         }
     }
@@ -549,6 +889,8 @@ impl SocketBus {
         let conns = &mut self.conns;
         let pushed = &mut self.pushed;
         let served = &mut self.requests_served;
+        let min_terms = &mut self.min_terms;
+        let stale = &mut self.stale_rejections;
         for (addr, mut pending) in per_addr {
             while !pending.is_empty() {
                 let Some(stream) = conns.get_mut(&addr) else {
@@ -556,13 +898,31 @@ impl SocketBus {
                 };
                 match read_frame(stream) {
                     Ok(WireFrame::Push { topic, body }) => pushed.push((topic, body)),
-                    Ok(WireFrame::Response(response)) => {
+                    Ok(WireFrame::Response { term, response }) => {
                         let Some(p) = pending.remove(&response.id) else {
                             // A response nobody asked for: the stream is
                             // desynchronized; abandon the connection.
                             conns.remove(&addr);
                             break;
                         };
+                        let domain = domain_of(&p.endpoint);
+                        let min = min_terms.get(domain).copied().unwrap_or(0);
+                        if term < min {
+                            // The whole connection talks to a fenced-off
+                            // incarnation: reject this slot, abandon the
+                            // conn (remaining slots report it lost below).
+                            *stale += 1;
+                            results[p.slot] = Some(Err(BusError::Transport(format!(
+                                "{}: stale incarnation term {term} (fenced at {min})",
+                                p.endpoint
+                            ))));
+                            conns.remove(&addr);
+                            break;
+                        }
+                        let noted = min_terms.entry(domain.to_owned()).or_insert(0);
+                        if term > *noted {
+                            *noted = term;
+                        }
                         *served.entry(p.endpoint).or_insert(0) += 1;
                         results[p.slot] = Some(Ok(response));
                     }
@@ -602,7 +962,16 @@ impl SocketBus {
         };
         let stream = self.conns.get_mut(&addr).expect("ensured above");
         match exchange(stream, &mut self.pushed, &frame, id) {
-            Ok(_ack) => {
+            Ok((term, _ack)) => {
+                let min = self.fenced_term(domain_of(topic));
+                if term < min {
+                    self.stale_rejections += 1;
+                    self.conns.remove(&addr);
+                    return Err(BusError::Transport(format!(
+                        "subscribe {topic}: stale incarnation term {term} (fenced at {min})"
+                    )));
+                }
+                self.note_term(topic, term);
                 self.next_id += 1;
                 Ok(())
             }
@@ -674,18 +1043,22 @@ impl SocketBus {
 }
 
 /// Write `frame`, then read until the response correlated with `want_id`
-/// arrives, buffering any telemetry pushes that interleave.
+/// arrives, buffering any telemetry pushes that interleave. Returns the
+/// response together with the incarnation term it was stamped with; the
+/// caller decides whether that term is still believable.
 fn exchange(
     stream: &mut TcpStream,
     pushed: &mut Vec<(String, Vec<u8>)>,
     frame: &WireFrame,
     want_id: u64,
-) -> io::Result<Response> {
+) -> io::Result<(u64, Response)> {
     write_frame(stream, frame)?;
     loop {
         match read_frame(stream)? {
             WireFrame::Push { topic, body } => pushed.push((topic, body)),
-            WireFrame::Response(response) if response.id == want_id => return Ok(response),
+            WireFrame::Response { term, response } if response.id == want_id => {
+                return Ok((term, response))
+            }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -889,7 +1262,10 @@ mod tests {
                 endpoint: "e".into(),
                 body: vec![1, 2],
             }),
-            WireFrame::Response(Response::ok(1, vec![3])),
+            WireFrame::Response {
+                term: 7,
+                response: Response::ok(1, vec![3]),
+            },
             WireFrame::Subscribe {
                 id: 2,
                 topic: "t".into(),
@@ -909,5 +1285,205 @@ mod tests {
             assert_eq!(&read_frame(&mut r).unwrap(), f);
         }
         assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn shutdown_silences_held_open_connections() {
+        // Regression: shutdown() joined only the accept loop; connection
+        // threads were detached and kept serving an already-"shut-down"
+        // server, so a held-open connection still got responses.
+        let mut server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap(); // live connection thread
+        let before = bus.export_state();
+
+        server.shutdown();
+
+        // The cached connection is still held open client-side. No
+        // response may ever arrive on it now.
+        let err = bus.call("echo", b"zombie?".to_vec());
+        assert!(err.is_err(), "a dead server answered: {err:?}");
+        assert_eq!(
+            bus.export_state(),
+            before,
+            "the failed call must not consume accounting"
+        );
+    }
+
+    #[test]
+    fn paused_server_times_out_as_a_deadline_not_a_stall() {
+        let server = echo_server();
+        server.pause();
+        let mut bus = SocketBus::new();
+        bus.set_deadlines(BusDeadlines {
+            connect: Duration::from_secs(1),
+            read: Duration::from_millis(200),
+        });
+        bus.attach(&server);
+
+        let t0 = Instant::now();
+        match bus.call("echo", vec![]) {
+            Err(BusError::Deadline(msg)) => assert!(msg.contains("echo"), "{msg}"),
+            other => panic!("expected deadline error from hung server, got {other:?}"),
+        }
+        // Bounded: the stall costs roughly the read deadline, not forever.
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "hung server stalled the client for {:?}",
+            t0.elapsed()
+        );
+
+        server.resume();
+        let resp = bus.call("echo", b"alive".to_vec()).unwrap();
+        assert_eq!(resp.body, b"alive");
+    }
+
+    #[test]
+    fn dead_address_redials_are_rate_limited() {
+        let mut server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        // A huge base backoff makes the attempt count exact: after the
+        // first refused dial, every later call fails fast without dialing.
+        bus.set_reconnect_policy(
+            RetryPolicy {
+                base_backoff: ovnes_sim::SimDuration::from_secs(60),
+                max_backoff: ovnes_sim::SimDuration::from_secs(120),
+                ..RetryPolicy::default()
+            },
+            99,
+        );
+        server.shutdown();
+        drop(server);
+
+        for _ in 0..10 {
+            assert!(bus.call("echo", vec![]).is_err());
+        }
+        assert_eq!(
+            bus.connect_attempts(),
+            1,
+            "redials of a dead address must back off, not storm"
+        );
+    }
+
+    #[test]
+    fn server_death_mid_pipelined_batch_fails_exact_slots() {
+        use std::sync::atomic::AtomicU64;
+        // A handler that serves two requests and then dies (the panic
+        // kills the connection thread without a reply — a crash landing
+        // mid-batch).
+        let flaky_router = |deaths: Arc<AtomicU64>| {
+            let mut router = Router::new();
+            router.register("flaky/op", move |req: Request| {
+                if deaths.fetch_add(1, Ordering::SeqCst) == 2 {
+                    panic!("injected crash mid-batch");
+                }
+                Response::ok(req.id, req.body)
+            });
+            router
+        };
+        let hits = Arc::new(AtomicU64::new(0));
+        let server = RpcServer::spawn(flaky_router(hits.clone())).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let calls: Vec<(String, Vec<u8>)> =
+            (0..5u8).map(|i| ("flaky/op".to_owned(), vec![i])).collect();
+        let results = bus.call_pipelined(calls);
+
+        // Already-received slots stay Ok; unfilled slots report Transport
+        // errors at exactly the right indices.
+        for (i, r) in results.iter().enumerate().take(2) {
+            assert_eq!(r.as_ref().unwrap().body, vec![i as u8], "slot {i}");
+        }
+        for (i, r) in results.iter().enumerate().skip(2) {
+            assert!(
+                matches!(r, Err(BusError::Transport(_))),
+                "slot {i}: {r:?}"
+            );
+        }
+
+        // Pipelined ids commit at send, served counts at receipt: all 5
+        // writes reached a server, 2 responses came back.
+        assert_eq!(bus.export_state().next_id, 5);
+        assert_eq!(bus.served("flaky/op"), 2);
+
+        // A retry of the unfilled tail against a restarted server finds
+        // the accounting consistent: fresh ids continue from 5.
+        let retry_hits = Arc::new(AtomicU64::new(u64::MAX / 2)); // never dies
+        let server2 = RpcServer::spawn(flaky_router(retry_hits)).unwrap();
+        bus.attach(&server2); // re-route flaky/op to the new incarnation
+        let retry: Vec<(String, Vec<u8>)> =
+            (2..5u8).map(|i| ("flaky/op".to_owned(), vec![i])).collect();
+        let results = bus.call_pipelined(retry);
+        for (k, r) in results.iter().enumerate() {
+            let resp = r.as_ref().unwrap();
+            assert_eq!(resp.id, 5 + k as u64);
+            assert_eq!(resp.body, vec![2 + k as u8]);
+        }
+        assert_eq!(bus.export_state().next_id, 8);
+        assert_eq!(bus.served("flaky/op"), 5);
+    }
+
+    #[test]
+    fn stale_incarnation_responses_are_fenced_off() {
+        let server = echo_server(); // incarnation term 1
+        assert_eq!(server.term(), 1);
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap();
+        // Accepting a response ratchets the observed term.
+        assert_eq!(bus.fenced_term("echo"), 1);
+        let before = bus.export_state();
+
+        // A lease transfer happened elsewhere: term 2 is now the minimum.
+        // The cached connection still reaches the old incarnation, whose
+        // answer arrives stamped term 1 — a zombie that must be rejected.
+        bus.fence("echo", 2);
+        match bus.call("echo", b"zombie".to_vec()) {
+            Err(BusError::Transport(msg)) => {
+                assert!(msg.contains("stale incarnation term 1"), "{msg}")
+            }
+            other => panic!("stale response was believed: {other:?}"),
+        }
+        assert_eq!(bus.stale_rejections(), 1);
+        assert_eq!(
+            bus.export_state(),
+            before,
+            "a rejected zombie consumes no accounting"
+        );
+
+        // The term-2 incarnation (counters carried over) is believed.
+        let mut router = Router::new();
+        router.register("echo", |req: Request| Response::ok(req.id, req.body));
+        register_control_endpoints(&mut router, "ran");
+        let next = RpcServer::spawn_incarnation(router, 2, server.stats()).unwrap();
+        bus.attach(&next);
+        let resp = bus.call("echo", b"fresh".to_vec()).unwrap();
+        assert_eq!(resp.body, b"fresh");
+        assert_eq!(bus.fenced_term("echo"), 2);
+    }
+
+    #[test]
+    fn incarnation_resumes_carried_stats() {
+        let server = echo_server();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+        bus.call("echo", vec![]).unwrap();
+        bus.call("echo", vec![]).unwrap();
+        let carried = server.stats();
+        assert_eq!(carried.requests, 2);
+
+        let mut router = Router::new();
+        router.register("echo", |req: Request| Response::ok(req.id, req.body));
+        let next = RpcServer::spawn_incarnation(router, 5, carried).unwrap();
+        assert_eq!(next.term(), 5);
+        assert_eq!(next.stats(), carried, "restart restores the snapshot");
+        let mut bus2 = SocketBus::new();
+        bus2.attach(&next);
+        bus2.call("echo", vec![]).unwrap();
+        assert_eq!(next.stats().requests, 3, "counters continue, not reset");
+        assert_eq!(bus2.fenced_term("echo"), 5);
     }
 }

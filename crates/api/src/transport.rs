@@ -132,6 +132,16 @@ impl ControlTransport {
         }
     }
 
+    /// The socket bus, if that is what this transport is. Deadlines,
+    /// reconnect backoff, and term fencing only exist on the socket plane,
+    /// so supervision code asks for this.
+    pub fn as_socket_mut(&mut self) -> Option<&mut SocketBus> {
+        match self {
+            ControlTransport::InProcess(_) => None,
+            ControlTransport::Socket(bus) => Some(bus),
+        }
+    }
+
     /// True when calls travel over sockets.
     pub fn is_socket(&self) -> bool {
         matches!(self, ControlTransport::Socket(_))

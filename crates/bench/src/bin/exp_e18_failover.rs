@@ -1,0 +1,268 @@
+//! E18 — supervised failover: crash storms, repair time, and availability.
+//!
+//! PR 9 added a supervision layer (`ovnes_orchestrator::supervise`) that can
+//! kill and restart any domain controller server at any epoch with no
+//! observable effect on the run. This harness prices that promise:
+//!
+//! * **invisibility** — a seeded crash storm (every controller killed and
+//!   restarted `crashes_per_domain` times, the first crash landing
+//!   mid-request so a zombie response is provably generated and fenced)
+//!   leaves the run summary and monitoring JSON byte-identical to an
+//!   undisturbed in-process run. That is an assertion, not a plot.
+//! * **MTTR** — the wall-clock distribution (p50/p95/max) of one supervised
+//!   kill-and-restart cycle: fence, resync, shutdown, fresh incarnation on a
+//!   new port, reroute.
+//! * **availability** — the same outage *without* a supervisor walks the
+//!   orchestrator's heartbeat health machine instead: the run completes, but
+//!   epochs are spent degraded. Supervised availability is 1.0 by
+//!   construction; the unsupervised arm reports what the health machine saw.
+//! * **bounded hang** — a hung (paused, not dead) server surfaces as a
+//!   deadline expiry on the client within the configured read deadline,
+//!   not a forever-stall.
+//!
+//! Results land in `BENCH_e18.json` at the working directory (the repo root
+//! in CI, which archives it). `--smoke` shrinks the horizon and the storm to
+//! CI size; every assertion still runs.
+
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
+use ovnes_api::{BusDeadlines, BusError, CrashPlan};
+use ovnes_orchestrator::{
+    run_supervised, spawn_domain_control_servers, DemoScenario, HealthState, ScenarioConfig,
+    Supervisor, DOMAINS,
+};
+use ovnes_sim::SimDuration;
+use std::time::{Duration, Instant};
+
+struct Shape {
+    horizon_hours: u64,
+    crashes_per_domain: usize,
+}
+
+const FULL: Shape = Shape {
+    horizon_hours: 4,
+    crashes_per_domain: 3,
+};
+
+const SMOKE: Shape = Shape {
+    horizon_hours: 1,
+    crashes_per_domain: 2,
+};
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn config(shape: &Shape) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: 1818,
+        arrivals_per_hour: 25.0,
+        horizon: SimDuration::from_hours(shape.horizon_hours),
+        ..ScenarioConfig::default()
+    }
+}
+
+fn monitoring_json(s: &DemoScenario) -> Vec<String> {
+    s.orchestrator()
+        .monitoring()
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("reports serialize"))
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shape = if smoke { &SMOKE } else { &FULL };
+    let horizon_epochs = shape.horizon_hours * 60;
+    ovnes_bench::report_header(
+        "E18",
+        "supervised failover",
+        "crash-storm invisibility, repair time, availability, bounded hangs",
+    );
+
+    // ---- the oracle: one undisturbed in-process run -----------------------
+    let (ref_summary, ref_monitoring) = {
+        let mut s = DemoScenario::build(config(shape));
+        let summary = s.run();
+        let monitoring = monitoring_json(&s);
+        (summary, monitoring)
+    };
+    assert!(ref_summary.admitted > 0, "the run must be a real workload");
+
+    // ---- arm 1: supervised crash storm is byte-invisible ------------------
+    let (servers, socket) = spawn_domain_control_servers().expect("spawn control servers");
+    let mut s = DemoScenario::build(config(shape));
+    s.use_socket_control(socket);
+    let plan = CrashPlan::new(1818).with_random_storm(
+        &DOMAINS,
+        shape.crashes_per_domain,
+        5,
+        horizon_epochs - 20,
+    );
+    let mut supervisor = Supervisor::new(servers, plan);
+    let summary = run_supervised(&mut s, &mut supervisor);
+
+    assert_eq!(
+        summary, ref_summary,
+        "crash-storm summary diverged from the undisturbed oracle"
+    );
+    assert_eq!(
+        monitoring_json(&s),
+        ref_monitoring,
+        "crash-storm monitoring JSON diverged from the undisturbed oracle"
+    );
+    let crashes = supervisor.crashes();
+    let mid_request_crashes = supervisor.mid_request_crashes();
+    assert_eq!(crashes, DOMAINS.len() as u64 * shape.crashes_per_domain as u64);
+    assert!(mid_request_crashes >= 1);
+    let stale_rejections = s.orchestrator().control().stale_rejections();
+    assert!(
+        supervisor.stale_rejections_provoked() >= 1 && stale_rejections >= 1,
+        "no zombie response was generated and fenced"
+    );
+    for domain in DOMAINS {
+        let health = s.orchestrator().domain_health(domain).expect("tracked");
+        assert_eq!(health.state, HealthState::Up, "{domain}");
+        assert_eq!(
+            health.incidents, 0,
+            "{domain}: a supervised restart must never trip the health machine"
+        );
+    }
+    let mut mttr_ms: Vec<f64> = supervisor
+        .mttr_wall_secs()
+        .iter()
+        .map(|secs| secs * 1e3)
+        .collect();
+    mttr_ms.sort_by(|a, b| a.total_cmp(b));
+    let (mttr_p50, mttr_p95, mttr_max) = (
+        percentile(&mttr_ms, 50.0),
+        percentile(&mttr_ms, 95.0),
+        mttr_ms.last().copied().unwrap_or(0.0),
+    );
+    drop(supervisor);
+
+    // ---- arm 2: the same outage unsupervised costs availability -----------
+    // Kill the RAN server with nobody watching; repair it by hand five
+    // epochs later. Every epoch any domain is off `Up` is a degraded epoch.
+    let (mut servers, socket) = spawn_domain_control_servers().expect("spawn control servers");
+    let mut s = DemoScenario::build(config(shape));
+    s.use_socket_control(socket);
+    let (kill_at, repair_at) = (10u64, 15u64);
+    let mut carry = None;
+    let mut degraded_epochs = 0u64;
+    let mut epochs = 0u64;
+    for epoch in 1..=horizon_epochs {
+        if epoch == kill_at {
+            let mut ran = servers.remove(0);
+            carry = Some(ran.stats());
+            ran.shutdown();
+        }
+        if epoch == repair_at {
+            let mut router = Router::new();
+            register_control_endpoints(&mut router, "ran");
+            let restarted =
+                RpcServer::spawn_incarnation(router, 2, carry.take().expect("killed first"))
+                    .expect("restart");
+            let bus = s
+                .orchestrator_mut()
+                .control_mut()
+                .socket_mut()
+                .expect("socket control plane");
+            bus.attach(&restarted);
+            bus.fence("ran", 2);
+            s.orchestrator_mut().mark_resyncing("ran");
+            servers.push(restarted);
+        }
+        if !s.step_epoch() {
+            break;
+        }
+        epochs += 1;
+        let degraded = DOMAINS.iter().any(|d| {
+            s.orchestrator().domain_health(d).expect("tracked").state != HealthState::Up
+        });
+        if degraded {
+            degraded_epochs += 1;
+        }
+    }
+    let health = s.orchestrator().domain_health("ran").expect("tracked");
+    assert_eq!(health.incidents, 1, "the outage must trip the health machine");
+    assert_eq!(health.repairs, 1, "the manual repair must be booked");
+    assert!(degraded_epochs > 0);
+    let unsupervised_availability = 1.0 - degraded_epochs as f64 / epochs as f64;
+    drop(servers);
+
+    // ---- arm 3: a hung server is a bounded deadline, not a stall ----------
+    let (servers, mut socket) = spawn_domain_control_servers().expect("spawn control servers");
+    socket.set_deadlines(BusDeadlines {
+        connect: Duration::from_secs(1),
+        read: Duration::from_millis(500),
+    });
+    socket.call("ran/health", Vec::new()).expect("warm up");
+    let ran = &servers[0];
+    let resume = ran.resume_handle();
+    ran.pause();
+    let start = Instant::now();
+    let hung = socket.call("ran/health", Vec::new());
+    let hung_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        matches!(hung, Err(BusError::Deadline(_))),
+        "a hung server must surface as a deadline expiry, got {hung:?}"
+    );
+    assert!(
+        hung_ms < 5_000.0,
+        "deadline must bound the stall, took {hung_ms:.0} ms"
+    );
+    resume.resume();
+    socket
+        .call("ran/health", Vec::new())
+        .expect("resumed server answers again");
+    drop(socket);
+    drop(servers);
+
+    println!();
+    ovnes_bench::report_kv(&[
+        ("crashes survived", crashes.to_string()),
+        ("stale responses fenced", stale_rejections.to_string()),
+        ("MTTR p50 ms", format!("{mttr_p50:.2}")),
+        ("MTTR p95 ms", format!("{mttr_p95:.2}")),
+        ("MTTR max ms", format!("{mttr_max:.2}")),
+        ("supervised availability", "1.000 (identity asserted)".into()),
+        (
+            "unsupervised availability",
+            format!("{unsupervised_availability:.3} ({degraded_epochs} degraded epochs)"),
+        ),
+        ("hung-server call latency ms", format!("{hung_ms:.0}")),
+    ]);
+
+    let results = vec![
+        (
+            "mode",
+            if smoke {
+                "smoke".to_string()
+            } else {
+                "full".to_string()
+            },
+        ),
+        ("horizon_epochs", horizon_epochs.to_string()),
+        ("crashes", crashes.to_string()),
+        ("mid_request_crashes", mid_request_crashes.to_string()),
+        ("stale_rejections", stale_rejections.to_string()),
+        ("mttr_p50_ms", format!("{mttr_p50:.3}")),
+        ("mttr_p95_ms", format!("{mttr_p95:.3}")),
+        ("mttr_max_ms", format!("{mttr_max:.3}")),
+        ("supervised_availability", "1.0".to_string()),
+        (
+            "unsupervised_availability",
+            format!("{unsupervised_availability:.4}"),
+        ),
+        ("degraded_epochs_unsupervised", degraded_epochs.to_string()),
+        ("hung_call_latency_ms", format!("{hung_ms:.1}")),
+        ("identity_storm_vs_oracle", "true".to_string()),
+    ];
+    ovnes_bench::report_json("BENCH_e18.json", &results).expect("write BENCH_e18.json");
+    println!();
+    println!("wrote BENCH_e18.json");
+}

@@ -4,9 +4,11 @@
 //! vEPC Heat template deployed on a real [`CloudController`] behind the
 //! socket.
 
-use crate::{epc_template, CloudController, EpcSizing};
-use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
-use ovnes_api::{decode, encode, CloudCommand, CloudReply, MonitoringReport, Response};
+use crate::{epc_template, CloudController, CloudControllerState, EpcSizing};
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer, ServerStats};
+use ovnes_api::{
+    decode, encode, CloudCommand, CloudReply, MonitoringReport, Response, ResyncReport,
+};
 use ovnes_model::SliceClass;
 use ovnes_sim::SimTime;
 use std::io;
@@ -29,8 +31,15 @@ pub fn serve_control() -> io::Result<RpcServer> {
 }
 
 /// A full domain router: the control surface plus `cloud/command` driving
-/// `controller` and `cloud/monitoring` reporting its live metrics.
+/// `controller`, `cloud/monitoring` reporting its live metrics, and
+/// `cloud/resync` exporting its complete state.
 pub fn command_router(controller: CloudController) -> Router {
+    command_router_incarnation(controller, 1)
+}
+
+/// [`command_router`] serving as incarnation `term` (baked into every
+/// `cloud/resync` report).
+pub fn command_router_incarnation(controller: CloudController, term: u64) -> Router {
     let controller = Arc::new(Mutex::new(controller));
     let mut router = control_router();
 
@@ -74,7 +83,7 @@ pub fn command_router(controller: CloudController) -> Router {
         }
     });
 
-    let cloud = controller;
+    let cloud = controller.clone();
     router.register("cloud/monitoring", move |req| {
         let scalars = cloud
             .lock()
@@ -88,6 +97,17 @@ pub fn command_router(controller: CloudController) -> Router {
         };
         Response::ok(req.id, encode(&report).expect("encodable"))
     });
+
+    let cloud = controller;
+    router.register("cloud/resync", move |req| {
+        let cloud = cloud.lock().unwrap_or_else(|p| p.into_inner());
+        let report = ResyncReport {
+            domain: DOMAIN.into(),
+            term,
+            state: encode(&cloud.export_state()).expect("encodable"),
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
     router
 }
 
@@ -95,6 +115,21 @@ pub fn command_router(controller: CloudController) -> Router {
 /// the controller.
 pub fn serve(controller: CloudController) -> io::Result<RpcServer> {
     RpcServer::spawn(command_router(controller))
+}
+
+/// Restart the command server from a resynced state: a fresh incarnation
+/// serving `term`, seeded from `state` and resuming `carry`'s lifetime
+/// counters.
+pub fn serve_resumed(
+    state: &CloudControllerState,
+    term: u64,
+    carry: ServerStats,
+) -> io::Result<RpcServer> {
+    RpcServer::spawn_incarnation(
+        command_router_incarnation(CloudController::from_state(state), term),
+        term,
+        carry,
+    )
 }
 
 #[cfg(test)]
@@ -160,6 +195,55 @@ mod tests {
             )
             .unwrap();
         assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn resync_round_trip_restores_state_in_a_new_incarnation() {
+        let mut server = serve(core_dc_controller()).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let resp = bus
+            .call(
+                "cloud/command",
+                encode(&CloudCommand::DeployEpc {
+                    slice: SliceId::new(1),
+                    dc: DcId::new(1),
+                    throughput: RateMbps::new(50.0),
+                    class: "embb".into(),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        // Pull the state over the wire, kill the server, restart seeded.
+        let resp = bus.call("cloud/resync", Vec::new()).unwrap();
+        let report: ResyncReport = decode(&resp.body).unwrap();
+        assert_eq!(report.domain, "cloud");
+        assert_eq!(report.term, 1);
+        let state: CloudControllerState = decode(&report.state).unwrap();
+        let carry = server.stats();
+        server.shutdown();
+        drop(server);
+
+        let restarted = serve_resumed(&state, 2, carry).unwrap();
+        assert_eq!(restarted.term(), 2);
+        bus.attach(&restarted);
+        bus.fence("cloud", 2);
+
+        // The restarted incarnation remembers the deployed stack: deleting
+        // slice 1 succeeds (a forgotten stack would be a rejection).
+        let resp = bus
+            .call(
+                "cloud/command",
+                encode(&CloudCommand::Delete {
+                    slice: SliceId::new(1),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok, "deployed stack was not restored");
     }
 
     #[test]

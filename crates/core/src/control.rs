@@ -94,6 +94,22 @@ impl ControlPlane {
         self.transport.is_socket()
     }
 
+    /// The socket bus, when calls travel over sockets. The supervision
+    /// layer uses this to re-route endpoints to a restarted incarnation
+    /// and to fence off the dead one's term.
+    pub fn socket_mut(&mut self) -> Option<&mut SocketBus> {
+        self.transport.as_socket_mut()
+    }
+
+    /// Responses rejected as stale by incarnation-term fencing (0 on the
+    /// in-process transport, where no zombie connection can exist).
+    pub fn stale_rejections(&self) -> u64 {
+        match &self.transport {
+            ControlTransport::Socket(socket) => socket.stale_rejections(),
+            ControlTransport::InProcess(_) => 0,
+        }
+    }
+
     /// Install a fault plan. The injector and the retry jitter stream are
     /// both seeded from the plan's own seed, so chaos runs reproduce
     /// bit-for-bit and never perturb the simulation's other RNG streams.

@@ -30,6 +30,12 @@
 //!   wrappers.
 //! * [`snapshot`] — whole-world checkpoint/restore over a content-addressed
 //!   store, with manifest-chain bisection for divergence hunting.
+//! * [`supervise`] — process-level chaos with repair: a [`Supervisor`]
+//!   kills, hangs, and restarts the domain controller servers on a seeded
+//!   [`CrashPlan`](ovnes_api::CrashPlan) with no observable effect on the
+//!   run, plus the per-domain heartbeat health machine
+//!   (Up → Suspect → Down → Resyncing → Up) the orchestrator layers over
+//!   its probe loop.
 
 pub mod admission;
 pub mod allocator;
@@ -40,6 +46,7 @@ pub mod overbooking;
 pub mod scenario;
 pub mod sla;
 pub mod snapshot;
+pub mod supervise;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView};
 pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
@@ -60,3 +67,6 @@ pub use scenario::{
 };
 pub use sla::{SlaMonitor, SlaMonitorState, SlaVerdict};
 pub use snapshot::{replay_bisect, WorldSnapshot};
+pub use supervise::{
+    run_supervised, DomainHealth, HealthState, HealthTransition, Supervisor,
+};

@@ -22,6 +22,7 @@ use crate::control::{ControlPlane, DOMAINS};
 use crate::lifecycle::{SliceRecord, SliceState};
 use crate::overbooking::{GainReport, OverbookingConfig, OverbookingEngine};
 use crate::sla::{SlaMonitor, SlaVerdict};
+use crate::supervise::{DomainHealth, HealthTransition};
 use ovnes_api::{
     decode, encode, FaultPlan, MonitoringReport, RetryPolicy, Status, SubstrateElement,
     SubstrateFaultPlan,
@@ -269,6 +270,10 @@ pub struct Orchestrator {
     /// with the time the outage was first detected (feeds the
     /// `substrate.time_to_repair` distribution).
     substrate_degraded: BTreeMap<SliceId, SimTime>,
+    /// Per-domain heartbeat health machines (Up → Suspect → Down → Up),
+    /// layered over `down_domains` as classification/telemetry only — the
+    /// degrade/restore mitigation stays edge-triggered on raw probes.
+    supervision: BTreeMap<String, DomainHealth>,
 }
 
 impl Orchestrator {
@@ -328,6 +333,7 @@ impl Orchestrator {
             substrate_plan: None,
             substrate_down: BTreeSet::new(),
             substrate_degraded: BTreeMap::new(),
+            supervision: DomainHealth::tracking_all(),
         }
     }
 
@@ -378,6 +384,31 @@ impl Orchestrator {
     /// The control plane (for endpoint/retry stats in dashboards/benches).
     pub fn control(&self) -> &ControlPlane {
         &self.control
+    }
+
+    /// Mutable control plane — the supervisor re-points routes and bumps
+    /// fencing terms on the socket bus after a restart.
+    pub fn control_mut(&mut self) -> &mut ControlPlane {
+        &mut self.control
+    }
+
+    /// The heartbeat health machine for `domain`, if tracked.
+    pub fn domain_health(&self, domain: &str) -> Option<&DomainHealth> {
+        self.supervision.get(domain)
+    }
+
+    /// Every tracked domain's health machine, ascending by domain.
+    pub fn supervision(&self) -> &BTreeMap<String, DomainHealth> {
+        &self.supervision
+    }
+
+    /// Mark a state replay in progress against `domain`'s restarted
+    /// controller (see [`DomainHealth::begin_resync`]); the next
+    /// successful probe books the repair.
+    pub fn mark_resyncing(&mut self, domain: &str) {
+        if let Some(health) = self.supervision.get_mut(domain) {
+            health.begin_resync();
+        }
     }
 
     // ---- submission -------------------------------------------------------
@@ -678,6 +709,26 @@ impl Orchestrator {
             }
             if !up {
                 unreachable_domains.push(domain.to_owned());
+            }
+            // Health machine: classification and repair telemetry layered
+            // over the raw probe. Transitions only — a faultless probe
+            // history books nothing, so plan-less runs stay byte-identical.
+            if let Some(health) = self.supervision.get_mut(domain) {
+                match health.observe(now, up) {
+                    Some(HealthTransition::Suspected) => {
+                        self.metrics.counter("supervise.suspects").inc();
+                    }
+                    Some(HealthTransition::WentDown) => {
+                        self.metrics.counter("supervise.downs").inc();
+                    }
+                    Some(HealthTransition::Recovered { downtime }) => {
+                        self.metrics.counter("supervise.repairs").inc();
+                        self.metrics
+                            .series("supervise.time_to_repair")
+                            .record(now, downtime.as_secs_f64());
+                    }
+                    None => {}
+                }
             }
         }
 
@@ -1659,6 +1710,7 @@ impl Orchestrator {
             substrate_plan: self.substrate_plan.clone(),
             substrate_down: self.substrate_down.clone(),
             substrate_degraded: self.substrate_degraded.clone(),
+            supervision: self.supervision.clone(),
         }
     }
 
@@ -1733,6 +1785,7 @@ impl Orchestrator {
             substrate_plan: state.substrate_plan.clone(),
             substrate_down: state.substrate_down.clone(),
             substrate_degraded: state.substrate_degraded.clone(),
+            supervision: state.supervision.clone(),
         }
     }
 }
@@ -1824,6 +1877,8 @@ pub struct OrchestratorState {
     /// Slices degraded behind unrepaired substrate faults, with detection
     /// times.
     pub substrate_degraded: BTreeMap<SliceId, SimTime>,
+    /// Per-domain heartbeat health state machines.
+    pub supervision: BTreeMap<String, DomainHealth>,
 }
 
 #[cfg(test)]
@@ -2363,6 +2418,57 @@ mod tests {
         assert_eq!(o.monitoring().len(), 3);
         assert_eq!(o.metrics().counter_value("orchestrator.degraded"), Some(1));
         assert_eq!(o.metrics().counter_value("orchestrator.restored"), Some(1));
+    }
+
+    #[test]
+    fn health_machine_classifies_outages_with_hysteresis() {
+        use crate::supervise::HealthState;
+        use ovnes_api::EndpointFaults;
+        let mut o = orchestrator(OrchestratorConfig::default());
+        // RAN controller dark for minutes [5, 9).
+        o.set_fault_plan(FaultPlan::new(23).with_endpoint(
+            "ran/health",
+            EndpointFaults::none().with_outage(minute(5), minute(9)),
+        ));
+
+        for e in 1..=4 {
+            o.run_epoch(minute(e));
+        }
+        assert_eq!(o.domain_health("ran").unwrap().state, HealthState::Up);
+
+        // First failed probe: Suspect, not yet Down.
+        o.run_epoch(minute(5));
+        assert_eq!(o.domain_health("ran").unwrap().state, HealthState::Suspect);
+        assert_eq!(o.metrics().counter_value("supervise.suspects"), Some(1));
+        assert_eq!(o.metrics().counter_value("supervise.downs"), None);
+
+        // Second consecutive failure confirms the outage.
+        o.run_epoch(minute(6));
+        assert_eq!(o.domain_health("ran").unwrap().state, HealthState::Down);
+        assert_eq!(o.metrics().counter_value("supervise.downs"), Some(1));
+
+        o.run_epoch(minute(7));
+        o.run_epoch(minute(8));
+        assert_eq!(o.domain_health("ran").unwrap().state, HealthState::Down);
+
+        // First successful probe repairs; downtime spans from the first
+        // failed probe (minute 5) to the recovery probe (minute 9).
+        o.run_epoch(minute(9));
+        let health = o.domain_health("ran").unwrap();
+        assert_eq!(health.state, HealthState::Up);
+        assert_eq!(health.incidents, 1);
+        assert_eq!(health.repairs, 1);
+        assert_eq!(health.failed_probes, 4);
+        assert_eq!(o.metrics().counter_value("supervise.repairs"), Some(1));
+        let ttr = o.metrics().series_ref("supervise.time_to_repair").unwrap();
+        assert_eq!(ttr.values(), vec![240.0]);
+
+        // The other two domains never left Up and booked nothing.
+        assert_eq!(
+            o.domain_health("transport").unwrap().state,
+            HealthState::Up
+        );
+        assert_eq!(o.domain_health("cloud").unwrap().incidents, 0);
     }
 
     #[test]

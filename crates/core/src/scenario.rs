@@ -349,6 +349,13 @@ impl DemoScenario {
         &mut self.orchestrator
     }
 
+    /// Epochs stepped so far (0 before the first [`DemoScenario::step_epoch`]).
+    /// A supervisor keys its crash schedule on this: events planned for
+    /// epoch `n` fire before the `n`-th epoch runs.
+    pub fn epochs_completed(&self) -> u64 {
+        self.cursor.as_ref().map_or(0, |c| c.epochs)
+    }
+
     /// Run the control plane over `socket` instead of in-process: every
     /// health probe and monitoring push crosses framed TCP to controller
     /// server tasks. The scenario's simulation draws are untouched, so a
@@ -568,6 +575,11 @@ impl ChaosScenario {
         self.inner.step_epoch()
     }
 
+    /// Epochs stepped so far (see [`DemoScenario::epochs_completed`]).
+    pub fn epochs_completed(&self) -> u64 {
+        self.inner.epochs_completed()
+    }
+
     /// Summarize the run so far, including control-plane fallout.
     pub fn summary(&self) -> ChaosSummary {
         let m = self.inner.orchestrator().metrics();
@@ -663,6 +675,11 @@ impl SubstrateScenario {
         self.inner.step_epoch()
     }
 
+    /// Epochs stepped so far (see [`DemoScenario::epochs_completed`]).
+    pub fn epochs_completed(&self) -> u64 {
+        self.inner.epochs_completed()
+    }
+
     /// Summarize the run so far, including repair-pipeline fallout.
     pub fn summary(&self) -> SubstrateSummary {
         let m = self.inner.orchestrator().metrics();
@@ -714,6 +731,23 @@ mod tests {
             mean_duration: SimDuration::from_mins(60),
             ..ScenarioConfig::default()
         }
+    }
+
+    #[test]
+    fn epochs_completed_counts_steps() {
+        let mut s = DemoScenario::build(quick_config(5));
+        assert_eq!(s.epochs_completed(), 0);
+        assert!(s.step_epoch());
+        assert_eq!(s.epochs_completed(), 1);
+        assert!(s.step_epoch());
+        assert!(s.step_epoch());
+        assert_eq!(s.epochs_completed(), 3);
+        while s.step_epoch() {}
+        // 3-hour horizon at the default 1-minute epoch.
+        assert_eq!(s.epochs_completed(), 180);
+        // Stepping past the horizon changes nothing.
+        assert!(!s.step_epoch());
+        assert_eq!(s.epochs_completed(), 180);
     }
 
     #[test]

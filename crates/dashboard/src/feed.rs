@@ -47,7 +47,7 @@ impl TelemetryFeed {
         )?;
         loop {
             match read_frame_wire(&mut self.stream)? {
-                WireFrame::Response(r) if r.id == id => return Ok(()),
+                WireFrame::Response { response: r, .. } if r.id == id => return Ok(()),
                 WireFrame::Push { .. } => continue,
                 other => {
                     return Err(io::Error::new(

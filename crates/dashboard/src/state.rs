@@ -31,6 +31,10 @@ impl DashboardView {
                 "SUBSTRATE".to_string(),
                 Self::substrate_panel(orchestrator),
             ),
+            (
+                "SUPERVISION".to_string(),
+                Self::supervision_panel(orchestrator),
+            ),
             ("EVENTS".to_string(), Self::events_panel(orchestrator)),
         ];
         DashboardView { sections }
@@ -343,6 +347,61 @@ impl DashboardView {
         s
     }
 
+    fn supervision_panel(o: &Orchestrator) -> String {
+        let m = o.metrics();
+        let mut t = Table::new(&[
+            "domain",
+            "health",
+            "failed probes",
+            "incidents",
+            "repairs",
+        ])
+        .with_aligns(&[
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for domain in DOMAINS {
+            if let Some(h) = o.domain_health(domain) {
+                t.row(&[
+                    domain.to_string(),
+                    h.state.to_string(),
+                    h.failed_probes.to_string(),
+                    h.incidents.to_string(),
+                    h.repairs.to_string(),
+                ]);
+            }
+        }
+        let mut s = t.to_string();
+        // Wire-level diagnostics (stale-rejection counts, incarnation
+        // terms) are deliberately absent: a supervised run's dashboard
+        // must stay byte-identical to an undisturbed one.
+        let c = |name: &str| m.counter_value(name).unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "suspects {}   downs {}   repairs {}",
+            c("supervise.suspects"),
+            c("supervise.downs"),
+            c("supervise.repairs"),
+        );
+        match m.series_ref("supervise.time_to_repair") {
+            Some(series) if !series.is_empty() => {
+                let _ = writeln!(
+                    s,
+                    "time to repair: mean {:.0} s over {} incident(s)",
+                    series.mean().unwrap_or(0.0),
+                    series.len(),
+                );
+            }
+            _ => {
+                let _ = writeln!(s, "no repairs booked");
+            }
+        }
+        s
+    }
+
     fn events_panel(o: &Orchestrator) -> String {
         let mut s = String::new();
         let events = o.events();
@@ -393,7 +452,7 @@ mod tests {
         let mut s = scenario();
         s.run();
         let view = DashboardView::capture(s.orchestrator());
-        assert_eq!(view.sections().len(), 8);
+        assert_eq!(view.sections().len(), 9);
         let rendered = view.render();
         for header in [
             "SLICES",
@@ -403,6 +462,7 @@ mod tests {
             "GAIN vs PENALTY",
             "CONTROL PLANE",
             "SUBSTRATE",
+            "SUPERVISION",
             "EVENTS",
         ] {
             assert!(rendered.contains(header), "missing {header}");
@@ -418,6 +478,47 @@ mod tests {
         assert!(rendered.contains("links up 7/7"), "{rendered}");
         assert!(rendered.contains("cells up 2/2"), "{rendered}");
         assert!(rendered.contains("hosts alive 20/20"), "{rendered}");
+        // A faultless run's supervision panel is all-Up with no repairs.
+        assert!(
+            rendered.contains("suspects 0   downs 0   repairs 0"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("no repairs booked"), "{rendered}");
+    }
+
+    #[test]
+    fn supervision_panel_tracks_outages() {
+        use ovnes_api::{EndpointFaults, FaultPlan};
+        use ovnes_sim::SimTime;
+        let mut s = scenario();
+        // RAN controller dark for minutes [10, 14): Suspect at 10, Down at
+        // 11, repaired at 14.
+        s.orchestrator_mut().set_fault_plan(
+            FaultPlan::new(41).with_endpoint(
+                "ran/health",
+                EndpointFaults::none().with_outage(
+                    SimTime::ZERO + SimDuration::from_mins(10),
+                    SimTime::ZERO + SimDuration::from_mins(14),
+                ),
+            ),
+        );
+        s.run();
+        let rendered = DashboardView::capture(s.orchestrator()).render();
+        assert!(
+            rendered.contains("suspects 1   downs 1   repairs 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("time to repair: mean 240 s over 1 incident(s)"),
+            "{rendered}"
+        );
+        // The ran table row: back up, 4 failed probes, 1 incident, 1 repair.
+        let line = rendered
+            .lines()
+            .find(|l| l.trim_start().starts_with("ran") && !l.contains('/'))
+            .expect("ran health row");
+        assert!(line.contains("up"), "{line}");
+        assert!(line.contains('4'), "{line}");
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //!   resize / release), and `ran/monitoring` publishes the controller's
 //!   live metric snapshot instead of echoing.
 
-use crate::RanController;
-use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
-use ovnes_api::{decode, encode, MonitoringReport, RanCommand, RanReply, Response};
+use crate::{RanController, RanControllerState};
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer, ServerStats};
+use ovnes_api::{decode, encode, MonitoringReport, RanCommand, RanReply, Response, ResyncReport};
 use ovnes_sim::SimTime;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -36,8 +36,16 @@ pub fn serve_control() -> io::Result<RpcServer> {
 }
 
 /// A full domain router: the control surface plus `ran/command` driving
-/// `controller` and `ran/monitoring` reporting its live metrics.
+/// `controller`, `ran/monitoring` reporting its live metrics, and
+/// `ran/resync` exporting its complete state for a restarted incarnation.
 pub fn command_router(controller: RanController) -> Router {
+    command_router_incarnation(controller, 1)
+}
+
+/// [`command_router`] serving as incarnation `term` — the term is baked
+/// into every `ran/resync` report so a supervisor can prove which
+/// incarnation's state it replayed.
+pub fn command_router_incarnation(controller: RanController, term: u64) -> Router {
     let controller = Arc::new(Mutex::new(controller));
     let mut router = control_router();
 
@@ -71,7 +79,7 @@ pub fn command_router(controller: RanController) -> Router {
         }
     });
 
-    let ran = controller;
+    let ran = controller.clone();
     router.register("ran/monitoring", move |req| {
         let scalars = ran
             .lock()
@@ -85,6 +93,17 @@ pub fn command_router(controller: RanController) -> Router {
         };
         Response::ok(req.id, encode(&report).expect("encodable"))
     });
+
+    let ran = controller;
+    router.register("ran/resync", move |req| {
+        let ran = ran.lock().unwrap_or_else(|p| p.into_inner());
+        let report = ResyncReport {
+            domain: DOMAIN.into(),
+            term,
+            state: encode(&ran.export_state()).expect("encodable"),
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
     router
 }
 
@@ -92,6 +111,22 @@ pub fn command_router(controller: RanController) -> Router {
 /// the controller (it now lives behind the socket, as in the testbed).
 pub fn serve(controller: RanController) -> io::Result<RpcServer> {
     RpcServer::spawn(command_router(controller))
+}
+
+/// Restart the command server from a resynced state: a fresh incarnation
+/// serving `term`, seeded from `state` and resuming `carry`'s lifetime
+/// counters. This is the supervision layer's restore path for a stateful
+/// domain server.
+pub fn serve_resumed(
+    state: &RanControllerState,
+    term: u64,
+    carry: ServerStats,
+) -> io::Result<RpcServer> {
+    RpcServer::spawn_incarnation(
+        command_router_incarnation(RanController::from_state(state), term),
+        term,
+        carry,
+    )
 }
 
 #[cfg(test)]
@@ -205,5 +240,61 @@ mod tests {
         bus.attach(&server);
         let resp = bus.call("ran/command", b"garbage".to_vec()).unwrap();
         assert_eq!(resp.status, Status::Error);
+    }
+
+    #[test]
+    fn resync_round_trip_restores_state_in_a_new_incarnation() {
+        let mut server = serve(testbed_ran()).unwrap();
+        assert_eq!(server.term(), 1);
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        // Fill 60 of 100 PRBs on eNB 0.
+        let resp = bus
+            .call(
+                "ran/command",
+                encode(&RanCommand::InstallPlmn {
+                    enb: EnbId::new(0),
+                    slice: SliceId::new(1),
+                    plmn: PlmnId::test_slice_plmn(0),
+                    reserved: Prbs::new(60),
+                    nominal: Prbs::new(60),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        // Pull the controller's state over the wire, then kill the server.
+        let resp = bus.call("ran/resync", Vec::new()).unwrap();
+        let report: ResyncReport = decode(&resp.body).unwrap();
+        assert_eq!(report.domain, "ran");
+        assert_eq!(report.term, 1);
+        let state: crate::RanControllerState = decode(&report.state).unwrap();
+        let carry = server.stats();
+        server.shutdown();
+        drop(server);
+
+        // A fresh incarnation seeded from the resync report remembers the
+        // install: a second 60-PRB slice still does not fit.
+        let restarted = serve_resumed(&state, 2, carry).unwrap();
+        assert_eq!(restarted.term(), 2);
+        assert!(restarted.stats().connections >= carry.connections);
+        bus.attach(&restarted);
+        bus.fence("ran", 2);
+        let resp = bus
+            .call(
+                "ran/command",
+                encode(&RanCommand::InstallPlmn {
+                    enb: EnbId::new(0),
+                    slice: SliceId::new(2),
+                    plmn: PlmnId::test_slice_plmn(1),
+                    reserved: Prbs::new(60),
+                    nominal: Prbs::new(60),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Rejected, "capacity was not restored");
     }
 }

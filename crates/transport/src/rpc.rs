@@ -3,9 +3,11 @@
 //! handlers, plus `transport/command` driving a real [`TransportController`]
 //! behind the socket.
 
-use crate::TransportController;
-use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer};
-use ovnes_api::{decode, encode, MonitoringReport, Response, TransportCommand, TransportReply};
+use crate::{TransportController, TransportControllerState};
+use ovnes_api::rpc::{register_control_endpoints, Router, RpcServer, ServerStats};
+use ovnes_api::{
+    decode, encode, MonitoringReport, Response, ResyncReport, TransportCommand, TransportReply,
+};
 use ovnes_sim::SimTime;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -27,9 +29,15 @@ pub fn serve_control() -> io::Result<RpcServer> {
 }
 
 /// A full domain router: the control surface plus `transport/command`
-/// driving `controller` and `transport/monitoring` reporting its live
-/// metrics.
+/// driving `controller`, `transport/monitoring` reporting its live
+/// metrics, and `transport/resync` exporting its complete state.
 pub fn command_router(controller: TransportController) -> Router {
+    command_router_incarnation(controller, 1)
+}
+
+/// [`command_router`] serving as incarnation `term` (baked into every
+/// `transport/resync` report).
+pub fn command_router_incarnation(controller: TransportController, term: u64) -> Router {
     let controller = Arc::new(Mutex::new(controller));
     let mut router = control_router();
 
@@ -66,7 +74,7 @@ pub fn command_router(controller: TransportController) -> Router {
         }
     });
 
-    let tn = controller;
+    let tn = controller.clone();
     router.register("transport/monitoring", move |req| {
         let scalars = tn
             .lock()
@@ -80,6 +88,17 @@ pub fn command_router(controller: TransportController) -> Router {
         };
         Response::ok(req.id, encode(&report).expect("encodable"))
     });
+
+    let tn = controller;
+    router.register("transport/resync", move |req| {
+        let tn = tn.lock().unwrap_or_else(|p| p.into_inner());
+        let report = ResyncReport {
+            domain: DOMAIN.into(),
+            term,
+            state: encode(&tn.export_state()).expect("encodable"),
+        };
+        Response::ok(req.id, encode(&report).expect("encodable"))
+    });
     router
 }
 
@@ -87,6 +106,21 @@ pub fn command_router(controller: TransportController) -> Router {
 /// the controller.
 pub fn serve(controller: TransportController) -> io::Result<RpcServer> {
     RpcServer::spawn(command_router(controller))
+}
+
+/// Restart the command server from a resynced state: a fresh incarnation
+/// serving `term`, seeded from `state` and resuming `carry`'s lifetime
+/// counters.
+pub fn serve_resumed(
+    state: &TransportControllerState,
+    term: u64,
+    carry: ServerStats,
+) -> io::Result<RpcServer> {
+    RpcServer::spawn_incarnation(
+        command_router_incarnation(TransportController::from_state(state), term),
+        term,
+        carry,
+    )
 }
 
 #[cfg(test)]
@@ -157,5 +191,62 @@ mod tests {
                 .unwrap();
             assert_eq!(resp.status, Status::Ok, "{cmd:?}");
         }
+    }
+
+    #[test]
+    fn resync_round_trip_restores_state_in_a_new_incarnation() {
+        let controller = TransportController::new(Topology::testbed(), 1024);
+        let src = controller.topology().radio_site(EnbId::new(0)).unwrap();
+        let dst = controller.topology().dc_node(DcId::new(0)).unwrap();
+        let mut server = serve(controller).unwrap();
+        let mut bus = SocketBus::new();
+        bus.attach(&server);
+
+        let resp = bus
+            .call(
+                "transport/command",
+                encode(&TransportCommand::AllocatePath {
+                    slice: SliceId::new(1),
+                    src,
+                    dst,
+                    bandwidth: RateMbps::new(100.0),
+                    max_delay: Latency::new(3.0),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok);
+
+        // Pull the state over the wire, kill the server, restart seeded.
+        let resp = bus.call("transport/resync", Vec::new()).unwrap();
+        let report: ResyncReport = decode(&resp.body).unwrap();
+        assert_eq!(report.domain, "transport");
+        assert_eq!(report.term, 1);
+        let state: TransportControllerState = decode(&report.state).unwrap();
+        let carry = server.stats();
+        server.shutdown();
+        drop(server);
+
+        let restarted = serve_resumed(&state, 2, carry).unwrap();
+        assert_eq!(restarted.term(), 2);
+        bus.attach(&restarted);
+        bus.fence("transport", 2);
+
+        // The restarted incarnation remembers slice 1's reservation: a
+        // second allocation for it is still a domain rejection.
+        let resp = bus
+            .call(
+                "transport/command",
+                encode(&TransportCommand::AllocatePath {
+                    slice: SliceId::new(1),
+                    src,
+                    dst,
+                    bandwidth: RateMbps::new(1.0),
+                    max_delay: Latency::new(10.0),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, Status::Rejected, "reservation was not restored");
     }
 }
