@@ -42,7 +42,10 @@ impl fmt::Display for BusError {
 
 impl std::error::Error for BusError {}
 
-type Handler = Box<dyn FnMut(Request) -> Response>;
+// `Send` so a world owning a bus (orchestrator → control plane) can be
+// sharded across the federation's worker threads; the repo's handlers are
+// plain fns or closures over owned data, which satisfy it for free.
+type Handler = Box<dyn FnMut(Request) -> Response + Send>;
 
 /// Endpoint-dispatched request/response bus. See module docs.
 #[derive(Default)]
@@ -59,7 +62,11 @@ impl MessageBus {
     }
 
     /// Register (or replace) the handler at `endpoint`.
-    pub fn register(&mut self, endpoint: &str, handler: impl FnMut(Request) -> Response + 'static) {
+    pub fn register(
+        &mut self,
+        endpoint: &str,
+        handler: impl FnMut(Request) -> Response + Send + 'static,
+    ) {
         self.handlers.insert(endpoint.to_owned(), Box::new(handler));
     }
 
@@ -146,8 +153,7 @@ mod tests {
     use super::*;
     use crate::codec::{decode, encode};
     use crate::envelope::Status;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn dispatches_to_registered_handler() {
@@ -185,12 +191,12 @@ mod tests {
         use ovnes_model::{Prbs, SliceId};
 
         let mut bus = MessageBus::new();
-        let log: Rc<RefCell<Vec<RanCommand>>> = Rc::new(RefCell::new(Vec::new()));
+        let log: Arc<Mutex<Vec<RanCommand>>> = Arc::new(Mutex::new(Vec::new()));
         let log_in = log.clone();
         bus.register("ran/command", move |req| {
             match decode::<RanCommand>(&req.body) {
                 Ok(cmd) => {
-                    log_in.borrow_mut().push(cmd);
+                    log_in.lock().unwrap().push(cmd);
                     Response::ok(req.id, encode(&RanReply::Done).unwrap())
                 }
                 Err(e) => Response::error(req.id, &e.to_string()),
@@ -204,7 +210,7 @@ mod tests {
         let resp = bus.call("ran/command", encode(&cmd).unwrap()).unwrap();
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(decode::<RanReply>(&resp.body).unwrap(), RanReply::Done);
-        assert_eq!(log.borrow().as_slice(), &[cmd]);
+        assert_eq!(log.lock().unwrap().as_slice(), &[cmd]);
     }
 
     #[test]
@@ -266,11 +272,11 @@ mod tests {
         // whose envelope round-trip failed was never counted. Serving is
         // counted at dispatch: the invariant is served == handler
         // invocations, across every status and around failed calls.
-        let invocations = Rc::new(RefCell::new(0u64));
+        let invocations = Arc::new(Mutex::new(0u64));
         let mut bus = MessageBus::new();
         let n = invocations.clone();
         bus.register("mixed", move |req| {
-            *n.borrow_mut() += 1;
+            *n.lock().unwrap() += 1;
             match req.body.first() {
                 Some(0) => Response::ok(req.id, vec![]),
                 Some(1) => Response::rejected(req.id, b"no capacity".to_vec()),
@@ -282,7 +288,7 @@ mod tests {
         }
         // Failed dispatches never reach the handler and never count.
         let _ = bus.call("absent", vec![]);
-        assert_eq!(bus.served("mixed"), *invocations.borrow());
+        assert_eq!(bus.served("mixed"), *invocations.lock().unwrap());
         assert_eq!(bus.served("mixed"), 5);
     }
 

@@ -92,7 +92,11 @@ pub enum AdmissionDecision {
 }
 
 /// An online admission policy.
-pub trait AdmissionPolicy {
+///
+/// `Send` because an orchestrator (which boxes its policy) is shipped to a
+/// worker thread when the federation runs regional epochs in parallel; every
+/// policy here is plain owned data, so the bound costs nothing.
+pub trait AdmissionPolicy: Send {
     /// Stable name for reports.
     fn name(&self) -> &'static str;
 

@@ -28,6 +28,10 @@
 //! * [`scenario`] — the demo testbed (Fig. 2) and heterogeneous tenant
 //!   request generators, plus the chaos-testing and substrate-fault
 //!   wrappers.
+//! * [`federation`] — region/edge-zone sharding: N regional orchestrators
+//!   under a [`FederationBroker`] that federates admission and inter-region
+//!   transport, runs shard epochs in parallel, and merges summaries in
+//!   deterministic shard order.
 //! * [`snapshot`] — whole-world checkpoint/restore over a content-addressed
 //!   store, with manifest-chain bisection for divergence hunting.
 //! * [`supervise`] — process-level chaos with repair: a [`Supervisor`]
@@ -40,6 +44,7 @@
 pub mod admission;
 pub mod allocator;
 pub mod control;
+pub mod federation;
 pub mod lifecycle;
 pub mod orchestrator;
 pub mod overbooking;
@@ -52,6 +57,10 @@ pub use admission::{AdmissionDecision, AdmissionPolicy, PolicyKind, ResourceView
 pub use allocator::{AllocationError, MultiDomainAllocator, Placement};
 pub use control::{
     spawn_domain_control_servers, ControlEpochStats, ControlPlane, ControlPlaneState, DOMAINS,
+};
+pub use federation::{
+    region_scenario_config, FederationBroker, FederationConfig, FederationCursor, FederationState,
+    FederationSummary, RegionWorld, SpillRoute,
 };
 pub use lifecycle::{SliceRecord, SliceState};
 pub use orchestrator::{

@@ -244,7 +244,7 @@ pub struct RunCursor {
 impl RunCursor {
     /// A cursor at the start of a run, with the first arrival pending at
     /// `next_arrival`.
-    fn fresh(next_arrival: SimTime) -> RunCursor {
+    pub(crate) fn fresh(next_arrival: SimTime) -> RunCursor {
         RunCursor {
             now: SimTime::ZERO,
             next_arrival,

@@ -21,6 +21,7 @@
 //! slices, forecast, transport, …) — far more actionable than "the 4 MB
 //! world blob differs".
 
+use crate::federation::FederationState;
 use crate::scenario::ScenarioState;
 use ovnes_api::{
     replay_bisect as api_replay_bisect, Divergence, SnapshotError, SnapshotManifest, SnapshotStore,
@@ -116,6 +117,80 @@ fn assemble_sections(sections: &BTreeMap<String, Vec<u8>>) -> Result<ScenarioSta
     Ok(serde_json::from_value(Value::Object(top))?)
 }
 
+/// Split a federation state into named section blobs: one `federation`
+/// section holding the broker-level fields (config, cursor, backbone,
+/// spill bookkeeping) and, per region `r`, the full single-world section
+/// set under an `r{r}.` prefix. Region worlds thereby keep the existing
+/// split's dedup and divergence-attribution granularity at shard scale —
+/// [`replay_bisect`] on two federated runs names `r3.rng` or `r0.slices`,
+/// not "the federation blob differs".
+fn split_federation_sections(
+    state: &FederationState,
+) -> Result<BTreeMap<String, Vec<u8>>, SnapshotError> {
+    let Value::Object(mut top) = serde_json::to_value(state)? else {
+        return Err(SnapshotError::Corrupt(
+            "federation state did not serialize to an object".into(),
+        ));
+    };
+    top.remove("regions");
+    let mut sections = BTreeMap::new();
+    sections.insert(
+        "federation".to_string(),
+        serde_json::to_vec(&Value::Object(top))?,
+    );
+    for (r, region) in state.regions.iter().enumerate() {
+        for (name, bytes) in split_sections(region)? {
+            sections.insert(format!("r{r}.{name}"), bytes);
+        }
+    }
+    Ok(sections)
+}
+
+/// Reassemble a federation state from its section blobs (inverse of
+/// [`split_federation_sections`]).
+fn assemble_federation_sections(
+    sections: &BTreeMap<String, Vec<u8>>,
+) -> Result<FederationState, SnapshotError> {
+    let broker = sections.get("federation").ok_or_else(|| {
+        SnapshotError::Corrupt("federation snapshot missing its broker section".into())
+    })?;
+    let Value::Object(mut top) = serde_json::from_slice(broker)? else {
+        return Err(SnapshotError::Corrupt(
+            "federation broker section is not an object".into(),
+        ));
+    };
+    let mut per_region: BTreeMap<usize, BTreeMap<String, Vec<u8>>> = BTreeMap::new();
+    for (name, bytes) in sections {
+        if name == "federation" {
+            continue;
+        }
+        let parsed = name
+            .strip_prefix('r')
+            .and_then(|rest| rest.split_once('.'))
+            .and_then(|(idx, section)| idx.parse::<usize>().ok().map(|i| (i, section)));
+        let Some((idx, section)) = parsed else {
+            return Err(SnapshotError::Corrupt(format!(
+                "unrecognized federation section {name}"
+            )));
+        };
+        per_region
+            .entry(idx)
+            .or_default()
+            .insert(section.to_string(), bytes.clone());
+    }
+    let mut regions = Vec::with_capacity(per_region.len());
+    for (expected, (idx, section_set)) in per_region.iter().enumerate() {
+        if *idx != expected {
+            return Err(SnapshotError::Corrupt(format!(
+                "federation snapshot regions are not contiguous: missing r{expected}"
+            )));
+        }
+        regions.push(serde_json::to_value(assemble_sections(section_set)?)?);
+    }
+    top.insert("regions".to_string(), Value::Array(regions));
+    Ok(serde_json::from_value(Value::Object(top))?)
+}
+
 /// A checkpoint series for one run: a content-addressed store plus the
 /// component split/assemble logic.
 #[derive(Debug, Clone)]
@@ -160,12 +235,42 @@ impl WorldSnapshot {
 
     /// Rebuild the world state checkpointed at `epoch`.
     pub fn restore(&self, epoch: u64) -> Result<ScenarioState, SnapshotError> {
+        assemble_sections(&self.load_sections(epoch)?)
+    }
+
+    /// Checkpoint a federated world, chained onto the series tip. Broker
+    /// state lands in a `federation` section and each region's world keeps
+    /// the single-run section split under an `r{region}.` prefix, so quiet
+    /// regions deduplicate across epochs exactly as quiet components do.
+    pub fn snapshot_federation(
+        &self,
+        state: &FederationState,
+    ) -> Result<SnapshotManifest, SnapshotError> {
+        let mut sections = BTreeMap::new();
+        for (name, bytes) in split_federation_sections(state)? {
+            sections.insert(name, self.store.put_object(&bytes)?);
+        }
+        let manifest = SnapshotManifest {
+            epoch: state.cursor.epochs,
+            parent: self.store.latest_manifest()?.map(|m| m.root_hash()),
+            sections,
+        };
+        self.store.append_manifest(&manifest)?;
+        Ok(manifest)
+    }
+
+    /// Rebuild the federated world checkpointed at `epoch`.
+    pub fn restore_federation(&self, epoch: u64) -> Result<FederationState, SnapshotError> {
+        assemble_federation_sections(&self.load_sections(epoch)?)
+    }
+
+    fn load_sections(&self, epoch: u64) -> Result<BTreeMap<String, Vec<u8>>, SnapshotError> {
         let manifest = self.store.load_manifest(epoch)?;
         let mut sections = BTreeMap::new();
         for (name, section) in &manifest.sections {
             sections.insert(name.clone(), self.store.get_object(&section.hash)?);
         }
-        assemble_sections(&sections)
+        Ok(sections)
     }
 
     /// Rebuild the most recent checkpoint, if any.
@@ -279,6 +384,97 @@ mod tests {
                 "missing section {expected}: {names:?}"
             );
         }
+        assert_eq!(names.len(), 14, "exactly the expected sections: {names:?}");
+    }
+
+    fn fed_config(seed: u64, regions: usize) -> crate::federation::FederationConfig {
+        crate::federation::FederationConfig {
+            seed,
+            regions,
+            arrivals_per_hour: 20.0,
+            horizon: SimDuration::from_hours(2),
+            mean_duration: SimDuration::from_mins(45),
+            ..crate::federation::FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn federation_sections_cover_broker_and_every_region() {
+        use crate::federation::FederationBroker;
+        let mut fed = FederationBroker::build(fed_config(51, 2));
+        for _ in 0..3 {
+            assert!(fed.step_epoch());
+        }
+        let sections = split_federation_sections(&fed.export_state()).unwrap();
+        let names: Vec<&str> = sections.keys().map(String::as_str).collect();
+        assert!(names.contains(&"federation"), "{names:?}");
+        for r in 0..2 {
+            for component in [
+                "cloud",
+                "config",
+                "control",
+                "cursor",
+                "environment",
+                "forecast",
+                "generator",
+                "orchestrator",
+                "ran",
+                "rng",
+                "sla",
+                "slices",
+                "telemetry",
+                "transport",
+            ] {
+                let want = format!("r{r}.{component}");
+                assert!(
+                    names.contains(&want.as_str()),
+                    "missing section {want}: {names:?}"
+                );
+            }
+        }
+        // 1 broker section + the full 14-section split per region.
+        assert_eq!(names.len(), 1 + 2 * 14, "{names:?}");
+    }
+
+    #[test]
+    fn federated_restore_resumes_bit_for_bit() {
+        use crate::federation::FederationBroker;
+        let reference = FederationBroker::build(fed_config(53, 2)).run();
+
+        let mut fed = FederationBroker::build(fed_config(53, 2));
+        for _ in 0..7 {
+            assert!(fed.step_epoch());
+        }
+        let world = WorldSnapshot::open(scratch("fed-resume")).unwrap();
+        let manifest = world.snapshot_federation(&fed.export_state()).unwrap();
+        assert_eq!(manifest.epoch, 7);
+        drop(fed);
+        let state = world.restore_federation(7).unwrap();
+        let mut resumed = FederationBroker::from_state(&state);
+        assert_eq!(resumed.run(), reference);
+    }
+
+    #[test]
+    fn federated_bisect_blames_the_perturbed_region_component() {
+        use crate::federation::FederationBroker;
+        let world_a = WorldSnapshot::open(scratch("fed-bisect-a")).unwrap();
+        let world_b = WorldSnapshot::open(scratch("fed-bisect-b")).unwrap();
+        let mut fed = FederationBroker::build(fed_config(55, 2));
+        for epoch in 1..=6u64 {
+            assert!(fed.step_epoch());
+            let state = fed.export_state();
+            world_a.snapshot_federation(&state).unwrap();
+            let mut forked = state.clone();
+            if epoch >= 4 {
+                forked.regions[1].cursor.as_mut().unwrap().submitted += 1;
+            }
+            world_b.snapshot_federation(&forked).unwrap();
+        }
+        let d = replay_bisect(&world_a, &world_b)
+            .unwrap()
+            .expect("diverges");
+        assert_eq!(d.epoch, 4);
+        assert_eq!(d.components, vec!["r1.cursor".to_string()]);
     }
 
     #[test]

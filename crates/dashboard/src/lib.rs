@@ -12,16 +12,21 @@
 //! * [`state`] — the dashboard view-model assembled from the orchestrator.
 //! * [`feed`] — push-telemetry subscription to socket controller servers:
 //!   the dashboard receives monitoring deltas instead of polling.
+//! * [`regions`] — the REGIONS panel for federated runs: per-region
+//!   telemetry folded from the same push feed (`r{region}/{domain}`
+//!   prefixed reports), delta-reported.
 //! * [`export`] — CSV and JSON export.
 
 pub mod export;
 pub mod feed;
+pub mod regions;
 pub mod spark;
 pub mod state;
 pub mod table;
 
 pub use export::{to_csv, to_json_pretty};
 pub use feed::{FeedState, TelemetryFeed};
+pub use regions::RegionsPanel;
 pub use spark::{sparkline, sparkline_points};
 pub use state::DashboardView;
 pub use table::Table;

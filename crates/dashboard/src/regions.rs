@@ -1,0 +1,168 @@
+//! The REGIONS panel: per-region telemetry for federated runs.
+//!
+//! A federated broker prefixes every region's monitoring domain as
+//! `r{region}/{domain}` (see `FederationBroker::monitoring` in
+//! `ovnes-orchestrator`), so the same push-telemetry pipeline that feeds
+//! the single-world dashboard carries shard telemetry unchanged: the panel
+//! subscribes to the monitoring topics, folds each pushed report through a
+//! [`FeedState`], and repaints only what a push changed — no polling, and
+//! no per-region connections beyond the feed that already exists.
+
+use crate::feed::FeedState;
+use crate::table::{Align, Table};
+use ovnes_api::{CodecError, MonitoringReport};
+use std::collections::BTreeMap;
+
+/// Delta-folded per-region telemetry, rendered as one row per region.
+#[derive(Default)]
+pub struct RegionsPanel {
+    feed: FeedState,
+    /// Pushes folded per region (keyed by the numeric region index).
+    updates: BTreeMap<u64, u64>,
+}
+
+impl RegionsPanel {
+    /// An empty panel.
+    pub fn new() -> RegionsPanel {
+        RegionsPanel::default()
+    }
+
+    /// Split a region-prefixed domain (`r3/transport`) into its region
+    /// index and inner domain. Reports without the prefix are not region
+    /// telemetry and are ignored by the panel.
+    fn parse_domain(domain: &str) -> Option<(u64, &str)> {
+        let rest = domain.strip_prefix('r')?;
+        let (region, inner) = rest.split_once('/')?;
+        region.parse::<u64>().ok().map(|r| (r, inner))
+    }
+
+    /// Fold in one pushed report. Returns the changed scalar names
+    /// qualified as `r{region}/{domain}:{scalar}` — the exact cells a
+    /// renderer repaints. Non-region reports return an empty delta.
+    pub fn apply(&mut self, report: MonitoringReport) -> Vec<String> {
+        let Some((region, _)) = Self::parse_domain(&report.domain) else {
+            return Vec::new();
+        };
+        *self.updates.entry(region).or_insert(0) += 1;
+        let domain = report.domain.clone();
+        self.feed
+            .apply(report)
+            .into_iter()
+            .map(|scalar| format!("{domain}:{scalar}"))
+            .collect()
+    }
+
+    /// Decode a pushed body and fold it in.
+    pub fn apply_push(&mut self, body: &[u8]) -> Result<Vec<String>, CodecError> {
+        Ok(self.apply(ovnes_api::decode::<MonitoringReport>(body)?))
+    }
+
+    /// Region indices heard from so far, ascending.
+    pub fn regions(&self) -> Vec<u64> {
+        self.updates.keys().copied().collect()
+    }
+
+    /// Pushes folded in for `region`.
+    pub fn updates_for(&self, region: u64) -> u64 {
+        self.updates.get(&region).copied().unwrap_or(0)
+    }
+
+    /// The latest report for `region`'s `domain`, if one arrived.
+    pub fn latest(&self, region: u64, domain: &str) -> Option<&MonitoringReport> {
+        self.feed.latest(&format!("r{region}/{domain}"))
+    }
+
+    /// Render the panel: one row per region with the domains heard from,
+    /// the freshest report time, the scalar count, and the pushes folded.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(&["REGION", "DOMAINS", "LAST REPORT", "SCALARS", "PUSHES"])
+            .with_aligns(&[
+                Align::Left,
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
+        for &region in self.updates.keys() {
+            let prefix = format!("r{region}/");
+            let mut domains: Vec<&str> = Vec::new();
+            let mut scalars = 0usize;
+            let mut last = None;
+            for domain in self.feed.domains() {
+                let Some(inner) = domain.strip_prefix(&prefix) else {
+                    continue;
+                };
+                domains.push(inner);
+                if let Some(report) = self.feed.latest(domain) {
+                    scalars += report.scalars.len();
+                    last = match last {
+                        Some(at) if at >= report.at => Some(at),
+                        _ => Some(report.at),
+                    };
+                }
+            }
+            table.row(&[
+                format!("r{region}"),
+                domains.join(","),
+                last.map(|at| at.to_string()).unwrap_or_default(),
+                scalars.to_string(),
+                self.updates_for(region).to_string(),
+            ]);
+        }
+        table.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovnes_sim::SimTime;
+
+    fn report(domain: &str, at: u64, util: f64) -> MonitoringReport {
+        let mut scalars = BTreeMap::new();
+        scalars.insert("prb_utilization".to_owned(), util);
+        MonitoringReport {
+            domain: domain.into(),
+            at: SimTime::from_secs(at),
+            scalars,
+        }
+    }
+
+    #[test]
+    fn folds_region_prefixed_reports_and_reports_deltas() {
+        let mut panel = RegionsPanel::new();
+        let first = panel.apply(report("r0/ran", 60, 0.5));
+        assert_eq!(first, vec!["r0/ran:prb_utilization".to_owned()]);
+        let same = panel.apply(report("r0/ran", 120, 0.5));
+        assert!(same.is_empty(), "unchanged scalar repaints nothing");
+        let moved = panel.apply(report("r0/ran", 180, 0.7));
+        assert_eq!(moved, vec!["r0/ran:prb_utilization".to_owned()]);
+        let other = panel.apply(report("r1/transport", 60, 0.2));
+        assert_eq!(other, vec!["r1/transport:prb_utilization".to_owned()]);
+        assert_eq!(panel.regions(), vec![0, 1]);
+        assert_eq!(panel.updates_for(0), 3);
+        assert_eq!(panel.updates_for(1), 1);
+        assert_eq!(panel.latest(0, "ran").unwrap().at, SimTime::from_secs(180));
+    }
+
+    #[test]
+    fn unprefixed_reports_are_ignored() {
+        let mut panel = RegionsPanel::new();
+        assert!(panel.apply(report("ran", 60, 0.5)).is_empty());
+        assert!(panel.apply(report("radio/x", 60, 0.5)).is_empty());
+        assert!(panel.regions().is_empty());
+    }
+
+    #[test]
+    fn renders_one_row_per_region() {
+        let mut panel = RegionsPanel::new();
+        panel.apply(report("r0/ran", 60, 0.5));
+        panel.apply(report("r0/transport", 120, 0.4));
+        panel.apply(report("r2/ran", 60, 0.9));
+        let rendered = panel.render();
+        assert!(rendered.contains("REGION"), "{rendered}");
+        assert!(rendered.contains("r0"), "{rendered}");
+        assert!(rendered.contains("r2"), "{rendered}");
+        assert!(rendered.contains("ran,transport"), "{rendered}");
+    }
+}

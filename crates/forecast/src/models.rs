@@ -9,7 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Online one-step(-or-more)-ahead forecaster.
-pub trait Forecaster {
+///
+/// `Send` because forecasters live inside the overbooking engine of an
+/// orchestrator that the federation ships to worker threads; every model
+/// here is plain owned data, so the bound costs nothing.
+pub trait Forecaster: Send {
     /// Feed the demand observed in the latest monitoring epoch.
     fn observe(&mut self, value: f64);
 

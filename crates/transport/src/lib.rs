@@ -64,7 +64,8 @@ pub use controller::{
 pub use generators::{line, random_mesh, ring, star};
 pub use reservation::{effective_delay, LinkUsage, PathReservation};
 pub use routing::{
-    cspf, cspf_with, dijkstra, dijkstra_with, k_shortest_paths, k_shortest_paths_with, Path,
+    cspf, cspf_with, dijkstra, dijkstra_base, dijkstra_base_with, dijkstra_nested,
+    dijkstra_nested_with, dijkstra_with, k_shortest_paths, k_shortest_paths_with, Path,
     RoutingScratch,
 };
 pub use switch::{FlowAction, FlowMatch, FlowRule, FlowTable, SwitchError};

@@ -101,12 +101,64 @@ impl Link {
 
 /// The transport graph. Construct with [`TopologyBuilder`] or
 /// [`Topology::testbed`].
+///
+/// Adjacency is held twice: the nested per-node rows (the wire format and
+/// the bitwise routing oracle, see
+/// [`neighbors_nested`](Topology::neighbors_nested)) and a CSR flattening —
+/// one offsets array plus one packed `(link, peer)` array — that
+/// [`neighbors`](Topology::neighbors) serves so the routing hot loops walk
+/// contiguous memory. The CSR view is a pure function of the rows, rebuilt
+/// whenever the graph is (re)constructed: at [`TopologyBuilder::build`] and
+/// on deserialization. A built topology is immutable (links degrade through
+/// the controller's usage/health vectors, never by graph surgery), so there
+/// is no incremental CSR maintenance; any future growth event rebuilds the
+/// flattening wholesale under the route cache's generation stamp.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(from = "TopologyWire", into = "TopologyWire")]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     /// Outgoing (link, peer) pairs per node, in insertion order.
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    /// CSR row offsets: node `i`'s pairs live at
+    /// `csr_pairs[csr_offsets[i]..csr_offsets[i + 1]]`. Length
+    /// `nodes.len() + 1`.
+    csr_offsets: Vec<u32>,
+    /// All adjacency pairs, concatenated in node order; element-wise
+    /// identical to the nested rows.
+    csr_pairs: Vec<(LinkId, NodeId)>,
+    /// Base one-way delay of `csr_pairs[k].0` in integer microseconds — the
+    /// exact weight [`crate::routing::dijkstra`] computes for an undegraded
+    /// link, packed alongside the pairs so base-delay routing never touches
+    /// the `links` array in the hot loop.
+    csr_base_delay_us: Vec<u64>,
+}
+
+/// The serialized shape of [`Topology`]: nodes, links, and the nested
+/// adjacency rows only. The CSR flattening is derived state and is rebuilt
+/// on the way in, so snapshots taken before the flattening existed restore
+/// unchanged and the wire format stays stable.
+#[derive(Serialize, Deserialize)]
+struct TopologyWire {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+}
+
+impl From<TopologyWire> for Topology {
+    fn from(wire: TopologyWire) -> Topology {
+        Topology::from_rows(wire.nodes, wire.links, wire.adjacency)
+    }
+}
+
+impl From<Topology> for TopologyWire {
+    fn from(topo: Topology) -> TopologyWire {
+        TopologyWire {
+            nodes: topo.nodes,
+            links: topo.links,
+            adjacency: topo.adjacency,
+        }
+    }
 }
 
 impl Topology {
@@ -151,9 +203,70 @@ impl Topology {
         &self.links[id.value() as usize]
     }
 
-    /// Neighbors of `node` as `(link, peer)` pairs.
+    /// Neighbors of `node` as `(link, peer)` pairs, served from the CSR
+    /// flattening (one contiguous slice of the packed pair array).
+    #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[(LinkId, NodeId)] {
+        let i = node.value() as usize;
+        let lo = self.csr_offsets[i] as usize;
+        let hi = self.csr_offsets[i + 1] as usize;
+        &self.csr_pairs[lo..hi]
+    }
+
+    /// Neighbors of `node` from the retained nested adjacency rows — the
+    /// bitwise routing oracle. Element-wise identical to
+    /// [`neighbors`](Topology::neighbors); kept so tests and benches can
+    /// pin the CSR walk against the original representation.
+    #[inline]
+    pub fn neighbors_nested(&self, node: NodeId) -> &[(LinkId, NodeId)] {
         &self.adjacency[node.value() as usize]
+    }
+
+    /// Neighbors of `node` plus each pair's base one-way delay in integer
+    /// microseconds, both served from the packed CSR arrays. The delay
+    /// slice is parallel to the pair slice and equals
+    /// `link.delay.to_duration().as_micros()` for the pair's link — the
+    /// weight base-delay routing computes, precomputed at build time.
+    #[inline]
+    pub fn neighbors_with_base_delay(&self, node: NodeId) -> (&[(LinkId, NodeId)], &[u64]) {
+        let i = node.value() as usize;
+        let lo = self.csr_offsets[i] as usize;
+        let hi = self.csr_offsets[i + 1] as usize;
+        (&self.csr_pairs[lo..hi], &self.csr_base_delay_us[lo..hi])
+    }
+
+    /// Rebuild from parts, deriving the CSR flattening from the nested
+    /// rows. Single construction path shared by the builder and deserialization.
+    fn from_rows(
+        nodes: Vec<Node>,
+        links: Vec<Link>,
+        adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    ) -> Topology {
+        let total: usize = adjacency.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "topology exceeds CSR u32 offset range"
+        );
+        let mut csr_offsets = Vec::with_capacity(adjacency.len() + 1);
+        let mut csr_pairs = Vec::with_capacity(total);
+        let mut csr_base_delay_us = Vec::with_capacity(total);
+        csr_offsets.push(0u32);
+        for row in &adjacency {
+            for &(link, peer) in row {
+                csr_pairs.push((link, peer));
+                csr_base_delay_us
+                    .push(links[link.value() as usize].delay.to_duration().as_micros());
+            }
+            csr_offsets.push(csr_pairs.len() as u32);
+        }
+        Topology {
+            nodes,
+            links,
+            adjacency,
+            csr_offsets,
+            csr_pairs,
+            csr_base_delay_us,
+        }
     }
 
     /// The first node satisfying `pred`, if any.
@@ -269,17 +382,29 @@ impl TopologyBuilder {
     }
 
     /// Finalize into an immutable [`Topology`].
+    ///
+    /// Adjacency rows are pre-reserved from a degree-counting pass (no
+    /// reallocation while filling), and link insertion order is asserted to
+    /// match id order — the property the deterministic row/CSR layout (and
+    /// everything routing on it) relies on.
     pub fn build(self) -> Topology {
-        let mut adjacency = vec![Vec::new(); self.nodes.len()];
+        let mut degree = vec![0usize; self.nodes.len()];
+        for (i, link) in self.links.iter().enumerate() {
+            assert_eq!(
+                link.id,
+                LinkId::new(i as u64),
+                "links must be inserted in id order"
+            );
+            degree[link.a.value() as usize] += 1;
+            degree[link.b.value() as usize] += 1;
+        }
+        let mut adjacency: Vec<Vec<(LinkId, NodeId)>> =
+            degree.iter().map(|&d| Vec::with_capacity(d)).collect();
         for link in &self.links {
             adjacency[link.a.value() as usize].push((link.id, link.b));
             adjacency[link.b.value() as usize].push((link.id, link.a));
         }
-        Topology {
-            nodes: self.nodes,
-            links: self.links,
-            adjacency,
-        }
+        Topology::from_rows(self.nodes, self.links, adjacency)
     }
 }
 
@@ -387,5 +512,42 @@ mod tests {
         let j = serde_json::to_string(&t).unwrap();
         let back: Topology = serde_json::from_str(&j).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn wire_format_is_nested_rows_only() {
+        // The CSR flattening is derived state: the serialized shape keeps
+        // the pre-CSR field set, so old snapshots restore unchanged.
+        let t = Topology::testbed();
+        let v: serde_json::Value = serde_json::to_value(&t).unwrap();
+        let obj = v.as_object().unwrap();
+        let mut keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, ["adjacency", "links", "nodes"]);
+    }
+
+    #[test]
+    fn csr_matches_nested_rows() {
+        let t = Topology::testbed();
+        for node in t.nodes() {
+            assert_eq!(t.neighbors(node.id), t.neighbors_nested(node.id));
+            let (pairs, delays) = t.neighbors_with_base_delay(node.id);
+            assert_eq!(pairs, t.neighbors_nested(node.id));
+            for (&(link, _), &us) in pairs.iter().zip(delays) {
+                assert_eq!(us, t.link(link).delay.to_duration().as_micros());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted in id order")]
+    fn out_of_order_link_insertion_rejected() {
+        let mut b = Topology::builder();
+        let n0 = b.add_node(NodeKind::Switch(SwitchId::new(0)), "s0");
+        let n1 = b.add_node(NodeKind::Switch(SwitchId::new(1)), "s1");
+        b.add_default_link(n0, n1, LinkKind::Wired);
+        // Simulate a builder extension that forgets the id-order contract.
+        b.links[0].id = LinkId::new(5);
+        b.build();
     }
 }

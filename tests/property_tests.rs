@@ -10,8 +10,12 @@ use ovnes_model::{DcId, EnbId, Latency, LinkId, Money, Prbs, RateMbps, SliceId, 
 use ovnes_orchestrator::admission::knapsack_select;
 use ovnes_ran::{schedule_epoch, Cqi, PfScratch, PfState, SliceLoad, UeChannel};
 use ovnes_sim::{EventQueue, Histogram, ScheduledId, SimDuration, SimRng, SimTime};
+use ovnes_orchestrator::{
+    region_scenario_config, DemoScenario, FederationBroker, FederationConfig,
+};
 use ovnes_transport::{
-    dijkstra, k_shortest_paths, LinkKind, NodeKind, Topology, TransportController,
+    dijkstra, dijkstra_base_with, dijkstra_nested_with, dijkstra_with, k_shortest_paths,
+    random_mesh, LinkKind, NodeKind, RoutingScratch, Topology, TransportController,
 };
 use proptest::prelude::*;
 
@@ -335,6 +339,41 @@ proptest! {
             ns.sort();
             ns.dedup();
             prop_assert_eq!(ns.len(), p.nodes.len());
+        }
+    }
+
+    // The CSR flattening must be a pure layout change: on arbitrary random
+    // meshes, the CSR walks (the closure variant and the packed-base-delay
+    // variant) return exactly the nested oracle's path — including walks
+    // with a pseudo-random subset of links filtered out, which the closure
+    // variant must honour identically.
+    #[test]
+    fn csr_dijkstra_walks_match_the_nested_oracle(
+        seed in any::<u64>(),
+        n in 3usize..48,
+        chords in 0usize..80,
+        mask in 1u64..7,
+        pairs in prop::collection::vec((0usize..48, 0usize..48), 1..10),
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let topo = random_mesh(n, chords, RateMbps::new(1000.0), &mut rng);
+        let mut scratch = RoutingScratch::new();
+        let delay = |l: LinkId| topo.link(l).delay;
+        for &(a, b) in &pairs {
+            let s = topo.nodes()[a % n].id;
+            let t = topo.nodes()[b % n].id;
+            let oracle = dijkstra_nested_with(&mut scratch, &topo, s, t, |_| true, delay);
+            prop_assert_eq!(
+                &dijkstra_with(&mut scratch, &topo, s, t, |_| true, delay),
+                &oracle
+            );
+            prop_assert_eq!(&dijkstra_base_with(&mut scratch, &topo, s, t), &oracle);
+            let usable = |l: LinkId| l.value() % 7 != mask;
+            let filtered = dijkstra_nested_with(&mut scratch, &topo, s, t, usable, delay);
+            prop_assert_eq!(
+                &dijkstra_with(&mut scratch, &topo, s, t, usable, delay),
+                &filtered
+            );
         }
     }
 
@@ -695,5 +734,63 @@ proptest! {
         }
         prop_assert_eq!(plain.served("echo"), wrapped.served("echo"));
         prop_assert!(inj.stats().is_empty());
+    }
+}
+
+// ---- orchestrator: federation ----------------------------------------------
+
+proptest! {
+    // Full federated runs are expensive; a handful of cases per property
+    // still sweeps seeds, load levels, and shard counts every run.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // A 1-region federation IS the demo scenario: the broker adds no
+    // observable behaviour of its own — region 0's RNG streams and fold
+    // arithmetic reproduce the single-world oracle bit-for-bit, and with
+    // no sibling there is never anywhere to spill.
+    #[test]
+    fn single_region_federation_is_the_demo_scenario(
+        seed in 0u64..10_000,
+        arrivals in 5.0f64..35.0,
+    ) {
+        let cfg = FederationConfig {
+            seed,
+            regions: 1,
+            arrivals_per_hour: arrivals,
+            horizon: SimDuration::from_hours(1),
+            ..FederationConfig::default()
+        };
+        let fed = FederationBroker::build(cfg.clone()).run();
+        prop_assert_eq!(fed.spilled, 0, "one region has nowhere to spill");
+        let demo = DemoScenario::build(region_scenario_config(&cfg)).run();
+        prop_assert_eq!(fed.admitted, demo.admitted);
+        prop_assert_eq!(&fed.regions[0], &demo);
+    }
+
+    // Shard-epoch interleaving is invisible: federated admission (spills
+    // included) under 1 worker equals the same run under 2 and 5 workers,
+    // for arbitrary seeds, shard counts, and load.
+    #[test]
+    fn federated_admission_is_invariant_to_shard_interleaving(
+        seed in 0u64..10_000,
+        regions in 1usize..4,
+        arrivals in 10.0f64..50.0,
+    ) {
+        let run_at = |threads: usize| {
+            ovnes_sim::par::set_thread_override(Some(threads));
+            let out = FederationBroker::build(FederationConfig {
+                seed,
+                regions,
+                arrivals_per_hour: arrivals,
+                horizon: SimDuration::from_hours(1),
+                ..FederationConfig::default()
+            })
+            .run();
+            ovnes_sim::par::set_thread_override(None);
+            out
+        };
+        let one = run_at(1);
+        prop_assert_eq!(&one, &run_at(2));
+        prop_assert_eq!(&one, &run_at(5));
     }
 }
